@@ -1,0 +1,23 @@
+"""Shared fixtures for the figure benchmarks.
+
+The expensive substrate (mapping + simulation of all 11 networks) is
+memoised in :mod:`repro.bench.runner`; fixtures warm the cache so each
+figure's pytest-benchmark times its own aggregation, and the printed
+tables reproduce the paper's rows/series.
+"""
+
+import pytest
+
+from repro.bench import suite_results
+
+
+@pytest.fixture(scope="session")
+def sp_results():
+    """Single-precision simulation of the full suite (Fig 16 substrate)."""
+    return suite_results("sp")
+
+
+@pytest.fixture(scope="session")
+def hp_results():
+    """Half-precision simulation of the full suite (Fig 17 substrate)."""
+    return suite_results("hp")

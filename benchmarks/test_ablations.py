@@ -1,0 +1,204 @@
+"""Ablations of ScaleDeep's key design choices (DESIGN.md Sec 5).
+
+Each ablation disables one mechanism the paper argues for and measures
+the cost on the simulator:
+
+* heterogeneous tiles vs a DaDianNao-style homogeneous design (Sec 7);
+* the wheel's FC weight-reuse batching (Sec 3.3.1);
+* model parallelism for FC layers across the ring (Sec 3.3.2);
+* CompHeavy array reconfigurability (Sec 3.1.1).
+"""
+
+import statistics
+from dataclasses import replace
+
+import pytest
+
+from repro.arch import single_precision_node
+from repro.baselines.dadiannao import DaDianNaoModel
+from repro.bench import Table, cached_simulation
+from repro.dnn import zoo
+from repro.dnn.analysis import training_flops
+from repro.sim import simulate
+
+
+class TestHeterogeneity:
+    """ScaleDeep vs an iso-power homogeneous (DaDianNao-style) node."""
+
+    def test_abl_heterogeneity(self, benchmark):
+        node = single_precision_node()
+        homogeneous = DaDianNaoModel.iso_power(node.peak_flops)
+        names = ("AlexNet", "GoogLeNet", "VGG-A", "OF-Acc")
+
+        def compute():
+            rows = {}
+            for name in names:
+                net = zoo.load(name)
+                hetero = cached_simulation(name).training_images_per_s
+                homo = homogeneous.images_per_second(net)
+                rows[name] = (hetero, homo, hetero / homo)
+            return rows
+
+        rows = benchmark(compute)
+        table = Table(
+            "Ablation - heterogeneous tiles vs homogeneous iso-power node",
+            ["network", "ScaleDeep img/s", "homogeneous img/s", "ratio"],
+        )
+        for name, (het, hom, ratio) in rows.items():
+            table.add(name, f"{het:,.0f}", f"{hom:,.0f}", f"{ratio:.1f}x")
+        table.show()
+
+        geo = statistics.geometric_mean(r[2] for r in rows.values())
+        # Paper Sec 7: ~5x the FLOPs at iso-power.
+        assert 2.5 < geo < 9.0
+
+
+class TestWheelBatching:
+    """FC weight streaming amortised by the wheel batch vs not."""
+
+    def test_abl_wheel_batching(self, benchmark):
+        base = single_precision_node()
+        # No temporal aggregation AND no cross-cluster sharing: the hub
+        # batch collapses to the locally-arriving spoke inputs.
+        unbatched = replace(
+            base, fc_temporal_batch=1, fc_model_parallel=False,
+        )
+        names = ("AlexNet", "OF-Fast", "VGG-A")
+
+        def fc_ext_bytes(result):
+            return sum(
+                s.cost.traffic.ext_mem_bytes
+                for s in result.stages
+                if s.chip == "FcLayer"
+            )
+
+        def compute():
+            rows = {}
+            for name in names:
+                net = zoo.load(name)
+                batched = simulate(net, base)
+                plain = simulate(net, unbatched)
+                rows[name] = (
+                    batched.mapping.fc_batch_size,
+                    plain.mapping.fc_batch_size,
+                    fc_ext_bytes(batched),
+                    fc_ext_bytes(plain),
+                    batched.training_images_per_s
+                    / plain.training_images_per_s,
+                )
+            return rows
+
+        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        table = Table(
+            "Ablation - FcLayer hub weight-reuse batching",
+            ["network", "batch", "batch (off)", "FC ext B/img",
+             "FC ext B/img (off)", "throughput gain"],
+        )
+        for name, (b, u, eb, eu, gain) in rows.items():
+            table.add(
+                name, b, u, f"{eb / 1e6:.1f}M", f"{eu / 1e6:.1f}M",
+                f"{gain:.2f}x",
+            )
+        table.show()
+
+        for name, (b, u, eb, eu, gain) in rows.items():
+            # The batch shrinks without aggregation, and the per-image
+            # FC weight traffic grows roughly in proportion (Sec 3.3.1:
+            # bandwidth reduction proportional to the batch size).
+            assert b > u, name
+            assert eu > 3.0 * eb, name
+            # Throughput never improves by removing batching.
+            assert gain >= 0.999, name
+
+
+class TestModelParallelism:
+    """FC weights sharded across clusters vs replicated per cluster."""
+
+    def test_abl_model_parallelism(self, benchmark):
+        base = single_precision_node()
+        replicated = replace(base, fc_model_parallel=False)
+        names = ("AlexNet", "VGG-A", "OF-Fast")
+
+        def compute():
+            rows = {}
+            for name in names:
+                net = zoo.load(name)
+                mp = simulate(net, base)
+                rep = simulate(net, replicated)
+                rows[name] = (
+                    mp.training_images_per_s,
+                    rep.training_images_per_s,
+                    mp.link_utilization.fc_ext,
+                    rep.link_utilization.fc_ext,
+                )
+            return rows
+
+        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        table = Table(
+            "Ablation - FC model parallelism across the ring",
+            ["network", "MP img/s", "replicated img/s",
+             "MP fc-ext util", "repl fc-ext util"],
+        )
+        for name, (mp, rep, mpu, repu) in rows.items():
+            table.add(
+                name, f"{mp:,.0f}", f"{rep:,.0f}", f"{mpu:.2f}",
+                f"{repu:.2f}",
+            )
+        table.show()
+
+        for name, (mp, rep, mpu, repu) in rows.items():
+            # Sharding quarters each hub's weight stream: model
+            # parallelism never loses throughput and never needs more
+            # external FC bandwidth.
+            assert mp >= rep * 0.999, name
+            assert mpu <= repu + 1e-9, name
+
+
+class TestArrayReconfigurability:
+    """Column/lane redistribution + row split on vs off (Sec 3.1.1)."""
+
+    def test_abl_reconfig(self, benchmark):
+        base = single_precision_node()
+        rigid_tile = replace(
+            base.cluster.conv_chip.comp_tile,
+            row_split=False,
+            lane_redistribution=False,
+        )
+        rigid_chip = replace(base.cluster.conv_chip, comp_tile=rigid_tile)
+        rigid = replace(
+            base, cluster=replace(base.cluster, conv_chip=rigid_chip),
+            name="scaledeep-rigid",
+        )
+        names = ("AlexNet", "ZF", "GoogLeNet")
+
+        def compute():
+            rows = {}
+            for name in names:
+                net = zoo.load(name)
+                flex = simulate(net, base)
+                stiff = simulate(net, rigid)
+                rows[name] = (
+                    flex.training_images_per_s,
+                    stiff.training_images_per_s,
+                    flex.pe_utilization,
+                    stiff.pe_utilization,
+                )
+            return rows
+
+        rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+        table = Table(
+            "Ablation - CompHeavy array reconfigurability",
+            ["network", "reconfig img/s", "rigid img/s",
+             "reconfig util", "rigid util"],
+        )
+        for name, (f, s, fu, su) in rows.items():
+            table.add(
+                name, f"{f:,.0f}", f"{s:,.0f}", f"{fu:.2f}", f"{su:.2f}"
+            )
+        table.show()
+
+        gains = [f / s for f, s, _, _ in rows.values()]
+        # Reconfigurability never hurts and helps at least one network
+        # (the paper's C2/S2 row-split example).
+        assert all(g >= 0.999 for g in gains)
+        assert max(gains) > 1.01

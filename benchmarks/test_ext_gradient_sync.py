@@ -1,0 +1,85 @@
+"""Extension study: minibatch gradient synchronization (Sec 3.3).
+
+Not a numbered figure, but the quantitative story behind two of the
+paper's design decisions: the wheel arcs / ring carry the minibatch
+gradient accumulation, and FC model parallelism keeps the (dominant)
+FC weights off the ring entirely.  This bench sweeps the minibatch
+size and compares sharded vs replicated FC weights.
+"""
+
+from dataclasses import replace
+
+from repro.arch import single_precision_node
+from repro.bench import Table, cached_mapping
+from repro.compiler import map_network
+from repro.dnn import zoo
+from repro.sim.allreduce import minibatch_sync
+
+MINIBATCHES = (32, 64, 128, 256, 512, 1024, 2048)
+
+
+def compute_sweep():
+    rows = {}
+    for name in ("AlexNet", "VGG-A", "GoogLeNet"):
+        mapping = cached_mapping(name)
+        rows[name] = {
+            mb: minibatch_sync(mapping, mb).overhead_fraction
+            for mb in MINIBATCHES
+        }
+    return rows
+
+
+def test_ext_sync_vs_minibatch(benchmark):
+    rows = benchmark(compute_sweep)
+
+    table = Table(
+        "Gradient-sync overhead vs minibatch size (fraction of compute)",
+        ["network"] + [str(mb) for mb in MINIBATCHES],
+    )
+    for name, series in rows.items():
+        table.add(name, *(f"{series[mb]:.3f}" for mb in MINIBATCHES))
+    table.show()
+
+    for name, series in rows.items():
+        values = [series[mb] for mb in MINIBATCHES]
+        # Strictly decreasing: sync amortises with the minibatch.
+        assert all(a > b for a, b in zip(values, values[1:])), name
+        # By minibatch 2048 the overhead is noise.
+        assert values[-1] < 0.15, name
+
+
+def test_ext_model_parallelism_ring_payload(benchmark):
+    node = single_precision_node()
+    replicated_node = replace(node, fc_model_parallel=False)
+
+    def compute():
+        rows = {}
+        for name in ("AlexNet", "OF-Fast", "VGG-A"):
+            net = zoo.load(name)
+            sharded = minibatch_sync(map_network(net, node), 256)
+            replicated = minibatch_sync(
+                map_network(net, replicated_node), 256
+            )
+            rows[name] = (
+                sharded.ring_cycles,
+                replicated.ring_cycles,
+                net.weight_count,
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    table = Table(
+        "Ring all-reduce cycles per minibatch: FC sharded vs replicated",
+        ["network", "sharded", "replicated", "inflation"],
+    )
+    for name, (shard, repl, _) in rows.items():
+        table.add(
+            name, f"{shard:,.0f}", f"{repl:,.0f}",
+            f"{repl / shard:.1f}x",
+        )
+    table.show()
+
+    # FC weights dominate these networks (Fig 4): replicating them
+    # inflates the ring phase by the conv:total weight ratio.
+    for name, (shard, repl, _) in rows.items():
+        assert repl > 3 * shard, name

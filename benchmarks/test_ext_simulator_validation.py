@@ -1,0 +1,73 @@
+"""Extension study: validating the analytical model against the engine.
+
+The paper validates its C++ simulator with RTL synthesis (Sec 5); this
+reproduction validates its fast analytical model against its detailed
+functional engine — the two independent performance models must rank
+workloads identically and agree within a small factor on
+compute-dominated networks, or every figure built on the analytical
+model would be suspect.
+"""
+
+from repro.bench import Table
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, PoolMode
+from repro.dnn.zoo import tiny_cnn, tiny_mlp
+from repro.sim.validation import cross_validate, rank_agreement
+
+
+def _wide():
+    b = NetworkBuilder("WideCNN")
+    b.input(3, 16)
+    b.conv(12, kernel=3, pad=1)
+    b.pool(2, mode=PoolMode.AVG)
+    b.conv(16, kernel=3, pad=1)
+    b.fc(6, activation=Activation.SOFTMAX)
+    return b.build()
+
+
+def _deep():
+    b = NetworkBuilder("DeepCNN")
+    b.input(2, 16)
+    for _ in range(4):
+        b.conv(8, kernel=3, pad=1)
+    b.pool(2, mode=PoolMode.AVG)
+    b.fc(4, activation=Activation.SOFTMAX)
+    return b.build()
+
+
+def compute_rows():
+    nets = {
+        "TinyMLP": tiny_mlp(num_classes=4, in_features=8, hidden=12),
+        "TinyCNN-8": tiny_cnn(num_classes=4, in_size=8),
+        "TinyCNN-16": tiny_cnn(num_classes=4, in_size=16),
+        "WideCNN": _wide(),
+        "DeepCNN": _deep(),
+    }
+    return cross_validate(nets, rows=2)
+
+
+def test_ext_simulator_validation(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+
+    table = Table(
+        "Analytical model vs functional engine (forward pass, 1 image)",
+        ["network", "engine cycles", "analytical cycles", "ratio",
+         "instructions"],
+    )
+    for r in rows:
+        table.add(
+            r.network, f"{r.engine_cycles:,}",
+            f"{r.analytical_cycles:,.0f}", f"{r.ratio:.2f}",
+            f"{r.instructions:,}",
+        )
+    table.add("rank agreement", f"{rank_agreement(rows):.2f}", "", "", "")
+    table.show()
+
+    # Near-perfect concordance: at most one close pair may flip (the
+    # engine's per-instruction overheads advantage deep-but-thin
+    # networks relative to the streaming model).
+    assert rank_agreement(rows) >= 0.8
+    compute_dominated = [r for r in rows if r.analytical_cycles > 100]
+    assert compute_dominated
+    for r in compute_dominated:
+        assert 0.3 < r.ratio < 3.5, r.network

@@ -1,0 +1,57 @@
+"""Extension study: grid-wheel-ring vs a conventional fat tree (Sec 7).
+
+"DaDianNao adopts a conventional fat tree interconnect topology, which
+does not leverage the data-flow in DNNs, and incurs additional power
+and protocol overheads."  This bench quantifies the structural side of
+that claim over the same 20 chips: hop counts for the communication
+patterns DNNs actually generate (producer->consumer between adjacent
+layers, CONV->FC hand-off) and the switching hardware each needs.
+"""
+
+from repro.arch import single_precision_node
+from repro.arch.topology import (
+    bisection_bandwidth,
+    build_topology,
+    compare_with_fat_tree,
+)
+from repro.bench import Table
+
+
+def compute_profiles():
+    node = single_precision_node()
+    profiles = compare_with_fat_tree(node)
+    bisection = bisection_bandwidth(build_topology(node))
+    return profiles, bisection
+
+
+def test_ext_topology_comparison(benchmark):
+    profiles, bisection = benchmark.pedantic(
+        compute_profiles, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Interconnect comparison over 20 chips (Sec 7)",
+        ["property", "grid-wheel-ring", "fat-tree"],
+    )
+    ours = profiles["grid-wheel-ring"]
+    tree = profiles["fat-tree"]
+    table.add("chips", ours.chips, tree.chips)
+    table.add("links", ours.links, tree.links)
+    table.add("dedicated switches", ours.switch_nodes, tree.switch_nodes)
+    table.add("producer->consumer hops", f"{ours.neighbour_hops:.0f}",
+              f"{tree.neighbour_hops:.0f}")
+    table.add("CONV->FC hops (mean)", f"{ours.fc_hops:.1f}",
+              f"{tree.fc_hops:.1f}")
+    table.add("diameter", ours.diameter, tree.diameter)
+    table.show()
+    print(f"\ngrid-wheel-ring bisection bandwidth: "
+          f"{bisection / 1e9:.1f} GB/s")
+
+    # The structural claims: ScaleDeep's topology needs no switching
+    # hardware and keeps every DNN communication pattern at 1 hop.
+    assert ours.switch_nodes == 0 and tree.switch_nodes > 0
+    assert ours.neighbour_hops == 1
+    assert ours.fc_hops == 1.0
+    assert tree.neighbour_hops > ours.neighbour_hops
+    assert tree.fc_hops > ours.fc_hops
+    assert bisection > 0

@@ -1,0 +1,40 @@
+"""Figure 1: scalar FLOPs per network evaluation, 2012 -> 2015.
+
+Regenerates the bar chart data: billions of FLOPs for one forward
+evaluation of each benchmark, ordered by size, showing the >10x growth
+between the 2012 ImageNet winner and the 2014-15 entries.
+"""
+
+from repro.bench import Table
+from repro.dnn import zoo
+from repro.dnn.analysis import evaluation_flops
+
+#: Presentation order of Fig 1 (smallest to largest).
+FIG1_ORDER = [
+    "AlexNet", "ZF", "ResNet18", "GoogLeNet", "CNN-S", "OF-Fast",
+    "ResNet34", "OF-Acc", "VGG-A", "VGG-D", "VGG-E",
+]
+
+
+def compute_rows():
+    return {
+        name: evaluation_flops(zoo.load(name)) / 1e9 for name in FIG1_ORDER
+    }
+
+
+def test_fig01_flops_growth(benchmark):
+    rows = benchmark(compute_rows)
+
+    table = Table(
+        "Figure 1 - DNN evaluation: scalar FLOPs (billions)",
+        ["network", "GFLOPs/eval"],
+    )
+    for name, gflops in rows.items():
+        table.add(name, f"{gflops:.2f}")
+    table.show()
+
+    # Shape assertions: monotone growth trend and >10x 2012->2015 span.
+    assert rows["VGG-E"] / rows["AlexNet"] > 10
+    assert rows["VGG-E"] > rows["VGG-D"] > rows["VGG-A"]
+    assert rows["AlexNet"] < 3.0  # ~1.5 GFLOPs
+    assert 30 < rows["VGG-E"] < 50  # ~39 GFLOPs

@@ -1,0 +1,54 @@
+"""Figure 4: compute/data breakdown of OverFeat by layer class.
+
+Regenerates the table: per class (initial CONV, mid CONV, FC, SAMP) the
+share of FP+BP FLOPs, the Bytes/FLOP ratio, and the feature/weight
+storage — the heterogeneity argument the whole architecture rests on.
+"""
+
+import pytest
+
+from repro.bench import Table, fmt_count
+from repro.dnn import zoo
+from repro.dnn.analysis import LayerClass, layer_class_summary
+
+
+def compute_summary():
+    return layer_class_summary(zoo.overfeat_fast())
+
+
+def test_fig04_overfeat_breakdown(benchmark):
+    summary = benchmark(compute_summary)
+
+    total = sum(s.flops_total for s in summary.values())
+    table = Table(
+        "Figure 4 - OverFeat: compute and data by layer class",
+        ["class", "layers", "FLOPs %", "B/F (FP+BP)", "feat bytes",
+         "weight bytes"],
+    )
+    for cls in (LayerClass.INITIAL_CONV, LayerClass.MID_CONV,
+                LayerClass.FC, LayerClass.SAMP):
+        s = summary[cls]
+        table.add(
+            cls.value,
+            len(s.layers),
+            f"{100 * s.flops_total / total:.1f}",
+            f"{s.bytes_per_flop_fp_bp:.4f}",
+            fmt_count(s.feature_bytes, "B"),
+            fmt_count(s.weight_bytes, "B"),
+        )
+    table.show()
+
+    # Paper values: initial CONV ~16% FLOPs at ~0.006 B/F; mid CONV ~80%
+    # at ~0.015; FC ~4% at ~2; SAMP ~0.1% at ~5.
+    frac = {c: s.flops_total / total for c, s in summary.items()}
+    bf = {c: s.bytes_per_flop_fp_bp for c, s in summary.items()}
+    assert 0.08 < frac[LayerClass.INITIAL_CONV] < 0.30
+    assert 0.55 < frac[LayerClass.MID_CONV] < 0.90
+    assert frac[LayerClass.FC] < 0.15
+    assert frac[LayerClass.SAMP] < 0.005
+    assert bf[LayerClass.INITIAL_CONV] == pytest.approx(0.006, abs=0.006)
+    assert bf[LayerClass.MID_CONV] == pytest.approx(0.015, abs=0.012)
+    assert bf[LayerClass.FC] == pytest.approx(2.0, rel=0.25)
+    assert bf[LayerClass.SAMP] == pytest.approx(5.0, rel=0.10)
+    # The B/F spread across classes spans ~3 orders of magnitude.
+    assert bf[LayerClass.SAMP] / bf[LayerClass.INITIAL_CONV] > 300

@@ -1,0 +1,65 @@
+"""Figure 5: kernel-level summary of DNN training across the suite.
+
+Regenerates the table: for each computational kernel, its share of the
+total training FLOPs and its Bytes/FLOP ratio, aggregated over all 11
+benchmark networks — the classification that motivates the CompHeavy /
+MemHeavy tile split.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.dnn import zoo
+from repro.dnn.analysis import (
+    COMPUTE_DOMINANT_KERNELS,
+    Kernel,
+    kernel_summary,
+)
+
+#: Paper Fig 5 reference values: (FLOPs fraction, Bytes/FLOP).
+PAPER_FIG5 = {
+    Kernel.ND_CONV: (0.931, 0.14),
+    Kernel.MATMUL: (0.0302, 2.0),
+    Kernel.ND_ACCUM: (0.0302, 4.01),
+    Kernel.VEC_ELT_MUL: (0.0075, 4.0),
+    Kernel.SAMPLING: (0.001, 5.0),
+    Kernel.ACT_FN: (0.001, 8.0),
+}
+
+
+def compute_summary():
+    return kernel_summary(list(zoo.all_benchmarks().values()))
+
+
+def test_fig05_kernel_summary(benchmark):
+    summary = benchmark.pedantic(compute_summary, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 5 - Operations in DNN training (suite-wide)",
+        ["kernel", "FLOPs %", "paper %", "B/F", "paper B/F", "tile"],
+    )
+    for kernel in Kernel:
+        frac, bf = summary[kernel]
+        pf, pbf = PAPER_FIG5[kernel]
+        tile = (
+            "CompHeavy" if kernel in COMPUTE_DOMINANT_KERNELS else "MemHeavy"
+        )
+        table.add(
+            kernel.value, f"{100 * frac:.2f}", f"{100 * pf:.2f}",
+            f"{bf:.3f}", f"{pbf:.2f}", tile,
+        )
+    table.show()
+
+    conv_frac, conv_bf = summary[Kernel.ND_CONV]
+    mm_frac, mm_bf = summary[Kernel.MATMUL]
+    samp_frac, samp_bf = summary[Kernel.SAMPLING]
+    # Shape targets: conv dominates FLOPs at very low B/F, matmul is a
+    # few percent at ~2 B/F, everything else is small with high B/F.
+    assert conv_frac == pytest.approx(0.93, abs=0.06)
+    assert conv_bf < 0.5
+    assert mm_frac == pytest.approx(0.03, abs=0.025)
+    assert mm_bf == pytest.approx(2.0, rel=0.3)
+    assert samp_bf == pytest.approx(5.0, rel=0.1)
+    # The compute-dominant kernels jointly carry >90% of FLOPs.
+    dominant = sum(summary[k][0] for k in COMPUTE_DOMINANT_KERNELS)
+    assert dominant > 0.90

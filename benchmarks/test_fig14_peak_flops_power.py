@@ -1,0 +1,64 @@
+"""Figure 14: micro-architectural parameters, peak FLOPs and efficiency.
+
+Regenerates the right-hand tables of Fig 14: peak FLOP/s and processing
+efficiency (FLOPs/W) for every component of the single-precision design,
+checked against the published values, plus the 7032-tile inventory.
+"""
+
+import pytest
+
+from repro.arch import (
+    FREQUENCY_HZ,
+    PAPER_EFFICIENCY,
+    PAPER_PEAK_FLOPS,
+    PAPER_POWER_TABLE,
+    PAPER_TILE_COUNTS,
+    single_precision_node,
+)
+from repro.bench import Table, fmt_count
+
+
+def compute_components():
+    node = single_precision_node()
+    cluster = node.cluster
+    conv, fc = cluster.conv_chip, cluster.fc_chip
+    return {
+        "node": node.peak_flops,
+        "cluster": cluster.peak_flops(FREQUENCY_HZ),
+        "conv_chip": conv.peak_flops(FREQUENCY_HZ),
+        "conv_comp_tile": conv.comp_tile.peak_flops(FREQUENCY_HZ),
+        "conv_mem_tile": conv.mem_tile.peak_flops(FREQUENCY_HZ),
+        "fc_chip": fc.peak_flops(FREQUENCY_HZ),
+        "fc_comp_tile": fc.comp_tile.peak_flops(FREQUENCY_HZ),
+        "fc_mem_tile": fc.mem_tile.peak_flops(FREQUENCY_HZ),
+    }
+
+
+def test_fig14_peak_flops_power(benchmark):
+    peaks = benchmark(compute_components)
+
+    table = Table(
+        "Figure 14 - Peak FLOPs, power, processing efficiency",
+        ["component", "peak FLOP/s", "paper", "power W",
+         "GFLOPs/W", "paper"],
+    )
+    for key, peak in peaks.items():
+        power = PAPER_POWER_TABLE[key].peak_w
+        table.add(
+            key,
+            fmt_count(peak),
+            fmt_count(PAPER_PEAK_FLOPS[key]),
+            f"{power:g}",
+            f"{peak / power / 1e9:.1f}",
+            f"{PAPER_EFFICIENCY[key] / 1e9:.1f}",
+        )
+    table.show()
+
+    for key, peak in peaks.items():
+        assert peak == pytest.approx(PAPER_PEAK_FLOPS[key], rel=0.02), key
+        eff = peak / PAPER_POWER_TABLE[key].peak_w
+        assert eff == pytest.approx(PAPER_EFFICIENCY[key], rel=0.03), key
+
+    node = single_precision_node()
+    assert node.tile_count == PAPER_TILE_COUNTS["node_total"]
+    assert node.peak_flops == pytest.approx(680e12, rel=0.01)

@@ -1,0 +1,64 @@
+"""Figure 15: the DNN benchmark table.
+
+Regenerates the table of layers / neurons / weights / connections for
+all 11 benchmark networks and compares against the published values.
+"""
+
+import pytest
+
+from repro.bench import Table
+from repro.dnn import zoo
+from repro.dnn.layers import LayerKind
+
+#: GoogLeNet's paper row counts inception modules as single layers and
+#: uses a connection/neuron convention we cannot fully recover; its
+#: tolerances are documented in DESIGN.md / EXPERIMENTS.md.
+LOOSE = {"GoogLeNet"}
+
+
+def compute_table():
+    rows = {}
+    for name, net in zoo.all_benchmarks().items():
+        counts = net.layer_counts()
+        rows[name] = {
+            "conv": counts.get(LayerKind.CONV, 0),
+            "fc": counts.get(LayerKind.FC, 0),
+            "samp": counts.get(LayerKind.SAMP, 0),
+            "neurons_m": net.neuron_count / 1e6,
+            "weights_m": net.weight_count / 1e6,
+            "connections_b": net.connection_count / 1e9,
+        }
+    return rows
+
+
+def test_fig15_benchmark_table(benchmark):
+    rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 15 - DNN benchmarks (ours vs paper)",
+        ["network", "CONV/FC/SAMP", "neurons M (paper)",
+         "weights M (paper)", "conn B (paper)"],
+    )
+    for name, row in rows.items():
+        paper = zoo.PAPER_FIG15[name]
+        table.add(
+            name,
+            f"{row['conv']}/{row['fc']}/{row['samp']}",
+            f"{row['neurons_m']:.2f} ({paper.neurons_m:.2f})",
+            f"{row['weights_m']:.1f} ({paper.weights_m:.1f})",
+            f"{row['connections_b']:.2f} ({paper.connections_b:.2f})",
+        )
+    table.show()
+
+    for name, row in rows.items():
+        paper = zoo.PAPER_FIG15[name]
+        tol = 0.40 if name in LOOSE else 0.20
+        assert row["neurons_m"] == pytest.approx(
+            paper.neurons_m, rel=0.25 if name in LOOSE else 0.20
+        ), name
+        assert row["weights_m"] == pytest.approx(
+            paper.weights_m, rel=0.05
+        ), name
+        assert row["connections_b"] == pytest.approx(
+            paper.connections_b, rel=tol
+        ), name

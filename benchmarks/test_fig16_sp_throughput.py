@@ -1,0 +1,65 @@
+"""Figure 16: single-precision training & evaluation performance.
+
+Regenerates the figure's series: training images/s, evaluation images/s
+and 2D-PE utilization for all 11 benchmarks, plus the columns each
+network occupies (the 'Cols' row under the x-axis).
+"""
+
+import statistics
+
+import pytest
+
+from repro.bench import Table, fmt_rate, suite_results
+from repro.dnn import zoo
+
+#: The paper's 'Cols' row (columns per network copy).
+PAPER_COLS = {
+    "AlexNet": 16, "ZF": 10, "ResNet18": 32, "GoogLeNet": 32, "CNN-S": 16,
+    "OF-Fast": 16, "ResNet34": 64, "OF-Acc": 21, "VGG-A": 64,
+    "VGG-D": 256, "VGG-E": 256,
+}
+
+
+def aggregate(results):
+    return {
+        name: (
+            r.training_images_per_s,
+            r.evaluation_images_per_s,
+            r.pe_utilization,
+            r.mapping.conv_columns_per_copy,
+        )
+        for name, r in results.items()
+    }
+
+
+def test_fig16_sp_throughput(benchmark, sp_results):
+    rows = benchmark(aggregate, sp_results)
+
+    table = Table(
+        "Figure 16 - Single precision: training & evaluation performance",
+        ["network", "train img/s", "eval img/s", "eval/train",
+         "PE util", "cols (paper)"],
+    )
+    for name, (train, evaln, util, cols) in rows.items():
+        table.add(
+            name, fmt_rate(train), fmt_rate(evaln),
+            f"{evaln / train:.2f}x", f"{util:.2f}",
+            f"{cols} ({PAPER_COLS[name]})",
+        )
+    geo_util = statistics.geometric_mean(r[2] for r in rows.values())
+    table.add("GeoMean", "", "", "", f"{geo_util:.2f}", "")
+    table.show()
+
+    for name, (train, evaln, util, cols) in rows.items():
+        # Training throughput in the thousands of images/s (log axis of
+        # the figure spans 512 - 131072).
+        assert 512 < train < 262144, name
+        # Evaluation faster than training by a factor around 3.
+        assert 2.0 < evaln / train < 4.3, name
+        # Column footprints within 2x of the paper's.
+        assert cols <= 2 * PAPER_COLS[name], name
+        assert cols >= PAPER_COLS[name] / 2, name
+    # Overall 2D-PE utilization near the paper's 0.35 average.
+    assert 0.2 < geo_util < 0.5
+    # Throughput ordering: the largest network is the slowest.
+    assert rows["VGG-E"][0] == min(r[0] for r in rows.values())

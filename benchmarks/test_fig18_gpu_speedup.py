@@ -1,0 +1,76 @@
+"""Figure 18: ScaleDeep speedup over TitanX software stacks.
+
+Regenerates the iso-power comparison: one ScaleDeep chip cluster
+(~325 W) against a TitanX (~320 W) running cuDNN-R2, Nervana Neon,
+TensorFlow and the Winograd variants, on the four networks the paper
+plots (AlexNet, GoogLeNet, OverFeat, VGG-A).
+
+Paper bands: 22-28x over cuDNN-R2, 6-15x over Nervana, 7-11x over
+TensorFlow, 5-11x over the Winograd implementations.
+"""
+
+import statistics
+
+from repro.baselines.gpu import GpuFramework, all_framework_rates
+from repro.bench import Table, cached_simulation
+from repro.dnn import zoo
+
+#: The four networks of Fig 18.  "OverFeat" is taken as the accurate
+#: model (the variant whose workload Fig 4 analyses in depth).
+FIG18_NETWORKS = ("AlexNet", "GoogLeNet", "OF-Acc", "VGG-A")
+
+PAPER_BANDS = {
+    GpuFramework.CUDNN_R2: (22, 28),
+    GpuFramework.NERVANA: (6, 15),
+    GpuFramework.TENSORFLOW: (7, 11),
+    GpuFramework.CUDNN_WINOGRAD: (5, 11),
+    GpuFramework.NERVANA_WINOGRAD: (5, 11),
+}
+
+
+def compute_speedups():
+    speedups = {}
+    for name in FIG18_NETWORKS:
+        result = cached_simulation(name)
+        cluster_rate = (
+            result.training_images_per_s
+            / result.mapping.node.cluster_count
+        )
+        gpu = all_framework_rates(zoo.load(name))
+        speedups[name] = {
+            fw: cluster_rate / rate for fw, rate in gpu.items()
+        }
+    return speedups
+
+
+def test_fig18_gpu_speedup(benchmark):
+    speedups = benchmark(compute_speedups)
+
+    table = Table(
+        "Figure 18 - ScaleDeep chip-cluster speedup vs TitanX (training)",
+        ["network"] + [fw.value for fw in GpuFramework],
+    )
+    for name, row in speedups.items():
+        table.add(name, *(f"{row[fw]:.1f}x" for fw in GpuFramework))
+    geo = {
+        fw: statistics.geometric_mean(
+            speedups[n][fw] for n in FIG18_NETWORKS
+        )
+        for fw in GpuFramework
+    }
+    table.add("GeoMean", *(f"{geo[fw]:.1f}x" for fw in GpuFramework))
+    table.show()
+
+    # Geomean speedups land in (a 1.5x-relaxed version of) the paper's
+    # bands, and the relative ordering of the stacks holds.
+    for fw, (lo, hi) in PAPER_BANDS.items():
+        assert geo[fw] > lo / 1.5, (fw, geo[fw])
+        assert geo[fw] < hi * 1.6, (fw, geo[fw])
+    assert geo[GpuFramework.CUDNN_R2] == max(geo.values())
+    # Winograd closes part of the gap for its base framework.
+    assert geo[GpuFramework.NERVANA_WINOGRAD] < geo[GpuFramework.NERVANA]
+    assert geo[GpuFramework.CUDNN_WINOGRAD] < geo[GpuFramework.CUDNN_R2]
+    # ScaleDeep always wins.
+    for row in speedups.values():
+        for value in row.values():
+            assert value > 1.0

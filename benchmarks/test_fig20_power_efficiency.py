@@ -1,0 +1,59 @@
+"""Figure 20: average power and processing efficiency during training.
+
+Regenerates both series: normalised average power (with its compute /
+memory / interconnect split) and achieved GFLOPs/W per network.  Paper
+anchors: normalised power well below peak with a near-constant memory
+component, and an average efficiency of ~331.7 GFLOPs/W.
+"""
+
+import statistics
+
+from repro.bench import Table
+from repro.dnn import zoo
+
+PAPER_MEAN_EFFICIENCY = 331.7  # GFLOPs/W
+NODE_PEAK_W = 1400.0
+
+
+def aggregate(results):
+    return {
+        name: (
+            r.average_power.logic_w,
+            r.average_power.memory_w,
+            r.average_power.interconnect_w,
+            r.average_power.total_w,
+            r.gflops_per_watt,
+        )
+        for name, r in results.items()
+    }
+
+
+def test_fig20_power_efficiency(benchmark, sp_results):
+    rows = benchmark(aggregate, sp_results)
+
+    table = Table(
+        "Figure 20 - Average power and processing efficiency (training)",
+        ["network", "compute W", "memory W", "interconnect W",
+         "norm. power", "GFLOPs/W"],
+    )
+    for name, (logic, mem, inter, total, eff) in rows.items():
+        table.add(
+            name, f"{logic:.0f}", f"{mem:.0f}", f"{inter:.0f}",
+            f"{total / NODE_PEAK_W:.2f}", f"{eff:.0f}",
+        )
+    mean_eff = statistics.mean(r[4] for r in rows.values())
+    table.add("Mean", "", "", "", "", f"{mean_eff:.0f}")
+    table.show()
+
+    for name, (logic, mem, inter, total, eff) in rows.items():
+        # Average power is a fraction of peak, never exceeding it.
+        assert 0.25 < total / NODE_PEAK_W < 0.85, name
+        assert eff > 100, name
+    # Memory power is near-constant across workloads (leakage-dominated).
+    mems = [r[1] for r in rows.values()]
+    assert max(mems) / min(mems) < 1.2
+    # Compute power tracks utilization: it varies across workloads.
+    logics = [r[0] for r in rows.values()]
+    assert max(logics) / min(logics) > 1.2
+    # Mean efficiency lands near the paper's 331.7 GFLOPs/W.
+    assert 0.6 * PAPER_MEAN_EFFICIENCY < mean_eff < 1.6 * PAPER_MEAN_EFFICIENCY

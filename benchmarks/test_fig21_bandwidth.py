@@ -1,0 +1,73 @@
+"""Figure 21: bandwidth utilization of ScaleDeep's links during training.
+
+Regenerates the three panels: on-chip links (Comp-Mem, Mem-Mem), chip
+cluster links (Conv-Mem, Fc-Mem external memory; wheel arcs and spokes),
+and the node-level ring, for all 11 benchmarks.
+
+Paper anchors: the Comp-Mem links are the best utilized on-chip links;
+Mem-Mem links run lower; arc traffic is minimal for networks fitting a
+single chip; ring utilization is small for every benchmark except the
+VGG-D/E networks that span multiple chip clusters.
+"""
+
+import statistics
+
+from repro.bench import Table
+from repro.dnn import zoo
+
+
+def aggregate(results):
+    return {
+        name: r.link_utilization.as_dict() for name, r in results.items()
+    }
+
+
+def test_fig21_bandwidth(benchmark, sp_results):
+    rows = benchmark(aggregate, sp_results)
+
+    columns = ["network", "comp-mem", "mem-mem", "conv-ext", "fc-ext",
+               "spoke", "arc", "ring"]
+    table = Table("Figure 21 - Link bandwidth utilization (training)",
+                  columns)
+    for name, util in rows.items():
+        table.add(
+            name,
+            *(f"{util[k]:.2f}" for k in
+              ("comp_mem", "mem_mem", "conv_ext", "fc_ext", "spoke",
+               "arc", "ring")),
+        )
+    geo = {
+        key: statistics.geometric_mean(
+            max(rows[n][key], 1e-3) for n in rows
+        )
+        for key in rows["AlexNet"]
+    }
+    table.add("GeoMean", *(f"{geo[k]:.2f}" for k in
+                           ("comp_mem", "mem_mem", "conv_ext", "fc_ext",
+                            "spoke", "arc", "ring")))
+    table.show()
+
+    multi_cluster = {
+        name for name, r in sp_results.items()
+        if r.mapping.clusters_per_copy > 1
+    }
+    single_chip = {
+        name for name, r in sp_results.items()
+        if r.mapping.conv_chips_per_copy == 1
+    }
+
+    for name, util in rows.items():
+        for key, value in util.items():
+            assert 0.0 <= value <= 1.0, (name, key)
+        # On-chip: Comp-Mem links busier than Mem-Mem (paper: 0.87 best).
+        assert util["comp_mem"] >= util["mem_mem"], name
+        # Wheel arcs idle when the whole network fits one chip.
+        if name in single_chip:
+            assert util["arc"] < 0.1, name
+        # Ring small unless the copy spans clusters.
+        if name not in multi_cluster:
+            assert util["ring"] < 0.5, name
+
+    # VGG-D/E span clusters and push CONV traffic onto the ring.
+    assert multi_cluster >= {"VGG-D", "VGG-E"}
+    assert rows["VGG-D"]["ring"] == max(r["ring"] for r in rows.values())

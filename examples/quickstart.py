@@ -1,0 +1,42 @@
+"""Quickstart: map a benchmark DNN onto ScaleDeep and simulate it.
+
+Builds AlexNet, maps it onto the paper's single-precision node (7032
+tiles, 680 TFLOP/s peak), and prints the mapping, throughput,
+utilization and power — the numbers behind Figs 16, 20 and 21.
+
+Run:  python examples/quickstart.py [network]
+"""
+
+import sys
+
+from repro import simulate, single_precision_node, zoo
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "AlexNet"
+    net = zoo.load(name)
+    node = single_precision_node()
+
+    print(node.describe())
+    print()
+    print(net.describe())
+    print()
+
+    result = simulate(net, node)
+    print(result.mapping.describe())
+    print()
+    print(result.describe())
+    print()
+    print("Link utilization:")
+    for link, value in result.link_utilization.as_dict().items():
+        print(f"  {link:<10} {value:.2f}")
+    print(
+        f"Average power: {result.average_power.total_w:.0f} W "
+        f"(logic {result.average_power.logic_w:.0f}, "
+        f"memory {result.average_power.memory_w:.0f}, "
+        f"interconnect {result.average_power.interconnect_w:.0f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

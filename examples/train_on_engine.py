@@ -1,0 +1,86 @@
+"""Run full SGD training on the functional ScaleDeep engine.
+
+The complete loop the paper builds hardware for: forward propagation,
+backpropagation with rotated kernels and activation masking, weight
+gradients, and in-place SGD updates — every step executed as compiled
+ScaleDeep ISA programs on the engine, synchronised only by MEMTRACK
+data-flow trackers, with loss tracked against the numpy golden model.
+
+Run:  python examples/train_on_engine.py
+"""
+
+import numpy as np
+
+from repro.compiler.codegen_training import compile_training
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, PoolMode
+from repro.functional import ReferenceModel, make_synthetic_dataset
+
+
+def build_net():
+    b = NetworkBuilder("EngineCNN")
+    b.input(2, 8)
+    b.conv(4, kernel=3, pad=1, name="conv1")
+    b.pool(2, mode=PoolMode.AVG, name="pool1")
+    b.conv(6, kernel=3, pad=1, name="conv2")
+    b.fc(3, activation=Activation.SOFTMAX, name="fc")
+    return b.build()
+
+
+def main() -> None:
+    net = build_net()
+    model = ReferenceModel(net, seed=1)
+    compiled = compile_training(net, model, rows=2, learning_rate=(5, 100))
+    print(
+        f"compiled {net.name} for training: "
+        f"{len(compiled.forward.programs)} tile programs, "
+        f"{compiled.instruction_count} instructions"
+    )
+
+    images, labels = make_synthetic_dataset(
+        net, samples=24, num_classes=3, seed=2
+    )
+    print("\nstep  label  loss    correct  tracker-blocks")
+    correct = 0
+    for step, (image, label) in enumerate(zip(images, labels)):
+        out, loss, report = compiled.train_step(
+            image.astype(np.float32), int(label)
+        )
+        hit = int(out.argmax()) == int(label)
+        correct += hit
+        if step % 4 == 0 or step == len(images) - 1:
+            print(
+                f"{step:>4}  {int(label):>5}  {loss:<7.3f} "
+                f"{str(hit):<8} {report.blocked_reads}"
+            )
+    print(f"\nrunning accuracy while training: {correct / len(images):.2f}")
+
+    # Second pass (weights now trained, still updating).
+    second = sum(
+        int(compiled.train_step(img.astype(np.float32), int(lbl))[0]
+            .argmax()) == int(lbl)
+        for img, lbl in zip(images, labels)
+    )
+    print(f"second-epoch accuracy on the engine: {second / len(images):.2f}")
+
+    # Minibatch-accumulating variant (the Sec 2.2 semantics): gradients
+    # add across the minibatch, the weights update once at the boundary.
+    print("\nminibatch-accumulating engine training (batch 8):")
+    net2 = build_net()
+    model2 = ReferenceModel(net2, seed=2)
+    batched = compile_training(
+        net2, model2, rows=2, learning_rate=(10, 100), minibatch=8
+    )
+    for epoch in range(3):
+        losses = []
+        for start in range(0, len(images), 8):
+            loss, _ = batched.train_minibatch(
+                images[start:start + 8], labels[start:start + 8]
+            )
+            losses.append(loss)
+        print(f"  epoch {epoch}: mean minibatch loss "
+              f"{sum(losses) / len(losses):.3f}")
+
+
+if __name__ == "__main__":
+    main()

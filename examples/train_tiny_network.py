@@ -1,0 +1,44 @@
+"""Train a small CNN with the functional substrate.
+
+Exercises the exact computation ScaleDeep accelerates — the FP/BP/WG
+steps of Fig 3 with minibatch gradient accumulation — on a synthetic
+classification task, and reports per-epoch loss and accuracy.
+
+Run:  python examples/train_tiny_network.py
+"""
+
+from repro.dnn.zoo import tiny_cnn
+from repro.functional import (
+    ReferenceModel,
+    SGDTrainer,
+    make_synthetic_dataset,
+)
+
+
+def main() -> None:
+    net = tiny_cnn(num_classes=4, in_size=16)
+    print(net.describe())
+
+    model = ReferenceModel(net, seed=1)
+    print(f"\nparameters: {model.parameter_count():,}")
+
+    train_x, train_y = make_synthetic_dataset(
+        net, samples=96, num_classes=4, seed=2
+    )
+    test_x, test_y = make_synthetic_dataset(
+        net, samples=32, num_classes=4, seed=99
+    )
+
+    trainer = SGDTrainer(model, learning_rate=0.05, batch_size=8, seed=3)
+    print("\nepoch  loss    train-acc  test-acc")
+    for epoch in range(6):
+        stats = trainer.train_epoch(train_x, train_y, epoch)
+        test_acc = trainer.evaluate(test_x, test_y)
+        print(
+            f"{stats.epoch:>5}  {stats.mean_loss:<7.3f} "
+            f"{stats.accuracy:<10.2f} {test_acc:.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Workload analysis of any benchmark network (paper Sec 2.3).
+
+Prints the per-layer-class compute/data breakdown (Fig 4) and the
+kernel-level summary (Fig 5) for a chosen network.
+
+Run:  python examples/workload_analysis.py [network]
+"""
+
+import sys
+
+from repro.bench import Table, fmt_count
+from repro.dnn import zoo
+from repro.dnn.analysis import (
+    Kernel,
+    LayerClass,
+    evaluation_flops,
+    kernel_summary,
+    layer_class_summary,
+    training_flops,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "OF-Fast"
+    net = zoo.load(name)
+
+    print(
+        f"{net.name}: {evaluation_flops(net) / 1e9:.2f} GFLOPs/evaluation, "
+        f"{training_flops(net) / 1e9:.2f} GFLOPs/training iteration"
+    )
+
+    classes = layer_class_summary(net)
+    total = sum(s.flops_total for s in classes.values())
+    table = Table(
+        f"Layer-class breakdown of {net.name} (Fig 4 style)",
+        ["class", "layers", "FLOPs %", "B/F", "features", "weights"],
+    )
+    for cls in LayerClass:
+        if cls not in classes:
+            continue
+        s = classes[cls]
+        table.add(
+            cls.value, len(s.layers),
+            f"{100 * s.flops_total / total:.1f}",
+            f"{s.bytes_per_flop_fp_bp:.4f}",
+            fmt_count(s.feature_bytes, "B"),
+            fmt_count(s.weight_bytes, "B"),
+        )
+    table.show()
+
+    kernels = kernel_summary([net])
+    table = Table(
+        f"Kernel summary of {net.name} (Fig 5 style)",
+        ["kernel", "FLOPs %", "Bytes/FLOP"],
+    )
+    for kernel in Kernel:
+        frac, bf = kernels[kernel]
+        table.add(kernel.value, f"{100 * frac:.2f}", f"{bf:.3f}")
+    table.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: this environment lacks the `wheel` package, so the
+PEP 660 editable-install path is unavailable; `setup.py develop` works."""
+from setuptools import setup
+
+setup()

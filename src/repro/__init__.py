@@ -1,0 +1,34 @@
+"""ScaleDeep (ISCA 2017) reproduction.
+
+A from-scratch Python implementation of the ScaleDeep system: the DNN
+workload model and benchmark zoo, the heterogeneous tile/chip/cluster/
+node architecture, the 28-instruction ISA, the mapping compiler and code
+generator, the analytical and functional simulators, the power model,
+and the GPU / DaDianNao baselines.
+
+Quickstart::
+
+    from repro import zoo, single_precision_node, simulate
+    result = simulate(zoo.load("AlexNet"), single_precision_node())
+    print(result.describe())
+"""
+
+from repro.arch import (
+    half_precision_node,
+    single_precision_node,
+)
+from repro.compiler import map_network
+from repro.dnn import zoo
+from repro.sim import simulate, simulate_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "half_precision_node",
+    "map_network",
+    "simulate",
+    "simulate_suite",
+    "single_precision_node",
+    "zoo",
+]

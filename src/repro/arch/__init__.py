@@ -1,0 +1,107 @@
+"""Architecture model: tiles, chips, clusters, node, power."""
+
+from repro.arch.chip import (
+    COMP_TILES_PER_GROUP,
+    GB,
+    KB,
+    MB,
+    ChipConfig,
+    ChipKind,
+    LinkBandwidths,
+)
+from repro.arch.cluster import ClusterConfig
+from repro.arch.dse import (
+    DesignPoint,
+    DseResult,
+    default_grid,
+    evaluate_point,
+    pareto_front,
+    sweep,
+)
+from repro.arch.node import NodeConfig
+from repro.arch.topology import (
+    build_fat_tree,
+    build_topology,
+    compare_with_fat_tree,
+    profile_topology,
+)
+from repro.arch.roofline import (
+    Boundedness,
+    ChipRoofline,
+    chip_roofline,
+    network_roofline,
+)
+from repro.arch.power import (
+    ComponentPower,
+    estimate_node_power,
+    PAPER_POWER_TABLE,
+    PowerDraw,
+    PowerModel,
+    cluster_power_model,
+    node_power_model,
+    processing_efficiency,
+)
+from repro.arch.presets import (
+    FREQUENCY_HZ,
+    PAPER_EFFICIENCY,
+    PAPER_PEAK_FLOPS,
+    PAPER_TILE_COUNTS,
+    chip_cluster,
+    conv_chip,
+    fc_chip,
+    half_precision_node,
+    single_precision_node,
+)
+from repro.arch.tiles import (
+    ArrayConfig,
+    CompHeavyConfig,
+    MemHeavyConfig,
+    array_utilization,
+)
+
+__all__ = [
+    "ArrayConfig",
+    "COMP_TILES_PER_GROUP",
+    "Boundedness",
+    "ChipConfig",
+    "ChipKind",
+    "ChipRoofline",
+    "ClusterConfig",
+    "CompHeavyConfig",
+    "DesignPoint",
+    "DseResult",
+    "ComponentPower",
+    "FREQUENCY_HZ",
+    "GB",
+    "KB",
+    "LinkBandwidths",
+    "MB",
+    "MemHeavyConfig",
+    "NodeConfig",
+    "PAPER_EFFICIENCY",
+    "PAPER_PEAK_FLOPS",
+    "PAPER_POWER_TABLE",
+    "PAPER_TILE_COUNTS",
+    "PowerDraw",
+    "PowerModel",
+    "array_utilization",
+    "build_fat_tree",
+    "build_topology",
+    "chip_cluster",
+    "compare_with_fat_tree",
+    "chip_roofline",
+    "cluster_power_model",
+    "conv_chip",
+    "default_grid",
+    "estimate_node_power",
+    "evaluate_point",
+    "fc_chip",
+    "half_precision_node",
+    "network_roofline",
+    "node_power_model",
+    "pareto_front",
+    "processing_efficiency",
+    "profile_topology",
+    "single_precision_node",
+    "sweep",
+]

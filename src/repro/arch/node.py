@@ -1,0 +1,92 @@
+"""Node-level architecture: the ring of chip clusters (paper Sec 3.3.2).
+
+Clusters connect through their FcLayer hubs in a ring.  Each cluster
+works on a different slice of the minibatch; the ring accumulates weight
+gradients and distributes updated weights at minibatch boundaries, and —
+with model parallelism — carries FC features/errors between the cluster-
+resident shards of the FC weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cluster import ClusterConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """A full ScaleDeep node: a ring of identical chip clusters."""
+
+    name: str
+    cluster: ClusterConfig
+    cluster_count: int
+    ring_bandwidth: float  # bytes/s per ring link
+    frequency_hz: float
+    dtype_bytes: int  # 4 for single precision, 2 for half precision
+    fc_model_parallel: bool = True  # shard FC weights across clusters
+    fc_temporal_batch: int = 8  # successive inputs the hub aggregates
+    use_winograd: bool = False  # Sec 6.1 future-work convolution algorithm
+
+    def __post_init__(self) -> None:
+        if self.cluster_count < 1:
+            raise ConfigError("node needs at least one cluster")
+        if self.frequency_hz <= 0:
+            raise ConfigError("frequency must be positive")
+        if self.dtype_bytes not in (2, 4):
+            raise ConfigError(
+                f"dtype_bytes must be 2 (half) or 4 (single), got "
+                f"{self.dtype_bytes}"
+            )
+        if self.fc_temporal_batch < 1:
+            raise ConfigError("fc_temporal_batch must be >= 1")
+
+    # ------------------------------------------------------------------
+    @property
+    def comp_tile_count(self) -> int:
+        return self.cluster_count * self.cluster.comp_tile_count
+
+    @property
+    def mem_tile_count(self) -> int:
+        return self.cluster_count * self.cluster.mem_tile_count
+
+    @property
+    def tile_count(self) -> int:
+        """Total processing tiles (the paper's 7032 for the SP node)."""
+        return self.comp_tile_count + self.mem_tile_count
+
+    @property
+    def peak_flops(self) -> float:
+        return self.cluster_count * self.cluster.peak_flops(self.frequency_hz)
+
+    @property
+    def conv_chip_count(self) -> int:
+        return self.cluster_count * self.cluster.conv_chip_count
+
+    @property
+    def total_conv_columns(self) -> int:
+        """ConvLayer chip columns across the node (Fig 16's 'Cols')."""
+        return self.conv_chip_count * self.cluster.conv_chip.cols
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (mirrors Fig 14's left table)."""
+        c = self.cluster
+        lines = [
+            f"ScaleDeep node {self.name!r} @ {self.frequency_hz / 1e6:.0f} MHz, "
+            f"{'FP32' if self.dtype_bytes == 4 else 'FP16'}",
+            f"  clusters: {self.cluster_count} "
+            f"(ring {self.ring_bandwidth / 1e9:g} GB/s)",
+            f"  chips/cluster: {c.conv_chip_count} ConvLayer + 1 FcLayer "
+            f"(spoke {c.spoke_bandwidth / 1e9:g} GB/s, "
+            f"arc {c.arc_bandwidth / 1e9:g} GB/s)",
+            f"  ConvLayer chip: {c.conv_chip.rows}x{c.conv_chip.cols} cols, "
+            f"{c.conv_chip.comp_tile_count} CompHeavy / "
+            f"{c.conv_chip.mem_tile_count} MemHeavy tiles",
+            f"  FcLayer chip:   {c.fc_chip.rows}x{c.fc_chip.cols} cols, "
+            f"{c.fc_chip.comp_tile_count} CompHeavy / "
+            f"{c.fc_chip.mem_tile_count} MemHeavy tiles",
+            f"  totals: {self.tile_count} tiles, "
+            f"{self.peak_flops / 1e12:.1f} TFLOP/s peak",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Baseline architecture configurations from the paper's Fig 14.
+
+``single_precision_node()`` is the evaluated embodiment: 7032 processing
+tiles, 680 TFLOP/s peak at 600 MHz and 1.4 kW.  ``half_precision_node()``
+is the Sec 6.1 FP16 variant: the grids grow (ConvLayer 6x16 -> 8x24,
+FcLayer 6x8 -> 8x12), while per-tile memory capacity and every link
+bandwidth halve, holding power roughly constant and reaching ~1.35
+PFLOP/s peak.
+"""
+
+from __future__ import annotations
+
+from repro.arch.chip import GB, KB, MB, ChipConfig, ChipKind, LinkBandwidths
+from repro.arch.cluster import ClusterConfig
+from repro.arch.node import NodeConfig
+from repro.arch.tiles import CompHeavyConfig, MemHeavyConfig
+
+#: Operating frequency of the evaluated design (Fig 14).
+FREQUENCY_HZ = 600e6
+
+
+def conv_comp_tile() -> CompHeavyConfig:
+    """ConvLayer-chip CompHeavy tile: 8x3 2D-PEs with 4 lanes each."""
+    return CompHeavyConfig(
+        rows=8,
+        cols=3,
+        lanes=4,
+        accumulator_flops=32,
+        left_mem_kb=8,
+        top_mem_kb=4,
+        bottom_mem_kb=4,
+        scratchpad_kb=16,
+    )
+
+
+def fc_comp_tile() -> CompHeavyConfig:
+    """FcLayer-chip CompHeavy tile: 4x8 single-lane 2D-PEs (matrix-multiply
+    shaped: fewer rows, more columns — paper Sec 3.2.5)."""
+    return CompHeavyConfig(
+        rows=4,
+        cols=8,
+        lanes=1,
+        accumulator_flops=0,
+        left_mem_kb=8,
+        top_mem_kb=12,
+        bottom_mem_kb=12,
+        scratchpad_kb=0,
+    )
+
+
+def conv_mem_tile(dtype_bytes: int = 4) -> MemHeavyConfig:
+    """ConvLayer-chip MemHeavy tile: 512 KB / 32 SFUs (256 KB at FP16)."""
+    tile = MemHeavyConfig(capacity_bytes=512 * KB, num_sfu=32)
+    return tile if dtype_bytes == 4 else tile.halved_capacity()
+
+
+def fc_mem_tile(dtype_bytes: int = 4) -> MemHeavyConfig:
+    """FcLayer-chip MemHeavy tile: 1 MB / 32 SFUs (512 KB at FP16)."""
+    tile = MemHeavyConfig(capacity_bytes=1 * MB, num_sfu=32)
+    return tile if dtype_bytes == 4 else tile.halved_capacity()
+
+
+def conv_chip(dtype_bytes: int = 4) -> ChipConfig:
+    """The ConvLayer chip (Fig 14 left table)."""
+    links = LinkBandwidths(
+        external_memory=150 * GB, comp_mem=24 * GB, mem_mem=36 * GB,
+        ext_channels=10,
+    )
+    rows, cols = (6, 16) if dtype_bytes == 4 else (8, 24)
+    return ChipConfig(
+        kind=ChipKind.CONV,
+        rows=rows,
+        cols=cols,
+        comp_tile=conv_comp_tile(),
+        mem_tile=conv_mem_tile(dtype_bytes),
+        links=links if dtype_bytes == 4 else links.halved(),
+    )
+
+
+def fc_chip(dtype_bytes: int = 4) -> ChipConfig:
+    """The FcLayer chip: fewer columns, bigger MemHeavy tiles, 2x-4x the
+    bandwidth of the ConvLayer chip (Fig 14)."""
+    links = LinkBandwidths(
+        external_memory=300 * GB, comp_mem=48 * GB, mem_mem=144 * GB,
+        ext_channels=6,
+    )
+    rows, cols = (6, 8) if dtype_bytes == 4 else (8, 12)
+    return ChipConfig(
+        kind=ChipKind.FC,
+        rows=rows,
+        cols=cols,
+        comp_tile=fc_comp_tile(),
+        mem_tile=fc_mem_tile(dtype_bytes),
+        links=links if dtype_bytes == 4 else links.halved(),
+    )
+
+
+def chip_cluster(dtype_bytes: int = 4) -> ClusterConfig:
+    """A wheel of 4 ConvLayer chips around one FcLayer hub."""
+    spoke, arc = 0.5 * GB, 16 * GB
+    if dtype_bytes != 4:
+        spoke, arc = spoke / 2, arc / 2
+    return ClusterConfig(
+        conv_chip=conv_chip(dtype_bytes),
+        fc_chip=fc_chip(dtype_bytes),
+        conv_chip_count=4,
+        spoke_bandwidth=spoke,
+        arc_bandwidth=arc,
+    )
+
+
+def single_precision_node() -> NodeConfig:
+    """The evaluated SP embodiment: 4 clusters, 7032 tiles, 680 TFLOP/s."""
+    return NodeConfig(
+        name="scaledeep-sp",
+        cluster=chip_cluster(dtype_bytes=4),
+        cluster_count=4,
+        ring_bandwidth=12 * GB,
+        frequency_hz=FREQUENCY_HZ,
+        dtype_bytes=4,
+    )
+
+
+def half_precision_node() -> NodeConfig:
+    """The FP16 variant of Sec 6.1: ~1.35 PFLOP/s at roughly iso-power."""
+    return NodeConfig(
+        name="scaledeep-hp",
+        cluster=chip_cluster(dtype_bytes=2),
+        cluster_count=4,
+        ring_bandwidth=6 * GB,
+        frequency_hz=FREQUENCY_HZ,
+        dtype_bytes=2,
+    )
+
+
+#: Published Fig 14 peak-FLOPs targets (FLOP/s) for reproduction tests.
+PAPER_PEAK_FLOPS = {
+    "node": 0.68e15,
+    "cluster": 169.2e12,
+    "conv_chip": 40.7e12,
+    "conv_comp_tile": 134e9,
+    "conv_mem_tile": 19.2e9,
+    "fc_chip": 6.6e12,
+    "fc_comp_tile": 38.4e9,
+    "fc_mem_tile": 19.2e9,
+}
+
+#: Published Fig 14 processing-efficiency targets (FLOPs/W).
+PAPER_EFFICIENCY = {
+    "node": 485.7e9,
+    "cluster": 526.5e9,
+    "conv_chip": 703.5e9,
+    "conv_comp_tile": 934.6e9,
+    "conv_mem_tile": 408.5e9,
+    "fc_chip": 432e9,
+    "fc_comp_tile": 836.6e9,
+    "fc_mem_tile": 244.3e9,
+}
+
+#: Tile-count targets: the abstract's "7032 processing tiles".
+PAPER_TILE_COUNTS = {
+    "node_total": 7032,
+    "node_comp": 5184,
+    "node_mem": 1848,
+    "conv_chip_comp": 288,
+    "conv_chip_mem": 102,
+    "fc_chip_comp": 144,
+    "fc_chip_mem": 54,
+}

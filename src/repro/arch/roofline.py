@@ -1,0 +1,120 @@
+"""Roofline analysis: machine balance vs workload intensity.
+
+Ties the two halves of the paper's argument together quantitatively:
+Fig 4/5 characterise layers by Bytes/FLOP, Fig 14 gives each chip's
+compute and bandwidth provisioning.  The roofline's *balance point* —
+peak FLOPs divided by deliverable bytes/s — says which layers a chip
+serves compute-bound (below the balance B/F) and which bandwidth-bound
+(above it).  ScaleDeep's heterogeneity argument is exactly that one
+balance point cannot serve a 3-orders-of-magnitude B/F spread, so the
+ConvLayer and FcLayer chips sit at different points.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.arch.chip import ChipConfig
+from repro.dnn.analysis import Step, profile
+from repro.dnn.network import Network
+from repro.errors import ConfigError
+
+
+class Boundedness(enum.Enum):
+    """Which roofline a layer sits under."""
+
+    COMPUTE = "compute-bound"
+    BANDWIDTH = "bandwidth-bound"
+
+
+@dataclass(frozen=True)
+class ChipRoofline:
+    """A chip's roofline parameters."""
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float  # aggregate external bytes/s
+
+    @property
+    def balance_bytes_per_flop(self) -> float:
+        """B/F at the roofline knee: layers above are bandwidth-bound."""
+        return self.memory_bandwidth / self.peak_flops
+
+    def attainable_flops(self, bytes_per_flop: float) -> float:
+        """Attainable FLOP/s at a given operational intensity."""
+        if bytes_per_flop < 0:
+            raise ConfigError("bytes/FLOP must be non-negative")
+        if bytes_per_flop == 0:
+            return self.peak_flops
+        return min(
+            self.peak_flops, self.memory_bandwidth / bytes_per_flop
+        )
+
+    def classify(self, bytes_per_flop: float) -> Boundedness:
+        if bytes_per_flop <= self.balance_bytes_per_flop:
+            return Boundedness.COMPUTE
+        return Boundedness.BANDWIDTH
+
+
+def chip_roofline(chip: ChipConfig, frequency_hz: float) -> ChipRoofline:
+    """Roofline of one ScaleDeep chip from its Fig 14 parameters."""
+    return ChipRoofline(
+        name=chip.kind.value,
+        peak_flops=chip.peak_flops(frequency_hz),
+        memory_bandwidth=chip.links.external_memory_total,
+    )
+
+
+@dataclass(frozen=True)
+class LayerRooflinePoint:
+    """One layer's position on a chip's roofline."""
+
+    layer: str
+    bytes_per_flop: float
+    attainable_fraction: float  # attainable / peak
+    boundedness: Boundedness
+
+
+def network_roofline(
+    net: Network,
+    roofline: ChipRoofline,
+    step: Step = Step.FP,
+    dtype_bytes: int = 4,
+    weight_reuse_batch: int = 1,
+) -> List[LayerRooflinePoint]:
+    """Place every weighted layer of ``net`` on a chip's roofline.
+
+    ``weight_reuse_batch`` amortises weight traffic (the wheel's FC
+    batching): FC layers move from far above the balance point to below
+    it as the batch grows — the quantitative content of Sec 3.3.1.
+    """
+    if weight_reuse_batch < 1:
+        raise ConfigError("weight_reuse_batch must be >= 1")
+    points: List[LayerRooflinePoint] = []
+    for node in net:
+        prof = profile(node, step, dtype_bytes)
+        if not prof.flops:
+            continue
+        traffic = prof.feature_bytes + prof.weight_bytes / weight_reuse_batch
+        bf = traffic / prof.flops
+        points.append(LayerRooflinePoint(
+            layer=node.name,
+            bytes_per_flop=bf,
+            attainable_fraction=(
+                roofline.attainable_flops(bf) / roofline.peak_flops
+            ),
+            boundedness=roofline.classify(bf),
+        ))
+    return points
+
+
+def boundedness_summary(
+    points: List[LayerRooflinePoint],
+) -> Dict[Boundedness, int]:
+    """Layer counts per roofline regime."""
+    summary = {b: 0 for b in Boundedness}
+    for point in points:
+        summary[point.boundedness] += 1
+    return summary

@@ -1,0 +1,190 @@
+"""Processing tile models: CompHeavy and MemHeavy (paper Sec 3.1).
+
+The CompHeavy tile is a reconfigurable 2D array of vector processing
+elements (2D-PEs) with a 1D accumulator column; the MemHeavy tile is a
+scratchpad with special-function units (SFUs), a DMA engine and data-flow
+trackers.
+
+Peak-FLOPs bookkeeping matches Fig 14 exactly: the ConvLayer CompHeavy
+tile's published 134 GFLOPs at 600 MHz implies 224 FLOPs/cycle, i.e.
+8 rows x 3 cols x 4 lanes of FMAs (2 FLOPs each) plus 32 accumulator
+FLOPs/cycle; the FcLayer CompHeavy tile's 38.4 GFLOPs implies a bare
+4x8x1 FMA array.  ``accumulator_flops`` makes that term explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterator, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """One runtime configuration of the 2D-PE array (Sec 3.1.1).
+
+    ``splits`` counts independent sub-arrays after a horizontal row split
+    (1 = unsplit, 2 = two half-height arrays working on separate batch
+    convolutions).  ``cols``/``lanes`` reflect column/lane redistribution;
+    their product is invariant.
+    """
+
+    rows: int
+    cols: int
+    lanes: int
+    splits: int = 1
+
+    @property
+    def pe_count(self) -> int:
+        return self.rows * self.cols * self.splits
+
+    @property
+    def fma_count(self) -> int:
+        return self.pe_count * self.lanes
+
+
+@dataclass(frozen=True)
+class CompHeavyConfig:
+    """Micro-architectural parameters of a CompHeavy tile (Fig 7a, 14)."""
+
+    rows: int
+    cols: int
+    lanes: int
+    accumulator_flops: int  # extra FLOPs/cycle from the 1D accumulators
+    left_mem_kb: int
+    top_mem_kb: int
+    bottom_mem_kb: int
+    scratchpad_kb: int
+    row_split: bool = True  # array may split into two half-height arrays
+    lane_redistribution: bool = True  # cols x lanes may be redistributed
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.cols, self.lanes) < 1:
+            raise ConfigError(f"CompHeavy array must be non-empty: {self}")
+        if self.accumulator_flops < 0:
+            raise ConfigError("accumulator_flops must be >= 0")
+        if self.row_split and self.rows % 2:
+            raise ConfigError(
+                f"row_split requires an even row count, got {self.rows}"
+            )
+
+    @property
+    def pe_count(self) -> int:
+        """Number of 2D-PEs in the array."""
+        return self.rows * self.cols
+
+    @property
+    def fma_count(self) -> int:
+        """Total FMA lanes across the array."""
+        return self.pe_count * self.lanes
+
+    @property
+    def flops_per_cycle(self) -> int:
+        """Peak FLOPs per cycle: 2 per FMA plus the accumulator column."""
+        return 2 * self.fma_count + self.accumulator_flops
+
+    def peak_flops(self, frequency_hz: float) -> float:
+        """Peak FLOP/s at the given clock."""
+        return self.flops_per_cycle * frequency_hz
+
+    # ------------------------------------------------------------------
+    # Array reconfigurability (paper Sec 3.1.1)
+    # ------------------------------------------------------------------
+    def configurations(self) -> Iterator[ArrayConfig]:
+        """Enumerate the legal runtime array configurations.
+
+        Column/lane redistribution keeps cols*lanes constant; the row
+        split halves the rows and doubles the independent sub-arrays.
+        """
+        product = self.cols * self.lanes
+        lane_options = (
+            [l for l in range(1, product + 1) if product % l == 0]
+            if self.lane_redistribution
+            else [self.lanes]
+        )
+        split_options = (1, 2) if self.row_split else (1,)
+        for splits in split_options:
+            for lanes in lane_options:
+                yield ArrayConfig(
+                    rows=self.rows // splits,
+                    cols=product // lanes,
+                    lanes=lanes,
+                    splits=splits,
+                )
+
+    def best_configuration(
+        self, feature_rows: int, feature_count: int
+    ) -> Tuple[ArrayConfig, float]:
+        """Pick the configuration maximising 2D-PE utilization for a batch
+        convolution over ``feature_count`` output features whose rows span
+        ``feature_rows`` (paper: "identify the array configuration ... that
+        yields the best utilization").
+
+        Returns ``(config, utilization)`` where utilization is the fraction
+        of FMA-cycles doing useful work under that configuration.
+        """
+        if feature_rows < 1 or feature_count < 1:
+            raise ConfigError(
+                "feature_rows and feature_count must be positive, got "
+                f"{feature_rows}, {feature_count}"
+            )
+        best: Tuple[ArrayConfig, float] = (
+            ArrayConfig(self.rows, self.cols, self.lanes), 0.0
+        )
+        for cfg in self.configurations():
+            util = array_utilization(cfg, feature_rows, feature_count)
+            if util > best[1]:
+                best = (cfg, util)
+        return best
+
+
+def _residue_utilization(work: int, capacity: int) -> float:
+    """Utilization of a dimension of size ``capacity`` processing ``work``
+    items in full sweeps: the final partial sweep leaves units idle."""
+    sweeps = math.ceil(work / capacity)
+    return work / (sweeps * capacity)
+
+
+def array_utilization(
+    cfg: ArrayConfig, feature_rows: int, feature_count: int
+) -> float:
+    """FMA utilization of one array configuration on a batch convolution.
+
+    Rows of the input feature stream along the array rows (residue when
+    the feature height is not a row-count multiple); kernels stream along
+    lanes (residue when the output-feature batch is not a lane multiple).
+    A split array processes two convolutions concurrently, so its
+    effective batch halves.
+    """
+    per_split = math.ceil(feature_count / cfg.splits)
+    row_util = _residue_utilization(feature_rows, cfg.rows)
+    lane_util = _residue_utilization(per_split, cfg.lanes)
+    return row_util * lane_util
+
+
+@dataclass(frozen=True)
+class MemHeavyConfig:
+    """Micro-architectural parameters of a MemHeavy tile (Fig 7b, 14)."""
+
+    capacity_bytes: int
+    num_sfu: int
+    sfu_flops_per_cycle: int = 1
+    dma_queue_depth: int = 16
+    tracker_count: int = 32  # concurrent MEMTRACK address ranges
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.num_sfu <= 0:
+            raise ConfigError(f"MemHeavy tile must be non-empty: {self}")
+
+    @property
+    def flops_per_cycle(self) -> int:
+        return self.num_sfu * self.sfu_flops_per_cycle
+
+    def peak_flops(self, frequency_hz: float) -> float:
+        return self.flops_per_cycle * frequency_hz
+
+    def halved_capacity(self) -> "MemHeavyConfig":
+        """The half-precision variant keeps SFU count but halves storage."""
+        return replace(self, capacity_bytes=self.capacity_bytes // 2)

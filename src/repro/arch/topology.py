@@ -1,0 +1,173 @@
+"""The three-tiered grid-wheel-ring interconnect as an explicit graph.
+
+Fig 6 and Fig 12 sketch the hierarchy; this module constructs it as a
+networkx graph at chip granularity: ConvLayer chips connected by wheel
+arcs, each wheel's chips connected to the FcLayer hub by spokes, hubs
+connected in the node-level ring.  On top of it we compute the
+structural properties the paper's topology argument rests on — path
+lengths between communication partners, bisection bandwidth — and
+compare against the conventional fat-tree DaDianNao uses (Sec 7: the
+fat tree "does not leverage the data-flow in DNNs, and incurs
+additional power and protocol overheads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.arch.node import NodeConfig
+from repro.errors import ConfigError
+
+
+def conv_chip_name(cluster: int, index: int) -> str:
+    return f"cluster{cluster}/conv{index}"
+
+def hub_name(cluster: int) -> str:
+    return f"cluster{cluster}/hub"
+
+
+def build_topology(node: NodeConfig) -> nx.Graph:
+    """The wheel-and-ring graph of one node, chips as vertices.
+
+    Edge attributes: ``kind`` ("arc" | "spoke" | "ring") and
+    ``bandwidth`` (bytes/s, from the node configuration).
+    """
+    graph = nx.Graph()
+    cluster = node.cluster
+    for c in range(node.cluster_count):
+        hub = hub_name(c)
+        graph.add_node(hub, kind="fc")
+        chips = [
+            conv_chip_name(c, i) for i in range(cluster.conv_chip_count)
+        ]
+        for chip in chips:
+            graph.add_node(chip, kind="conv")
+            graph.add_edge(
+                chip, hub, kind="spoke",
+                bandwidth=cluster.spoke_bandwidth,
+            )
+        # Wheel arcs connect adjacent ConvLayer chips around the rim.
+        for i, chip in enumerate(chips):
+            graph.add_edge(
+                chip, chips[(i + 1) % len(chips)], kind="arc",
+                bandwidth=cluster.arc_bandwidth,
+            )
+    # The ring connects the hubs.
+    for c in range(node.cluster_count):
+        graph.add_edge(
+            hub_name(c), hub_name((c + 1) % node.cluster_count),
+            kind="ring", bandwidth=node.ring_bandwidth,
+        )
+    return graph
+
+
+def build_fat_tree(
+    leaves: int, link_bandwidth: float, arity: int = 4
+) -> nx.Graph:
+    """A conventional fat tree over ``leaves`` accelerator chips — the
+    DaDianNao-style alternative (Sec 7)."""
+    if leaves < 1 or arity < 2:
+        raise ConfigError("fat tree needs leaves >= 1 and arity >= 2")
+    graph = nx.Graph()
+    level = [f"leaf{i}" for i in range(leaves)]
+    for name in level:
+        graph.add_node(name, kind="conv")
+    depth = 0
+    while len(level) > 1:
+        depth += 1
+        parents = []
+        for start in range(0, len(level), arity):
+            parent = f"sw{depth}.{start // arity}"
+            graph.add_node(parent, kind="switch")
+            parents.append(parent)
+            for child in level[start:start + arity]:
+                # Classic fat tree: capacity doubles toward the root.
+                graph.add_edge(
+                    child, parent, kind="tree",
+                    bandwidth=link_bandwidth * (2 ** (depth - 1)),
+                )
+        level = parents
+    return graph
+
+
+@dataclass(frozen=True)
+class TopologyProfile:
+    """Structural properties of an interconnect."""
+
+    name: str
+    chips: int
+    links: int
+    switch_nodes: int  # dedicated routing hardware (0 for ScaleDeep)
+    neighbour_hops: float  # producer->consumer (adjacent CONV chips)
+    fc_hops: float  # CONV chip -> FC execution resource
+    diameter: int
+
+
+def _conv_nodes(graph: nx.Graph) -> List[str]:
+    return [n for n, d in graph.nodes(data=True) if d["kind"] == "conv"]
+
+
+def profile_topology(graph: nx.Graph, name: str) -> TopologyProfile:
+    """Measure the properties the paper's argument uses."""
+    conv = _conv_nodes(graph)
+    switches = [
+        n for n, d in graph.nodes(data=True) if d["kind"] == "switch"
+    ]
+    fc = [n for n, d in graph.nodes(data=True) if d["kind"] == "fc"]
+
+    # Producer->consumer: the shortest path between distinct CONV chips
+    # (layer sequences split across chips talk to a neighbour).
+    neighbour = min(
+        nx.shortest_path_length(graph, conv[0], other)
+        for other in conv[1:]
+    ) if len(conv) > 1 else 0
+
+    # CONV -> FC resource: hops to the nearest FC-capable node (hub), or
+    # to another leaf for the homogeneous fat tree (FC runs on a peer).
+    if fc:
+        fc_hops = sum(
+            min(nx.shortest_path_length(graph, c, h) for h in fc)
+            for c in conv
+        ) / len(conv)
+    else:
+        fc_hops = sum(
+            min(
+                nx.shortest_path_length(graph, c, other)
+                for other in conv if other != c
+            )
+            for c in conv
+        ) / len(conv)
+
+    return TopologyProfile(
+        name=name,
+        chips=len(conv) + len(fc),
+        links=graph.number_of_edges(),
+        switch_nodes=len(switches),
+        neighbour_hops=float(neighbour),
+        fc_hops=float(fc_hops),
+        diameter=nx.diameter(graph),
+    )
+
+
+def bisection_bandwidth(graph: nx.Graph) -> float:
+    """Minimum total bandwidth crossing any balanced cut (approximated
+    with the weighted minimum edge cut — exact for these small graphs'
+    purposes)."""
+    cut_value, _ = nx.stoer_wagner(graph, weight="bandwidth")
+    return float(cut_value)
+
+
+def compare_with_fat_tree(node: NodeConfig) -> Dict[str, TopologyProfile]:
+    """ScaleDeep's topology vs a fat tree over the same chip count."""
+    ours = build_topology(node)
+    chips = len(_conv_nodes(ours)) + sum(
+        1 for _, d in ours.nodes(data=True) if d["kind"] == "fc"
+    )
+    tree = build_fat_tree(chips, node.cluster.arc_bandwidth)
+    return {
+        "grid-wheel-ring": profile_topology(ours, "grid-wheel-ring"),
+        "fat-tree": profile_topology(tree, "fat-tree"),
+    }

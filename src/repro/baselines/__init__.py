@@ -1,0 +1,27 @@
+"""Baselines the paper compares against: TitanX stacks and DaDianNao."""
+
+from repro.baselines.gpu import (
+    FRAMEWORK_MODELS,
+    GPU_BATCH,
+    GpuFramework,
+    TITANX_PEAK_FLOPS,
+    TITANX_POWER_W,
+    all_framework_rates,
+    gpu_images_per_second,
+)
+from repro.baselines.dadiannao import (
+    DaDianNaoModel,
+    HOMOGENEOUS_PEAK_RATIO,
+)
+
+__all__ = [
+    "DaDianNaoModel",
+    "FRAMEWORK_MODELS",
+    "GPU_BATCH",
+    "GpuFramework",
+    "HOMOGENEOUS_PEAK_RATIO",
+    "TITANX_PEAK_FLOPS",
+    "TITANX_POWER_W",
+    "all_framework_rates",
+    "gpu_images_per_second",
+]

@@ -1,0 +1,82 @@
+"""DaDianNao-style homogeneous baseline (paper Sec 7).
+
+DaDianNao is the closest prior work: a supercomputer of *homogeneous*
+node chips, each with identical compute-to-memory/interconnect ratios.
+The paper's quantitative claim is that ScaleDeep delivers ~5x as many
+FLOPs at iso-power, because a homogeneous design must provision every
+tile for the worst-case Bytes/FLOP while DNN layers vary by ~3 orders
+of magnitude (Fig 4), leaving either memory over-provisioned or compute
+under-utilised.
+
+This module models that effect: a homogeneous node has a single design
+Bytes/FLOP ratio; any layer demanding more is bandwidth-bound in
+proportion to the mismatch, and the uniform tile's lower compute
+density costs a further iso-power peak-FLOPs factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dnn.analysis import Step, TRAINING_STEPS, profile
+from repro.dnn.network import Network
+
+#: Iso-power peak FLOPs of the homogeneous design relative to ScaleDeep.
+#: The homogeneous tile carries the memory/interconnect provisioning of
+#: the most demanding layer class, which the paper quantifies as a 5x
+#: FLOPs deficit at equal power.
+HOMOGENEOUS_PEAK_RATIO = 0.2
+
+#: Design-point Bytes/FLOP of the homogeneous tile: provisioned at the
+#: suite-average operating point (between the CONV layers' ~0.01 and the
+#: FC layers' ~2).
+HOMOGENEOUS_DESIGN_BF = 0.05
+
+#: Fraction of peak the homogeneous array sustains on compute-bound
+#: layers (no array reconfigurability, fixed feature distribution).
+HOMOGENEOUS_COMPUTE_UTILIZATION = 0.45
+
+
+@dataclass(frozen=True)
+class DaDianNaoModel:
+    """A homogeneous accelerator node at a given power envelope."""
+
+    peak_flops: float
+    design_bytes_per_flop: float = HOMOGENEOUS_DESIGN_BF
+    compute_utilization: float = HOMOGENEOUS_COMPUTE_UTILIZATION
+
+    @classmethod
+    def iso_power(cls, scaledeep_peak_flops: float) -> "DaDianNaoModel":
+        """The homogeneous node matching ScaleDeep's power envelope."""
+        return cls(peak_flops=scaledeep_peak_flops * HOMOGENEOUS_PEAK_RATIO)
+
+    def layer_seconds(self, net: Network, layer: str, step: Step) -> float:
+        """Time for one layer step: compute-bound at the homogeneous
+        utilization, or bandwidth-bound when the layer's Bytes/FLOP
+        exceeds the design ratio."""
+        prof = profile(net[layer], step, dtype_bytes=4)
+        if not prof.flops:
+            return 0.0
+        compute_s = prof.flops / (self.peak_flops * self.compute_utilization)
+        # Aggregate bandwidth implied by the design B/F at peak FLOPs.
+        bandwidth = self.peak_flops * self.design_bytes_per_flop
+        memory_s = prof.bytes_total / bandwidth
+        return max(compute_s, memory_s)
+
+    def images_per_second(self, net: Network, training: bool = True) -> float:
+        steps = TRAINING_STEPS if training else (Step.FP,)
+        seconds = sum(
+            self.layer_seconds(net, node.name, step)
+            for node in net
+            for step in steps
+        )
+        return 1.0 / seconds
+
+    def sustained_flops(self, net: Network, training: bool = True) -> float:
+        """Achieved FLOP/s on a workload (for the iso-power comparison)."""
+        steps = TRAINING_STEPS if training else (Step.FP,)
+        total_flops = sum(
+            profile(node, step, 4).flops for node in net for step in steps
+        )
+        return total_flops * self.images_per_second(net, training)

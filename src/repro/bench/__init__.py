@@ -1,0 +1,19 @@
+"""Benchmark-harness support: cached suite simulation and table output."""
+
+from repro.bench.runner import (
+    cached_mapping,
+    cached_simulation,
+    suite_results,
+)
+from repro.bench.export import export_all
+from repro.bench.reporting import Table, fmt_count, fmt_rate
+
+__all__ = [
+    "Table",
+    "cached_mapping",
+    "cached_simulation",
+    "export_all",
+    "fmt_count",
+    "fmt_rate",
+    "suite_results",
+]

@@ -1,0 +1,138 @@
+"""CSV export of the figure data for downstream plotting.
+
+The benchmarks print tables; real consumers want machine-readable
+series.  ``export_all`` regenerates every figure's data from the cached
+simulations and writes one CSV per figure, so an external notebook can
+plot the reproduction against the paper without re-running anything.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.baselines.gpu import GpuFramework, all_framework_rates
+from repro.bench.runner import cached_mapping, cached_simulation, suite_results
+from repro.dnn import zoo
+from repro.dnn.analysis import evaluation_flops
+from repro.sim.energy import energy_report
+from repro.sim.perf import utilization_report
+
+
+def _write(path: Path, header: Sequence[str], rows: List[Sequence]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_fig01(directory: Path) -> Path:
+    rows = [
+        (name, evaluation_flops(zoo.load(name)) / 1e9)
+        for name in zoo.BENCHMARKS
+    ]
+    return _write(
+        directory / "fig01_flops_growth.csv",
+        ["network", "gflops_per_evaluation"], rows,
+    )
+
+
+def export_fig16_17(directory: Path) -> List[Path]:
+    paths = []
+    for precision, stem in (("sp", "fig16_sp"), ("hp", "fig17_hp")):
+        rows = []
+        for name, result in suite_results(precision).items():
+            rows.append((
+                name,
+                round(result.training_images_per_s, 1),
+                round(result.evaluation_images_per_s, 1),
+                round(result.pe_utilization, 4),
+                result.mapping.conv_columns_per_copy,
+            ))
+        paths.append(_write(
+            directory / f"{stem}_throughput.csv",
+            ["network", "train_img_s", "eval_img_s", "pe_util",
+             "columns"],
+            rows,
+        ))
+    return paths
+
+
+def export_fig18(directory: Path) -> Path:
+    rows = []
+    for name in ("AlexNet", "GoogLeNet", "OF-Acc", "VGG-A"):
+        result = cached_simulation(name)
+        cluster = (
+            result.training_images_per_s
+            / result.mapping.node.cluster_count
+        )
+        for fw, rate in all_framework_rates(zoo.load(name)).items():
+            rows.append((name, fw.value, round(cluster / rate, 2)))
+    return _write(
+        directory / "fig18_gpu_speedup.csv",
+        ["network", "framework", "speedup"], rows,
+    )
+
+
+def export_fig19(directory: Path) -> Path:
+    rows = [
+        (
+            r.unit, r.columns, r.pes, round(r.ideal_pes, 1),
+            round(r.column_peak_util, 3),
+            round(r.feature_distribution, 3),
+            round(r.array_residue, 3), round(r.achieved, 3),
+        )
+        for r in utilization_report(cached_mapping("AlexNet"))
+    ]
+    return _write(
+        directory / "fig19_alexnet_utilization.csv",
+        ["unit", "columns", "pes", "ideal_pes", "column_peak_util",
+         "feature_distribution", "array_residue", "achieved"],
+        rows,
+    )
+
+
+def export_fig20_21(directory: Path) -> List[Path]:
+    power_rows, link_rows = [], []
+    for name, result in suite_results("sp").items():
+        p = result.average_power
+        e = energy_report(result)
+        power_rows.append((
+            name, round(p.logic_w, 1), round(p.memory_w, 1),
+            round(p.interconnect_w, 1), round(result.gflops_per_watt, 1),
+            round(e.joules_per_training_image * 1e3, 2),
+        ))
+        link_rows.append(
+            (name,) + tuple(
+                round(v, 3)
+                for v in result.link_utilization.as_dict().values()
+            )
+        )
+    return [
+        _write(
+            directory / "fig20_power_efficiency.csv",
+            ["network", "logic_w", "memory_w", "interconnect_w",
+             "gflops_per_watt", "mj_per_training_image"],
+            power_rows,
+        ),
+        _write(
+            directory / "fig21_link_utilization.csv",
+            ["network", "comp_mem", "mem_mem", "conv_ext", "fc_ext",
+             "spoke", "arc", "ring"],
+            link_rows,
+        ),
+    ]
+
+
+def export_all(directory: Union[str, Path]) -> List[Path]:
+    """Write every figure's data series as CSV; returns the paths."""
+    directory = Path(directory)
+    paths = [export_fig01(directory)]
+    paths.extend(export_fig16_17(directory))
+    paths.append(export_fig18(directory))
+    paths.append(export_fig19(directory))
+    paths.extend(export_fig20_21(directory))
+    return paths

@@ -1,0 +1,62 @@
+"""Small fixed-width table formatter for benchmark output.
+
+The figure benchmarks print the same rows/series the paper reports;
+this keeps their output uniform and legible in pytest's captured
+sections.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def fmt_rate(value: float) -> str:
+    """Format an images/s figure."""
+    return f"{value:,.0f}"
+
+
+def fmt_count(value: float, unit: str = "") -> str:
+    """Format large counts with engineering suffixes."""
+    for threshold, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{suffix}{unit}"
+    return f"{value:.2f}{unit}"
+
+
+class Table:
+    """Accumulate rows, then render once with aligned columns."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.title]
+        header = "  ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.rjust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print("\n" + self.render())

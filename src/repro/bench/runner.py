@@ -1,0 +1,54 @@
+"""Cached simulation runs shared by the figure benchmarks.
+
+Several figures consume the same per-network simulation, so the harness
+memoises mapping and simulation results per (network, precision) pair —
+each figure's pytest-benchmark then times its own aggregation while the
+expensive substrate runs once per session.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict
+
+from repro.arch import half_precision_node, single_precision_node
+from repro.arch.node import NodeConfig
+from repro.compiler import WorkloadMapping, map_network
+from repro.dnn import zoo
+from repro.dnn.network import Network
+from repro.sim import PerfResult, simulate
+
+
+@lru_cache(maxsize=None)
+def _network(name: str) -> Network:
+    return zoo.load(name)
+
+
+@lru_cache(maxsize=None)
+def _node(precision: str) -> NodeConfig:
+    if precision == "sp":
+        return single_precision_node()
+    if precision == "hp":
+        return half_precision_node()
+    raise ValueError(f"unknown precision {precision!r}")
+
+
+@lru_cache(maxsize=None)
+def cached_mapping(name: str, precision: str = "sp") -> WorkloadMapping:
+    """Memoised workload mapping for a benchmark network."""
+    return map_network(_network(name), _node(precision))
+
+
+@lru_cache(maxsize=None)
+def cached_simulation(name: str, precision: str = "sp") -> PerfResult:
+    """Memoised full simulation for a benchmark network."""
+    return simulate(
+        _network(name), _node(precision), mapping=cached_mapping(name, precision)
+    )
+
+
+def suite_results(precision: str = "sp") -> Dict[str, PerfResult]:
+    """Simulation results for the whole Fig 15 suite, in paper order."""
+    return {
+        name: cached_simulation(name, precision) for name in zoo.BENCHMARKS
+    }

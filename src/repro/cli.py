@@ -1,0 +1,219 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``list`` — the benchmark zoo with Fig 15 statistics;
+* ``analyze NET`` — workload analysis (Fig 4/5 style);
+* ``map NET`` — the compiler's column allocation (Fig 13 / STEP1-6);
+* ``simulate NET`` — throughput / utilization / power (Figs 16/20/21);
+* ``energy NET`` — per-image energy and ImageNet-epoch cost;
+* ``compare-gpu NET`` — speedup over the TitanX stacks (Fig 18);
+* ``stages NET`` — per-stage pipeline latencies and binding subsystem;
+* ``report NET`` — the full simulation report (mapping, throughput,
+  pipeline, links, power, energy, gradient sync);
+* ``export DIR`` — write every figure's data series as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch import half_precision_node, single_precision_node
+from repro.baselines.gpu import GpuFramework, all_framework_rates
+from repro.bench import Table, fmt_count
+from repro.compiler import map_network
+from repro.dnn import zoo
+from repro.dnn.analysis import (
+    Kernel,
+    LayerClass,
+    evaluation_flops,
+    kernel_summary,
+    layer_class_summary,
+    training_flops,
+)
+from repro.sim import simulate
+from repro.sim.energy import energy_report
+
+
+def _node(args: argparse.Namespace):
+    return half_precision_node() if args.hp else single_precision_node()
+
+
+def _load(name: str):
+    try:
+        return zoo.load(name)
+    except KeyError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_list(args: argparse.Namespace) -> None:
+    table = Table(
+        "Benchmark zoo (paper Fig 15)",
+        ["network", "neurons", "weights", "connections", "GFLOPs/eval"],
+    )
+    for name in zoo.BENCHMARKS:
+        net = zoo.load(name)
+        table.add(
+            name,
+            fmt_count(net.neuron_count),
+            fmt_count(net.weight_count),
+            fmt_count(net.connection_count),
+            f"{evaluation_flops(net) / 1e9:.2f}",
+        )
+    table.show()
+
+
+def cmd_analyze(args: argparse.Namespace) -> None:
+    net = _load(args.network)
+    print(net.describe())
+    print(
+        f"\n{evaluation_flops(net) / 1e9:.2f} GFLOPs/evaluation, "
+        f"{training_flops(net) / 1e9:.2f} GFLOPs/training iteration"
+    )
+    classes = layer_class_summary(net)
+    total = sum(s.flops_total for s in classes.values()) or 1
+    table = Table("Layer classes (Fig 4 style)",
+                  ["class", "layers", "FLOPs %", "B/F"])
+    for cls in LayerClass:
+        if cls in classes:
+            s = classes[cls]
+            table.add(cls.value, len(s.layers),
+                      f"{100 * s.flops_total / total:.1f}",
+                      f"{s.bytes_per_flop_fp_bp:.4f}")
+    table.show()
+    kernels = kernel_summary([net])
+    table = Table("Kernels (Fig 5 style)", ["kernel", "FLOPs %", "B/F"])
+    for kernel in Kernel:
+        frac, bf = kernels[kernel]
+        table.add(kernel.value, f"{100 * frac:.2f}", f"{bf:.3f}")
+    table.show()
+
+
+def cmd_map(args: argparse.Namespace) -> None:
+    net = _load(args.network)
+    mapping = map_network(net, _node(args))
+    print(mapping.describe())
+
+
+def cmd_simulate(args: argparse.Namespace) -> None:
+    net = _load(args.network)
+    result = simulate(net, _node(args), minibatch=args.minibatch)
+    print(result.mapping.describe())
+    print()
+    print(result.describe())
+    print("\nLink utilization:")
+    for link, value in result.link_utilization.as_dict().items():
+        print(f"  {link:<10} {value:.2f}")
+
+
+def cmd_energy(args: argparse.Namespace) -> None:
+    net = _load(args.network)
+    result = simulate(net, _node(args))
+    print(energy_report(result).describe())
+
+
+def cmd_compare_gpu(args: argparse.Namespace) -> None:
+    net = _load(args.network)
+    node = _node(args)
+    result = simulate(net, node)
+    cluster_rate = result.training_images_per_s / node.cluster_count
+    table = Table(
+        f"ScaleDeep chip cluster vs TitanX on {net.name} (training)",
+        ["stack", "GPU img/s", "cluster img/s", "speedup"],
+    )
+    for fw, rate in all_framework_rates(net).items():
+        table.add(fw.value, f"{rate:,.0f}", f"{cluster_rate:,.0f}",
+                  f"{cluster_rate / rate:.1f}x")
+    table.show()
+
+
+def cmd_stages(args: argparse.Namespace) -> None:
+    net = _load(args.network)
+    result = simulate(net, _node(args))
+    table = Table(
+        f"Pipeline stages of {net.name} (training)",
+        ["unit", "step", "chip", "cols", "cycles", "bound by",
+         "achieved util"],
+    )
+    for stage in sorted(result.stages, key=lambda s: -s.cycles):
+        table.add(
+            stage.unit, stage.step.value, stage.chip,
+            stage.cost.columns, f"{stage.cycles:,.0f}",
+            stage.cost.bound_by,
+            f"{stage.cost.utilization.achieved:.2f}",
+        )
+    table.show()
+    b = result.bottleneck
+    print(
+        f"\nbottleneck: {b.unit}/{b.step.value} "
+        f"({b.cost.bound_by}, {b.cycles:,.0f} cycles)"
+    )
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    from repro.sim.report import full_report
+
+    net = _load(args.network)
+    print(full_report(net, _node(args)).render())
+
+
+def cmd_export(args: argparse.Namespace) -> None:
+    from repro.bench.export import export_all
+
+    paths = export_all(args.directory)
+    for path in paths:
+        print(path)
+    print(f"wrote {len(paths)} figure data files")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ScaleDeep (ISCA 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark zoo").set_defaults(
+        func=cmd_list
+    )
+
+    def with_net(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("network", help="benchmark name, e.g. AlexNet")
+        p.add_argument(
+            "--hp", action="store_true",
+            help="use the half-precision node (Fig 17)",
+        )
+        return p
+
+    with_net("analyze", "workload analysis").set_defaults(func=cmd_analyze)
+    with_net("map", "compiler column allocation").set_defaults(func=cmd_map)
+    p = with_net("simulate", "throughput / power simulation")
+    p.add_argument("--minibatch", type=int, default=256)
+    p.set_defaults(func=cmd_simulate)
+    with_net("energy", "per-image energy").set_defaults(func=cmd_energy)
+    with_net("compare-gpu", "Fig 18 speedups").set_defaults(
+        func=cmd_compare_gpu
+    )
+    with_net("stages", "pipeline-stage report").set_defaults(
+        func=cmd_stages
+    )
+    with_net("report", "full simulation report").set_defaults(
+        func=cmd_report
+    )
+    p = sub.add_parser("export", help="write figure data as CSV")
+    p.add_argument("directory", help="output directory")
+    p.set_defaults(func=cmd_export)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

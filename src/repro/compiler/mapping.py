@@ -1,0 +1,429 @@
+"""Workload mapping: STEP1-6 of the ScaleDeep compiler (paper Fig 13).
+
+The mapper assigns every layer of a DNN to chip columns:
+
+* STEP1 separates CONV/SAMP-side layers from FC-side layers and
+  designates them to ConvLayer / FcLayer chips.  Non-weighted layers
+  (SAMP, concat, element-wise joins, the input) are folded into the
+  preceding weighted layer's allocation — its MemHeavy SFUs execute
+  them — matching the paper's "C1/S1" grouping in Fig 19.  Parallel
+  branch structures that join in a concatenation (GoogLeNet inception
+  modules) are mapped as a single unit, which is how the paper counts
+  them in Fig 15.
+* STEP2 computes per-unit FLOPs.
+* STEP3a computes the minimum columns each unit needs purely from
+  memory capacity: the MemHeavy tiles must cumulatively hold two copies
+  of the unit's features and errors plus two partial output batches.
+* STEP3b load-balances the remaining columns: repeatedly grant one
+  column to the unit with the highest stage latency, as long as the
+  grant actually shortens it.
+* STEP4/5 (state partitioning and compute assignment) are realised in
+  the cost model's feature-distribution and array-configuration terms
+  and, concretely for the functional engine, by
+  :mod:`repro.compiler.partition`.
+* STEP6 places weights on-chip where the allocated columns have spare
+  scratchpad capacity, otherwise in external memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.chip import ChipConfig, ChipKind
+from repro.arch.node import NodeConfig
+from repro.compiler.cost import layer_stage_cycles
+from repro.dnn.analysis import Step, profile
+from repro.dnn.layers import LayerKind
+from repro.dnn.network import LayerNode, Network
+from repro.errors import MappingError
+
+#: Stop load-balancing a unit when an extra column improves its stage
+#: latency by less than this fraction.
+MIN_COLUMN_GAIN = 0.02
+
+
+def default_group_key(layer_name: str) -> str:
+    """Mapping-unit key: the prefix before the first underscore.
+
+    Zoo networks name branch structures ``<module>_<branch>`` (e.g.
+    ``inc4a_3x3``), so prefix grouping recovers the module.  Whether a
+    prefix group is actually merged is decided structurally — see
+    :func:`_split_layers`.
+    """
+    return layer_name.split("_", 1)[0]
+
+
+@dataclass
+class MappingUnit:
+    """A set of layers mapped together onto one span of chip columns."""
+
+    name: str
+    members: List[LayerNode]  # weighted layers (CONV or FC)
+    attached: List[LayerNode]  # SAMP / joins / input executed on SFUs
+
+    @property
+    def kind(self) -> LayerKind:
+        return self.members[0].kind
+
+    @property
+    def layer_names(self) -> Tuple[str, ...]:
+        return tuple(n.name for n in self.members)
+
+
+@dataclass
+class UnitAllocation:
+    """Columns and weight placement for one mapping unit."""
+
+    unit: str
+    members: Tuple[str, ...]
+    kind: LayerKind
+    chip_kind: ChipKind
+    columns: int
+    min_columns: int
+    weights_on_chip: bool
+    attached: Tuple[str, ...] = ()
+    training_flops: int = 0
+    state_bytes: int = 0
+
+    def describe(self) -> str:
+        where = "on-chip" if self.weights_on_chip else "ext-mem"
+        attached = f" (+{','.join(self.attached)})" if self.attached else ""
+        return (
+            f"{self.unit}{attached}: {self.columns} col"
+            f"{'s' if self.columns != 1 else ''} on {self.chip_kind.value}, "
+            f"weights {where}"
+        )
+
+
+@dataclass
+class WorkloadMapping:
+    """The result of mapping one network onto a node configuration."""
+
+    network: Network
+    node: NodeConfig
+    conv_allocations: Dict[str, UnitAllocation]
+    fc_allocations: Dict[str, UnitAllocation]
+    conv_chips_per_copy: int
+    clusters_per_copy: int
+    copies: int
+
+    @property
+    def conv_columns_per_copy(self) -> int:
+        """Total ConvLayer-chip columns per network copy (Fig 16 'Cols')."""
+        return sum(a.columns for a in self.conv_allocations.values())
+
+    @property
+    def fc_columns(self) -> int:
+        return sum(a.columns for a in self.fc_allocations.values())
+
+    @property
+    def fc_batch_size(self) -> int:
+        """Inputs batched per FC pass at each FcLayer hub (Sec 3.3)."""
+        per_wheel = self.node.cluster.fc_batch_size(
+            min(self.conv_chips_per_copy, self.node.cluster.conv_chip_count)
+        )
+        batch = per_wheel * self.node.fc_temporal_batch
+        if self.node.fc_model_parallel:
+            clusters = max(1, self.node.cluster_count // self.clusters_per_copy)
+            batch *= clusters
+        return batch
+
+    def allocation_for(self, layer: str) -> UnitAllocation:
+        """Look up the allocation hosting ``layer`` (member or attached)."""
+        for table in (self.conv_allocations, self.fc_allocations):
+            for alloc in table.values():
+                if layer in alloc.members or layer in alloc.attached:
+                    return alloc
+        raise MappingError(
+            f"layer {layer!r} is not mapped in network "
+            f"{self.network.name!r}"
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"Mapping of {self.network.name} onto {self.node.name}:",
+            f"  {self.conv_chips_per_copy} ConvLayer chip(s)/copy, "
+            f"{self.clusters_per_copy} cluster(s)/copy, "
+            f"{self.copies} cop{'ies' if self.copies != 1 else 'y'}, "
+            f"{self.conv_columns_per_copy} conv columns/copy, "
+            f"FC batch {self.fc_batch_size}",
+        ]
+        for alloc in self.conv_allocations.values():
+            lines.append("  " + alloc.describe())
+        for alloc in self.fc_allocations.values():
+            lines.append("  " + alloc.describe())
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# STEP1: build mapping units and split them between chip kinds
+# ---------------------------------------------------------------------------
+def _split_layers(
+    net: Network,
+    group_key: Callable[[str], str],
+) -> Tuple[List[MappingUnit], List[MappingUnit]]:
+    """Group layers into mapping units for the conv and FC chip sides.
+
+    A prefix group containing a CONCAT layer (the inception-module
+    signature) is merged into one unit; all other weighted layers form
+    singleton units.  Non-weighted layers attach to the unit of the most
+    recent weighted layer (leading layers — the input — attach to the
+    first unit).
+    """
+    # Which prefixes denote branch modules (contain a concat)?
+    merged_prefixes = {
+        group_key(n.name)
+        for n in net
+        if n.kind is LayerKind.CONCAT
+    }
+
+    conv_units: List[MappingUnit] = []
+    fc_units: List[MappingUnit] = []
+    by_key: Dict[str, MappingUnit] = {}
+    leading: List[LayerNode] = []
+    last_unit: Optional[MappingUnit] = None
+
+    for node in net:
+        if node.kind in (LayerKind.CONV, LayerKind.FC):
+            key = group_key(node.name)
+            if key in merged_prefixes and key in by_key:
+                by_key[key].members.append(node)
+                last_unit = by_key[key]
+                continue
+            unit = MappingUnit(
+                name=key if key in merged_prefixes else node.name,
+                members=[node],
+                attached=list(leading),
+            )
+            leading = []
+            if key in merged_prefixes:
+                by_key[key] = unit
+            (conv_units if node.kind is LayerKind.CONV else fc_units).append(
+                unit
+            )
+            last_unit = unit
+        else:
+            if last_unit is None:
+                leading.append(node)
+            else:
+                # Joins stay with their module even if interleaved.
+                key = group_key(node.name)
+                target = by_key.get(key, last_unit)
+                target.attached.append(node)
+                last_unit = target
+
+    if leading:
+        raise MappingError(
+            f"network {net.name!r} has no weighted layers to map"
+        )
+    if not conv_units and not fc_units:
+        raise MappingError(
+            f"network {net.name!r} has no CONV or FC layers to map"
+        )
+    return conv_units, fc_units
+
+
+def _unit_state_bytes(
+    unit: MappingUnit, dtype_bytes: int, partial_batch: int
+) -> int:
+    """STEP3a memory requirement: two copies of features and errors plus
+    two partial output-feature batches (pipeline double buffering)."""
+    outputs = sum(
+        n.output_shape.elements for n in unit.members + unit.attached
+    )
+    features_and_errors = 2 * 2 * outputs * dtype_bytes
+    feature_size = max(
+        n.output_shape.feature_size for n in unit.members
+    )
+    partials = 2 * partial_batch * feature_size * dtype_bytes
+    return features_and_errors + partials
+
+
+def _unit_stage_cycles(
+    node: NodeConfig,
+    chip: ChipConfig,
+    unit: MappingUnit,
+    columns: int,
+) -> float:
+    """Stage latency of a unit: members share the columns, so their
+    stage latencies add (branches execute as successive batches).
+
+    Weight placement follows STEP6's rule at this column count, so the
+    load balancer sees the benefit of a column grant that lets weights
+    (and their gradients) move on-chip."""
+    dtype = node.dtype_bytes
+    state = _unit_state_bytes(unit, dtype, chip.comp_tile.lanes)
+    weights = sum(m.weights for m in unit.members) * dtype
+    spare = columns * chip.mem_capacity_per_column - state
+    on_chip = 2 * weights <= spare
+    return sum(
+        layer_stage_cycles(
+            node.frequency_hz, chip, member, columns, dtype,
+            weights_on_chip=on_chip,
+        )
+        for member in unit.members
+    )
+
+
+def map_network(
+    net: Network,
+    node: NodeConfig,
+    min_column_gain: float = MIN_COLUMN_GAIN,
+    group_key: Callable[[str], str] = default_group_key,
+) -> WorkloadMapping:
+    """Map ``net`` onto ``node`` following the paper's STEP1-6."""
+    conv_chip = node.cluster.conv_chip
+    fc_chip = node.cluster.fc_chip
+    conv_units, fc_units = _split_layers(net, group_key)
+
+    fc_allocs = _allocate_side(net, node, fc_chip, fc_units, min_column_gain)
+
+    # Minimum chips one copy needs from STEP3a's memory constraint.
+    dtype = node.dtype_bytes
+    min_cols = sum(
+        max(1, math.ceil(
+            _unit_state_bytes(u, dtype, conv_chip.comp_tile.lanes)
+            / conv_chip.mem_capacity_per_column
+        ))
+        for u in conv_units
+    )
+    wheel = node.cluster.conv_chip_count
+    min_chips = max(1, math.ceil(min_cols / conv_chip.cols))
+    if min_chips > wheel * node.cluster_count:
+        raise MappingError(
+            f"{net.name} needs {min_chips} ConvLayer chips but the node "
+            f"only has {node.conv_chip_count}"
+        )
+
+    # STEP3a fixes the footprint: the minimum chips that satisfy the
+    # memory constraint ("Based on the minimum column constraint we
+    # determine the number of chips/chip clusters required to spatially
+    # map the DNN").  Copies spanning more than one wheel own whole
+    # clusters and use all their ConvLayer chips.
+    chips_per_copy = min_chips
+    if chips_per_copy <= wheel:
+        clusters_per_copy = 1
+        copies = node.cluster_count * (wheel // chips_per_copy)
+    else:
+        clusters_per_copy = math.ceil(chips_per_copy / wheel)
+        copies = node.cluster_count // clusters_per_copy
+        chips_per_copy = clusters_per_copy * wheel
+    conv_allocs = _allocate_side(
+        net, node, conv_chip, conv_units, min_column_gain,
+        column_budget=chips_per_copy * conv_chip.cols,
+    )
+
+    mapping = WorkloadMapping(
+        network=net,
+        node=node,
+        conv_allocations=conv_allocs,
+        fc_allocations=fc_allocs,
+        conv_chips_per_copy=chips_per_copy,
+        clusters_per_copy=clusters_per_copy,
+        copies=copies,
+    )
+    _place_weights(mapping)
+    return mapping
+
+
+def _allocate_side(
+    net: Network,
+    node: NodeConfig,
+    chip: ChipConfig,
+    units: List[MappingUnit],
+    min_column_gain: float,
+    column_budget: Optional[int] = None,
+) -> Dict[str, UnitAllocation]:
+    """STEP2 + STEP3 for one chip side."""
+    if not units:
+        return {}
+    dtype = node.dtype_bytes
+    partial_batch = chip.comp_tile.lanes
+
+    allocs: Dict[str, UnitAllocation] = {}
+    for unit in units:
+        state = _unit_state_bytes(unit, dtype, partial_batch)
+        min_cols = max(1, math.ceil(state / chip.mem_capacity_per_column))
+        flops = sum(
+            profile(n, step, dtype).flops
+            for n in unit.members + unit.attached
+            for step in Step
+        )
+        allocs[unit.name] = UnitAllocation(
+            unit=unit.name,
+            members=unit.layer_names,
+            kind=unit.kind,
+            chip_kind=chip.kind,
+            columns=min_cols,
+            min_columns=min_cols,
+            weights_on_chip=False,
+            attached=tuple(n.name for n in unit.attached),
+            training_flops=flops,
+            state_bytes=state,
+        )
+
+    # STEP3b: distribute the remaining columns, granting each to the
+    # unit with the highest stage latency while the grant still helps.
+    total = sum(a.columns for a in allocs.values())
+    if column_budget is None:
+        chips_needed = max(1, math.ceil(total / chip.cols))
+        column_budget = chips_needed * chip.cols
+    budget = column_budget - total
+    units_by_name = {u.name: u for u in units}
+
+    def stage_cycles(unit_name: str, columns: int) -> float:
+        return _unit_stage_cycles(
+            node, chip, units_by_name[unit_name], columns
+        )
+
+    current = {
+        name: stage_cycles(name, a.columns) for name, a in allocs.items()
+    }
+    while budget > 0:
+        ranked = sorted(current, key=lambda n: current[n], reverse=True)
+        granted = False
+        for name in ranked:
+            # Lane/row quantisation makes the gain a step function of the
+            # column count, so search ahead for the smallest grant that
+            # actually helps instead of stalling on a plateau.
+            base_cols = allocs[name].columns
+            for extra in range(1, budget + 1):
+                trial = stage_cycles(name, base_cols + extra)
+                if trial < current[name] * (1 - min_column_gain):
+                    allocs[name].columns = base_cols + extra
+                    current[name] = trial
+                    budget -= extra
+                    granted = True
+                    break
+            if granted:
+                break
+        if not granted:
+            break
+    return allocs
+
+
+def _place_weights(mapping: WorkloadMapping) -> None:
+    """STEP6: decide on-chip vs external weight storage per unit."""
+    node = mapping.node
+    dtype = node.dtype_bytes
+    net = mapping.network
+
+    for table, chip in (
+        (mapping.conv_allocations, node.cluster.conv_chip),
+        (mapping.fc_allocations, node.cluster.fc_chip),
+    ):
+        for alloc in table.values():
+            weights = sum(net[m].weights for m in alloc.members) * dtype
+            if chip.kind is ChipKind.FC and node.fc_model_parallel:
+                # Model parallelism shards FC weights across the
+                # clusters that share one network copy (Sec 3.3.2).
+                shards = max(
+                    1, node.cluster_count // mapping.clusters_per_copy
+                )
+                weights = math.ceil(weights / shards)
+            capacity = alloc.columns * chip.mem_capacity_per_column
+            spare = capacity - alloc.state_bytes
+            # Weights and their gradients both live on-chip when chosen.
+            alloc.weights_on_chip = 2 * weights <= spare

@@ -1,0 +1,160 @@
+"""Hand-coded assembly routine templates (paper Sec 4.2).
+
+"The compiler utilizes a library of hand-coded assembly routine
+templates for the FP/BP/WG steps of each layer type.  These
+parameterized assembly templates are customized by the compiler based
+on the information available from the workload mapping phase."
+
+This module is that library: looped ScaleDeep assembly with
+``${PARAM}`` placeholders, instantiated per mapping.  The loops use the
+scalar ISA for trip counts and pointer arithmetic and pass
+register-indirect operands to the data instructions — the style of the
+paper's Fig 13 listing — trading instruction-memory footprint for
+static analyzability (register-indirect addresses defeat the tracker
+calibration pass, which is why the production code generators unroll
+instead; see :mod:`repro.compiler.trackers`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from string import Template
+from typing import Dict, Tuple
+
+from repro.errors import ProgramError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class RoutineTemplate:
+    """One parameterized assembly routine."""
+
+    name: str
+    params: Tuple[str, ...]
+    source: str
+
+    def instantiate(self, tile: str = "tile", **values: int) -> Program:
+        """Substitute parameters and assemble to a validated program."""
+        missing = [p for p in self.params if p not in values]
+        extra = [k for k in values if k not in self.params]
+        if missing or extra:
+            raise ProgramError(
+                f"template {self.name}: missing {missing}, "
+                f"unexpected {extra}"
+            )
+        source = Template(self.source).substitute(
+            {k: str(int(v)) for k, v in values.items()}
+        )
+        return assemble(source, tile=tile)
+
+
+#: Batch convolution FP (Fig 9 step 1): one input feature convolved
+#: against ``N_KERNELS`` kernels stored contiguously, producing
+#: contiguous partial outputs — the CompHeavy tile's primitive
+#: ("batch convolution (one input, many kernels)", Sec 3.1.1).
+#: Registers: r1 = remaining kernels, r2 = kernel pointer,
+#: r3 = output pointer.
+CONV_BATCH_FP = RoutineTemplate(
+    name="conv-batch-fp",
+    params=(
+        "N_KERNELS", "IN_ADDR", "IN_PORT", "IN_SIZE", "KER_BASE",
+        "KER_WORDS", "KER_SIZE", "STRIDE", "PAD", "OUT_BASE",
+        "OUT_WORDS", "OUT_PORT", "IS_ACCUM",
+    ),
+    source="""
+    ; conv-batch-fp: loop ${N_KERNELS} kernels over one input feature
+    LDRI rd=1, value=${N_KERNELS}
+    LDRI rd=2, value=${KER_BASE}
+    LDRI rd=3, value=${OUT_BASE}
+    loop:
+    NDCONV in_addr=${IN_ADDR}, in_port=${IN_PORT}, in_size=${IN_SIZE}, kernel_addr=r2, kernel_size=${KER_SIZE}, stride=${STRIDE}, pad=${PAD}, out_addr=r3, out_port=${OUT_PORT}, is_accum=${IS_ACCUM}
+    ADDRI rd=2, rs=2, value=${KER_WORDS}
+    ADDRI rd=3, rs=3, value=${OUT_WORDS}
+    SUBRI rd=1, rs=1, value=1
+    BGTZ rs=1, offset=@loop
+    HALT
+    """,
+)
+
+#: Row-blocked matrix multiply FP for FC layers: the weight matrix is
+#: processed in ``N_BLOCKS`` row blocks of ``BLOCK_ROWS`` rows each,
+#: re-reading the staged input vector per block (the FcLayer tile's
+#: streaming pattern).  Registers: r1 = remaining blocks, r2 = weight
+#: pointer, r3 = output pointer.
+MATMUL_BLOCKED_FP = RoutineTemplate(
+    name="matmul-blocked-fp",
+    params=(
+        "N_BLOCKS", "VEC_ADDR", "VEC_PORT", "VEC_SIZE", "W_BASE",
+        "W_BLOCK_WORDS", "W_BLOCK_SIZE", "OUT_BASE", "BLOCK_ROWS",
+        "OUT_PORT",
+    ),
+    source="""
+    ; matmul-blocked-fp: ${N_BLOCKS} row blocks over one input vector
+    LDRI rd=1, value=${N_BLOCKS}
+    LDRI rd=2, value=${W_BASE}
+    LDRI rd=3, value=${OUT_BASE}
+    loop:
+    MATMUL in1_addr=${VEC_ADDR}, in1_port=${VEC_PORT}, in1_size=${VEC_SIZE}, in2_addr=r2, in2_port=${VEC_PORT}, in2_size=${W_BLOCK_SIZE}, out_addr=r3, out_port=${OUT_PORT}, is_accum=0
+    ADDRI rd=2, rs=2, value=${W_BLOCK_WORDS}
+    ADDRI rd=3, rs=3, value=${BLOCK_ROWS}
+    SUBRI rd=1, rs=1, value=1
+    BGTZ rs=1, offset=@loop
+    HALT
+    """,
+)
+
+#: Strided gather: ``COUNT`` fixed-size chunks DMA'd from a strided
+#: source layout into a dense destination (the home-tile distribution
+#: step of Fig 9 step 4).  Registers: r1 = remaining, r2 = src pointer,
+#: r3 = dst pointer.
+DMA_GATHER = RoutineTemplate(
+    name="dma-gather",
+    params=(
+        "COUNT", "SRC_BASE", "SRC_STRIDE", "SRC_PORT", "DST_BASE",
+        "CHUNK_WORDS", "DST_PORT",
+    ),
+    source="""
+    ; dma-gather: ${COUNT} strided chunks -> dense
+    LDRI rd=1, value=${COUNT}
+    LDRI rd=2, value=${SRC_BASE}
+    LDRI rd=3, value=${DST_BASE}
+    loop:
+    DMALOAD src_addr=r2, src_port=${SRC_PORT}, dst_addr=r3, dst_port=${DST_PORT}, size=${CHUNK_WORDS}, is_accum=0
+    ADDRI rd=2, rs=2, value=${SRC_STRIDE}
+    ADDRI rd=3, rs=3, value=${CHUNK_WORDS}
+    SUBRI rd=1, rs=1, value=1
+    BGTZ rs=1, offset=@loop
+    HALT
+    """,
+)
+
+#: Minibatch weight update: sweep a weight region in ``N_CHUNKS``
+#: chunks, applying the scaled gradient in place (the end-of-minibatch
+#: step the wheel/ring deliver gradients for, Sec 3.3).
+WUPDATE_SWEEP = RoutineTemplate(
+    name="wupdate-sweep",
+    params=(
+        "N_CHUNKS", "W_BASE", "G_BASE", "CHUNK_WORDS", "PORT",
+        "LR_NUM", "LR_DENOM",
+    ),
+    source="""
+    ; wupdate-sweep: ${N_CHUNKS} chunks of in-place SGD
+    LDRI rd=1, value=${N_CHUNKS}
+    LDRI rd=2, value=${W_BASE}
+    LDRI rd=3, value=${G_BASE}
+    loop:
+    WUPDATE weight_addr=r2, grad_addr=r3, port=${PORT}, size=${CHUNK_WORDS}, lr_num=${LR_NUM}, lr_denom=${LR_DENOM}
+    ADDRI rd=2, rs=2, value=${CHUNK_WORDS}
+    ADDRI rd=3, rs=3, value=${CHUNK_WORDS}
+    SUBRI rd=1, rs=1, value=1
+    BGTZ rs=1, offset=@loop
+    HALT
+    """,
+)
+
+#: The template library, keyed by routine name.
+TEMPLATE_LIBRARY: Dict[str, RoutineTemplate] = {
+    t.name: t
+    for t in (CONV_BATCH_FP, MATMUL_BLOCKED_FP, DMA_GATHER, WUPDATE_SWEEP)
+}

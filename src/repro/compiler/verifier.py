@@ -1,0 +1,157 @@
+"""Static verification of compiled program sets.
+
+`Program.validate` checks one program's structural well-formedness;
+this verifier checks whole compiled *sets* against a machine shape:
+
+* every address range a data instruction touches fits inside its
+  tile's scratchpad;
+* every port names a tile that exists (or external memory);
+* every read of a scratchpad range is preceded — somewhere in the set —
+  by a write or a machine-build preload covering it (no reads of
+  never-written memory);
+* armed trackers fit the MemHeavy tracker-file capacity per tile.
+
+The code generators run it as a back-end gate: a program set that
+passes cannot fault the engine on addressing, and cannot silently read
+uninitialised scratchpad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.sim.engine import EXTERNAL_PORT
+from repro.sim.machine import is_reg_operand, instruction_accesses
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One verification finding."""
+
+    program: str
+    pc: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.program}@{self.pc}: {self.message}"
+
+
+@dataclass(frozen=True)
+class MachineShape:
+    """The addressing envelope programs must respect."""
+
+    mem_tiles: int
+    words_per_tile: int
+    trackers_per_tile: int = 32
+
+    def valid_port(self, port: int) -> bool:
+        return port == EXTERNAL_PORT or 0 <= port < self.mem_tiles
+
+
+def _ranges(
+    programs: Sequence[Program],
+) -> Tuple[List[Tuple[str, int, int, int, int]],
+           List[Tuple[str, int, int, int, int]]]:
+    """All (program, pc, port, addr, words) reads and writes."""
+    reads, writes = [], []
+    for program in programs:
+        for pc, instr in enumerate(program):
+            if any(is_reg_operand(v) for v in instr.operands):
+                continue  # register-indirect: checked at execution
+            r, w = instruction_accesses(instr)
+            for port, addr, count in r:
+                reads.append((program.tile, pc, port, addr, count))
+            for port, addr, count in w:
+                writes.append((program.tile, pc, port, addr, count))
+    return reads, writes
+
+
+def verify_programs(
+    programs: Sequence[Program],
+    shape: MachineShape,
+    preloaded: Sequence[Tuple[int, int, int]] = (),
+    host_writes: Sequence[Tuple[int, int, int]] = (),
+) -> List[Issue]:
+    """Check a program set; returns the list of findings (empty = ok).
+
+    ``preloaded`` lists (port, addr, words) regions written at machine
+    build (weights, biases, the input image's home blocks);
+    ``host_writes`` lists regions the host injects between phases.
+    """
+    issues: List[Issue] = []
+    reads, writes = _ranges(programs)
+
+    # 1. Addressing envelope.
+    for tile, pc, port, addr, count in reads + writes:
+        if not shape.valid_port(port):
+            issues.append(Issue(tile, pc, f"port {port} does not exist"))
+            continue
+        if port == EXTERNAL_PORT:
+            continue
+        if addr < 0 or addr + count > shape.words_per_tile:
+            issues.append(Issue(
+                tile, pc,
+                f"range [{addr}, {addr + count}) exceeds the "
+                f"{shape.words_per_tile}-word scratchpad of tile {port}",
+            ))
+
+    # 2. No reads of never-written scratchpad.  Coverage is tracked at
+    # word granularity per tile (these programs are small).
+    written: Dict[int, Set[int]] = {}
+    for port, addr, count in list(preloaded) + list(host_writes):
+        written.setdefault(port, set()).update(range(addr, addr + count))
+    for _, _, port, addr, count in writes:
+        if port != EXTERNAL_PORT:
+            written.setdefault(port, set()).update(
+                range(addr, addr + count)
+            )
+    for tile, pc, port, addr, count in reads:
+        if port == EXTERNAL_PORT:
+            continue
+        covered = written.get(port, set())
+        missing = [w for w in range(addr, addr + count) if w not in covered]
+        if missing:
+            issues.append(Issue(
+                tile, pc,
+                f"reads {len(missing)} never-written word(s) of tile "
+                f"{port} starting at {missing[0]}",
+            ))
+
+    # 3. Tracker-file capacity per tile.
+    armed: Dict[int, int] = {}
+    for program in programs:
+        for pc, instr in enumerate(program):
+            if instr.opcode in (Opcode.MEMTRACK, Opcode.DMA_MEMTRACK):
+                o = instr.named_operands()
+                port = (
+                    o["target"]
+                    if instr.opcode is Opcode.DMA_MEMTRACK
+                    else o["port"]
+                )
+                armed[port] = armed.get(port, 0) + 1
+    for port, count in armed.items():
+        if count > shape.trackers_per_tile:
+            issues.append(Issue(
+                "<set>", -1,
+                f"tile {port} arms {count} trackers; the tracker file "
+                f"holds {shape.trackers_per_tile}",
+            ))
+    return issues
+
+
+def assert_verified(
+    programs: Sequence[Program],
+    shape: MachineShape,
+    preloaded: Sequence[Tuple[int, int, int]] = (),
+    host_writes: Sequence[Tuple[int, int, int]] = (),
+) -> None:
+    """Raise :class:`ProgramError` listing every finding, if any."""
+    issues = verify_programs(programs, shape, preloaded, host_writes)
+    if issues:
+        summary = "; ".join(str(i) for i in issues[:5])
+        more = f" (+{len(issues) - 5} more)" if len(issues) > 5 else ""
+        raise ProgramError(f"program verification failed: {summary}{more}")

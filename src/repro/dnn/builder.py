@@ -1,0 +1,239 @@
+"""Fluent builder for constructing networks.
+
+The zoo modules use this to describe the 11 benchmark topologies tersely
+while still producing fully-wired :class:`~repro.dnn.network.Network`
+objects.  The builder keeps a "cursor" at the most recently added layer;
+``conv``/``pool``/``fc`` chain from the cursor unless ``inputs`` is given.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dnn.layers import (
+    Activation,
+    ActivationSpec,
+    ConcatSpec,
+    ConvSpec,
+    EltwiseAddSpec,
+    EltwiseMulSpec,
+    FCSpec,
+    FeatureShape,
+    GlobalPoolSpec,
+    InputSpec,
+    LayerSpec,
+    PoolMode,
+    PoolSpec,
+    SliceSpec,
+    conv_padding_same,
+)
+from repro.dnn.network import Network
+from repro.errors import TopologyError
+
+
+class NetworkBuilder:
+    """Incrementally build a :class:`Network`.
+
+    Every method returns the name of the layer it created, so branches can
+    be wired up explicitly::
+
+        b = NetworkBuilder("tiny")
+        b.input(3, 32, 32)
+        trunk = b.conv(16, kernel=3, pad=1)
+        left = b.conv(8, kernel=1, inputs=[trunk])
+        right = b.conv(8, kernel=3, pad=1, inputs=[trunk])
+        b.concat([left, right])
+        net = b.build()
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._layers: List[LayerSpec] = []
+        self._wiring: Dict[str, Sequence[str]] = {}
+        self._cursor: Optional[str] = None
+        self._auto_index: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _auto_name(self, prefix: str) -> str:
+        idx = self._auto_index.get(prefix, 0) + 1
+        self._auto_index[prefix] = idx
+        return f"{prefix}{idx}"
+
+    def _add(
+        self,
+        spec: LayerSpec,
+        inputs: Optional[Sequence[str]],
+    ) -> str:
+        if any(layer.name == spec.name for layer in self._layers):
+            raise TopologyError(
+                f"builder {self.name!r}: duplicate layer name {spec.name!r}"
+            )
+        if inputs is not None:
+            self._wiring[spec.name] = list(inputs)
+        self._layers.append(spec)
+        self._cursor = spec.name
+        return spec.name
+
+    # ------------------------------------------------------------------
+    def input(
+        self, features: int, height: int, width: Optional[int] = None,
+        name: str = "input",
+    ) -> str:
+        """Add the network input volume (width defaults to height)."""
+        shape = FeatureShape(features, height, width if width else height)
+        return self._add(InputSpec(name=name, shape=shape), inputs=None)
+
+    def conv(
+        self,
+        out_features: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        groups: int = 1,
+        activation: Activation = Activation.RELU,
+        same_pad: bool = False,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add a CONV layer; ``same_pad=True`` derives padding from kernel."""
+        if same_pad:
+            pad = conv_padding_same(kernel)
+        spec = ConvSpec(
+            name=name or self._auto_name("conv"),
+            out_features=out_features,
+            kernel=kernel,
+            stride=stride,
+            pad=pad,
+            groups=groups,
+            activation=activation,
+        )
+        return self._add(spec, inputs)
+
+    def table_conv(
+        self,
+        connection_table: Sequence[Sequence[int]],
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        activation: Activation = Activation.RELU,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add a CONV layer with an explicit connection table
+        (paper Sec 2.2): row ``f`` lists the input features that feed
+        output feature ``f``."""
+        spec = ConvSpec(
+            name=name or self._auto_name("conv"),
+            out_features=len(connection_table),
+            kernel=kernel,
+            stride=stride,
+            pad=pad,
+            activation=activation,
+            connection_table=tuple(
+                tuple(row) for row in connection_table
+            ),
+        )
+        return self._add(spec, inputs)
+
+    def pool(
+        self,
+        window: int,
+        stride: int = 0,
+        pad: int = 0,
+        mode: PoolMode = PoolMode.MAX,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add a SAMP layer (stride defaults to the window size)."""
+        spec = PoolSpec(
+            name=name or self._auto_name("pool"),
+            window=window,
+            stride=stride,
+            pad=pad,
+            mode=mode,
+        )
+        return self._add(spec, inputs)
+
+    def global_pool(
+        self,
+        mode: PoolMode = PoolMode.AVG,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        spec = GlobalPoolSpec(name=name or self._auto_name("gpool"), mode=mode)
+        return self._add(spec, inputs)
+
+    def fc(
+        self,
+        out_features: int,
+        activation: Activation = Activation.RELU,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        spec = FCSpec(
+            name=name or self._auto_name("fc"),
+            out_features=out_features,
+            activation=activation,
+        )
+        return self._add(spec, inputs)
+
+    def concat(
+        self, inputs: Sequence[str], name: Optional[str] = None
+    ) -> str:
+        spec = ConcatSpec(name=name or self._auto_name("concat"))
+        return self._add(spec, inputs)
+
+    def add(
+        self,
+        inputs: Sequence[str],
+        activation: Activation = Activation.RELU,
+        name: Optional[str] = None,
+    ) -> str:
+        """Element-wise residual addition of two or more branches."""
+        spec = EltwiseAddSpec(
+            name=name or self._auto_name("add"), activation=activation
+        )
+        return self._add(spec, inputs)
+
+    def multiply(
+        self, inputs: Sequence[str], name: Optional[str] = None
+    ) -> str:
+        """Element-wise (Hadamard) product — LSTM-style gating."""
+        spec = EltwiseMulSpec(name=name or self._auto_name("mul"))
+        return self._add(spec, inputs)
+
+    def activation(
+        self,
+        fn: Activation,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """A standalone activation layer (e.g. tanh of a cell state)."""
+        spec = ActivationSpec(
+            name=name or self._auto_name("act"), activation=fn
+        )
+        return self._add(spec, inputs)
+
+    def slice(
+        self,
+        start: int,
+        stop: int,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Select features [start, stop) from the source layer."""
+        spec = SliceSpec(
+            name=name or self._auto_name("slice"), start=start, stop=stop
+        )
+        return self._add(spec, inputs)
+
+    # ------------------------------------------------------------------
+    @property
+    def cursor(self) -> str:
+        """Name of the most recently added layer."""
+        if self._cursor is None:
+            raise TopologyError(f"builder {self.name!r} is empty")
+        return self._cursor
+
+    def build(self) -> Network:
+        return Network(self.name, self._layers, self._wiring)

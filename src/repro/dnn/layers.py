@@ -1,0 +1,484 @@
+"""Layer definitions for the DNN workload model.
+
+The paper (Sec 2.2) classifies DNN layers into three key types —
+convolutional (CONV), sampling (SAMP) and fully-connected (FC) — plus the
+network input.  GoogLeNet and ResNet additionally need feature
+concatenation and element-wise addition, which carry (almost) no FLOPs but
+shape the dataflow, so they are modelled explicitly.
+
+Each layer knows how to infer its output shape from its input shapes and
+how to count its parameters.  FLOP/byte accounting lives in
+:mod:`repro.dnn.analysis` so the layer classes stay purely structural.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ShapeError
+
+
+class LayerKind(enum.Enum):
+    """Coarse layer classification used throughout the compiler/simulator."""
+
+    INPUT = "input"
+    CONV = "conv"
+    SAMP = "samp"
+    FC = "fc"
+    CONCAT = "concat"
+    ELTWISE = "eltwise"
+    SLICE = "slice"
+
+
+class Activation(enum.Enum):
+    """Non-linear activation functions supported by the MemHeavy SFUs."""
+
+    NONE = "none"
+    RELU = "relu"
+    TANH = "tanh"
+    SIGMOID = "sigmoid"
+    SOFTMAX = "softmax"
+
+
+class PoolMode(enum.Enum):
+    """Down-sampling modes for SAMP layers."""
+
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class FeatureShape:
+    """Shape of a feature volume: ``count`` features of ``height x width``.
+
+    FC layer outputs are represented as ``count`` features of size 1x1,
+    matching the paper's observation (Fig 4) that FC feature size is 1.
+    """
+
+    count: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0 or self.height <= 0 or self.width <= 0:
+            raise ShapeError(f"feature shape must be positive, got {self}")
+
+    @property
+    def feature_size(self) -> int:
+        """Number of elements in a single feature (height * width)."""
+        return self.height * self.width
+
+    @property
+    def elements(self) -> int:
+        """Total number of elements across all features."""
+        return self.count * self.feature_size
+
+    def bytes(self, dtype_bytes: int = 4) -> int:
+        """Storage for the whole volume at the given element width."""
+        return self.elements * dtype_bytes
+
+    def __str__(self) -> str:
+        return f"{self.count}x{self.height}x{self.width}"
+
+
+def _conv_output_extent(extent: int, kernel: int, stride: int, pad: int) -> int:
+    """Output spatial extent of a convolution / pooling window sweep."""
+    out = (extent + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"window (k={kernel}, s={stride}, p={pad}) does not fit in "
+            f"extent {extent}"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Base class for all layer specifications.
+
+    ``name`` uniquely identifies the layer inside a :class:`~repro.dnn.
+    network.Network`.  Subclasses implement :meth:`infer_shape` and
+    :meth:`weight_count`.
+    """
+
+    name: str
+
+    @property
+    def kind(self) -> LayerKind:
+        raise NotImplementedError
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        """Compute the output feature shape from the input shapes."""
+        raise NotImplementedError
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        """Number of learnable parameters (weights + biases)."""
+        raise NotImplementedError
+
+    def _expect_single_input(
+        self, inputs: Tuple[FeatureShape, ...]
+    ) -> FeatureShape:
+        if len(inputs) != 1:
+            raise ShapeError(
+                f"layer {self.name!r} ({self.kind.value}) expects exactly "
+                f"one input, got {len(inputs)}"
+            )
+        return inputs[0]
+
+
+@dataclass(frozen=True)
+class InputSpec(LayerSpec):
+    """The network input: a fixed feature volume (e.g. 3x224x224 image)."""
+
+    shape: FeatureShape = field(default_factory=lambda: FeatureShape(3, 224, 224))
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.INPUT
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        if inputs:
+            raise ShapeError(f"input layer {self.name!r} takes no inputs")
+        return self.shape
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class ConvSpec(LayerSpec):
+    """A convolutional layer.
+
+    ``groups`` models grouped convolution (AlexNet's two-GPU split); a
+    connection table restricting input/output feature pairs is the general
+    mechanism the paper mentions, of which uniform groups are the only
+    instance our benchmark suite needs.
+    """
+
+    out_features: int = 1
+    kernel: int = 3
+    stride: int = 1
+    pad: int = 0
+    groups: int = 1
+    bias: bool = True
+    activation: Activation = Activation.RELU
+    #: Optional connection table (paper Sec 2.2): per output feature, the
+    #: tuple of input feature indices it connects to.  Mutually exclusive
+    #: with grouped convolution.
+    connection_table: Optional[Tuple[Tuple[int, ...], ...]] = None
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONV
+
+    def _validate_table(self, in_count: int) -> None:
+        table = self.connection_table
+        assert table is not None
+        if self.groups != 1:
+            raise ShapeError(
+                f"conv {self.name!r}: a connection table cannot combine "
+                "with grouped convolution"
+            )
+        if len(table) != self.out_features:
+            raise ShapeError(
+                f"conv {self.name!r}: table has {len(table)} rows for "
+                f"{self.out_features} output features"
+            )
+        for f, sources in enumerate(table):
+            if not sources:
+                raise ShapeError(
+                    f"conv {self.name!r}: output {f} connects to nothing"
+                )
+            if len(set(sources)) != len(sources):
+                raise ShapeError(
+                    f"conv {self.name!r}: output {f} lists duplicates"
+                )
+            for g in sources:
+                if not 0 <= g < in_count:
+                    raise ShapeError(
+                        f"conv {self.name!r}: output {f} references input "
+                        f"{g} of {in_count}"
+                    )
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        src = self._expect_single_input(inputs)
+        if self.connection_table is not None:
+            self._validate_table(src.count)
+        elif src.count % self.groups or self.out_features % self.groups:
+            raise ShapeError(
+                f"conv {self.name!r}: groups={self.groups} must divide both "
+                f"in features ({src.count}) and out features "
+                f"({self.out_features})"
+            )
+        out_h = _conv_output_extent(src.height, self.kernel, self.stride, self.pad)
+        out_w = _conv_output_extent(src.width, self.kernel, self.stride, self.pad)
+        return FeatureShape(self.out_features, out_h, out_w)
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        src = self._expect_single_input(inputs)
+        if self.connection_table is not None:
+            self._validate_table(src.count)
+            weights = sum(
+                len(sources) for sources in self.connection_table
+            ) * self.kernel * self.kernel
+        else:
+            in_per_group = src.count // self.groups
+            weights = (
+                self.out_features * in_per_group * self.kernel * self.kernel
+            )
+        return weights + (self.out_features if self.bias else 0)
+
+    def fan_in_of(self, feature: int, in_features: int) -> int:
+        """Input features feeding one output feature."""
+        if self.connection_table is not None:
+            return len(self.connection_table[feature])
+        return in_features // self.groups
+
+    def total_fan_in(self, in_features: int) -> int:
+        """Sum of per-output fan-ins (drives MAC/accumulation counts)."""
+        if self.connection_table is not None:
+            return sum(len(s) for s in self.connection_table)
+        return self.out_features * (in_features // self.groups)
+
+    def macs_per_output_element(self, in_features: int) -> int:
+        """Average multiply-accumulates to produce one output element."""
+        return (
+            self.total_fan_in(in_features)
+            * self.kernel * self.kernel
+            // self.out_features
+        )
+
+
+@dataclass(frozen=True)
+class PoolSpec(LayerSpec):
+    """A sampling (SAMP) layer: max or average pooling.
+
+    SAMP layers carry no weights (paper Sec 2.2) and operate on each
+    feature independently.
+    """
+
+    window: int = 2
+    stride: int = 0  # 0 means "same as window"
+    pad: int = 0
+    mode: PoolMode = PoolMode.MAX
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.SAMP
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride if self.stride else self.window
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        src = self._expect_single_input(inputs)
+        out_h = _conv_output_extent(
+            src.height, self.window, self.effective_stride, self.pad
+        )
+        out_w = _conv_output_extent(
+            src.width, self.window, self.effective_stride, self.pad
+        )
+        return FeatureShape(src.count, out_h, out_w)
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class GlobalPoolSpec(LayerSpec):
+    """Global average pooling (GoogLeNet / ResNet heads).
+
+    Reduces each feature to a single element; classified as a SAMP layer.
+    """
+
+    mode: PoolMode = PoolMode.AVG
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.SAMP
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        src = self._expect_single_input(inputs)
+        return FeatureShape(src.count, 1, 1)
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class FCSpec(LayerSpec):
+    """A fully-connected layer: vector-matrix multiply + activation."""
+
+    out_features: int = 1
+    bias: bool = True
+    activation: Activation = Activation.RELU
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FC
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        self._expect_single_input(inputs)
+        return FeatureShape(self.out_features, 1, 1)
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        src = self._expect_single_input(inputs)
+        return src.elements * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+
+
+@dataclass(frozen=True)
+class ConcatSpec(LayerSpec):
+    """Feature-wise concatenation (GoogLeNet inception join).
+
+    All inputs must share spatial dimensions; feature counts add.
+    """
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONCAT
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        if len(inputs) < 2:
+            raise ShapeError(f"concat {self.name!r} needs >= 2 inputs")
+        h, w = inputs[0].height, inputs[0].width
+        for shp in inputs[1:]:
+            if (shp.height, shp.width) != (h, w):
+                raise ShapeError(
+                    f"concat {self.name!r}: spatial mismatch {inputs[0]} vs {shp}"
+                )
+        return FeatureShape(sum(s.count for s in inputs), h, w)
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class EltwiseAddSpec(LayerSpec):
+    """Element-wise addition (ResNet shortcut join), optionally activated."""
+
+    activation: Activation = Activation.RELU
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ELTWISE
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        if len(inputs) < 2:
+            raise ShapeError(f"eltwise {self.name!r} needs >= 2 inputs")
+        first = inputs[0]
+        for shp in inputs[1:]:
+            if shp != first:
+                raise ShapeError(
+                    f"eltwise {self.name!r}: shape mismatch {first} vs {shp}"
+                )
+        return first
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        return 0
+
+
+def is_weighted(spec: LayerSpec) -> bool:
+    """True for layer kinds that carry learnable parameters."""
+    return spec.kind in (LayerKind.CONV, LayerKind.FC)
+
+
+def conv_padding_same(kernel: int) -> int:
+    """Padding that preserves spatial extent for stride-1 odd kernels."""
+    if kernel % 2 == 0:
+        raise ShapeError(f"'same' padding undefined for even kernel {kernel}")
+    return kernel // 2
+
+
+def fan_in(spec: LayerSpec, inputs: Tuple[FeatureShape, ...]) -> int:
+    """Connections feeding one output neuron — used for weight init."""
+    if spec.kind is LayerKind.CONV:
+        assert isinstance(spec, ConvSpec)
+        return spec.macs_per_output_element(inputs[0].count)
+    if spec.kind is LayerKind.FC:
+        return inputs[0].elements
+    return 1
+
+
+def he_init_scale(spec: LayerSpec, inputs: Tuple[FeatureShape, ...]) -> float:
+    """He-initialization standard deviation for a weighted layer."""
+    return math.sqrt(2.0 / max(1, fan_in(spec, inputs)))
+
+
+@dataclass(frozen=True)
+class SliceSpec(LayerSpec):
+    """Select a contiguous range of features from the input.
+
+    Needed to carve per-timestep inputs out of an unrolled sequence
+    (the recurrent topologies of Sec 1's closing remark).  Carries no
+    weights and no FLOPs — it is pure data routing.
+    """
+
+    start: int = 0
+    stop: int = 1
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.SLICE
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        src = self._expect_single_input(inputs)
+        if not 0 <= self.start < self.stop <= src.count:
+            raise ShapeError(
+                f"slice {self.name!r}: [{self.start}, {self.stop}) outside "
+                f"{src.count} features"
+            )
+        return FeatureShape(self.stop - self.start, src.height, src.width)
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class EltwiseMulSpec(LayerSpec):
+    """Element-wise (Hadamard) product of two or more inputs.
+
+    The gating operation of LSTM cells; executes on the MemHeavy SFUs
+    like the other element-wise kernels (VECMUL).
+    """
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ELTWISE
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        if len(inputs) < 2:
+            raise ShapeError(f"eltwise-mul {self.name!r} needs >= 2 inputs")
+        first = inputs[0]
+        for shp in inputs[1:]:
+            if shp != first:
+                raise ShapeError(
+                    f"eltwise-mul {self.name!r}: shape mismatch "
+                    f"{first} vs {shp}"
+                )
+        return first
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class ActivationSpec(LayerSpec):
+    """A standalone activation over one input (e.g. tanh of an LSTM
+    cell state), executed on the MemHeavy SFUs."""
+
+    activation: Activation = Activation.TANH
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ELTWISE
+
+    def infer_shape(self, inputs: Tuple[FeatureShape, ...]) -> FeatureShape:
+        return self._expect_single_input(inputs)
+
+    def weight_count(self, inputs: Tuple[FeatureShape, ...]) -> int:
+        return 0

@@ -1,0 +1,156 @@
+"""Recurrent and autoencoder topologies (paper Sec 1, closing remark).
+
+"While we have extensively benchmarked SCALEDEEP on convolutional neural
+networks, we note that SCALEDEEP can be programmed to execute other DNN
+topologies for supervised and unsupervised learning, such as Recurrent
+Neural Networks (RNNs), Long Short Term Memory (LSTM) networks and
+autoencoders."
+
+These builders substantiate that claim: an unrolled RNN / LSTM is a DAG
+of FC layers, slices, element-wise gates, and activations — all
+primitives of the workload model — so it maps, profiles and simulates
+through the same compiler and simulator as the CNN suite.  Timesteps
+unroll at build time (the data flow must be static for the MEMTRACK
+scheme, Sec 3.2.4), with weights counted per step (the architecture has
+no weight tying; the mapper treats each step's weights as distinct
+layer state).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation
+from repro.dnn.network import Network
+from repro.errors import TopologyError
+
+
+def unrolled_rnn(
+    input_size: int = 16,
+    hidden_size: int = 32,
+    timesteps: int = 4,
+    num_classes: int = 4,
+) -> Network:
+    """A vanilla tanh RNN unrolled over ``timesteps``.
+
+    Per step: ``h_t = tanh(W [x_t ; h_{t-1}])``, realised as a concat
+    followed by an FC layer; the sequence input arrives as one
+    ``timesteps * input_size`` feature vector and is sliced per step.
+    """
+    if timesteps < 1:
+        raise TopologyError("an RNN needs at least one timestep")
+    b = NetworkBuilder(f"RNN-{hidden_size}x{timesteps}")
+    seq = b.input(timesteps * input_size, 1, name="input")
+    # h_0: a learned projection of the first slice stands in for the
+    # zero state so every step has identical structure.
+    hidden = b.fc(
+        hidden_size, activation=Activation.TANH, name="h0",
+        inputs=[b.slice(0, input_size, name="x0", inputs=[seq])],
+    )
+    for t in range(1, timesteps):
+        x_t = b.slice(
+            t * input_size, (t + 1) * input_size, name=f"x{t}",
+            inputs=[seq],
+        )
+        joined = b.concat([x_t, hidden], name=f"join{t}")
+        hidden = b.fc(
+            hidden_size, activation=Activation.TANH, name=f"h{t}",
+            inputs=[joined],
+        )
+    b.fc(
+        num_classes, activation=Activation.SOFTMAX, name="head",
+        inputs=[hidden],
+    )
+    return b.build()
+
+
+def _lstm_cell(
+    b: NetworkBuilder,
+    tag: str,
+    x_t: str,
+    h_prev: str,
+    c_prev: str,
+    hidden_size: int,
+) -> tuple:
+    """One unrolled LSTM cell; returns (h_t, c_t) layer names."""
+    joined = b.concat([x_t, h_prev], name=f"{tag}_in")
+    i = b.fc(hidden_size, activation=Activation.SIGMOID,
+             name=f"{tag}_i", inputs=[joined])
+    f = b.fc(hidden_size, activation=Activation.SIGMOID,
+             name=f"{tag}_f", inputs=[joined])
+    o = b.fc(hidden_size, activation=Activation.SIGMOID,
+             name=f"{tag}_o", inputs=[joined])
+    g = b.fc(hidden_size, activation=Activation.TANH,
+             name=f"{tag}_g", inputs=[joined])
+    keep = b.multiply([f, c_prev], name=f"{tag}_keep")
+    write = b.multiply([i, g], name=f"{tag}_write")
+    c_t = b.add([keep, write], activation=Activation.NONE,
+                name=f"{tag}_c")
+    c_act = b.activation(Activation.TANH, name=f"{tag}_ctanh",
+                         inputs=[c_t])
+    h_t = b.multiply([o, c_act], name=f"{tag}_h")
+    return h_t, c_t
+
+
+def unrolled_lstm(
+    input_size: int = 16,
+    hidden_size: int = 32,
+    timesteps: int = 4,
+    num_classes: int = 4,
+) -> Network:
+    """A single-layer LSTM unrolled over ``timesteps``.
+
+    Gates are FC layers over ``[x_t ; h_{t-1}]``; the cell state flows
+    through element-wise multiply/add gates — the VECMUL / nD-accumulate
+    kernels of Fig 5, executed on the MemHeavy SFUs.
+    """
+    if timesteps < 1:
+        raise TopologyError("an LSTM needs at least one timestep")
+    b = NetworkBuilder(f"LSTM-{hidden_size}x{timesteps}")
+    seq = b.input(timesteps * input_size, 1, name="input")
+    # Initial state: learned projections of x_0 (keeps every cell's
+    # structure identical without zero-state special cases).
+    x0 = b.slice(0, input_size, name="x0", inputs=[seq])
+    h = b.fc(hidden_size, activation=Activation.TANH, name="h_init",
+             inputs=[x0])
+    c = b.fc(hidden_size, activation=Activation.TANH, name="c_init",
+             inputs=[x0])
+    for t in range(1, timesteps):
+        x_t = b.slice(
+            t * input_size, (t + 1) * input_size, name=f"x{t}",
+            inputs=[seq],
+        )
+        h, c = _lstm_cell(b, f"t{t}", x_t, h, c, hidden_size)
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="head",
+         inputs=[h])
+    return b.build()
+
+
+def autoencoder(
+    input_size: int = 64,
+    bottleneck: int = 8,
+    depth: int = 2,
+) -> Network:
+    """A symmetric fully-connected autoencoder (unsupervised learning).
+
+    The encoder halves the width ``depth`` times down to the bottleneck;
+    the decoder mirrors it back to the input size (sigmoid output for
+    reconstruction).
+    """
+    if depth < 1 or bottleneck >= input_size:
+        raise TopologyError(
+            "autoencoder needs depth >= 1 and bottleneck < input_size"
+        )
+    widths = []
+    size = input_size
+    for _ in range(depth - 1):
+        size = max(bottleneck, size // 2)
+        widths.append(size)
+    b = NetworkBuilder(f"AE-{input_size}-{bottleneck}")
+    b.input(input_size, 1, name="input")
+    for i, width in enumerate(widths):
+        b.fc(width, name=f"enc{i + 1}")
+    b.fc(bottleneck, name="bottleneck")
+    for i, width in enumerate(reversed(widths)):
+        b.fc(width, name=f"dec{i + 1}")
+    b.fc(input_size, activation=Activation.SIGMOID, name="reconstruction")
+    return b.build()

@@ -1,0 +1,31 @@
+"""AlexNet (Krizhevsky et al., 2012) — ILSVRC-2012 winner.
+
+Fig 15 row: 11 layers (5 CONV / 3 FC / 3 SAMP), 0.65M neurons,
+60.9M weights, 0.66B connections.  Grouped convolutions in conv2/4/5
+model the original two-GPU split, which is what brings the weight count
+to 60.9M.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation
+from repro.dnn.network import Network
+
+
+def alexnet(num_classes: int = 1000) -> Network:
+    """Build AlexNet for 227x227 RGB inputs."""
+    b = NetworkBuilder("AlexNet")
+    b.input(3, 227)
+    b.conv(96, kernel=11, stride=4, name="conv1")
+    b.pool(3, stride=2, name="pool1")
+    b.conv(256, kernel=5, pad=2, groups=2, name="conv2")
+    b.pool(3, stride=2, name="pool2")
+    b.conv(384, kernel=3, pad=1, name="conv3")
+    b.conv(384, kernel=3, pad=1, groups=2, name="conv4")
+    b.conv(256, kernel=3, pad=1, groups=2, name="conv5")
+    b.pool(3, stride=2, name="pool3")
+    b.fc(4096, name="fc6")
+    b.fc(4096, name="fc7")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc8")
+    return b.build()

@@ -1,0 +1,31 @@
+"""CNN-S (Chatfield et al., 2014, "Return of the Devil in the Details").
+
+Fig 15 row: 11 layers (5/3/3), 1.70M neurons, 80.4M weights,
+2.57B connections.  The "slow" variant: 7x7 stride-2 conv1 and 512-wide
+mid CONV layers, with an aggressive 3x3 stride-3 final pool that keeps
+the first FC layer to ~52M weights.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation
+from repro.dnn.network import Network
+
+
+def cnn_s(num_classes: int = 1000) -> Network:
+    """Build CNN-S for 224x224 RGB inputs."""
+    b = NetworkBuilder("CNN-S")
+    b.input(3, 224)
+    b.conv(96, kernel=7, stride=2, name="conv1")  # -> 109x109
+    b.pool(3, stride=3, pad=1, name="pool1")  # -> 37x37
+    b.conv(256, kernel=5, pad=1, name="conv2")  # -> 35x35
+    b.pool(2, stride=2, name="pool2")  # -> 17x17
+    b.conv(512, kernel=3, pad=1, name="conv3")
+    b.conv(512, kernel=3, pad=1, name="conv4")
+    b.conv(512, kernel=3, pad=1, name="conv5")
+    b.pool(3, stride=3, name="pool3")  # -> 5x5
+    b.fc(4096, name="fc6")
+    b.fc(4096, name="fc7")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc8")
+    return b.build()

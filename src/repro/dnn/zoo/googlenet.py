@@ -1,0 +1,66 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., 2014) — ILSVRC-2014 winner.
+
+Fig 15 row: 17 layers (11/1/5), 2.64M neurons, 6.8M weights,
+2.44B connections.  The paper counts each inception module as one CONV
+layer; this model expands the nine modules into their full branch
+structure (1x1 / 3x3-reduce+3x3 / 5x5-reduce+5x5 / pool-proj, concat),
+which is what the compiler actually needs to map.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, PoolMode
+from repro.dnn.network import Network
+
+#: Inception module widths: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool
+#: projection), in network order.
+_INCEPTION = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(b: NetworkBuilder, tag: str, source: str) -> str:
+    """Add one inception module reading from ``source``; returns the
+    concat layer name."""
+    p1, p3r, p3, p5r, p5, pp = _INCEPTION[tag]
+    b1 = b.conv(p1, kernel=1, name=f"inc{tag}_1x1", inputs=[source])
+    r3 = b.conv(p3r, kernel=1, name=f"inc{tag}_3x3r", inputs=[source])
+    b3 = b.conv(p3, kernel=3, pad=1, name=f"inc{tag}_3x3", inputs=[r3])
+    r5 = b.conv(p5r, kernel=1, name=f"inc{tag}_5x5r", inputs=[source])
+    b5 = b.conv(p5, kernel=5, pad=2, name=f"inc{tag}_5x5", inputs=[r5])
+    pool = b.pool(3, stride=1, pad=1, name=f"inc{tag}_pool", inputs=[source])
+    bp = b.conv(pp, kernel=1, name=f"inc{tag}_poolproj", inputs=[pool])
+    return b.concat([b1, b3, b5, bp], name=f"inc{tag}_out")
+
+
+def googlenet(num_classes: int = 1000) -> Network:
+    """Build GoogLeNet (main classifier path; auxiliary heads omitted,
+    as they are dropped at inference and negligible in training FLOPs)."""
+    b = NetworkBuilder("GoogLeNet")
+    b.input(3, 224)
+    b.conv(64, kernel=7, stride=2, pad=3, name="conv1")  # -> 112x112
+    b.pool(3, stride=2, pad=1, name="pool1")  # -> 56x56
+    b.conv(64, kernel=1, name="conv2_reduce")
+    b.conv(192, kernel=3, pad=1, name="conv2")
+    b.pool(3, stride=2, pad=1, name="pool2")  # -> 28x28
+    cur = b.cursor
+    cur = _inception(b, "3a", cur)
+    cur = _inception(b, "3b", cur)
+    cur = b.pool(3, stride=2, pad=1, name="pool3", inputs=[cur])  # -> 14x14
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        cur = _inception(b, tag, cur)
+    cur = b.pool(3, stride=2, pad=1, name="pool4", inputs=[cur])  # -> 7x7
+    cur = _inception(b, "5a", cur)
+    cur = _inception(b, "5b", cur)
+    cur = b.global_pool(mode=PoolMode.AVG, name="gpool", inputs=[cur])
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc", inputs=[cur])
+    return b.build()

@@ -1,0 +1,40 @@
+"""LeNet-5 (LeCun et al., 1998) with its classic C3 connection table.
+
+Not part of the paper's benchmark suite, but the canonical example of
+the "connection table denoting which input and output features are
+connected" that Sec 2.2 mentions: C3's 16 outputs each connect to a
+specific subset of S2's 6 features.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, PoolMode
+from repro.dnn.network import Network
+
+#: The original C3 table (LeCun et al. 1998, Table 1): outputs 0-5 see
+#: three contiguous inputs, 6-11 see four contiguous, 12-14 see four
+#: split, and 15 sees all six.
+LENET_C3_TABLE = (
+    (0, 1, 2), (1, 2, 3), (2, 3, 4), (3, 4, 5), (0, 4, 5), (0, 1, 5),
+    (0, 1, 2, 3), (1, 2, 3, 4), (2, 3, 4, 5), (0, 3, 4, 5),
+    (0, 1, 4, 5), (0, 1, 2, 5),
+    (0, 1, 3, 4), (1, 2, 4, 5), (0, 2, 3, 5),
+    (0, 1, 2, 3, 4, 5),
+)
+
+
+def lenet5(num_classes: int = 10) -> Network:
+    """Build LeNet-5 for 32x32 single-channel inputs."""
+    b = NetworkBuilder("LeNet-5")
+    b.input(1, 32)
+    b.conv(6, kernel=5, activation=Activation.TANH, name="c1")
+    b.pool(2, mode=PoolMode.AVG, name="s2")
+    b.table_conv(
+        LENET_C3_TABLE, kernel=5, activation=Activation.TANH, name="c3"
+    )
+    b.pool(2, mode=PoolMode.AVG, name="s4")
+    b.conv(120, kernel=5, activation=Activation.TANH, name="c5")
+    b.fc(84, activation=Activation.TANH, name="f6")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="output")
+    return b.build()

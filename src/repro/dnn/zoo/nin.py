@@ -1,0 +1,42 @@
+"""Network-in-Network (Lin et al., 2013) — an extra beyond Fig 15.
+
+NiN's "mlpconv" stacks (a spatial convolution followed by 1x1
+cross-feature convolutions) and its global-average-pooling classifier
+head are patterns GoogLeNet later adopted; as an extra zoo member it
+exercises 1x1-heavy mappings without any FC layer at all — an edge case
+for the compiler's FC-side split (the FcLayer chips sit idle).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, PoolMode
+from repro.dnn.network import Network
+
+
+def _mlpconv(b: NetworkBuilder, tag: str, width: int, kernel: int,
+             stride: int, pad: int) -> None:
+    b.conv(width, kernel=kernel, stride=stride, pad=pad,
+           name=f"{tag}_conv")
+    b.conv(width, kernel=1, name=f"{tag}_cccp1")
+    b.conv(width, kernel=1, name=f"{tag}_cccp2")
+
+
+def nin(num_classes: int = 1000) -> Network:
+    """Build Network-in-Network for 224x224 RGB inputs."""
+    b = NetworkBuilder("NiN")
+    b.input(3, 224)
+    _mlpconv(b, "m1", 96, kernel=11, stride=4, pad=0)
+    b.pool(3, stride=2, name="pool1")
+    _mlpconv(b, "m2", 256, kernel=5, stride=1, pad=2)
+    b.pool(3, stride=2, name="pool2")
+    _mlpconv(b, "m3", 384, kernel=3, stride=1, pad=1)
+    b.pool(3, stride=2, name="pool3")
+    # The final mlpconv maps straight to the class count; global
+    # average pooling replaces the FC classifier entirely.
+    b.conv(1024, kernel=3, pad=1, name="m4_conv")
+    b.conv(1024, kernel=1, name="m4_cccp1")
+    b.conv(num_classes, kernel=1, activation=Activation.NONE,
+           name="m4_cccp2")
+    b.global_pool(mode=PoolMode.AVG, name="gpool")
+    return b.build()

@@ -1,0 +1,52 @@
+"""OverFeat fast and accurate models (Sermanet et al., 2013).
+
+OverFeat won the ILSVRC-2013 localization task and is the paper's running
+workload-analysis example (Sec 2.3, Fig 4).
+
+Fig 15 rows:
+  OF-Fast:  11 layers (5/3/3), 0.82M neurons, 145.9M weights, 2.66B conn.
+  OF-Acc:   12 layers (6/3/3), 2.05M neurons, 144.6M weights, 5.22B conn.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation
+from repro.dnn.network import Network
+
+
+def overfeat_fast(num_classes: int = 1000) -> Network:
+    """Build the OverFeat fast model for 231x231 RGB inputs."""
+    b = NetworkBuilder("OF-Fast")
+    b.input(3, 231)
+    b.conv(96, kernel=11, stride=4, name="conv1")  # -> 56x56
+    b.pool(2, stride=2, name="pool1")  # -> 28x28
+    b.conv(256, kernel=5, name="conv2")  # -> 24x24
+    b.pool(2, stride=2, name="pool2")  # -> 12x12
+    b.conv(512, kernel=3, pad=1, name="conv3")
+    b.conv(1024, kernel=3, pad=1, name="conv4")
+    b.conv(1024, kernel=3, pad=1, name="conv5")
+    b.pool(2, stride=2, name="pool3")  # -> 6x6
+    b.fc(3072, name="fc6")
+    b.fc(4096, name="fc7")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc8")
+    return b.build()
+
+
+def overfeat_accurate(num_classes: int = 1000) -> Network:
+    """Build the OverFeat accurate model for 221x221 RGB inputs."""
+    b = NetworkBuilder("OF-Acc")
+    b.input(3, 221)
+    b.conv(96, kernel=7, stride=2, name="conv1")  # -> 108x108
+    b.pool(3, stride=3, name="pool1")  # -> 36x36
+    b.conv(256, kernel=7, name="conv2")  # -> 30x30
+    b.pool(2, stride=2, name="pool2")  # -> 15x15
+    b.conv(512, kernel=3, pad=1, name="conv3")
+    b.conv(512, kernel=3, pad=1, name="conv4")
+    b.conv(1024, kernel=3, pad=1, name="conv5")
+    b.conv(1024, kernel=3, pad=1, name="conv6")
+    b.pool(3, stride=3, name="pool3")  # -> 5x5
+    b.fc(4096, name="fc7")
+    b.fc(4096, name="fc8")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc9")
+    return b.build()

@@ -1,0 +1,70 @@
+"""ResNet-18 and ResNet-34 (He et al., 2015) — ILSVRC-2015 winner family.
+
+Fig 15 rows:
+  ResNet18: 23 layers (17/1/5), 2.31M neurons, 11.5M weights, 1.79B conn.
+  ResNet34: 39 layers (33/1/5), 3.56M neurons, 21.1M weights, 3.64B conn.
+
+Both use basic (two-3x3) residual blocks with 1x1 projection shortcuts at
+stage transitions.  Batch normalisation folds into the convolution
+weights for the purposes of FLOP/weight accounting and is not modelled
+separately (its FLOPs are absorbed in the activation-function term).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, PoolMode
+from repro.dnn.network import Network
+
+#: Blocks per stage for each depth.
+_STAGES = {18: (2, 2, 2, 2), 34: (3, 4, 6, 3)}
+_WIDTHS = (64, 128, 256, 512)
+
+
+def _basic_block(
+    b: NetworkBuilder, tag: str, source: str, width: int, stride: int
+) -> str:
+    """Add one basic residual block; returns the join layer's name."""
+    c1 = b.conv(
+        width, kernel=3, stride=stride, pad=1, name=f"{tag}_conv1",
+        inputs=[source],
+    )
+    c2 = b.conv(
+        width, kernel=3, pad=1, activation=Activation.NONE,
+        name=f"{tag}_conv2", inputs=[c1],
+    )
+    if stride != 1:
+        shortcut = b.conv(
+            width, kernel=1, stride=stride, activation=Activation.NONE,
+            name=f"{tag}_proj", inputs=[source],
+        )
+    else:
+        shortcut = source
+    return b.add([c2, shortcut], name=f"{tag}_add")
+
+
+def _resnet(depth: int, num_classes: int) -> Network:
+    blocks: Sequence[int] = _STAGES[depth]
+    b = NetworkBuilder(f"ResNet{depth}")
+    b.input(3, 224)
+    b.conv(64, kernel=7, stride=2, pad=3, name="conv1")  # -> 112x112
+    cur = b.pool(3, stride=2, pad=1, name="pool1")  # -> 56x56
+    for stage, (count, width) in enumerate(zip(blocks, _WIDTHS), start=1):
+        for block in range(count):
+            stride = 2 if (stage > 1 and block == 0) else 1
+            cur = _basic_block(b, f"s{stage}b{block}", cur, width, stride)
+    cur = b.global_pool(mode=PoolMode.AVG, name="gpool", inputs=[cur])
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc", inputs=[cur])
+    return b.build()
+
+
+def resnet18(num_classes: int = 1000) -> Network:
+    """Build ResNet-18 for 224x224 RGB inputs."""
+    return _resnet(18, num_classes)
+
+
+def resnet34(num_classes: int = 1000) -> Network:
+    """Build ResNet-34 for 224x224 RGB inputs."""
+    return _resnet(34, num_classes)

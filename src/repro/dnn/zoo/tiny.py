@@ -1,0 +1,40 @@
+"""Small networks for tests, examples and the functional engine.
+
+These are not part of the paper's benchmark suite; they exist so the
+instruction-level simulator and the numpy trainer can run end-to-end in
+seconds.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation
+from repro.dnn.network import Network
+
+
+def tiny_cnn(
+    num_classes: int = 10,
+    in_size: int = 16,
+    in_features: int = 3,
+) -> Network:
+    """A LeNet-scale CNN: two CONV+SAMP stages and two FC layers."""
+    b = NetworkBuilder("TinyCNN")
+    b.input(in_features, in_size)
+    b.conv(8, kernel=3, pad=1, name="conv1")
+    b.pool(2, name="pool1")
+    b.conv(16, kernel=3, pad=1, name="conv2")
+    b.pool(2, name="pool2")
+    b.fc(32, name="fc1")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc2")
+    return b.build()
+
+
+def tiny_mlp(
+    num_classes: int = 4, in_features: int = 16, hidden: int = 24
+) -> Network:
+    """A two-layer perceptron exercising only the FC path."""
+    b = NetworkBuilder("TinyMLP")
+    b.input(in_features, 1)
+    b.fc(hidden, name="fc1")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc2")
+    return b.build()

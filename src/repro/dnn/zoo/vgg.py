@@ -1,0 +1,59 @@
+"""VGG configurations A, D and E (Simonyan & Zisserman, 2014).
+
+ILSVRC-2014 runner-up family; the deepest and most weight-heavy networks
+of the benchmark suite.
+
+Fig 15 rows:
+  VGG-A: 16 layers (8/3/5),  7.43M neurons, 132.8M weights,  7.46B conn.
+  VGG-D: 21 layers (13/3/5), 13.5M neurons, 138.3M weights, 15.3B conn.
+  VGG-E: 24 layers (16/3/5), 14.9M neurons, 143.6M weights, 19.4B conn.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation
+from repro.dnn.network import Network
+
+#: Convolution widths per stage, one tuple per pooling stage.
+_VGG_STAGES = {
+    "A": ((64,), (128,), (256, 256), (512, 512), (512, 512)),
+    "D": ((64, 64), (128, 128), (256, 256, 256), (512, 512, 512),
+          (512, 512, 512)),
+    "E": ((64, 64), (128, 128), (256, 256, 256, 256), (512, 512, 512, 512),
+          (512, 512, 512, 512)),
+}
+
+
+def _vgg(config: str, num_classes: int) -> Network:
+    """Build a VGG variant from its per-stage convolution widths."""
+    stages: Sequence[Tuple[int, ...]] = _VGG_STAGES[config]
+    b = NetworkBuilder(f"VGG-{config}")
+    b.input(3, 224)
+    layer_idx = 0
+    for stage_idx, widths in enumerate(stages, start=1):
+        for width in widths:
+            layer_idx += 1
+            b.conv(width, kernel=3, pad=1, name=f"conv{layer_idx}")
+        b.pool(2, stride=2, name=f"pool{stage_idx}")
+    b.fc(4096, name="fc1")
+    b.fc(4096, name="fc2")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc3")
+    return b.build()
+
+
+def vgg_a(num_classes: int = 1000) -> Network:
+    """VGG configuration A (11 weight layers)."""
+    return _vgg("A", num_classes)
+
+
+def vgg_d(num_classes: int = 1000) -> Network:
+    """VGG configuration D (16 weight layers)."""
+    return _vgg("D", num_classes)
+
+
+def vgg_e(num_classes: int = 1000) -> Network:
+    """VGG configuration E (19 weight layers)."""
+    return _vgg("E", num_classes)

@@ -1,0 +1,30 @@
+"""ZF / Clarifai network (Zeiler & Fergus, 2013) — ILSVRC-2013 winner.
+
+Fig 15 row: 11 layers (5/3/3), 1.51M neurons, 62.3M weights,
+1.10B connections.  Relative to AlexNet it shrinks conv1 to 7x7 stride 2,
+which is what inflates the early feature maps (and the neuron count).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation
+from repro.dnn.network import Network
+
+
+def zf(num_classes: int = 1000) -> Network:
+    """Build the ZF network for 225x225 RGB inputs."""
+    b = NetworkBuilder("ZF")
+    b.input(3, 225)
+    b.conv(96, kernel=7, stride=2, name="conv1")  # -> 110x110
+    b.pool(3, stride=2, name="pool1")  # -> 54x54
+    b.conv(256, kernel=5, stride=2, name="conv2")  # -> 25x25
+    b.pool(3, stride=2, name="pool2")  # -> 12x12
+    b.conv(384, kernel=3, pad=1, name="conv3")
+    b.conv(384, kernel=3, pad=1, name="conv4")
+    b.conv(256, kernel=3, pad=1, name="conv5")
+    b.pool(3, stride=2, pad=1, name="pool3")  # -> 6x6
+    b.fc(4096, name="fc6")
+    b.fc(4096, name="fc7")
+    b.fc(num_classes, activation=Activation.SOFTMAX, name="fc8")
+    return b.build()

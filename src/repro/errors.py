@@ -1,0 +1,38 @@
+"""Exception hierarchy for the ScaleDeep reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError):
+    """A layer was connected to inputs whose shapes it cannot consume."""
+
+
+class TopologyError(ReproError):
+    """A network graph is malformed (cycles, dangling inputs, bad names)."""
+
+
+class ConfigError(ReproError):
+    """An architecture configuration is inconsistent or out of range."""
+
+
+class MappingError(ReproError):
+    """The compiler could not map a network onto the given architecture."""
+
+
+class ProgramError(ReproError):
+    """An ISA program is malformed or uses an unknown instruction."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state (deadlock, bad access)."""
+
+
+class SynchronizationError(SimulationError):
+    """A data-flow tracker observed an access sequence that violates its
+    MEMTRACK specification."""

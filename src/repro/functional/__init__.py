@@ -1,0 +1,30 @@
+"""Golden-model numpy execution: kernels, reference model, SGD."""
+
+from repro.functional.precision import (
+    NumericFormat,
+    PrecisionComparison,
+    ReducedPrecisionModel,
+    compare_precision,
+    quantize,
+)
+from repro.functional.reference import LayerState, ReferenceModel
+from repro.functional.sgd import (
+    EpochStats,
+    SGDTrainer,
+    iterate_minibatches,
+    make_synthetic_dataset,
+)
+
+__all__ = [
+    "EpochStats",
+    "LayerState",
+    "NumericFormat",
+    "PrecisionComparison",
+    "ReducedPrecisionModel",
+    "compare_precision",
+    "quantize",
+    "ReferenceModel",
+    "SGDTrainer",
+    "iterate_minibatches",
+    "make_synthetic_dataset",
+]

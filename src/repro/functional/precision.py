@@ -1,0 +1,123 @@
+"""Reduced-precision execution of the reference model.
+
+Sec 6.1's half-precision design rests on the premise that "DNNs achieve
+state-of-the-art classification accuracy even at lower precisions"
+(citing Gupta et al. and AxNN).  This module makes that premise testable
+in the reproduction: it casts a reference model's parameters and
+activations to a reduced format after every operation and measures the
+deviation from the float32 golden model.
+
+Supported formats: IEEE float16 (the paper's FP16 design point) and a
+simulated bfloat16 (float32 with the mantissa truncated to 7 bits).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.dnn.network import Network
+from repro.errors import ConfigError
+from repro.functional.reference import ReferenceModel
+
+
+class NumericFormat(enum.Enum):
+    """Reduced-precision storage formats."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    BF16 = "bf16"
+
+
+def quantize(x: np.ndarray, fmt: NumericFormat) -> np.ndarray:
+    """Round ``x`` to the storage precision of ``fmt`` (kept in float32
+    so downstream numpy kernels run unchanged)."""
+    if fmt is NumericFormat.FP32:
+        return x.astype(np.float32)
+    if fmt is NumericFormat.FP16:
+        return x.astype(np.float16).astype(np.float32)
+    if fmt is NumericFormat.BF16:
+        # Truncate the low 16 bits of the float32 representation.
+        as_int = x.astype(np.float32).view(np.uint32)
+        return (as_int & np.uint32(0xFFFF0000)).view(np.float32).copy()
+    raise ConfigError(f"unsupported numeric format {fmt}")
+
+
+class ReducedPrecisionModel(ReferenceModel):
+    """A reference model whose state quantizes after every operation.
+
+    Weights quantize at construction; activations quantize after each
+    layer's forward computation — the storage behaviour of the paper's
+    FP16 MemHeavy scratchpads (arithmetic stays wider, as FMA datapaths
+    typically accumulate at higher precision).
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        fmt: NumericFormat = NumericFormat.FP16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(net, seed)
+        self.fmt = fmt
+        for st in self.state.values():
+            if st.weights is not None:
+                st.weights = quantize(st.weights, fmt)
+                st.bias = quantize(st.bias, fmt)
+
+    def forward(self, image: np.ndarray) -> np.ndarray:
+        out = super().forward(quantize(image, self.fmt))
+        for st in self.state.values():
+            if st.output is not None:
+                st.output = quantize(st.output, self.fmt)
+        return quantize(out, self.fmt)
+
+    def apply_gradients(self, learning_rate: float, scale: float = 1.0) -> None:
+        super().apply_gradients(learning_rate, scale)
+        for st in self.state.values():
+            if st.weights is not None:
+                st.weights = quantize(st.weights, self.fmt)
+                st.bias = quantize(st.bias, self.fmt)
+
+
+@dataclass(frozen=True)
+class PrecisionComparison:
+    """Output deviation of a reduced-precision model vs float32."""
+
+    fmt: NumericFormat
+    max_abs_error: float
+    mean_abs_error: float
+    top1_agreement: float  # fraction of inputs with the same argmax
+
+
+def compare_precision(
+    net: Network,
+    fmt: NumericFormat,
+    images: np.ndarray,
+    seed: int = 0,
+) -> PrecisionComparison:
+    """Run the same inputs through float32 and reduced-precision copies
+    of a network (identical initial weights) and compare outputs."""
+    golden = ReferenceModel(net, seed=seed)
+    reduced = ReducedPrecisionModel(net, fmt, seed=seed)
+    max_err = 0.0
+    sum_err = 0.0
+    agree = 0
+    count = 0
+    for image in images:
+        a = golden.forward(image.astype(np.float32))
+        b = reduced.forward(image.astype(np.float32))
+        err = np.abs(a - b)
+        max_err = max(max_err, float(err.max()))
+        sum_err += float(err.mean())
+        agree += int(a.argmax() == b.argmax())
+        count += 1
+    return PrecisionComparison(
+        fmt=fmt,
+        max_abs_error=max_err,
+        mean_abs_error=sum_err / count,
+        top1_agreement=agree / count,
+    )

@@ -1,0 +1,292 @@
+"""Reference (golden-model) execution of a network graph.
+
+:class:`ReferenceModel` holds the parameters of a
+:class:`~repro.dnn.network.Network` and runs the three training steps of
+the paper's Fig 3 — forward propagation, backpropagation, and weight
+gradient — exactly, in numpy.  It validates the functional engine and
+demonstrates that the mapped computation is the real DNN computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dnn.layers import (
+    Activation,
+    ActivationSpec,
+    ConvSpec,
+    EltwiseMulSpec,
+    FCSpec,
+    GlobalPoolSpec,
+    LayerKind,
+    PoolSpec,
+    SliceSpec,
+    he_init_scale,
+)
+from repro.dnn.network import Network
+from repro.errors import ShapeError
+from repro.functional import tensor_ops as ops
+
+
+@dataclass
+class LayerState:
+    """Parameters and cached activations of one layer."""
+
+    weights: Optional[np.ndarray] = None
+    bias: Optional[np.ndarray] = None
+    grad_weights: Optional[np.ndarray] = None
+    grad_bias: Optional[np.ndarray] = None
+    output: Optional[np.ndarray] = None  # post-activation
+    pre_act: Optional[np.ndarray] = None
+    pool_argmax: Optional[np.ndarray] = None
+    #: For connection-table convolutions: 1 where a kernel exists, 0 for
+    #: disconnected (output, input) pairs.  Dense storage with a mask is
+    #: numerically identical to the ragged layout the hardware would use.
+    weight_mask: Optional[np.ndarray] = None
+
+
+class ReferenceModel:
+    """Executable parameterised instance of a network graph."""
+
+    def __init__(self, net: Network, seed: int = 0) -> None:
+        self.net = net
+        self.rng = np.random.default_rng(seed)
+        self.state: Dict[str, LayerState] = {}
+        for node in net:
+            st = LayerState()
+            spec = node.spec
+            if isinstance(spec, ConvSpec):
+                in_cg = node.input_shapes[0].count // spec.groups
+                scale = he_init_scale(spec, node.input_shapes)
+                st.weights = self.rng.normal(
+                    0.0, scale,
+                    (spec.out_features, in_cg, spec.kernel, spec.kernel),
+                ).astype(np.float32)
+                st.bias = np.zeros(spec.out_features, dtype=np.float32)
+                if spec.connection_table is not None:
+                    mask = np.zeros_like(st.weights)
+                    for f, sources in enumerate(spec.connection_table):
+                        for g in sources:
+                            mask[f, g] = 1.0
+                    st.weight_mask = mask
+                    st.weights *= mask
+            elif isinstance(spec, FCSpec):
+                scale = he_init_scale(spec, node.input_shapes)
+                st.weights = self.rng.normal(
+                    0.0, scale,
+                    (spec.out_features, node.input_shapes[0].elements),
+                ).astype(np.float32)
+                st.bias = np.zeros(spec.out_features, dtype=np.float32)
+            self.state[node.name] = st
+        self.zero_gradients()
+
+    # ------------------------------------------------------------------
+    def zero_gradients(self) -> None:
+        for node in self.net:
+            st = self.state[node.name]
+            if st.weights is not None:
+                st.grad_weights = np.zeros_like(st.weights)
+                st.grad_bias = np.zeros_like(st.bias)
+
+    def parameter_count(self) -> int:
+        total = 0
+        for st in self.state.values():
+            if st.weights is None:
+                continue
+            if st.weight_mask is not None:
+                total += int(st.weight_mask.sum()) + st.bias.size
+            else:
+                total += st.weights.size + st.bias.size
+        return total
+
+    # ------------------------------------------------------------------
+    # Forward propagation (FP)
+    # ------------------------------------------------------------------
+    def forward(self, image: np.ndarray) -> np.ndarray:
+        """Evaluate the network on one image (C,H,W); returns the output
+        vector and caches every layer's activations for BP/WG."""
+        expected = self.net.input.output_shape
+        if image.shape != (expected.count, expected.height, expected.width):
+            raise ShapeError(
+                f"input shape {image.shape} != network input {expected}"
+            )
+        for node in self.net:
+            st = self.state[node.name]
+            spec = node.spec
+            if node.kind is LayerKind.INPUT:
+                st.output = image.astype(np.float32)
+                continue
+            inputs = [self.state[src].output for src in node.input_names]
+            if isinstance(spec, ConvSpec):
+                pre = ops.conv2d_forward(
+                    inputs[0], st.weights, st.bias, spec.stride, spec.pad,
+                    spec.groups,
+                )
+                st.pre_act = pre
+                st.output = ops.activate(pre, spec.activation)
+            elif isinstance(spec, FCSpec):
+                pre = ops.fc_forward(inputs[0], st.weights, st.bias)
+                st.pre_act = pre
+                st.output = ops.activate(pre, spec.activation).reshape(
+                    -1, 1, 1
+                )
+            elif isinstance(spec, PoolSpec):
+                st.output, st.pool_argmax = ops.pool_forward(
+                    inputs[0], spec.window, spec.effective_stride, spec.pad,
+                    spec.mode,
+                )
+            elif isinstance(spec, GlobalPoolSpec):
+                st.output = ops.global_pool_forward(inputs[0])
+            elif node.kind is LayerKind.CONCAT:
+                st.output = np.concatenate(inputs, axis=0)
+            elif isinstance(spec, SliceSpec):
+                st.output = inputs[0][spec.start : spec.stop].copy()
+            elif isinstance(spec, EltwiseMulSpec):
+                prod = inputs[0].copy()
+                for extra in inputs[1:]:
+                    prod = prod * extra
+                st.output = prod
+            elif isinstance(spec, ActivationSpec):
+                st.pre_act = inputs[0]
+                st.output = ops.activate(inputs[0].copy(), spec.activation)
+            elif node.kind is LayerKind.ELTWISE:
+                st.pre_act = np.sum(inputs, axis=0)
+                st.output = ops.activate(st.pre_act, spec.activation)
+            else:
+                raise ShapeError(f"cannot execute layer kind {node.kind}")
+        return self.state[self.net.output.name].output.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Backpropagation (BP) + weight gradients (WG)
+    # ------------------------------------------------------------------
+    def backward(self, target: int) -> float:
+        """Backpropagate from a golden class; accumulates weight
+        gradients (the WG step) and returns the cross-entropy loss."""
+        out_node = self.net.output
+        out_st = self.state[out_node.name]
+        loss, grad = ops.softmax_cross_entropy(
+            out_st.output.reshape(-1), target
+        )
+        return self._backpropagate(
+            loss, grad.reshape(out_st.output.shape)
+        )
+
+    def backward_mse(self, target: np.ndarray) -> float:
+        """Backpropagate a mean-squared-error reconstruction loss — the
+        unsupervised-learning path (autoencoders, Sec 1).  ``target`` is
+        the golden output vector (for an autoencoder, the input)."""
+        out_node = self.net.output
+        out_st = self.state[out_node.name]
+        out = out_st.output.reshape(-1)
+        flat_target = np.asarray(target, dtype=np.float32).reshape(-1)
+        if flat_target.shape != out.shape:
+            raise ShapeError(
+                f"MSE target shape {flat_target.shape} != output "
+                f"{out.shape}"
+            )
+        diff = out - flat_target
+        loss = float((diff**2).mean())
+        activation = getattr(out_node.spec, "activation", Activation.NONE)
+        if activation is Activation.SOFTMAX:
+            raise ShapeError("MSE through a softmax head is unsupported")
+        # dLoss/d out; the standard backward sweep applies the head's
+        # activation derivative itself.
+        grad = (2.0 / diff.size) * diff
+        return self._backpropagate(
+            loss, grad.reshape(out_st.output.shape)
+        )
+
+    def _backpropagate(
+        self, loss: float, output_error: np.ndarray
+    ) -> float:
+        """Common BP/WG sweep from an error at the network output."""
+        out_node = self.net.output
+        errors: Dict[str, np.ndarray] = {out_node.name: output_error}
+        for node in reversed(self.net.nodes):
+            if node.kind is LayerKind.INPUT:
+                continue
+            st = self.state[node.name]
+            err = errors.pop(node.name, None)
+            if err is None:
+                continue  # dead branch (no consumers reached it)
+            spec = node.spec
+            inputs = [self.state[src].output for src in node.input_names]
+
+            if isinstance(spec, ConvSpec):
+                err = ops.activate_backward(err, st.output, spec.activation)
+                gx, gw, gb = ops.conv2d_backward(
+                    inputs[0], st.weights, err, spec.stride, spec.pad,
+                    spec.groups,
+                )
+                if st.weight_mask is not None:
+                    gw = gw * st.weight_mask
+                st.grad_weights += gw
+                st.grad_bias += gb
+                self._send(errors, node.input_names[0], gx)
+            elif isinstance(spec, FCSpec):
+                flat = err.reshape(-1)
+                if spec.activation is not Activation.SOFTMAX:
+                    flat = ops.activate_backward(
+                        flat, st.output.reshape(-1), spec.activation
+                    )
+                gx, gw, gb = ops.fc_backward(inputs[0], st.weights, flat)
+                st.grad_weights += gw
+                st.grad_bias += gb
+                self._send(errors, node.input_names[0], gx)
+            elif isinstance(spec, PoolSpec):
+                gx = ops.pool_backward(
+                    err, inputs[0].shape, spec.window,
+                    spec.effective_stride, spec.pad, spec.mode,
+                    st.pool_argmax,
+                )
+                self._send(errors, node.input_names[0], gx)
+            elif isinstance(spec, GlobalPoolSpec):
+                gx = ops.global_pool_backward(err, inputs[0].shape)
+                self._send(errors, node.input_names[0], gx)
+            elif node.kind is LayerKind.CONCAT:
+                offset = 0
+                for src, shape in zip(node.input_names, inputs):
+                    count = shape.shape[0]
+                    self._send(errors, src, err[offset : offset + count])
+                    offset += count
+            elif isinstance(spec, SliceSpec):
+                full = np.zeros(inputs[0].shape, dtype=err.dtype)
+                full[spec.start : spec.stop] = err
+                self._send(errors, node.input_names[0], full)
+            elif isinstance(spec, EltwiseMulSpec):
+                for i, src in enumerate(node.input_names):
+                    others = err.copy()
+                    for j, other in enumerate(inputs):
+                        if j != i:
+                            others = others * other
+                    self._send(errors, src, others)
+            elif isinstance(spec, ActivationSpec):
+                err = ops.activate_backward(err, st.output, spec.activation)
+                self._send(errors, node.input_names[0], err)
+            elif node.kind is LayerKind.ELTWISE:
+                err = ops.activate_backward(err, st.output, spec.activation)
+                for src in node.input_names:
+                    self._send(errors, src, err)
+        return loss
+
+    @staticmethod
+    def _send(
+        errors: Dict[str, np.ndarray], layer: str, grad: np.ndarray
+    ) -> None:
+        """Accumulate an error contribution for a producer layer."""
+        if layer in errors:
+            errors[layer] = errors[layer] + grad
+        else:
+            errors[layer] = grad
+
+    # ------------------------------------------------------------------
+    def apply_gradients(self, learning_rate: float, scale: float = 1.0) -> None:
+        """SGD update: w -= lr * scale * accumulated gradient."""
+        for st in self.state.values():
+            if st.weights is not None:
+                st.weights -= learning_rate * scale * st.grad_weights
+                st.bias -= learning_rate * scale * st.grad_bias
+        self.zero_gradients()

@@ -1,0 +1,306 @@
+"""Numpy implementations of the DNN kernels (forward and backward).
+
+These are the golden-model counterparts of the hardware kernels in
+Fig 5: nD-convolution, matrix multiply, accumulation, sampling,
+activation functions and the element-wise products of the WG step.
+Layout convention: feature volumes are ``(count, height, width)`` arrays
+(single image; the trainer loops or vectorises over the batch axis).
+
+Convolutions are computed via im2col so that forward, input-gradient and
+weight-gradient all reduce to matrix multiplies — the same decomposition
+the CompHeavy tile realises with its 2D-PE array.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dnn.layers import Activation, PoolMode
+from repro.errors import ShapeError
+
+
+def _check_3d(x: np.ndarray, name: str) -> None:
+    if x.ndim != 3:
+        raise ShapeError(f"{name} must be 3-D (count, h, w), got {x.shape}")
+
+
+def pad_spatial(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad the two spatial dimensions of a feature volume."""
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold ``x`` (C,H,W) into columns of shape (C*k*k, out_h*out_w)."""
+    _check_3d(x, "im2col input")
+    c, h, w = x.shape
+    xp = pad_spatial(x, pad)
+    out_h = (h + 2 * pad - kernel) // stride + 1
+    out_w = (w + 2 * pad - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"kernel {kernel} stride {stride} pad {pad} does not fit "
+            f"{x.shape}"
+        )
+    # Gather all kernel-window offsets with stride tricks.
+    shape = (c, kernel, kernel, out_h, out_w)
+    strides = (
+        xp.strides[0],
+        xp.strides[1],
+        xp.strides[2],
+        xp.strides[1] * stride,
+        xp.strides[2] * stride,
+    )
+    windows = np.lib.stride_tricks.as_strided(xp, shape, strides)
+    return windows.reshape(c * kernel * kernel, out_h * out_w), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fold columns back into a (C,H,W) volume, accumulating overlaps —
+    the adjoint of :func:`im2col`."""
+    c, h, w = x_shape
+    out_h = (h + 2 * pad - kernel) // stride + 1
+    out_w = (w + 2 * pad - kernel) // stride + 1
+    xp = np.zeros((c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols = cols.reshape(c, kernel, kernel, out_h, out_w)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            xp[
+                :,
+                ki : ki + out_h * stride : stride,
+                kj : kj + out_w * stride : stride,
+            ] += cols[:, ki, kj]
+    if pad:
+        return xp[:, pad:-pad, pad:-pad]
+    return xp
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+def conv2d_forward(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """2-D convolution.  ``weights`` is (out_c, in_c//groups, k, k)."""
+    _check_3d(x, "conv input")
+    out_c, in_cg, k, _ = weights.shape
+    in_c = x.shape[0]
+    if in_c % groups or out_c % groups or in_cg != in_c // groups:
+        raise ShapeError(
+            f"conv groups mismatch: x={x.shape}, w={weights.shape}, "
+            f"groups={groups}"
+        )
+    out_per_group = out_c // groups
+    outputs = []
+    for g in range(groups):
+        xg = x[g * in_cg : (g + 1) * in_cg]
+        wg = weights[g * out_per_group : (g + 1) * out_per_group]
+        cols, out_h, out_w = im2col(xg, k, stride, pad)
+        res = wg.reshape(out_per_group, -1) @ cols
+        outputs.append(res.reshape(out_per_group, out_h, out_w))
+    out = np.concatenate(outputs, axis=0)
+    return out + bias[:, None, None]
+
+
+def conv2d_backward(
+    x: np.ndarray,
+    weights: np.ndarray,
+    grad_out: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+    groups: int = 1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of a 2-D convolution.
+
+    Returns ``(grad_x, grad_w, grad_b)`` — the BP and WG steps of the
+    paper's Fig 3 in one call.
+    """
+    out_c, in_cg, k, _ = weights.shape
+    in_c = x.shape[0]
+    out_per_group = out_c // groups
+    grad_x = np.zeros_like(x)
+    grad_w = np.zeros_like(weights)
+    for g in range(groups):
+        xg = x[g * in_cg : (g + 1) * in_cg]
+        wg = weights[g * out_per_group : (g + 1) * out_per_group]
+        gg = grad_out[g * out_per_group : (g + 1) * out_per_group]
+        cols, out_h, out_w = im2col(xg, k, stride, pad)
+        gflat = gg.reshape(out_per_group, -1)
+        grad_w[g * out_per_group : (g + 1) * out_per_group] = (
+            gflat @ cols.T
+        ).reshape(out_per_group, in_cg, k, k)
+        gcols = wg.reshape(out_per_group, -1).T @ gflat
+        grad_x[g * in_cg : (g + 1) * in_cg] = col2im(
+            gcols, xg.shape, k, stride, pad
+        )
+    grad_b = grad_out.sum(axis=(1, 2))
+    return grad_x, grad_w, grad_b
+
+
+# ---------------------------------------------------------------------------
+# Pooling (SAMP layers)
+# ---------------------------------------------------------------------------
+def pool_forward(
+    x: np.ndarray,
+    window: int,
+    stride: int,
+    pad: int = 0,
+    mode: PoolMode = PoolMode.MAX,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Down-sampling.  Returns ``(out, argmax)``; ``argmax`` (flat window
+    indices) is empty for average pooling."""
+    _check_3d(x, "pool input")
+    c = x.shape[0]
+    fill = -np.inf if mode is PoolMode.MAX else 0.0
+    xp = (
+        np.pad(x, ((0, 0), (pad, pad), (pad, pad)), constant_values=fill)
+        if pad
+        else x
+    )
+    h, w = xp.shape[1:]
+    out_h = (h - window) // stride + 1
+    out_w = (w - window) // stride + 1
+    shape = (c, out_h, out_w, window, window)
+    strides = (
+        xp.strides[0],
+        xp.strides[1] * stride,
+        xp.strides[2] * stride,
+        xp.strides[1],
+        xp.strides[2],
+    )
+    windows = np.lib.stride_tricks.as_strided(xp, shape, strides)
+    flat = windows.reshape(c, out_h, out_w, window * window)
+    if mode is PoolMode.MAX:
+        arg = flat.argmax(axis=3)
+        out = np.take_along_axis(flat, arg[..., None], axis=3)[..., 0]
+        return out, arg
+    return flat.mean(axis=3), np.empty(0, dtype=np.int64)
+
+
+def pool_backward(
+    grad_out: np.ndarray,
+    x_shape: Tuple[int, int, int],
+    window: int,
+    stride: int,
+    pad: int,
+    mode: PoolMode,
+    argmax: np.ndarray,
+) -> np.ndarray:
+    """Error up-sampling (the paper's BP step for SAMP layers)."""
+    c, h, w = x_shape
+    out_h, out_w = grad_out.shape[1:]
+    gxp = np.zeros((c, h + 2 * pad, w + 2 * pad), dtype=grad_out.dtype)
+    for i in range(out_h):
+        for j in range(out_w):
+            hi, wj = i * stride, j * stride
+            if mode is PoolMode.MAX:
+                idx = argmax[:, i, j]
+                di, dj = idx // window, idx % window
+                gxp[np.arange(c), hi + di, wj + dj] += grad_out[:, i, j]
+            else:
+                gxp[:, hi : hi + window, wj : wj + window] += (
+                    grad_out[:, i, j][:, None, None] / (window * window)
+                )
+    if pad:
+        return gxp[:, pad:-pad, pad:-pad]
+    return gxp
+
+
+def global_pool_forward(x: np.ndarray) -> np.ndarray:
+    """Global average pooling to (C, 1, 1)."""
+    _check_3d(x, "global pool input")
+    return x.mean(axis=(1, 2), keepdims=True)
+
+
+def global_pool_backward(
+    grad_out: np.ndarray, x_shape: Tuple[int, int, int]
+) -> np.ndarray:
+    c, h, w = x_shape
+    return np.broadcast_to(grad_out / (h * w), x_shape).copy()
+
+
+# ---------------------------------------------------------------------------
+# Fully connected
+# ---------------------------------------------------------------------------
+def fc_forward(
+    x: np.ndarray, weights: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """Vector-matrix multiply: ``weights`` is (out, in); ``x`` flattens."""
+    return weights @ x.reshape(-1) + bias
+
+
+def fc_backward(
+    x: np.ndarray, weights: np.ndarray, grad_out: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of the FC layer.  The weight gradient is the outer
+    product of the BP error and FP input — the paper's VECMUL kernel."""
+    flat = x.reshape(-1)
+    grad_w = np.outer(grad_out, flat)
+    grad_x = (weights.T @ grad_out).reshape(x.shape)
+    return grad_x, grad_w, grad_out.copy()
+
+
+# ---------------------------------------------------------------------------
+# Activation functions (MemHeavy SFU repertoire: ReLU, tanh, sigmoid)
+# ---------------------------------------------------------------------------
+def activate(x: np.ndarray, fn: Activation) -> np.ndarray:
+    if fn is Activation.NONE:
+        return x
+    if fn is Activation.RELU:
+        return np.maximum(x, 0.0)
+    if fn is Activation.TANH:
+        return np.tanh(x)
+    if fn is Activation.SIGMOID:
+        return 1.0 / (1.0 + np.exp(-x))
+    if fn is Activation.SOFTMAX:
+        flat = x.reshape(-1)
+        e = np.exp(flat - flat.max())
+        return (e / e.sum()).reshape(x.shape)
+    raise ShapeError(f"unsupported activation {fn}")
+
+
+def activate_backward(
+    grad_out: np.ndarray, activated: np.ndarray, fn: Activation
+) -> np.ndarray:
+    """Chain the activation derivative using the *activated* output."""
+    if fn is Activation.NONE:
+        return grad_out
+    if fn is Activation.RELU:
+        return grad_out * (activated > 0)
+    if fn is Activation.TANH:
+        return grad_out * (1.0 - activated**2)
+    if fn is Activation.SIGMOID:
+        return grad_out * activated * (1.0 - activated)
+    if fn is Activation.SOFTMAX:
+        # Softmax + cross-entropy is fused in the loss; the pass-through
+        # here expects the loss to have produced (p - y) already.
+        return grad_out
+    raise ShapeError(f"unsupported activation {fn}")
+
+
+def softmax_cross_entropy(
+    logits_softmaxed: np.ndarray, target: int
+) -> Tuple[float, np.ndarray]:
+    """Loss and gradient w.r.t. the pre-softmax logits, given softmax
+    outputs and a golden class index."""
+    p = logits_softmaxed.reshape(-1)
+    loss = -float(np.log(max(p[target], 1e-12)))
+    grad = p.copy()
+    grad[target] -= 1.0
+    return loss, grad.reshape(logits_softmaxed.shape)

@@ -1,0 +1,27 @@
+"""The ScaleDeep ISA: instructions, programs, assembler."""
+
+from repro.isa.instructions import (
+    NUM_REGISTERS,
+    Instruction,
+    InstrGroup,
+    OPCODE_GROUPS,
+    OPERAND_NAMES,
+    Opcode,
+    make,
+)
+from repro.isa.program import BRANCH_OPCODES, Program
+from repro.isa.assembler import assemble, disassemble
+
+__all__ = [
+    "BRANCH_OPCODES",
+    "Instruction",
+    "InstrGroup",
+    "NUM_REGISTERS",
+    "OPCODE_GROUPS",
+    "OPERAND_NAMES",
+    "Opcode",
+    "Program",
+    "assemble",
+    "disassemble",
+    "make",
+]

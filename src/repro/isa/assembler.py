@@ -1,0 +1,102 @@
+"""Two-way text assembler for ScaleDeep programs.
+
+The textual syntax matches :meth:`Instruction.__str__`::
+
+    LDRI rd=1, value=24        ; loop counter
+    NDCONV in_addr=0, in_port=0, ...
+    HALT
+
+Labels are supported for branch targets: a line ``label:`` names the next
+instruction, and branch offsets may be written ``offset=@label`` — the
+assembler converts them to PC-relative immediates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ProgramError
+from repro.isa.instructions import Instruction, Opcode, OPERAND_NAMES
+from repro.isa.program import Program, BRANCH_OPCODES
+
+
+def _parse_operands(opcode: Opcode, text: str) -> List[Tuple[str, str]]:
+    pairs: List[Tuple[str, str]] = []
+    text = text.strip()
+    if not text:
+        return pairs
+    for chunk in text.split(","):
+        if "=" not in chunk:
+            raise ProgramError(
+                f"{opcode.value}: operand {chunk.strip()!r} must be "
+                "name=value"
+            )
+        name, value = chunk.split("=", 1)
+        pairs.append((name.strip(), value.strip()))
+    return pairs
+
+
+def assemble(source: str, tile: str = "tile") -> Program:
+    """Assemble textual ScaleDeep assembly into a validated Program."""
+    labels: Dict[str, int] = {}
+    parsed: List[Tuple[Opcode, List[Tuple[str, str]], str]] = []
+
+    for raw_line in source.splitlines():
+        line = raw_line.split(";", 1)
+        comment = line[1].strip() if len(line) > 1 else ""
+        body = line[0].strip()
+        if not body:
+            continue
+        if body.endswith(":"):
+            label = body[:-1].strip()
+            if not label or label in labels:
+                raise ProgramError(f"bad or duplicate label {label!r}")
+            labels[label] = len(parsed)
+            continue
+        mnemonic, _, rest = body.partition(" ")
+        try:
+            opcode = Opcode(mnemonic.upper())
+        except ValueError:
+            raise ProgramError(f"unknown instruction {mnemonic!r}") from None
+        parsed.append((opcode, _parse_operands(opcode, rest), comment))
+
+    program = Program(tile=tile)
+    for pc, (opcode, pairs, comment) in enumerate(parsed):
+        operands: Dict[str, int] = {}
+        for name, value in pairs:
+            if value.startswith("@"):
+                label = value[1:]
+                if label not in labels:
+                    raise ProgramError(f"undefined label {label!r}")
+                if opcode not in BRANCH_OPCODES:
+                    raise ProgramError(
+                        f"label operand on non-branch {opcode.value}"
+                    )
+                operands[name] = labels[label] - (pc + 1)
+            elif value.startswith("r") and value[1:].isdigit():
+                # Register-indirect data operand (Fig 13 style).  Only
+                # meaningful on data instructions; scalar instructions
+                # name their registers with plain indices.
+                from repro.sim.machine import reg_operand
+
+                operands[name] = reg_operand(int(value[1:]))
+            else:
+                operands[name] = int(value, 0)
+        names = OPERAND_NAMES[opcode]
+        missing = [n for n in names if n not in operands]
+        if missing:
+            raise ProgramError(
+                f"pc={pc} {opcode.value}: missing operands {missing}"
+            )
+        program.append(
+            Instruction(
+                opcode, tuple(operands[n] for n in names), comment
+            )
+        )
+    program.validate()
+    return program
+
+
+def disassemble(program: Program) -> str:
+    """Round-trippable textual form of a program (labels lowered)."""
+    return "\n".join(str(instr) for instr in program)

@@ -1,0 +1,103 @@
+"""Program container and validation for ScaleDeep ISA code.
+
+A :class:`Program` holds the instruction stream for one CompHeavy tile
+(each tile runs a single thread of execution whose program lives in its
+instruction memory, Sec 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ProgramError
+from repro.isa.instructions import (
+    NUM_REGISTERS,
+    Instruction,
+    InstrGroup,
+    Opcode,
+    OPERAND_NAMES,
+)
+
+#: Branch instructions use PC-relative offsets, like the paper's listings.
+BRANCH_OPCODES = frozenset({Opcode.BEQZ, Opcode.BNEZ, Opcode.BGTZ,
+                            Opcode.BRANCH})
+
+#: Operand names that denote register indices (for validation).
+_REGISTER_OPERANDS = frozenset({"rd", "rs", "rs1", "rs2"})
+
+
+@dataclass
+class Program:
+    """An instruction stream bound to one CompHeavy tile."""
+
+    tile: str  # tile identifier, e.g. "cluster0.chip1.col3.row2.fp"
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instr: Instruction) -> int:
+        """Append an instruction; returns its PC."""
+        self.instructions.append(instr)
+        return len(self.instructions) - 1
+
+    def extend(self, instrs: Sequence[Instruction]) -> None:
+        self.instructions.extend(instrs)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural well-formedness.
+
+        Raises :class:`ProgramError` on: empty program, missing HALT,
+        branch offsets leaving the program, or register indices out of
+        range.
+        """
+        if not self.instructions:
+            raise ProgramError(f"program for {self.tile} is empty")
+        if self.instructions[-1].opcode is not Opcode.HALT:
+            raise ProgramError(
+                f"program for {self.tile} must end with HALT, ends with "
+                f"{self.instructions[-1].opcode.value}"
+            )
+        for pc, instr in enumerate(self.instructions):
+            names = OPERAND_NAMES[instr.opcode]
+            for name, value in zip(names, instr.operands):
+                if name in _REGISTER_OPERANDS and not (
+                    0 <= value < NUM_REGISTERS
+                ):
+                    raise ProgramError(
+                        f"{self.tile} pc={pc}: register r{value} out of "
+                        f"range in {instr}"
+                    )
+            if instr.opcode in BRANCH_OPCODES:
+                target = pc + 1 + instr.operand("offset")
+                if not 0 <= target <= len(self.instructions):
+                    raise ProgramError(
+                        f"{self.tile} pc={pc}: branch target {target} "
+                        f"outside program of length {len(self.instructions)}"
+                    )
+
+    # ------------------------------------------------------------------
+    def counts_by_group(self) -> dict:
+        """Instruction counts per group — useful for overhead accounting."""
+        counts: dict = {}
+        for instr in self.instructions:
+            counts[instr.group] = counts.get(instr.group, 0) + 1
+        return counts
+
+    def disassemble(self) -> str:
+        """Human-readable listing in the style of the paper's Fig 13."""
+        lines = [f"--- Program for {self.tile} ---"]
+        for pc, instr in enumerate(self.instructions):
+            lines.append(f"{pc:>4}:  {instr}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Program({self.tile!r}, {len(self.instructions)} instrs)"

@@ -1,0 +1,82 @@
+"""Simulators: analytical pipeline model and functional ISA engine."""
+
+from repro.sim.perf import (
+    DEFAULT_MINIBATCH,
+    LinkUtilization,
+    PerfResult,
+    StageReport,
+    simulate,
+    simulate_suite,
+)
+from repro.sim.engine import (
+    ACT_CODES,
+    EXTERNAL_PORT,
+    Engine,
+    RunReport,
+    SAMP_CODES,
+)
+from repro.sim.allreduce import (
+    SyncReport,
+    minibatch_sync,
+    ring_allreduce_cycles,
+    wheel_accumulate_cycles,
+)
+from repro.sim.energy import EnergyReport, energy_report
+from repro.sim.report import FullReport, full_report
+from repro.sim.validation import (
+    ValidationRow,
+    cross_validate,
+    rank_agreement,
+)
+from repro.sim.timeline import (
+    PipelineStage,
+    Timeline,
+    nested_pipeline,
+    pipeline_stages,
+    schedule,
+)
+from repro.sim.machine import Machine, MemTile, pack_shape, unpack_shape
+from repro.sim.tracker import (
+    AccessVerdict,
+    RangeTracker,
+    TrackerFile,
+    TrackerPhase,
+)
+
+__all__ = [
+    "ACT_CODES",
+    "AccessVerdict",
+    "DEFAULT_MINIBATCH",
+    "EXTERNAL_PORT",
+    "EnergyReport",
+    "Engine",
+    "FullReport",
+    "LinkUtilization",
+    "Machine",
+    "MemTile",
+    "PerfResult",
+    "RangeTracker",
+    "RunReport",
+    "PipelineStage",
+    "SAMP_CODES",
+    "StageReport",
+    "SyncReport",
+    "Timeline",
+    "ValidationRow",
+    "TrackerFile",
+    "TrackerPhase",
+    "energy_report",
+    "full_report",
+    "minibatch_sync",
+    "nested_pipeline",
+    "pack_shape",
+    "pipeline_stages",
+    "ring_allreduce_cycles",
+    "schedule",
+    "cross_validate",
+    "rank_agreement",
+    "wheel_accumulate_cycles",
+    "simulate",
+    "simulate_suite",
+    "unpack_shape",
+]

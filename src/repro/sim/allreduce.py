@@ -1,0 +1,184 @@
+"""Minibatch gradient synchronization over the wheel and ring (Sec 3.3).
+
+At every minibatch boundary ScaleDeep must (i) accumulate the weight
+gradients produced by all copies of the network and (ii) distribute the
+updated weights back.  The wheel arcs carry this traffic between the
+ConvLayer chips of a cluster; the ring carries it between clusters
+("the ring is used to accumulate weight gradients generated at each
+chip cluster and distribute the updated weights").
+
+This module models that synchronization explicitly:
+
+* a ring all-reduce over ``n`` participants moves ``2 (n-1)/n`` of the
+  gradient bytes across each link (reduce-scatter + all-gather);
+* the wheel accumulates spoke-locally: each arc sees the full conv
+  gradient once in each direction;
+* FC gradients stay hub-local under model parallelism (each hub owns
+  its weight shard — the Sec 3.3.2 argument), so the ring only carries
+  conv gradients.
+
+The report quantifies the overhead per image and how much of it can
+overlap with compute — the calibration behind
+``repro.sim.perf.WEIGHT_SYNC_OVERLAP``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.compiler.mapping import WorkloadMapping
+from repro.errors import SimulationError
+
+
+def ring_allreduce_cycles(
+    payload_bytes: float,
+    participants: int,
+    link_bandwidth: float,
+    frequency_hz: float,
+) -> float:
+    """Cycles for a bandwidth-optimal ring all-reduce.
+
+    Reduce-scatter plus all-gather: each of the ``n`` links carries
+    ``2 * (n - 1) / n * payload`` bytes.
+    """
+    if participants < 1:
+        raise SimulationError("all-reduce needs at least one participant")
+    if payload_bytes < 0 or link_bandwidth <= 0:
+        raise SimulationError("payload must be >= 0 and bandwidth > 0")
+    if participants == 1:
+        return 0.0
+    bytes_per_link = 2.0 * (participants - 1) / participants * payload_bytes
+    bytes_per_cycle = link_bandwidth / frequency_hz
+    return bytes_per_link / bytes_per_cycle
+
+
+def wheel_accumulate_cycles(
+    payload_bytes: float,
+    conv_chips: int,
+    arc_bandwidth: float,
+    frequency_hz: float,
+) -> float:
+    """Cycles to accumulate gradients across a wheel's ConvLayer chips
+    and redistribute updated weights over the arcs.
+
+    The chips form a line of ``conv_chips - 1`` arcs; accumulation
+    daisy-chains toward the hub-adjacent chip and the updated weights
+    flow back, so the busiest arc moves the payload once each way.
+    """
+    if conv_chips < 1:
+        raise SimulationError("a wheel needs at least one ConvLayer chip")
+    if conv_chips == 1:
+        return 0.0
+    bytes_per_cycle = arc_bandwidth / frequency_hz
+    return 2.0 * payload_bytes / bytes_per_cycle
+
+
+@dataclass(frozen=True)
+class SyncReport:
+    """Minibatch synchronization cost for one mapping."""
+
+    network: str
+    minibatch: int
+    conv_gradient_bytes: int
+    fc_gradient_bytes: int
+    wheel_cycles: float
+    ring_cycles: float
+    compute_cycles_per_minibatch: float
+
+    @property
+    def total_sync_cycles(self) -> float:
+        """Wheel and ring phases serialize at the minibatch boundary."""
+        return self.wheel_cycles + self.ring_cycles
+
+    @property
+    def cycles_per_image(self) -> float:
+        return self.total_sync_cycles / self.minibatch
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Sync cycles as a fraction of the minibatch's compute time —
+        the slowdown if none of the synchronization overlapped."""
+        if self.compute_cycles_per_minibatch <= 0:
+            return 0.0
+        return self.total_sync_cycles / self.compute_cycles_per_minibatch
+
+    def describe(self) -> str:
+        return (
+            f"{self.network} @ minibatch {self.minibatch}: "
+            f"{self.total_sync_cycles:,.0f} sync cycles "
+            f"({self.wheel_cycles:,.0f} wheel + "
+            f"{self.ring_cycles:,.0f} ring), "
+            f"{self.cycles_per_image:,.0f} cycles/image, "
+            f"{100 * self.overhead_fraction:.1f}% of compute if "
+            f"unoverlapped"
+        )
+
+
+def minibatch_sync(
+    mapping: WorkloadMapping, minibatch: int = 256
+) -> SyncReport:
+    """Model one minibatch boundary for a mapped network.
+
+    Conv gradients all-reduce across the copies: first over each
+    wheel's arcs, then over the ring between the clusters hosting
+    copies.  FC gradients stay on their hubs (model parallelism) or
+    all-reduce over the ring when sharding is disabled.
+    """
+    if minibatch < 1:
+        raise SimulationError("minibatch must be >= 1")
+    node = mapping.node
+    net = mapping.network
+    dtype = node.dtype_bytes
+
+    conv_bytes = sum(
+        net[m].weights
+        for a in mapping.conv_allocations.values()
+        for m in a.members
+    ) * dtype
+    fc_bytes = sum(
+        net[m].weights
+        for a in mapping.fc_allocations.values()
+        for m in a.members
+    ) * dtype
+
+    copies_per_wheel = max(
+        1, node.cluster.conv_chip_count // max(1, mapping.conv_chips_per_copy)
+    )
+    chips_active = min(
+        node.cluster.conv_chip_count,
+        mapping.conv_chips_per_copy * copies_per_wheel,
+    )
+    wheel = wheel_accumulate_cycles(
+        conv_bytes, chips_active, node.cluster.arc_bandwidth,
+        node.frequency_hz,
+    )
+
+    clusters = max(1, node.cluster_count // mapping.clusters_per_copy)
+    ring_payload = conv_bytes
+    if not node.fc_model_parallel:
+        # Replicated FC weights must synchronize too.
+        ring_payload += fc_bytes
+    ring = ring_allreduce_cycles(
+        ring_payload, clusters, node.ring_bandwidth, node.frequency_hz
+    )
+
+    # Compute time for the minibatch, from the pipeline bottleneck.
+    from repro.sim.perf import _conv_stage_reports, _fc_stage_reports
+
+    stages = (
+        _conv_stage_reports(mapping, training=True, tile_multiplier=1)
+        + _fc_stage_reports(mapping, training=True, tile_multiplier=1)
+    )
+    bottleneck = max(s.cycles for s in stages) if stages else 0.0
+    compute = bottleneck * minibatch / max(1, mapping.copies)
+
+    return SyncReport(
+        network=net.name,
+        minibatch=minibatch,
+        conv_gradient_bytes=int(conv_bytes),
+        fc_gradient_bytes=int(fc_bytes),
+        wheel_cycles=wheel,
+        ring_cycles=ring,
+        compute_cycles_per_minibatch=compute,
+    )

@@ -1,0 +1,83 @@
+"""Energy accounting on top of the performance simulator.
+
+Turns the Fig 20 power series into per-image energy: joules per trained
+or evaluated image, split by subsystem, with per-stage attribution of
+the compute energy.  Also scales up to the paper's motivating workload
+(Sec 1: training for 50-100 epochs over the 1.28M-image ImageNet set is
+an exa-scale compute problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.perf import PerfResult
+
+#: ImageNet ILSVRC training-set size (Sec 1).
+IMAGENET_IMAGES = 1_281_167
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy figures derived from one simulation result."""
+
+    network: str
+    joules_per_training_image: float
+    joules_per_evaluation_image: float
+    logic_j: float  # per training image
+    memory_j: float
+    interconnect_j: float
+    stage_energy: Dict[Tuple[str, str], float]  # (unit, step) -> J share
+
+    @property
+    def kilowatt_hours_per_epoch(self) -> float:
+        """Energy for one ImageNet training epoch."""
+        return self.joules_per_training_image * IMAGENET_IMAGES / 3.6e6
+
+    def describe(self) -> str:
+        top = max(self.stage_energy, key=lambda k: self.stage_energy[k])
+        return (
+            f"{self.network}: {self.joules_per_training_image * 1e3:.1f} mJ/"
+            f"training image ({self.logic_j * 1e3:.1f} logic / "
+            f"{self.memory_j * 1e3:.1f} memory / "
+            f"{self.interconnect_j * 1e3:.1f} interconnect), "
+            f"{self.joules_per_evaluation_image * 1e3:.2f} mJ/evaluation, "
+            f"{self.kilowatt_hours_per_epoch:.1f} kWh/ImageNet epoch "
+            f"(hottest stage: {top[0]}/{top[1]})"
+        )
+
+
+def energy_report(result: PerfResult) -> EnergyReport:
+    """Derive per-image energy from a :class:`PerfResult`.
+
+    The node burns ``average_power`` continuously while the pipeline
+    streams ``training_images_per_s`` images, so energy/image is their
+    ratio; evaluation runs at the same average power to first order (the
+    same tiles are busy, just reorganised), which the paper's Fig 20
+    measurement convention also assumes.
+    """
+    if result.training_images_per_s <= 0:
+        raise SimulationError("cannot derive energy from zero throughput")
+    power = result.average_power
+    j_train = power.total_w / result.training_images_per_s
+    j_eval = power.total_w / result.evaluation_images_per_s
+
+    # Attribute the compute (logic) energy to stages by their share of
+    # compute cycles — the quantity the 2D-PE arrays actually burn on.
+    total_compute = sum(s.cost.compute_cycles for s in result.stages) or 1.0
+    logic_j = power.logic_w / result.training_images_per_s
+    stage_energy = {
+        (s.unit, s.step.value): logic_j * s.cost.compute_cycles / total_compute
+        for s in result.stages
+    }
+    return EnergyReport(
+        network=result.network,
+        joules_per_training_image=j_train,
+        joules_per_evaluation_image=j_eval,
+        logic_j=logic_j,
+        memory_j=power.memory_w / result.training_images_per_s,
+        interconnect_j=power.interconnect_w / result.training_images_per_s,
+        stage_energy=stage_energy,
+    )

@@ -1,0 +1,534 @@
+"""Functional engine: executes ScaleDeep ISA programs with real data.
+
+This is the instruction-level counterpart of the analytical model in
+:mod:`repro.sim.perf`: compiled programs run on a machine of MemHeavy
+scratchpads and CompHeavy tiles, with MEMTRACK data-flow trackers
+enforcing the synchronization of Sec 3.2.4, and per-instruction cycle
+costs derived from the tile micro-architecture.  Results are validated
+against the numpy golden model.
+
+Engine conventions (the compiler's code generator follows these):
+
+* Data-instruction operands are immediates — the data flow of a DNN is
+  static, so the generator resolves every address at compile time (the
+  scalar/branch instructions still execute for handwritten programs).
+* ``port`` operands carry flattened MemHeavy tile ids
+  (:meth:`Machine.mem_tile_id`); port ``EXTERNAL_PORT`` addresses the
+  node's external memory.
+* NDCONV/MATMUL/NDSUBSAMP sizes pack 2-D extents via
+  :func:`repro.sim.machine.pack_shape`; DMA/tracker/vector sizes are
+  raw word counts.
+* A blocked instruction (tracker not ready) retries next round; if a
+  whole round passes with every live tile blocked, the engine raises a
+  deadlock error naming the blocked tiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dnn.layers import Activation, PoolMode
+from repro.errors import SimulationError
+from repro.functional import tensor_ops as ops
+from repro.isa.instructions import Instruction, InstrGroup, Opcode
+from repro.isa.program import Program
+from repro.sim.machine import (
+    CompTile,
+    Machine,
+    MemTile,
+    REG_OPERAND_MASK,
+    is_reg_operand,
+    operand_accesses,
+    unpack_shape,
+)
+from repro.sim.tracker import AccessVerdict, TrackerPhase
+
+#: Port value addressing external memory instead of a MemHeavy tile.
+EXTERNAL_PORT = 0xFFFF
+
+#: Fixed per-instruction issue overheads (cycles).
+_SETUP_COARSE = 8
+_SETUP_OFFLOAD = 4
+_SETUP_DMA = 8
+
+#: Activation-function codes for NDACTFN's fn_type operand.
+ACT_CODES = {
+    Activation.RELU: 0,
+    Activation.TANH: 1,
+    Activation.SIGMOID: 2,
+    Activation.SOFTMAX: 3,
+    Activation.NONE: 4,
+}
+_CODE_TO_ACT = {v: k for k, v in ACT_CODES.items()}
+
+#: Sampling codes for NDSUBSAMP's samp_type operand.
+SAMP_CODES = {PoolMode.MAX: 0, PoolMode.AVG: 1}
+_CODE_TO_SAMP = {v: k for k, v in SAMP_CODES.items()}
+
+#: Extra NDUPSAMP mode: zero-insertion dilation (the error expansion
+#: that turns a strided convolution's BP into a stride-1 full conv).
+UPSAMP_ZERO_INSERT = 2
+
+
+@dataclass
+class RunReport:
+    """Statistics of one engine run."""
+
+    cycles: int
+    instructions: int
+    rounds: int
+    blocked_reads: int
+    blocked_writes: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.instructions} instructions over {self.cycles} cycles "
+            f"({self.rounds} scheduler rounds, "
+            f"{self.blocked_reads}r/{self.blocked_writes}w tracker blocks)"
+        )
+
+
+class Engine:
+    """Round-robin interpreter over a :class:`Machine`."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        external_words: int = 1 << 22,
+        max_rounds: int = 10_000_000,
+        trace: bool = False,
+        trace_limit: int = 100_000,
+    ) -> None:
+        self.machine = machine
+        self.external = np.zeros(external_words, dtype=np.float32)
+        self.max_rounds = max_rounds
+        self.rounds = 0
+        #: Optional execution trace: (round, tile_id, instruction text).
+        self.trace_enabled = trace
+        self.trace_limit = trace_limit
+        self.trace: List[Tuple[int, str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Host interaction
+    # ------------------------------------------------------------------
+    def inject(self, port: int, addr: int, data: np.ndarray) -> None:
+        """Host-side tracker-counted write (used to deliver the loss
+        gradient at the network output between the FP and BP phases)."""
+        tile = self._tile(port)
+        if tile is None:
+            raise SimulationError("cannot inject into external memory")
+        verdict = tile.trackers.check_write(addr, data.size)
+        if verdict is not AccessVerdict.ALLOW:
+            raise SimulationError(
+                f"injection into tile {port} @ {addr} blocked by tracker"
+            )
+        tile.write(addr, data, accumulate=False)
+
+    # ------------------------------------------------------------------
+    # Memory access helpers (tracker-gated)
+    # ------------------------------------------------------------------
+    def _tile(self, port: int) -> Optional[MemTile]:
+        if port == EXTERNAL_PORT:
+            return None
+        return self.machine.mem_tile(port)
+
+    def _read_words(self, port: int, addr: int, count: int) -> np.ndarray:
+        tile = self._tile(port)
+        if tile is None:
+            return self.external[addr : addr + count]
+        return tile.read(addr, count)
+
+    def _write_words(
+        self, port: int, addr: int, data: np.ndarray, accumulate: bool
+    ) -> None:
+        tile = self._tile(port)
+        if tile is None:
+            flat = data.reshape(-1).astype(np.float32)
+            if accumulate:
+                self.external[addr : addr + flat.size] += flat
+            else:
+                self.external[addr : addr + flat.size] = flat
+            return
+        tile.write(addr, data, accumulate)
+
+    def _gate(
+        self,
+        reads: List[Tuple[int, int, int]],
+        writes: List[Tuple[int, int, int]],
+    ) -> bool:
+        """Check every (port, addr, count) access; consume tracker counts
+        only if ALL are allowed.  Returns True when the instruction may
+        proceed."""
+        # Peek first: a blocked companion access must not consume counts.
+        for port, addr, count in reads:
+            tile = self._tile(port)
+            if tile and tile.trackers.phase_of(addr, count) is (
+                TrackerPhase.UPDATING
+            ):
+                tile.trackers.blocked_reads += 1
+                return False
+        for port, addr, count in writes:
+            tile = self._tile(port)
+            if tile and tile.trackers.phase_of(addr, count) is (
+                TrackerPhase.READABLE
+            ):
+                tile.trackers.blocked_writes += 1
+                return False
+        # All clear: consume.
+        for port, addr, count in reads:
+            tile = self._tile(port)
+            if tile:
+                verdict = tile.trackers.check_read(addr, count)
+                assert verdict is AccessVerdict.ALLOW
+        for port, addr, count in writes:
+            tile = self._tile(port)
+            if tile:
+                verdict = tile.trackers.check_write(addr, count)
+                assert verdict is AccessVerdict.ALLOW
+        return True
+
+    # ------------------------------------------------------------------
+    # Cycle-cost model
+    # ------------------------------------------------------------------
+    def _conv_cycles(self, out_elems: int, k: int) -> int:
+        fma = self.machine.chip.comp_tile.fma_count
+        return _SETUP_COARSE + math.ceil(out_elems * k * k / fma)
+
+    def _matmul_cycles(self, macs: int) -> int:
+        fma = self.machine.chip.comp_tile.fma_count
+        return _SETUP_COARSE + math.ceil(macs / fma)
+
+    def _offload_cycles(self, elems: int) -> int:
+        sfu = self.machine.chip.mem_tile.num_sfu
+        return _SETUP_OFFLOAD + math.ceil(elems / sfu)
+
+    def _dma_cycles(self, words: int, src_port: int, dst_port: int) -> int:
+        chip = self.machine.chip
+        if EXTERNAL_PORT in (src_port, dst_port):
+            bpc = chip.links.external_memory / 600e6
+            hops = 1
+        else:
+            bpc = chip.links.mem_mem / 600e6
+            hops = max(1, self.machine.hops(src_port, dst_port))
+        return _SETUP_DMA + math.ceil(4 * words / bpc) * hops
+
+    # ------------------------------------------------------------------
+    # Instruction execution: returns cycle cost, or None when blocked
+    # ------------------------------------------------------------------
+    def _execute(self, tile: CompTile, instr: Instruction) -> Optional[int]:
+        op = instr.opcode
+        o = instr.named_operands()
+        if instr.group is not InstrGroup.SCALAR:
+            # Resolve register-indirect operands (Fig 13-style R-args).
+            o = {
+                name: (
+                    tile.reg(value & REG_OPERAND_MASK)
+                    if is_reg_operand(value)
+                    else value
+                )
+                for name, value in o.items()
+            }
+
+        # --- scalar control -------------------------------------------
+        if op is Opcode.LDRI:
+            tile.set_reg(o["rd"], o["value"])
+            return 1
+        if op is Opcode.MOVR:
+            tile.set_reg(o["rd"], tile.reg(o["rs"]))
+            return 1
+        if op is Opcode.ADDR:
+            tile.set_reg(o["rd"], tile.reg(o["rs1"]) + tile.reg(o["rs2"]))
+            return 1
+        if op is Opcode.ADDRI:
+            tile.set_reg(o["rd"], tile.reg(o["rs"]) + o["value"])
+            return 1
+        if op is Opcode.SUBR:
+            tile.set_reg(o["rd"], tile.reg(o["rs1"]) - tile.reg(o["rs2"]))
+            return 1
+        if op is Opcode.SUBRI:
+            tile.set_reg(o["rd"], tile.reg(o["rs"]) - o["value"])
+            return 1
+        if op is Opcode.MULR:
+            tile.set_reg(o["rd"], tile.reg(o["rs1"]) * tile.reg(o["rs2"]))
+            return 1
+        if op in (Opcode.BEQZ, Opcode.BNEZ, Opcode.BGTZ):
+            value = tile.reg(o["rs"])
+            taken = (
+                value == 0 if op is Opcode.BEQZ
+                else value != 0 if op is Opcode.BNEZ
+                else value > 0
+            )
+            if taken:
+                tile.pc += o["offset"]
+            return 1
+        if op is Opcode.BRANCH:
+            tile.pc += o["offset"]
+            return 1
+        if op is Opcode.HALT:
+            tile.halted = True
+            return 1
+
+        # --- data-flow trackers ----------------------------------------
+        if op in (Opcode.MEMTRACK, Opcode.DMA_MEMTRACK):
+            port = o["target"] if op is Opcode.DMA_MEMTRACK else o["port"]
+            target = self._tile(port)
+            if target is None:
+                raise SimulationError("cannot arm a tracker on external memory")
+            target.trackers.arm(
+                o["addr"], o["size"], o["num_updates"], o["num_reads"]
+            )
+            return 1
+
+        # --- data instructions: gate via the shared access analysis
+        # (the same facts the tracker calibrator counts), evaluated on
+        # the resolved operands ------------------------------------------
+        reads, writes = operand_accesses(op, o)
+        if (reads or writes) and not self._gate(reads, writes):
+            return None
+
+        # --- coarse-grained data ----------------------------------------
+        if op is Opcode.NDCONV:
+            h, w = unpack_shape(o["in_size"])
+            k, _ = unpack_shape(o["kernel_size"])
+            stride, pad = o["stride"], o["pad"]
+            out_h = (h + 2 * pad - k) // stride + 1
+            out_w = (w + 2 * pad - k) // stride + 1
+            x = self._read_words(o["in_port"], o["in_addr"], h * w)
+            kern = self._read_words(o["in_port"], o["kernel_addr"], k * k)
+            out = ops.conv2d_forward(
+                x.reshape(1, h, w),
+                kern.reshape(1, 1, k, k),
+                np.zeros(1, dtype=np.float32),
+                stride,
+                pad,
+            )
+            self._write_words(
+                o["out_port"], o["out_addr"], out, bool(o["is_accum"])
+            )
+            return self._conv_cycles(out_h * out_w, k)
+
+        if op is Opcode.MATMUL:
+            rows, cols = unpack_shape(o["in2_size"])
+            _, n = unpack_shape(o["in1_size"])
+            if n != cols:
+                raise SimulationError(
+                    f"MATMUL shape mismatch: vector {n} vs matrix "
+                    f"{rows}x{cols}"
+                )
+            vec = self._read_words(o["in1_port"], o["in1_addr"], n)
+            mat = self._read_words(
+                o["in2_port"], o["in2_addr"], rows * cols
+            ).reshape(rows, cols)
+            self._write_words(
+                o["out_port"], o["out_addr"], mat @ vec, bool(o["is_accum"])
+            )
+            return self._matmul_cycles(rows * cols)
+
+        # --- MemHeavy offload -------------------------------------------
+        if op is Opcode.NDACTFN:
+            size = o["size"]
+            data = self._read_words(o["port"], o["in_addr"], size)
+            fn = _CODE_TO_ACT[o["fn_type"]]
+            self._write_words(
+                o["out_port"], o["out_addr"], ops.activate(data.copy(), fn),
+                False,
+            )
+            return self._offload_cycles(size)
+
+        if op is Opcode.NDACTBP:
+            # Mask a back-propagated error with the activation derivative:
+            # reads the raw error at err_addr and the *activated outputs*
+            # at act_addr (packed into the high bits of fn_type's
+            # companion operand would not fit Fig 8, so the convention is
+            # act values live at err_addr + size), writing the masked
+            # error to out_addr.
+            size = o["size"]
+            act_addr = o["err_addr"] + size
+            err = self._read_words(o["port"], o["err_addr"], size)
+            act = self._read_words(o["port"], act_addr, size)
+            fn = _CODE_TO_ACT[o["fn_type"]]
+            masked = ops.activate_backward(err.copy(), act, fn)
+            self._write_words(o["out_port"], o["out_addr"], masked, False)
+            return self._offload_cycles(size)
+
+        if op is Opcode.NDSUBSAMP:
+            h, w = unpack_shape(o["in_size"])
+            window, stride = o["window"], o["stride"]
+            out_h = (h - window) // stride + 1
+            out_w = (w - window) // stride + 1
+            x = self._read_words(o["port"], o["in_addr"], h * w)
+            mode = _CODE_TO_SAMP[o["samp_type"]]
+            out, _ = ops.pool_forward(
+                x.reshape(1, h, w), window, stride, 0, mode
+            )
+            self._write_words(o["out_port"], o["out_addr"], out, False)
+            return self._offload_cycles(h * w)
+
+        if op is Opcode.NDUPSAMP:
+            h, w = unpack_shape(o["in_size"])  # error extent (small side)
+            window, stride = o["window"], o["stride"]
+            mode = o["samp_type"]
+            err = self._read_words(
+                o["port"], o["in_addr"], h * w
+            ).reshape(1, h, w)
+            if mode == UPSAMP_ZERO_INSERT:
+                out_h = (h - 1) * stride + 1
+                out_w = (w - 1) * stride + 1
+                up = np.zeros((1, out_h, out_w), dtype=np.float32)
+                up[0, ::stride, ::stride] = err[0]
+            elif mode == SAMP_CODES[PoolMode.MAX]:
+                # The original pooled feature sits next to the error
+                # (NDACTBP-style adjacency): recompute the argmax and
+                # route each error to its window's maximum.
+                out_h, out_w = h * stride, w * stride
+                original = self._read_words(
+                    o["port"], o["in_addr"] + h * w, out_h * out_w
+                ).reshape(1, out_h, out_w)
+                _, argmax = ops.pool_forward(
+                    original, window, stride, 0, PoolMode.MAX
+                )
+                up = ops.pool_backward(
+                    err.copy(), (1, out_h, out_w), window, stride, 0,
+                    PoolMode.MAX, argmax,
+                )
+            else:  # AVG spread
+                out_h, out_w = h * stride, w * stride
+                up = ops.pool_backward(
+                    err.copy(), (1, out_h, out_w), window, stride, 0,
+                    PoolMode.AVG, np.empty(0),
+                )
+            self._write_words(o["out_port"], o["out_addr"], up, False)
+            return self._offload_cycles(out_h * out_w)
+
+        if op is Opcode.NDACCUM:
+            size = o["size"]
+            src = self._read_words(o["port"], o["src_addr"], size)
+            self._write_words(o["port"], o["dst_addr"], src, True)
+            return self._offload_cycles(size)
+
+        if op is Opcode.VECMUL:
+            size = o["size"]
+            a = self._read_words(o["port"], o["in1_addr"], size)
+            b = self._read_words(o["port"], o["in2_addr"], size)
+            self._write_words(o["port"], o["out_addr"], a * b, False)
+            return self._offload_cycles(size)
+
+        if op is Opcode.WUPDATE:
+            # Apply-and-consume: the gradient region is cleared after the
+            # update so the next iteration's WG accumulation starts fresh.
+            size = o["size"]
+            grad = self._read_words(o["port"], o["grad_addr"], size).copy()
+            lr = o["lr_num"] / o["lr_denom"]
+            self._write_words(o["port"], o["weight_addr"], -lr * grad, True)
+            self._write_words(
+                o["port"], o["grad_addr"], np.zeros(size, np.float32), False
+            )
+            return self._offload_cycles(size)
+
+        # --- data transfer ----------------------------------------------
+        if op in (Opcode.DMALOAD, Opcode.DMASTORE):
+            size = o["size"]
+            data = self._read_words(o["src_port"], o["src_addr"], size)
+            self._write_words(
+                o["dst_port"], o["dst_addr"], data.copy(),
+                bool(o["is_accum"]),
+            )
+            return self._dma_cycles(size, o["src_port"], o["dst_port"])
+
+        if op in (Opcode.PASSBUFF_RD, Opcode.PASSBUFF_WR):
+            # Streaming FIFO setup: data moves with the consuming compute
+            # instruction; only the handshake costs cycles here.
+            return 2
+
+        if op is Opcode.PREFETCH:
+            size = o["size"]
+            data = self.external[o["src_addr"] : o["src_addr"] + size]
+            self._write_words(o["dst_port"], o["dst_addr"], data.copy(), False)
+            return self._dma_cycles(size, EXTERNAL_PORT, o["dst_port"])
+
+        raise SimulationError(f"engine cannot execute {op.value}")
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        raise_on_deadlock: bool = True,
+        only_tiles: Optional[set] = None,
+        exclude_tiles: Optional[set] = None,
+    ) -> RunReport:
+        """Run all loaded programs round-robin until every tile halts.
+
+        With ``raise_on_deadlock=False`` the engine instead *returns*
+        when no tile can make progress — the training flow uses this to
+        pause at the point where backpropagation waits for the host to
+        inject the loss gradient (the paper computes the output error in
+        the final FP tiles; see Sec 3.2.3).
+
+        ``only_tiles`` / ``exclude_tiles`` select which CompHeavy tiles
+        participate (the minibatch flow runs the per-image programs and
+        the weight-update programs in separate phases).
+        """
+        tiles = [
+            t for t in self.machine.comp_tiles.values()
+            if (only_tiles is None or t.tile_id in only_tiles)
+            and (exclude_tiles is None or t.tile_id not in exclude_tiles)
+        ]
+        if not tiles:
+            raise SimulationError("no programs loaded (or all filtered)")
+        self.rounds = 0
+        while True:
+            self.rounds += 1
+            if self.rounds > self.max_rounds:
+                raise SimulationError(
+                    f"engine exceeded {self.max_rounds} rounds; likely "
+                    "livelock"
+                )
+            progress = False
+            live = False
+            for tile in tiles:
+                if tile.halted:
+                    continue
+                live = True
+                instr = tile.program[tile.pc]
+                tile.pc += 1
+                cost = self._execute(tile, instr)
+                if cost is None:
+                    tile.pc -= 1  # retry the blocked instruction
+                    tile.blocked = True
+                    tile.cycles += 1  # stall cycle
+                    continue
+                tile.blocked = False
+                tile.cycles += cost
+                tile.instructions_executed += 1
+                progress = True
+                if self.trace_enabled and len(self.trace) < self.trace_limit:
+                    self.trace.append(
+                        (self.rounds, tile.tile_id, str(instr))
+                    )
+            if not live:
+                break
+            if not progress:
+                if not raise_on_deadlock:
+                    break
+                blocked = [
+                    t.tile_id
+                    for t in tiles
+                    if not t.halted and t.blocked
+                ]
+                raise SimulationError(
+                    f"deadlock: all live tiles blocked: {blocked}"
+                )
+        return RunReport(
+            cycles=self.machine.total_cycles,
+            instructions=self.machine.total_instructions,
+            rounds=self.rounds,
+            blocked_reads=sum(
+                t.trackers.blocked_reads for t in self.machine.mem_tiles
+            ),
+            blocked_writes=sum(
+                t.trackers.blocked_writes for t in self.machine.mem_tiles
+            ),
+        )

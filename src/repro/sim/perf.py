@@ -1,0 +1,590 @@
+"""Analytical performance simulator for the nested pipeline (Sec 3.2.3).
+
+Given a workload mapping, this model computes the steady-state throughput
+of the two-level nested pipeline: every mapping unit contributes three
+concurrent stages (FP, BP, WG on their dedicated CompHeavy tiles), the
+FcLayer hubs contribute the batched FC stages, and the pipeline runs at
+the pace of its slowest stage.  From the same per-stage cost model it
+derives 2D-PE utilization (Fig 16/19), link utilization for every level
+of the grid-wheel-ring hierarchy (Fig 21), and average power /
+processing efficiency (Fig 20).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.arch.node import NodeConfig
+from repro.arch.power import PowerDraw, node_power_model
+from repro.compiler.cost import StepCost, step_cost
+from repro.compiler.mapping import UnitAllocation, WorkloadMapping, map_network
+from repro.dnn.analysis import Step, profile_network
+from repro.dnn.layers import LayerKind
+from repro.dnn.network import Network
+from repro.errors import SimulationError
+
+#: Default minibatch: the paper aggregates gradients per minibatch; 256
+#: is the conventional ImageNet minibatch of its era.
+DEFAULT_MINIBATCH = 256
+
+#: Fraction of minibatch gradient-sync traffic visible as steady-state
+#: arc/ring load (the rest overlaps with compute).
+WEIGHT_SYNC_OVERLAP = 0.25
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """One pipeline stage: a (unit, step) pair and its cost."""
+
+    unit: str
+    step: Step
+    chip: str
+    cost: StepCost
+
+    @property
+    def cycles(self) -> float:
+        return self.cost.cycles
+
+
+@dataclass(frozen=True)
+class LinkUtilization:
+    """Utilization of every link class (Fig 21's three panels)."""
+
+    comp_mem: float
+    mem_mem: float
+    conv_ext: float
+    fc_ext: float
+    spoke: float
+    arc: float
+    ring: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "comp_mem": self.comp_mem,
+            "mem_mem": self.mem_mem,
+            "conv_ext": self.conv_ext,
+            "fc_ext": self.fc_ext,
+            "spoke": self.spoke,
+            "arc": self.arc,
+            "ring": self.ring,
+        }
+
+
+@dataclass(frozen=True)
+class PerfResult:
+    """Complete simulation result for one network on one node config."""
+
+    network: str
+    node: str
+    mapping: WorkloadMapping
+    training_images_per_s: float
+    evaluation_images_per_s: float
+    pe_utilization: float
+    stages: Tuple[StageReport, ...]
+    link_utilization: LinkUtilization
+    average_power: PowerDraw
+    gflops_per_watt: float
+    achieved_tflops: float
+    minibatch: int
+
+    @property
+    def bottleneck(self) -> StageReport:
+        return max(self.stages, key=lambda s: s.cycles)
+
+    def describe(self) -> str:
+        b = self.bottleneck
+        return (
+            f"{self.network} on {self.node}: "
+            f"train {self.training_images_per_s:,.0f} img/s, "
+            f"eval {self.evaluation_images_per_s:,.0f} img/s, "
+            f"PE util {self.pe_utilization:.2f}, "
+            f"{self.achieved_tflops:.1f} TFLOP/s sustained, "
+            f"{self.gflops_per_watt:.0f} GFLOPs/W "
+            f"(bottleneck: {b.unit}/{b.step.value}, {b.cost.bound_by})"
+        )
+
+
+def _conv_stage_reports(
+    mapping: WorkloadMapping,
+    training: bool,
+    tile_multiplier: int,
+) -> List[StageReport]:
+    """Per-(unit, step) costs on the ConvLayer chips."""
+    node = mapping.node
+    chip = node.cluster.conv_chip
+    steps = tuple(Step) if training else (Step.FP,)
+    reports: List[StageReport] = []
+    for alloc in mapping.conv_allocations.values():
+        for step in steps:
+            costs = [
+                step_cost(
+                    node.frequency_hz, chip, mapping.network[member], step,
+                    alloc.columns, node.dtype_bytes, alloc.weights_on_chip,
+                    store_features_offchip=training,
+                    step_tile_multiplier=tile_multiplier,
+                    winograd=node.use_winograd,
+                )
+                for member in alloc.members
+            ]
+            # Members of a unit share their columns, so their latencies
+            # add; attribute the merged cost to the slowest member's
+            # breakdown with summed cycle terms.
+            merged = _merge_costs(costs, alloc)
+            reports.append(StageReport(alloc.unit, step, chip.kind.value, merged))
+    return reports
+
+
+def _merge_costs(costs: List[StepCost], alloc: UnitAllocation) -> StepCost:
+    """Sum the member costs of a multi-member unit into one stage cost."""
+    if len(costs) == 1:
+        return costs[0]
+    from repro.compiler.cost import TrafficSummary  # local: avoid cycle
+
+    first = costs[0]
+    return StepCost(
+        layer=alloc.unit,
+        step=first.step,
+        columns=alloc.columns,
+        compute_cycles=sum(c.compute_cycles for c in costs),
+        sfu_cycles=sum(c.sfu_cycles for c in costs),
+        comp_mem_link_cycles=sum(c.comp_mem_link_cycles for c in costs),
+        mem_mem_link_cycles=sum(c.mem_mem_link_cycles for c in costs),
+        ext_mem_cycles=sum(c.ext_mem_cycles for c in costs),
+        utilization=max(
+            (c.utilization for c in costs),
+            key=lambda u: u.achieved,
+        ),
+        traffic=TrafficSummary(
+            sum(c.traffic.comp_mem_bytes for c in costs),
+            sum(c.traffic.mem_mem_bytes for c in costs),
+            sum(c.traffic.ext_mem_bytes for c in costs),
+        ),
+        array_config=first.array_config,
+    )
+
+
+def _fc_stage_reports(
+    mapping: WorkloadMapping,
+    training: bool,
+    tile_multiplier: int,
+) -> List[StageReport]:
+    """Per-(unit, step) costs on the FcLayer hubs.
+
+    Weight streaming amortises over the wheel/ring batch; with model
+    parallelism all hubs serving a copy group share each image's FC
+    work, which is folded in by dividing the cycle terms by the hub
+    count at aggregation time (see :func:`simulate`).
+    """
+    node = mapping.node
+    chip = node.cluster.fc_chip
+    steps = tuple(Step) if training else (Step.FP,)
+    batch = max(1, mapping.fc_batch_size)
+    reports: List[StageReport] = []
+    for alloc in mapping.fc_allocations.values():
+        for step in steps:
+            costs = [
+                step_cost(
+                    node.frequency_hz, chip, mapping.network[member], step,
+                    alloc.columns, node.dtype_bytes, alloc.weights_on_chip,
+                    store_features_offchip=training,
+                    weight_reuse_batch=batch,
+                    step_tile_multiplier=tile_multiplier,
+                )
+                for member in alloc.members
+            ]
+            reports.append(
+                StageReport(
+                    alloc.unit, step, chip.kind.value,
+                    _merge_costs(costs, alloc),
+                )
+            )
+    return reports
+
+
+def _throughput(
+    mapping: WorkloadMapping,
+    conv_stages: List[StageReport],
+    fc_stages: List[StageReport],
+    training: bool,
+    minibatch: int,
+) -> Tuple[float, StageReport]:
+    """Node images/s and the limiting stage.
+
+    Each ConvLayer stage serves one copy, so its node-level rate scales
+    by the copy count.  The FcLayer hubs jointly serve every image in
+    the node — with model parallelism each hub computes a weight shard
+    for all images, without it each hub computes full layers for its own
+    cluster's images — so either way the node-level FC rate is
+    ``cluster_count * freq / stage_cycles``.
+    """
+    node = mapping.node
+    freq = node.frequency_hz
+
+    rates: List[Tuple[float, StageReport]] = []
+    for stage in conv_stages:
+        rates.append((mapping.copies * freq / stage.cycles, stage))
+    for stage in fc_stages:
+        rates.append((node.cluster_count * freq / stage.cycles, stage))
+    if not rates:
+        raise SimulationError("no pipeline stages to simulate")
+    images_per_s, limiting = min(rates, key=lambda r: r[0])
+
+    if training:
+        # Pipeline drain at minibatch boundaries (Sec 3.2.3): training
+        # pipeline depth is twice the unit count (FP then BP/WG); each
+        # minibatch pays one drain of the pipeline.
+        units = (len(conv_stages) + len(fc_stages)) / len(tuple(Step))
+        depth = 2 * units
+        images_per_s /= 1.0 + depth / minibatch
+    return images_per_s, limiting
+
+
+# ---------------------------------------------------------------------------
+# Utilization, traffic and power aggregation
+# ---------------------------------------------------------------------------
+def _array_flops_per_image(mapping: WorkloadMapping, training: bool) -> float:
+    """FLOPs per image that execute on 2D-PE arrays (CONV/MATMUL/VEC)."""
+    from repro.dnn.analysis import Kernel, profile
+
+    steps = tuple(Step) if training else (Step.FP,)
+    total = 0.0
+    for node in mapping.network:
+        if node.kind not in (LayerKind.CONV, LayerKind.FC):
+            continue
+        for step in steps:
+            prof = profile(node, step, mapping.node.dtype_bytes)
+            total += (
+                prof.flops_by_kernel.get(Kernel.ND_CONV, 0)
+                + prof.flops_by_kernel.get(Kernel.MATMUL, 0)
+                + prof.flops_by_kernel.get(Kernel.VEC_ELT_MUL, 0)
+            )
+    return total
+
+
+def _allocated_comp_flops_per_cycle(mapping: WorkloadMapping) -> float:
+    """Peak FLOPs/cycle of the CompHeavy tiles allocated node-wide."""
+    node = mapping.node
+    conv = node.cluster.conv_chip
+    fc = node.cluster.fc_chip
+    conv_tiles = sum(
+        a.columns * conv.rows * 3 for a in mapping.conv_allocations.values()
+    ) * mapping.copies
+    fc_tiles = sum(
+        a.columns * fc.rows * 3 for a in mapping.fc_allocations.values()
+    ) * node.cluster_count
+    return (
+        conv_tiles * conv.comp_tile.flops_per_cycle
+        + fc_tiles * fc.comp_tile.flops_per_cycle
+    )
+
+
+def _chip_boundary_bytes(mapping: WorkloadMapping, span_cols: int) -> float:
+    """Feature+error bytes per image crossing every ``span_cols``-column
+    boundary of the copy's column sequence (chip or cluster edges)."""
+    if span_cols <= 0:
+        return 0.0
+    dtype = mapping.node.dtype_bytes
+    crossed = 0.0
+    position = 0
+    for alloc in mapping.conv_allocations.values():
+        before = position
+        position += alloc.columns
+        if before // span_cols != (position - 1) // span_cols:
+            # This unit's output may stay put; the *next* unit reads it
+            # across the boundary.  Count its output once each way.
+            out_elems = sum(
+                mapping.network[m].output_shape.elements
+                for m in alloc.members
+            )
+            crossed += 2.0 * out_elems * dtype
+    return crossed
+
+
+def _first_fc_input_bytes(mapping: WorkloadMapping) -> float:
+    """Bytes of the feature vector each image ships to the FC hub."""
+    if not mapping.fc_allocations:
+        return 0.0
+    first = next(iter(mapping.fc_allocations.values()))
+    member = mapping.network[first.members[0]]
+    if not member.input_shapes:
+        return 0.0
+    return member.input_shapes[0].elements * mapping.node.dtype_bytes
+
+
+def _fc_feature_bytes(mapping: WorkloadMapping) -> float:
+    """Total FC-side feature bytes per image (inputs + outputs)."""
+    dtype = mapping.node.dtype_bytes
+    total = 0.0
+    for alloc in mapping.fc_allocations.values():
+        for m in alloc.members:
+            node = mapping.network[m]
+            ins = node.input_shapes[0].elements if node.input_shapes else 0
+            total += (ins + node.output_shape.elements) * dtype
+    return total
+
+
+def _link_utilization(
+    mapping: WorkloadMapping,
+    conv_stages: List[StageReport],
+    fc_stages: List[StageReport],
+    images_per_s: float,
+    minibatch: int,
+) -> LinkUtilization:
+    node = mapping.node
+    conv = node.cluster.conv_chip
+    fc = node.cluster.fc_chip
+    dtype = node.dtype_bytes
+    per_copy_rate = images_per_s / max(1, mapping.copies)
+
+    def clamp(x: float) -> float:
+        return min(1.0, max(0.0, x))
+
+    # --- on-chip links (per copy; identical across copies) -------------
+    conv_comp_links = sum(
+        a.columns * conv.rows * 3 * 2
+        for a in mapping.conv_allocations.values()
+    )
+    conv_mem_links = sum(
+        a.columns * conv.rows * 2 for a in mapping.conv_allocations.values()
+    )
+    comp_traffic = sum(s.cost.traffic.comp_mem_bytes for s in conv_stages)
+    mem_traffic = sum(s.cost.traffic.mem_mem_bytes for s in conv_stages)
+    comp_mem_util = clamp(
+        per_copy_rate * comp_traffic
+        / max(1.0, conv_comp_links * conv.links.comp_mem)
+    )
+    mem_mem_util = clamp(
+        per_copy_rate * mem_traffic
+        / max(1.0, conv_mem_links * conv.links.mem_mem)
+    )
+
+    # --- chip external memory ------------------------------------------
+    ext_traffic = sum(s.cost.traffic.ext_mem_bytes for s in conv_stages)
+    conv_ext_util = clamp(
+        per_copy_rate * ext_traffic
+        / max(
+            1.0,
+            mapping.conv_chips_per_copy * conv.links.external_memory_total,
+        )
+    )
+    fc_ext_traffic = sum(s.cost.traffic.ext_mem_bytes for s in fc_stages)
+    fc_ext_util = clamp(
+        images_per_s * fc_ext_traffic
+        / max(1.0, node.cluster_count * fc.links.external_memory_total)
+    )
+
+    # --- wheel spokes: FC inputs out, FC errors back --------------------
+    spoke_bytes = 2.0 * _first_fc_input_bytes(mapping)
+    spoke_util = clamp(
+        per_copy_rate * spoke_bytes / max(1.0, node.cluster.spoke_bandwidth)
+    )
+
+    # --- wheel arcs: inter-chip CONV traffic + minibatch weight sync ----
+    conv_weight_bytes = sum(
+        mapping.network[m].weights
+        for a in mapping.conv_allocations.values()
+        for m in a.members
+    ) * dtype
+    arc_bytes = _chip_boundary_bytes(mapping, conv.cols)
+    # Gradient accumulation pipelines around the wheel overlapped with
+    # compute; only a fraction shows up as steady-state arc traffic.
+    arc_bytes += WEIGHT_SYNC_OVERLAP * 2.0 * conv_weight_bytes / minibatch
+    # Each chip boundary has its own arc link, so the crossings spread
+    # over (chips_per_copy - 1) arcs.
+    arc_links = max(1, min(mapping.conv_chips_per_copy, 4) - 1) if (
+        mapping.conv_chips_per_copy > 1
+    ) else 1
+    arc_util = clamp(
+        per_copy_rate * arc_bytes
+        / max(1.0, arc_links * node.cluster.arc_bandwidth)
+    )
+
+    # --- ring: model-parallel FC features, cross-cluster CONV traffic,
+    #     and minibatch gradient accumulation --------------------------
+    ring_bytes = 0.0
+    if node.fc_model_parallel and mapping.fc_allocations:
+        hubs = node.cluster_count
+        ring_bytes += 2.0 * _fc_feature_bytes(mapping) * (hubs - 1) / hubs
+    if mapping.clusters_per_copy > 1:
+        ring_bytes += _chip_boundary_bytes(
+            mapping, conv.cols * node.cluster.conv_chip_count
+        )
+    ring_bytes += WEIGHT_SYNC_OVERLAP * 2.0 * conv_weight_bytes / minibatch
+    ring_util = clamp(
+        images_per_s * ring_bytes
+        / max(1.0, node.cluster_count * node.ring_bandwidth)
+    )
+
+    return LinkUtilization(
+        comp_mem=comp_mem_util,
+        mem_mem=mem_mem_util,
+        conv_ext=conv_ext_util,
+        fc_ext=fc_ext_util,
+        spoke=spoke_util,
+        arc=arc_util,
+        ring=ring_util,
+    )
+
+
+def simulate(
+    net: Network,
+    node: NodeConfig,
+    minibatch: int = DEFAULT_MINIBATCH,
+    mapping: Optional[WorkloadMapping] = None,
+) -> PerfResult:
+    """Simulate training and evaluation of ``net`` on ``node``.
+
+    Returns throughput, utilization, link utilization and power — the
+    quantities behind Figs 16/17 (throughput + utilization), Fig 20
+    (power/efficiency) and Fig 21 (bandwidth utilization).
+    """
+    if minibatch < 1:
+        raise SimulationError(f"minibatch must be >= 1, got {minibatch}")
+    if mapping is None:
+        mapping = map_network(net, node)
+
+    train_conv = _conv_stage_reports(mapping, training=True, tile_multiplier=1)
+    train_fc = _fc_stage_reports(mapping, training=True, tile_multiplier=1)
+    train_rate, _ = _throughput(
+        mapping, train_conv, train_fc, training=True, minibatch=minibatch
+    )
+
+    eval_conv = _conv_stage_reports(mapping, training=False, tile_multiplier=3)
+    eval_fc = _fc_stage_reports(mapping, training=False, tile_multiplier=3)
+    eval_rate, _ = _throughput(
+        mapping, eval_conv, eval_fc, training=False, minibatch=minibatch
+    )
+
+    # 2D-PE utilization over the allocated CompHeavy tiles.
+    useful = _array_flops_per_image(mapping, training=True) * train_rate
+    capacity = _allocated_comp_flops_per_cycle(mapping) * node.frequency_hz
+    pe_util = min(1.0, useful / capacity) if capacity else 0.0
+
+    links = _link_utilization(
+        mapping, train_conv, train_fc, train_rate, minibatch
+    )
+
+    # Machine-level activity drives node power: compute activity relative
+    # to the whole node's CompHeavy tiles, link activity from the on-chip
+    # links that dominate interconnect power.
+    node_comp_capacity = (
+        node.comp_tile_count
+        * node.cluster.conv_chip.comp_tile.flops_per_cycle  # dominant kind
+        * node.frequency_hz
+    )
+    machine_util = min(1.0, useful / node_comp_capacity)
+    link_activity = min(1.0, 0.5 * (links.comp_mem + links.mem_mem))
+    draw = node_power_model().average(
+        compute_utilization=machine_util,
+        link_utilization=link_activity,
+        memory_utilization=0.5,
+    )
+    training_flops = profile_network(net, node.dtype_bytes).training_flops
+    achieved = training_flops * train_rate
+    gflops_per_watt = achieved / draw.total_w / 1e9
+
+    return PerfResult(
+        network=net.name,
+        node=node.name,
+        mapping=mapping,
+        training_images_per_s=train_rate,
+        evaluation_images_per_s=eval_rate,
+        pe_utilization=pe_util,
+        stages=tuple(train_conv + train_fc),
+        link_utilization=links,
+        average_power=draw,
+        gflops_per_watt=gflops_per_watt,
+        achieved_tflops=achieved / 1e12,
+        minibatch=minibatch,
+    )
+
+
+def simulate_suite(
+    networks: Mapping[str, Network],
+    node: NodeConfig,
+    minibatch: int = DEFAULT_MINIBATCH,
+) -> Dict[str, PerfResult]:
+    """Simulate every network in ``networks`` on the same node config."""
+    return {
+        name: simulate(net, node, minibatch)
+        for name, net in networks.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig 19: layer-wise utilization cascade
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class UnitUtilization:
+    """Per-unit utilization cascade (one column group of Fig 19)."""
+
+    unit: str
+    columns: int
+    pes: int
+    ideal_pes: float
+    column_peak_util: float  # allocated / ideal (may exceed 1)
+    feature_distribution: float
+    array_residue: float
+    achieved: float
+
+
+def utilization_report(mapping: WorkloadMapping) -> List[UnitUtilization]:
+    """Reproduce Fig 19's utilization cascade for the conv-side units.
+
+    ``column_peak_util`` is the paper's "Peak Util" row: the FLOPs-ideal
+    2D-PE share divided by the allocated share (values above 1 mean the
+    unit is over-provisioned and will idle; below 1 it throttles the
+    pipeline).  The remaining factors multiply into the achieved 2D-PE
+    utilization of each unit's FP tiles.
+    """
+    from repro.compiler.cost import step_cost as _step_cost
+
+    node = mapping.node
+    chip = node.cluster.conv_chip
+    allocs = mapping.conv_allocations
+    if not allocs:
+        return []
+    total_flops = sum(a.training_flops for a in allocs.values())
+    total_pes = sum(
+        a.columns * chip.rows * 3 * chip.comp_tile.pe_count
+        for a in allocs.values()
+    )
+    rows: List[UnitUtilization] = []
+    for alloc in allocs.values():
+        pes = alloc.columns * chip.rows * 3 * chip.comp_tile.pe_count
+        ideal = total_pes * alloc.training_flops / total_flops
+        costs = [
+            _step_cost(
+                node.frequency_hz, chip, mapping.network[member], Step.FP,
+                alloc.columns, node.dtype_bytes, alloc.weights_on_chip,
+            )
+            for member in alloc.members
+        ]
+        # FLOPs-weighted cascade over the unit's members.
+        weights = [max(c.compute_cycles, 1.0) for c in costs]
+        total_w = sum(weights)
+        feat = sum(
+            c.utilization.feature_distribution * w
+            for c, w in zip(costs, weights)
+        ) / total_w
+        arr = sum(
+            c.utilization.array_residue * w for c, w in zip(costs, weights)
+        ) / total_w
+        achieved = sum(
+            c.utilization.achieved * w for c, w in zip(costs, weights)
+        ) / total_w
+        rows.append(
+            UnitUtilization(
+                unit=alloc.unit,
+                columns=alloc.columns,
+                pes=pes,
+                ideal_pes=ideal,
+                column_peak_util=pes / ideal if ideal else 1.0,
+                feature_distribution=feat,
+                array_residue=arr,
+                achieved=achieved,
+            )
+        )
+    return rows

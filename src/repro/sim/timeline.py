@@ -1,0 +1,159 @@
+"""Nested-pipeline schedule: the timeline behind Fig 10.
+
+Builds the inter-layer pipeline explicitly: each mapping unit
+contributes its FP stage in dataflow order followed by the BP and WG
+stages in reverse order (training doubles the pipeline depth, Sec
+3.2.3), and successive images flow through under the classic pipeline
+recurrence — a stage starts when both its predecessor stage (same
+image) and its own previous occupancy (previous image) have finished.
+
+The model exposes the quantities the figure illustrates: the fill
+latency, the steady-state initiation interval (the bottleneck stage),
+and per-stage occupancy, plus an ASCII rendering of the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.compiler.mapping import WorkloadMapping
+from repro.dnn.analysis import Step
+from repro.errors import SimulationError
+from repro.sim.perf import StageReport, _conv_stage_reports, _fc_stage_reports
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of the inter-layer pipeline."""
+
+    name: str  # "conv2/fp"
+    cycles: float
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """A scheduled run of ``images`` inputs through the pipeline."""
+
+    stages: Tuple[PipelineStage, ...]
+    start: Tuple[Tuple[float, ...], ...]  # [image][stage]
+    finish: Tuple[Tuple[float, ...], ...]
+
+    @property
+    def images(self) -> int:
+        return len(self.start)
+
+    @property
+    def makespan(self) -> float:
+        return self.finish[-1][-1]
+
+    @property
+    def fill_latency(self) -> float:
+        """Cycles until the first image completes (pipeline fill)."""
+        return self.finish[0][-1]
+
+    @property
+    def initiation_interval(self) -> float:
+        """Steady-state cycles between successive completions."""
+        if self.images < 2:
+            return self.makespan
+        return self.finish[-1][-1] - self.finish[-2][-1]
+
+    @property
+    def bottleneck(self) -> PipelineStage:
+        return max(self.stages, key=lambda s: s.cycles)
+
+    def occupancy(self, stage_index: int) -> float:
+        """Busy fraction of one stage over the whole run."""
+        busy = sum(
+            self.finish[i][stage_index] - self.start[i][stage_index]
+            for i in range(self.images)
+        )
+        return busy / self.makespan if self.makespan else 0.0
+
+    def speedup_vs_serial(self) -> float:
+        """Pipeline speedup over running each image to completion."""
+        serial = self.images * sum(s.cycles for s in self.stages)
+        return serial / self.makespan if self.makespan else 1.0
+
+    def render(self, width: int = 64) -> str:
+        """Coarse ASCII Gantt chart (one row per stage)."""
+        scale = self.makespan / width if self.makespan else 1.0
+        lines = [
+            f"Nested pipeline: {self.images} images x "
+            f"{len(self.stages)} stages, makespan "
+            f"{self.makespan:,.0f} cycles, II "
+            f"{self.initiation_interval:,.0f}"
+        ]
+        label_w = max(len(s.name) for s in self.stages)
+        for j, stage in enumerate(self.stages):
+            row = [" "] * width
+            for i in range(self.images):
+                a = int(self.start[i][j] / scale)
+                b = max(a + 1, int(self.finish[i][j] / scale))
+                glyph = str(i % 10)
+                for x in range(a, min(b, width)):
+                    row[x] = glyph
+            lines.append(f"{stage.name:<{label_w}} |{''.join(row)}|")
+        return "\n".join(lines)
+
+
+def pipeline_stages(
+    mapping: WorkloadMapping, training: bool = True
+) -> List[PipelineStage]:
+    """The inter-layer pipeline in traversal order: FP stages forward,
+    then (for training) BP and WG stages in reverse dataflow order."""
+    conv = _conv_stage_reports(mapping, training=training, tile_multiplier=1)
+    fc = _fc_stage_reports(mapping, training=training, tile_multiplier=1)
+    by_key: Dict[Tuple[str, Step], StageReport] = {
+        (s.unit, s.step): s for s in conv + fc
+    }
+    conv_units = list(mapping.conv_allocations)
+    fc_units = list(mapping.fc_allocations)
+    forward_order = conv_units + fc_units
+
+    ordered: List[PipelineStage] = []
+    for unit in forward_order:
+        stage = by_key[(unit, Step.FP)]
+        ordered.append(PipelineStage(f"{unit}/fp", stage.cycles))
+    if training:
+        for unit in reversed(forward_order):
+            bp = by_key[(unit, Step.BP)]
+            wg = by_key[(unit, Step.WG)]
+            # BP and WG of a unit run concurrently on their own tiles;
+            # as a pipeline stage the image occupies them together.
+            ordered.append(
+                PipelineStage(f"{unit}/bp+wg", max(bp.cycles, wg.cycles))
+            )
+    return ordered
+
+
+def schedule(
+    stages: Sequence[PipelineStage], images: int
+) -> Timeline:
+    """Schedule ``images`` inputs through ``stages`` (pipeline
+    recurrence: start[i][j] = max(finish[i][j-1], finish[i-1][j]))."""
+    if images < 1:
+        raise SimulationError("need at least one image to schedule")
+    if not stages:
+        raise SimulationError("need at least one pipeline stage")
+    start = [[0.0] * len(stages) for _ in range(images)]
+    finish = [[0.0] * len(stages) for _ in range(images)]
+    for i in range(images):
+        for j, stage in enumerate(stages):
+            ready_dataflow = finish[i][j - 1] if j else 0.0
+            ready_resource = finish[i - 1][j] if i else 0.0
+            start[i][j] = max(ready_dataflow, ready_resource)
+            finish[i][j] = start[i][j] + stage.cycles
+    return Timeline(
+        stages=tuple(stages),
+        start=tuple(tuple(row) for row in start),
+        finish=tuple(tuple(row) for row in finish),
+    )
+
+
+def nested_pipeline(
+    mapping: WorkloadMapping, images: int = 8, training: bool = True
+) -> Timeline:
+    """Fig 10: schedule a stream of images through one copy's pipeline."""
+    return schedule(pipeline_stages(mapping, training), images)

@@ -1,0 +1,162 @@
+"""Data-flow trackers: the MEMTRACK synchronization primitive (Sec 3.2.4).
+
+ScaleDeep has no caches, coherence or locks.  Synchronization relies on
+two insights: the access sequence to every location is known at compile
+time, and accumulation is commutative.  Software arms a tracker on an
+address range with ``MEMTRACK(AddRange, NumUpdates, NumReads)``; the
+MemHeavy tile then enforces that the range receives exactly
+``NumUpdates`` writes before it may be read, and ``NumReads`` reads
+before it may be overwritten.  Early requests queue (or NACK on a full
+queue); satisfied trackers expire.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SynchronizationError
+
+
+class TrackerPhase(enum.Enum):
+    """Lifecycle of an armed tracker."""
+
+    UPDATING = "updating"  # accepting writes, blocking reads
+    READABLE = "readable"  # accepting reads, blocking writes
+    EXPIRED = "expired"  # all reads consumed; range is free
+
+
+class AccessVerdict(enum.Enum):
+    """Outcome of attempting an access against a tracker."""
+
+    ALLOW = "allow"
+    BLOCK = "block"
+
+
+@dataclass
+class RangeTracker:
+    """One armed MEMTRACK range."""
+
+    start: int
+    size: int
+    num_updates: int
+    num_reads: int
+    updates_seen: int = 0
+    reads_seen: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise SynchronizationError("tracked range must be non-empty")
+        if self.num_updates < 0 or self.num_reads < 0:
+            raise SynchronizationError(
+                "update/read counts must be non-negative"
+            )
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    @property
+    def phase(self) -> TrackerPhase:
+        if self.updates_seen < self.num_updates:
+            return TrackerPhase.UPDATING
+        if self.reads_seen < self.num_reads:
+            return TrackerPhase.READABLE
+        return TrackerPhase.EXPIRED
+
+    def overlaps(self, start: int, size: int) -> bool:
+        return start < self.end and self.start < start + size
+
+    # ------------------------------------------------------------------
+    def try_write(self) -> AccessVerdict:
+        """A write against this range: allowed only while updating."""
+        if self.phase is TrackerPhase.UPDATING:
+            self.updates_seen += 1
+            return AccessVerdict.ALLOW
+        if self.phase is TrackerPhase.READABLE:
+            return AccessVerdict.BLOCK
+        return AccessVerdict.ALLOW  # expired: range is free again
+
+    def try_read(self) -> AccessVerdict:
+        """A read against this range: allowed only once updates are in."""
+        if self.phase is TrackerPhase.UPDATING:
+            return AccessVerdict.BLOCK
+        if self.phase is TrackerPhase.READABLE:
+            self.reads_seen += 1
+            return AccessVerdict.ALLOW
+        return AccessVerdict.ALLOW
+
+
+class TrackerFile:
+    """The set of trackers armed on one MemHeavy tile.
+
+    ``capacity`` models the hardware counter budget; arming beyond it
+    raises (the compiler must serialise reuse).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise SynchronizationError("tracker capacity must be >= 1")
+        self.capacity = capacity
+        self._trackers: List[RangeTracker] = []
+        self.blocked_reads = 0  # statistics
+        self.blocked_writes = 0
+
+    def __len__(self) -> int:
+        self._reap()
+        return len(self._trackers)
+
+    def _reap(self) -> None:
+        self._trackers = [
+            t for t in self._trackers if t.phase is not TrackerPhase.EXPIRED
+        ]
+
+    def arm(
+        self, start: int, size: int, num_updates: int, num_reads: int
+    ) -> RangeTracker:
+        """Arm a tracker (the MEMTRACK instruction)."""
+        self._reap()
+        for existing in self._trackers:
+            if existing.overlaps(start, size):
+                raise SynchronizationError(
+                    f"tracker overlap: [{start}, {start + size}) vs "
+                    f"[{existing.start}, {existing.end})"
+                )
+        if len(self._trackers) >= self.capacity:
+            raise SynchronizationError(
+                f"tracker file full ({self.capacity} ranges)"
+            )
+        tracker = RangeTracker(start, size, num_updates, num_reads)
+        self._trackers.append(tracker)
+        return tracker
+
+    def _matching(self, start: int, size: int) -> Optional[RangeTracker]:
+        for tracker in self._trackers:
+            if tracker.overlaps(start, size):
+                return tracker
+        return None
+
+    def check_write(self, start: int, size: int) -> AccessVerdict:
+        """Gate a write to [start, start+size)."""
+        tracker = self._matching(start, size)
+        if tracker is None:
+            return AccessVerdict.ALLOW
+        verdict = tracker.try_write()
+        if verdict is AccessVerdict.BLOCK:
+            self.blocked_writes += 1
+        return verdict
+
+    def check_read(self, start: int, size: int) -> AccessVerdict:
+        """Gate a read of [start, start+size)."""
+        tracker = self._matching(start, size)
+        if tracker is None:
+            return AccessVerdict.ALLOW
+        verdict = tracker.try_read()
+        if verdict is AccessVerdict.BLOCK:
+            self.blocked_reads += 1
+        return verdict
+
+    def phase_of(self, start: int, size: int) -> Optional[TrackerPhase]:
+        tracker = self._matching(start, size)
+        return tracker.phase if tracker else None

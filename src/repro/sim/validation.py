@@ -1,0 +1,109 @@
+"""Cross-validation of the analytical model against the engine.
+
+The paper validates its simulator against RTL synthesis; this
+reproduction has two independent performance models of its own — the
+analytical stage-cost model driving every figure, and the functional
+engine's per-instruction cycle accounting — so we can validate one
+against the other: compile small networks for the engine, run them, and
+compare measured cycles with the analytical prediction for the same
+tile resources.
+
+Exact agreement is not expected (the engine serialises one instruction
+per tile per round and charges per-instruction setup; the analytical
+model assumes steady-state streaming), but the two must *rank*
+workloads identically and stay within a bounded factor — the property
+that makes the analytical model trustworthy for the full benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.arch.presets import FREQUENCY_HZ, conv_chip
+from repro.compiler.codegen_dag import compile_dag_forward
+from repro.compiler.cost import step_cost
+from repro.dnn.analysis import Step
+from repro.dnn.layers import LayerKind
+from repro.dnn.network import Network
+from repro.functional.reference import ReferenceModel
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One network's engine-measured vs analytically-predicted cycles."""
+
+    network: str
+    engine_cycles: int
+    analytical_cycles: float
+    instructions: int
+
+    @property
+    def ratio(self) -> float:
+        return self.engine_cycles / self.analytical_cycles
+
+
+def analytical_forward_cycles(net: Network, rows: int) -> float:
+    """Analytical FP cycles for the engine's layout: each layer owns one
+    column of ``rows`` tiles and the layers execute as a pipeline whose
+    makespan for a single image is the sum of stage latencies."""
+    chip = conv_chip().resized(rows, conv_chip().cols)
+    total = 0.0
+    for node in net:
+        if node.kind not in (LayerKind.CONV, LayerKind.FC, LayerKind.SAMP):
+            continue
+        cost = step_cost(
+            FREQUENCY_HZ, chip, node, Step.FP, columns=1,
+            dtype_bytes=4, weights_on_chip=True,
+            store_features_offchip=False,
+        )
+        total += cost.cycles
+    return total
+
+
+def engine_forward_cycles(
+    net: Network, rows: int, seed: int = 0
+) -> ValidationRow:
+    """Compile and run one image on the engine; returns measured cycles
+    beside the analytical prediction."""
+    model = ReferenceModel(net, seed=seed)
+    compiled = compile_dag_forward(net, model, rows=rows)
+    shape = net.input.output_shape
+    image = np.random.default_rng(seed).normal(
+        0, 1, (shape.count, shape.height, shape.width)
+    ).astype(np.float32)
+    _, report = compiled.run(image)
+    return ValidationRow(
+        network=net.name,
+        engine_cycles=report.cycles,
+        analytical_cycles=analytical_forward_cycles(net, rows),
+        instructions=report.instructions,
+    )
+
+
+def cross_validate(
+    networks: Dict[str, Network], rows: int = 2
+) -> List[ValidationRow]:
+    """Engine-vs-analytical comparison over a set of small networks."""
+    return [
+        engine_forward_cycles(net, rows) for net in networks.values()
+    ]
+
+
+def rank_agreement(rows: List[ValidationRow]) -> float:
+    """Fraction of network pairs both models order identically
+    (Kendall-style concordance; 1.0 = identical ranking)."""
+    concordant = 0
+    total = 0
+    for i in range(len(rows)):
+        for j in range(i + 1, len(rows)):
+            total += 1
+            engine_order = rows[i].engine_cycles <= rows[j].engine_cycles
+            model_order = (
+                rows[i].analytical_cycles <= rows[j].analytical_cycles
+            )
+            if engine_order == model_order:
+                concordant += 1
+    return concordant / total if total else 1.0

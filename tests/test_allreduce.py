@@ -1,0 +1,118 @@
+"""Tests for the minibatch gradient synchronization model (Sec 3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import single_precision_node
+from repro.compiler import map_network
+from repro.dnn import zoo
+from repro.errors import SimulationError
+from repro.sim.allreduce import (
+    minibatch_sync,
+    ring_allreduce_cycles,
+    wheel_accumulate_cycles,
+)
+
+FREQ = 600e6
+
+
+class TestRingAllReduce:
+    def test_single_participant_free(self):
+        assert ring_allreduce_cycles(1e6, 1, 12e9, FREQ) == 0.0
+
+    def test_two_participants_move_full_payload(self):
+        # 2(n-1)/n with n=2 -> each link carries exactly the payload.
+        cycles = ring_allreduce_cycles(1e6, 2, 12e9, FREQ)
+        assert cycles == pytest.approx(1e6 / (12e9 / FREQ))
+
+    def test_bandwidth_optimality_limit(self):
+        """As n grows the per-link traffic approaches 2x the payload."""
+        few = ring_allreduce_cycles(1e6, 2, 12e9, FREQ)
+        many = ring_allreduce_cycles(1e6, 64, 12e9, FREQ)
+        assert few < many < 2 * few + 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payload=st.floats(1, 1e9),
+        n=st.integers(2, 64),
+        bw=st.floats(1e9, 1e12),
+    )
+    def test_scaling_properties(self, payload, n, bw):
+        cycles = ring_allreduce_cycles(payload, n, bw, FREQ)
+        assert cycles > 0
+        # Linear in payload, inverse in bandwidth.
+        assert ring_allreduce_cycles(2 * payload, n, bw, FREQ) == (
+            pytest.approx(2 * cycles, rel=1e-9)
+        )
+        assert ring_allreduce_cycles(payload, n, 2 * bw, FREQ) == (
+            pytest.approx(cycles / 2, rel=1e-9)
+        )
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            ring_allreduce_cycles(1e6, 0, 12e9, FREQ)
+        with pytest.raises(SimulationError):
+            ring_allreduce_cycles(1e6, 4, 0, FREQ)
+
+
+class TestWheelAccumulate:
+    def test_single_chip_free(self):
+        assert wheel_accumulate_cycles(1e6, 1, 16e9, FREQ) == 0.0
+
+    def test_round_trip_payload(self):
+        cycles = wheel_accumulate_cycles(1e6, 4, 16e9, FREQ)
+        assert cycles == pytest.approx(2e6 / (16e9 / FREQ))
+
+
+class TestMinibatchSync:
+    @pytest.fixture(scope="class")
+    def node(self):
+        return single_precision_node()
+
+    def test_overhead_shrinks_with_minibatch(self, node):
+        mapping = map_network(zoo.alexnet(), node)
+        small = minibatch_sync(mapping, minibatch=32)
+        large = minibatch_sync(mapping, minibatch=512)
+        assert small.cycles_per_image > large.cycles_per_image
+        assert small.overhead_fraction > large.overhead_fraction
+
+    def test_sync_never_dominates_compute(self, node):
+        """Gradient sync must stay below the compute window — this is
+        why it can hide behind the pipeline at all (and why the paper's
+        evaluation/training gap is only 'marginally over 3x': the
+        residual sync cost is real but overlappable)."""
+        for name in ("AlexNet", "VGG-A", "GoogLeNet"):
+            mapping = map_network(zoo.load(name), node)
+            report = minibatch_sync(mapping, minibatch=256)
+            assert report.overhead_fraction < 1.0, name
+            # Larger minibatches amortise it away.
+            relaxed = minibatch_sync(mapping, minibatch=2048)
+            assert relaxed.overhead_fraction < 0.15, name
+
+    def test_model_parallelism_keeps_fc_off_the_ring(self, node):
+        from dataclasses import replace
+
+        net = zoo.alexnet()
+        sharded = minibatch_sync(map_network(net, node), 256)
+        replicated_node = replace(node, fc_model_parallel=False)
+        replicated = minibatch_sync(
+            map_network(net, replicated_node), 256
+        )
+        # AlexNet's FC gradients dwarf its conv gradients: replicating
+        # them inflates the ring phase by an order of magnitude.
+        assert replicated.ring_cycles > 5 * sharded.ring_cycles
+
+    def test_gradient_byte_accounting(self, node):
+        net = zoo.alexnet()
+        report = minibatch_sync(map_network(net, node), 256)
+        total = report.conv_gradient_bytes + report.fc_gradient_bytes
+        assert total == net.weight_count * 4
+
+    def test_describe(self, node):
+        report = minibatch_sync(map_network(zoo.alexnet(), node), 256)
+        assert "sync cycles" in report.describe()
+
+    def test_validation(self, node):
+        mapping = map_network(zoo.alexnet(), node)
+        with pytest.raises(SimulationError):
+            minibatch_sync(mapping, minibatch=0)

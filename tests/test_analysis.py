@@ -1,0 +1,165 @@
+"""Tests for the workload analysis (paper Sec 2.3 / Figs 1, 4, 5)."""
+
+import pytest
+
+from repro.dnn import zoo
+from repro.dnn.analysis import (
+    Kernel,
+    LayerClass,
+    Step,
+    TRAINING_STEPS,
+    classify_layer,
+    evaluation_flops,
+    kernel_summary,
+    layer_class_summary,
+    layer_macs,
+    profile,
+    profile_network,
+    training_flops,
+)
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import LayerKind
+
+
+@pytest.fixture(scope="module")
+def overfeat():
+    return zoo.overfeat_fast()
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return zoo.alexnet()
+
+
+class TestLayerMacs:
+    def test_conv_macs_hand_computed(self):
+        b = NetworkBuilder("t")
+        b.input(4, 8)
+        b.conv(6, kernel=3, pad=1)
+        net = b.build()
+        # 6 output features of 8x8, each element needs 4*9 MACs.
+        assert layer_macs(net["conv1"]) == 6 * 64 * 36
+
+    def test_fc_macs(self):
+        b = NetworkBuilder("t")
+        b.input(4, 3)
+        b.fc(10)
+        net = b.build()
+        assert layer_macs(net["fc1"]) == 4 * 9 * 10
+
+    def test_pool_has_no_macs(self):
+        b = NetworkBuilder("t")
+        b.input(4, 8)
+        b.pool(2)
+        net = b.build()
+        assert layer_macs(net["pool1"]) == 0
+
+
+class TestProfiles:
+    def test_fp_flops_are_twice_macs_plus_overheads(self, alexnet):
+        node = alexnet["conv3"]
+        prof = profile(node, Step.FP)
+        conv = prof.flops_by_kernel[Kernel.ND_CONV]
+        assert conv == 2 * layer_macs(node)
+        assert prof.flops > conv  # accumulation + activation
+
+    def test_training_is_about_three_evaluations(self, alexnet):
+        ratio = training_flops(alexnet) / evaluation_flops(alexnet)
+        assert 2.7 < ratio < 3.3
+
+    def test_overfeat_evaluation_flops_match_paper(self, overfeat):
+        # Paper Sec 1: ~3.3 giga operations per 231x231 image... counting
+        # a MAC as 2 ops gives ~5.6 GFLOPs; connections are 2.8 GMACs.
+        flops = evaluation_flops(overfeat)
+        assert 4.5e9 < flops < 6.5e9
+
+    def test_samp_bytes_per_flop_is_five(self, overfeat):
+        pool = overfeat["pool1"]
+        prof = profile(pool, Step.FP)
+        assert prof.bytes_per_flop == pytest.approx(5.0, rel=0.01)
+
+    def test_fc_bytes_per_flop_near_two(self, overfeat):
+        prof = profile(overfeat["fc6"], Step.FP)
+        assert 1.8 < prof.bytes_per_flop < 2.2
+
+    def test_initial_conv_bytes_per_flop_order(self, overfeat):
+        prof = profile(overfeat["conv1"], Step.FP)
+        assert 0.003 < prof.bytes_per_flop < 0.02
+
+    def test_samp_has_no_wg(self, overfeat):
+        prof = profile(overfeat["pool1"], Step.WG)
+        assert prof.flops == 0
+
+    def test_half_precision_halves_bytes(self, overfeat):
+        sp = profile(overfeat["conv2"], Step.FP, dtype_bytes=4)
+        hp = profile(overfeat["conv2"], Step.FP, dtype_bytes=2)
+        assert hp.bytes_total == sp.bytes_total // 2
+        assert hp.flops == sp.flops
+
+
+class TestNetworkProfile:
+    def test_step_flops_sum_to_training(self, alexnet):
+        prof = profile_network(alexnet)
+        assert prof.training_flops == sum(
+            prof.step_flops(s) for s in TRAINING_STEPS
+        )
+
+    def test_kernel_flops_cover_total(self, alexnet):
+        prof = profile_network(alexnet)
+        assert sum(prof.kernel_flops().values()) == prof.training_flops
+
+    def test_fig1_growth_2012_to_2015(self):
+        """Fig 1: >10x growth in evaluation FLOPs from AlexNet to VGG-E."""
+        small = evaluation_flops(zoo.alexnet())
+        large = evaluation_flops(zoo.vgg_e())
+        assert large / small > 10
+
+
+class TestLayerClasses:
+    def test_overfeat_classes(self, overfeat):
+        assert classify_layer(overfeat["conv1"]) is LayerClass.INITIAL_CONV
+        assert classify_layer(overfeat["conv2"]) is LayerClass.INITIAL_CONV
+        assert classify_layer(overfeat["conv4"]) is LayerClass.MID_CONV
+        assert classify_layer(overfeat["fc6"]) is LayerClass.FC
+        assert classify_layer(overfeat["pool1"]) is LayerClass.SAMP
+
+    def test_fig4_flops_split(self, overfeat):
+        """Fig 4: initial CONV ~16%, mid CONV ~80%, FC small, SAMP tiny."""
+        summary = layer_class_summary(overfeat)
+        total = sum(s.flops_total for s in summary.values())
+        frac = {
+            cls: s.flops_total / total for cls, s in summary.items()
+        }
+        assert 0.08 < frac[LayerClass.INITIAL_CONV] < 0.30
+        assert 0.55 < frac[LayerClass.MID_CONV] < 0.90
+        assert frac[LayerClass.FC] < 0.15
+        assert frac[LayerClass.SAMP] < 0.01
+
+    def test_fig4_bytes_per_flop_ordering(self, overfeat):
+        """B/F grows initial CONV -> mid CONV -> FC (Fig 4)."""
+        summary = layer_class_summary(overfeat)
+        bf = {c: s.bytes_per_flop_fp_bp for c, s in summary.items()}
+        assert bf[LayerClass.INITIAL_CONV] < bf[LayerClass.MID_CONV]
+        assert bf[LayerClass.MID_CONV] < bf[LayerClass.FC]
+        assert bf[LayerClass.FC] < bf[LayerClass.SAMP]
+
+
+class TestKernelSummary:
+    def test_fig5_shape(self):
+        """Fig 5: nD-conv ~93% of FLOPs at low B/F; matmul ~3% at ~2;
+        everything else <~5% with high B/F."""
+        nets = [zoo.alexnet(), zoo.vgg_a(), zoo.overfeat_fast()]
+        summary = kernel_summary(nets)
+        conv_frac, conv_bf = summary[Kernel.ND_CONV]
+        mm_frac, mm_bf = summary[Kernel.MATMUL]
+        samp_frac, samp_bf = summary[Kernel.SAMPLING]
+        assert conv_frac > 0.85
+        assert conv_bf < 0.5
+        assert 0.005 < mm_frac < 0.08
+        assert 1.0 < mm_bf < 3.0
+        assert samp_frac < 0.01
+        assert samp_bf == pytest.approx(5.0, rel=0.05)
+
+    def test_fractions_sum_to_one(self):
+        summary = kernel_summary([zoo.alexnet()])
+        assert sum(f for f, _ in summary.values()) == pytest.approx(1.0)

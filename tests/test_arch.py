@@ -1,0 +1,162 @@
+"""Tests for chip / cluster / node composition against Fig 14."""
+
+import pytest
+
+from repro.arch import (
+    ChipKind,
+    ClusterConfig,
+    FREQUENCY_HZ,
+    LinkBandwidths,
+    PAPER_EFFICIENCY,
+    PAPER_PEAK_FLOPS,
+    PAPER_POWER_TABLE,
+    PAPER_TILE_COUNTS,
+    chip_cluster,
+    conv_chip,
+    fc_chip,
+    half_precision_node,
+    processing_efficiency,
+    single_precision_node,
+)
+from repro.errors import ConfigError
+
+#: Fig 14 numbers are rounded in the paper; 2% covers the rounding.
+REL = 0.02
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return single_precision_node()
+
+
+@pytest.fixture(scope="module")
+def hp():
+    return half_precision_node()
+
+
+class TestChip:
+    def test_conv_chip_tile_counts(self):
+        chip = conv_chip()
+        assert chip.comp_tile_count == PAPER_TILE_COUNTS["conv_chip_comp"]
+        assert chip.mem_tile_count == PAPER_TILE_COUNTS["conv_chip_mem"]
+
+    def test_fc_chip_tile_counts(self):
+        chip = fc_chip()
+        assert chip.comp_tile_count == PAPER_TILE_COUNTS["fc_chip_comp"]
+        assert chip.mem_tile_count == PAPER_TILE_COUNTS["fc_chip_mem"]
+
+    @pytest.mark.parametrize(
+        "factory,key",
+        [(conv_chip, "conv_chip"), (fc_chip, "fc_chip")],
+    )
+    def test_chip_peak_flops(self, factory, key):
+        chip = factory()
+        assert chip.peak_flops(FREQUENCY_HZ) == pytest.approx(
+            PAPER_PEAK_FLOPS[key], rel=REL
+        )
+
+    def test_per_column_resources(self):
+        chip = conv_chip()
+        assert chip.comp_tiles_per_column == 18  # 3 per group x 6 rows
+        assert chip.mem_tiles_per_column == 6
+        assert chip.mem_capacity_per_column == 6 * 512 * 1024
+
+    def test_resized(self):
+        chip = conv_chip().resized(8, 24)
+        assert chip.comp_tile_count == 3 * 8 * 24
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigError):
+            conv_chip().resized(0, 4)
+
+    def test_link_totals(self):
+        links = conv_chip().links
+        assert links.external_memory_total == links.external_memory * 10
+        halved = links.halved()
+        assert halved.comp_mem == links.comp_mem / 2
+        assert halved.ext_channels == links.ext_channels
+
+
+class TestCluster:
+    def test_cluster_peak(self, sp):
+        assert sp.cluster.peak_flops(FREQUENCY_HZ) == pytest.approx(
+            PAPER_PEAK_FLOPS["cluster"], rel=REL
+        )
+
+    def test_chip_kind_enforced(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(
+                conv_chip=fc_chip(),
+                fc_chip=fc_chip(),
+                conv_chip_count=4,
+                spoke_bandwidth=1e9,
+                arc_bandwidth=1e9,
+            )
+
+    def test_fc_batch_size(self, sp):
+        cluster = sp.cluster
+        assert cluster.fc_batch_size(1) == 4
+        assert cluster.fc_batch_size(2) == 2
+        assert cluster.fc_batch_size(4) == 1
+        with pytest.raises(ConfigError):
+            cluster.fc_batch_size(0)
+
+
+class TestNode:
+    def test_tile_counts_7032(self, sp):
+        """The abstract's headline: 7032 processing tiles."""
+        assert sp.tile_count == PAPER_TILE_COUNTS["node_total"]
+        assert sp.comp_tile_count == PAPER_TILE_COUNTS["node_comp"]
+        assert sp.mem_tile_count == PAPER_TILE_COUNTS["node_mem"]
+
+    def test_sp_peak_680T(self, sp):
+        assert sp.peak_flops == pytest.approx(
+            PAPER_PEAK_FLOPS["node"], rel=REL
+        )
+
+    def test_hp_peak_135P(self, hp):
+        """Sec 6.1: ~1.35 PFLOP/s at half precision."""
+        assert hp.peak_flops == pytest.approx(1.35e15, rel=REL)
+
+    def test_hp_grid_growth(self, hp):
+        assert hp.cluster.conv_chip.rows == 8
+        assert hp.cluster.conv_chip.cols == 24
+        assert hp.cluster.fc_chip.cols == 12
+
+    def test_hp_memory_halved(self, sp, hp):
+        assert (
+            hp.cluster.conv_chip.mem_tile.capacity_bytes
+            == sp.cluster.conv_chip.mem_tile.capacity_bytes // 2
+        )
+        assert (
+            hp.cluster.conv_chip.links.comp_mem
+            == sp.cluster.conv_chip.links.comp_mem / 2
+        )
+
+    def test_describe(self, sp):
+        text = sp.describe()
+        assert "7032 tiles" in text
+        assert "600 MHz" in text
+
+    def test_total_conv_columns(self, sp):
+        assert sp.total_conv_columns == 256  # 16 chips x 16 columns
+
+    def test_validation(self, sp):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigError):
+            replace(sp, cluster_count=0)
+        with pytest.raises(ConfigError):
+            replace(sp, dtype_bytes=8)
+        with pytest.raises(ConfigError):
+            replace(sp, fc_temporal_batch=0)
+
+
+class TestEfficiencyTargets:
+    @pytest.mark.parametrize("key", list(PAPER_EFFICIENCY))
+    def test_fig14_efficiency_column(self, key):
+        """peak FLOPs / peak W reproduces the Fig 14 efficiency column."""
+        eff = processing_efficiency(
+            PAPER_PEAK_FLOPS[key], PAPER_POWER_TABLE[key].peak_w
+        )
+        assert eff == pytest.approx(PAPER_EFFICIENCY[key], rel=0.03)

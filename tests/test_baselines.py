@@ -1,0 +1,114 @@
+"""Tests for the GPU and DaDianNao baseline models."""
+
+import pytest
+
+from repro.arch import single_precision_node
+from repro.baselines.dadiannao import (
+    DaDianNaoModel,
+    HOMOGENEOUS_PEAK_RATIO,
+)
+from repro.baselines.gpu import (
+    FRAMEWORK_MODELS,
+    GpuFramework,
+    all_framework_rates,
+    gpu_images_per_second,
+)
+from repro.dnn import zoo
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return zoo.alexnet()
+
+
+class TestGpuModel:
+    def test_framework_ordering(self, alexnet):
+        """cuDNN-R2 is the slowest stack; Nervana the fastest non-
+        Winograd one (Fig 18's relative order)."""
+        rates = all_framework_rates(alexnet)
+        assert rates[GpuFramework.CUDNN_R2] < rates[GpuFramework.TENSORFLOW]
+        assert rates[GpuFramework.TENSORFLOW] <= rates[GpuFramework.NERVANA]
+
+    def test_winograd_helps_3x3_heavy_networks_most(self):
+        """VGG (all-3x3) gains more from Winograd than AlexNet."""
+        def gain(net):
+            return gpu_images_per_second(
+                net, GpuFramework.NERVANA_WINOGRAD
+            ) / gpu_images_per_second(net, GpuFramework.NERVANA)
+
+        assert gain(zoo.vgg_a()) > gain(zoo.alexnet()) > 1.0
+
+    def test_evaluation_faster_than_training(self, alexnet):
+        train = gpu_images_per_second(alexnet, GpuFramework.CUDNN_R2, True)
+        evaln = gpu_images_per_second(alexnet, GpuFramework.CUDNN_R2, False)
+        assert 2.0 < evaln / train < 4.0
+
+    def test_alexnet_cudnn_r2_historic_ballpark(self, alexnet):
+        """TitanX + cuDNN R2 trained AlexNet at a few hundred img/s."""
+        rate = gpu_images_per_second(alexnet, GpuFramework.CUDNN_R2)
+        assert 150 < rate < 900
+
+    def test_small_batch_pays_weight_traffic(self, alexnet):
+        big = gpu_images_per_second(alexnet, GpuFramework.NERVANA, batch=128)
+        small = gpu_images_per_second(alexnet, GpuFramework.NERVANA, batch=1)
+        assert small < big
+
+    def test_fig18_speedup_bands(self):
+        """The headline comparison: a ScaleDeep chip cluster vs TitanX.
+        Geomean speedups land in the paper's bands (Sec 6.1)."""
+        node = single_precision_node()
+        names = ("AlexNet", "GoogLeNet", "OF-Acc", "VGG-A")
+        speedups = {fw: 1.0 for fw in GpuFramework}
+        for name in names:
+            net = zoo.load(name)
+            cluster_rate = (
+                simulate(net, node).training_images_per_s
+                / node.cluster_count
+            )
+            for fw, gpu_rate in all_framework_rates(net).items():
+                speedups[fw] *= cluster_rate / gpu_rate
+        geomeans = {
+            fw: s ** (1 / len(names)) for fw, s in speedups.items()
+        }
+        assert 18 < geomeans[GpuFramework.CUDNN_R2] < 32
+        assert 5 < geomeans[GpuFramework.NERVANA] < 16
+        assert 6 < geomeans[GpuFramework.TENSORFLOW] < 17
+        assert 4 < geomeans[GpuFramework.CUDNN_WINOGRAD] < 14
+        assert 4 < geomeans[GpuFramework.NERVANA_WINOGRAD] < 12
+
+
+class TestDaDianNao:
+    def test_iso_power_peak_ratio(self):
+        model = DaDianNaoModel.iso_power(680e12)
+        assert model.peak_flops == pytest.approx(
+            680e12 * HOMOGENEOUS_PEAK_RATIO
+        )
+
+    def test_scaledeep_sustains_about_5x_flops(self, alexnet):
+        """Sec 7: 'SCALEDEEP delivers 5x as many FLOPs as DaDianNao at
+        iso-power'."""
+        node = single_precision_node()
+        result = simulate(alexnet, node)
+        homogeneous = DaDianNaoModel.iso_power(node.peak_flops)
+        ratio = (
+            result.achieved_tflops * 1e12
+            / homogeneous.sustained_flops(alexnet)
+        )
+        assert 2.5 < ratio < 8.0
+
+    def test_fc_heavy_layers_bandwidth_bound(self, alexnet):
+        from repro.dnn.analysis import Step
+
+        model = DaDianNaoModel.iso_power(680e12)
+        fc = model.layer_seconds(alexnet, "fc6", Step.FP)
+        conv = model.layer_seconds(alexnet, "conv3", Step.FP)
+        # fc6 has ~1/2 the FLOPs of conv3 but takes longer: B/F mismatch.
+        assert fc > conv
+
+    def test_throughput_positive(self, alexnet):
+        model = DaDianNaoModel.iso_power(680e12)
+        assert model.images_per_second(alexnet) > 0
+        assert model.images_per_second(alexnet, training=False) > (
+            model.images_per_second(alexnet, training=True)
+        )

@@ -1,0 +1,87 @@
+"""Tests for the benchmark-support package (tables, runners)."""
+
+import pytest
+
+from repro.bench import (
+    Table,
+    cached_mapping,
+    cached_simulation,
+    fmt_count,
+    fmt_rate,
+    suite_results,
+)
+from repro.dnn import zoo
+
+
+class TestFormatting:
+    def test_fmt_rate(self):
+        assert fmt_rate(42828.4) == "42,828"
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (680e12, "680.00T"),
+            (19.2e9, "19.20G"),
+            (60.9e6, "60.90M"),
+            (1516, "1.52K"),
+            (12.0, "12.00"),
+        ],
+    )
+    def test_fmt_count(self, value, expected):
+        assert fmt_count(value) == expected
+
+    def test_fmt_count_units(self):
+        assert fmt_count(512 * 1024, "B") == "524.29KB"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("Title", ["a", "bb"])
+        table.add("x", 1)
+        table.add("longer", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(line) for line in lines[3:]}) == 1
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add("only-one")
+
+    def test_empty_table_renders(self):
+        text = Table("empty", ["col"]).render()
+        assert "empty" in text
+
+    def test_show_prints(self, capsys):
+        table = Table("shown", ["c"])
+        table.add("v")
+        table.show()
+        assert "shown" in capsys.readouterr().out
+
+
+class TestRunnerCache:
+    def test_mapping_memoised(self):
+        a = cached_mapping("AlexNet")
+        b = cached_mapping("AlexNet")
+        assert a is b
+
+    def test_simulation_memoised(self):
+        a = cached_simulation("AlexNet")
+        assert a is cached_simulation("AlexNet")
+
+    def test_precisions_distinct(self):
+        sp = cached_mapping("AlexNet", "sp")
+        hp = cached_mapping("AlexNet", "hp")
+        assert sp is not hp
+        assert sp.node.dtype_bytes == 4
+        assert hp.node.dtype_bytes == 2
+
+    def test_unknown_precision(self):
+        with pytest.raises(ValueError):
+            cached_mapping("AlexNet", "fp8")
+
+    def test_suite_results_cover_benchmarks(self):
+        results = suite_results("sp")
+        assert list(results) == list(zoo.BENCHMARKS)

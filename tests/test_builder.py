@@ -1,0 +1,70 @@
+"""Unit tests for the network builder."""
+
+import pytest
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, LayerKind, PoolMode
+from repro.errors import TopologyError
+
+
+class TestChaining:
+    def test_cursor_follows_additions(self):
+        b = NetworkBuilder("t")
+        assert b.input(3, 8) == "input"
+        assert b.cursor == "input"
+        name = b.conv(4, kernel=3, pad=1)
+        assert b.cursor == name
+
+    def test_empty_cursor_raises(self):
+        with pytest.raises(TopologyError):
+            NetworkBuilder("t").cursor
+
+    def test_auto_names_increment(self):
+        b = NetworkBuilder("t")
+        b.input(3, 8)
+        first = b.conv(4, kernel=3, pad=1)
+        second = b.conv(4, kernel=3, pad=1)
+        assert (first, second) == ("conv1", "conv2")
+
+    def test_duplicate_explicit_name(self):
+        b = NetworkBuilder("t")
+        b.input(3, 8)
+        b.conv(4, kernel=3, pad=1, name="x")
+        with pytest.raises(TopologyError):
+            b.conv(4, kernel=3, pad=1, name="x")
+
+    def test_same_pad(self):
+        b = NetworkBuilder("t")
+        b.input(3, 9)
+        b.conv(4, kernel=5, same_pad=True)
+        net = b.build()
+        assert net["conv1"].output_shape.height == 9
+
+
+class TestLayerKinds:
+    def test_all_layer_types(self):
+        b = NetworkBuilder("t")
+        b.input(3, 16)
+        c = b.conv(8, kernel=3, pad=1)
+        p = b.pool(2, mode=PoolMode.AVG)
+        g = b.global_pool()
+        f = b.fc(10, activation=Activation.SOFTMAX)
+        net = b.build()
+        assert net[c].kind is LayerKind.CONV
+        assert net[p].kind is LayerKind.SAMP
+        assert net[g].kind is LayerKind.SAMP
+        assert net[f].kind is LayerKind.FC
+
+    def test_rectangular_input(self):
+        b = NetworkBuilder("t")
+        b.input(1, 4, 6)
+        net = b.build()
+        shape = net.input.output_shape
+        assert (shape.height, shape.width) == (4, 6)
+
+    def test_pool_default_stride(self):
+        b = NetworkBuilder("t")
+        b.input(1, 8)
+        b.pool(2)
+        net = b.build()
+        assert net["pool1"].output_shape.height == 4

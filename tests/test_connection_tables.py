@@ -1,0 +1,161 @@
+"""Tests for connection-table convolutions (paper Sec 2.2) and LeNet-5."""
+
+import numpy as np
+import pytest
+
+from repro.arch import single_precision_node
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, ConvSpec, FeatureShape
+from repro.dnn.analysis import Step, layer_macs, profile
+from repro.dnn.zoo import LENET_C3_TABLE, lenet5
+from repro.errors import ShapeError
+from repro.functional import ReferenceModel
+from repro.sim import simulate
+
+
+class TestConvSpecTables:
+    def test_weight_count_ragged(self):
+        spec = ConvSpec(
+            "c", out_features=3, kernel=3,
+            connection_table=((0,), (0, 1), (0, 1, 2)),
+        )
+        weights = spec.weight_count((FeatureShape(3, 8, 8),))
+        assert weights == (1 + 2 + 3) * 9 + 3
+
+    def test_fan_in_per_feature(self):
+        spec = ConvSpec(
+            "c", out_features=2, kernel=3,
+            connection_table=((0, 2), (1,)),
+        )
+        assert spec.fan_in_of(0, 3) == 2
+        assert spec.fan_in_of(1, 3) == 1
+        assert spec.total_fan_in(3) == 3
+
+    def test_dense_equivalence(self):
+        """A full table is exactly a dense convolution."""
+        table = tuple(tuple(range(4)) for _ in range(6))
+        tabled = ConvSpec("t", out_features=6, kernel=3,
+                          connection_table=table)
+        dense = ConvSpec("d", out_features=6, kernel=3)
+        src = (FeatureShape(4, 8, 8),)
+        assert tabled.weight_count(src) == dense.weight_count(src)
+
+    @pytest.mark.parametrize(
+        "table",
+        [
+            ((0, 1),),  # wrong row count
+            ((0,), (9,)),  # out-of-range input
+            ((0,), ()),  # empty row
+            ((0,), (1, 1)),  # duplicate
+        ],
+    )
+    def test_bad_tables_rejected(self, table):
+        spec = ConvSpec("c", out_features=2, kernel=3,
+                        connection_table=table)
+        with pytest.raises(ShapeError):
+            spec.infer_shape((FeatureShape(3, 8, 8),))
+
+    def test_table_with_groups_rejected(self):
+        spec = ConvSpec("c", out_features=2, kernel=3, groups=2,
+                        connection_table=((0,), (1,)))
+        with pytest.raises(ShapeError):
+            spec.infer_shape((FeatureShape(2, 8, 8),))
+
+    def test_macs_reflect_sparsity(self):
+        b = NetworkBuilder("sparse")
+        b.input(4, 8)
+        b.table_conv(((0,), (1,), (2,), (3,)), kernel=3, pad=1)
+        sparse_net = b.build()
+        b2 = NetworkBuilder("dense")
+        b2.input(4, 8)
+        b2.conv(4, kernel=3, pad=1)
+        dense_net = b2.build()
+        assert layer_macs(sparse_net["conv1"]) == (
+            layer_macs(dense_net["conv1"]) // 4
+        )
+
+    def test_profile_flops_scale_with_table(self):
+        b = NetworkBuilder("sparse")
+        b.input(6, 8)
+        b.table_conv(LENET_C3_TABLE[:6], kernel=3, pad=1)
+        net = b.build()
+        prof = profile(net["conv1"], Step.FP)
+        assert prof.flops > 0
+
+
+class TestLeNet5:
+    def test_classic_parameter_counts(self):
+        net = lenet5()
+        # The published C3 count with the original table.
+        assert net["c3"].weights == 1516
+        # Whole network lands at the classic ~60K parameters.
+        assert 55_000 < net.weight_count < 65_000
+
+    def test_shapes(self):
+        net = lenet5()
+        assert net["c1"].output_shape == FeatureShape(6, 28, 28)
+        assert net["c3"].output_shape == FeatureShape(16, 10, 10)
+        assert net["c5"].output_shape == FeatureShape(120, 1, 1)
+
+    def test_forward_backward(self):
+        net = lenet5()
+        model = ReferenceModel(net, seed=0)
+        img = np.random.default_rng(1).normal(
+            0, 1, (1, 32, 32)
+        ).astype(np.float32)
+        out = model.forward(img)
+        assert out.shape == (10,)
+        assert out.sum() == pytest.approx(1.0)
+        loss = model.backward(7)
+        assert np.isfinite(loss)
+
+    def test_disconnected_weights_stay_zero(self):
+        net = lenet5()
+        model = ReferenceModel(net, seed=0)
+        img = np.random.default_rng(2).normal(
+            0, 1, (1, 32, 32)
+        ).astype(np.float32)
+        mask = model.state["c3"].weight_mask
+        for _ in range(2):
+            model.forward(img)
+            model.backward(1)
+            model.apply_gradients(0.05)
+        off_table = model.state["c3"].weights * (1 - mask)
+        assert np.abs(off_table).sum() == 0.0
+
+    def test_table_gradient_numeric(self):
+        net = lenet5()
+        model = ReferenceModel(net, seed=3)
+        img = np.random.default_rng(4).normal(
+            0, 1, (1, 32, 32)
+        ).astype(np.float32)
+        model.forward(img)
+        model.backward(0)
+        analytic = model.state["c3"].grad_weights.copy()
+        w = model.state["c3"].weights
+        eps = 1e-3
+        idx = (0, 1, 2, 2)  # output 0 connects to input 1 per the table
+
+        def loss_at():
+            model.forward(img)
+            p = model.state["output"].output.reshape(-1)
+            return -np.log(max(p[0], 1e-12))
+
+        orig = w[idx]
+        w[idx] = orig + eps
+        lp = loss_at()
+        w[idx] = orig - eps
+        lm = loss_at()
+        w[idx] = orig
+        assert (lp - lm) / (2 * eps) == pytest.approx(
+            analytic[idx], rel=0.1, abs=1e-3
+        )
+
+    def test_maps_onto_scaledeep(self):
+        result = simulate(lenet5(), single_precision_node())
+        assert result.training_images_per_s > 0
+
+    def test_parameter_count_excludes_disconnected(self):
+        net = lenet5()
+        model = ReferenceModel(net, seed=0)
+        assert model.parameter_count() == net.weight_count

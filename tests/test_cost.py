@@ -1,0 +1,131 @@
+"""Tests for the compiler cost model (cycles / utilization / traffic)."""
+
+import pytest
+
+from repro.arch.presets import FREQUENCY_HZ, conv_chip, fc_chip
+from repro.compiler.cost import (
+    StepCost,
+    UtilizationCascade,
+    layer_stage_cycles,
+    step_cost,
+)
+from repro.dnn import zoo
+from repro.dnn.analysis import Step
+from repro.errors import MappingError
+
+
+@pytest.fixture(scope="module")
+def alexnet():
+    return zoo.alexnet()
+
+
+def cost(net, layer, step=Step.FP, cols=4, **kw):
+    defaults = dict(
+        weights_on_chip=True, dtype_bytes=4,
+    )
+    defaults.update(kw)
+    return step_cost(
+        FREQUENCY_HZ, conv_chip(), net[layer], step, cols,
+        defaults.pop("dtype_bytes"), defaults.pop("weights_on_chip"),
+        **defaults,
+    )
+
+
+class TestCycleScaling:
+    def test_more_columns_never_slower(self, alexnet):
+        prev = None
+        for cols in (1, 2, 4, 8, 16):
+            cycles = cost(alexnet, "conv3", cols=cols).cycles
+            if prev is not None:
+                assert cycles <= prev * 1.01
+            prev = cycles
+
+    def test_cycles_positive(self, alexnet):
+        assert cost(alexnet, "conv1").cycles >= 1.0
+
+    def test_compute_dominates_for_conv(self, alexnet):
+        c = cost(alexnet, "conv2")
+        assert c.bound_by == "compute"
+
+    def test_offchip_weights_add_ext_traffic(self, alexnet):
+        on = cost(alexnet, "conv3", weights_on_chip=True)
+        off = cost(alexnet, "conv3", weights_on_chip=False)
+        assert off.traffic.ext_mem_bytes > on.traffic.ext_mem_bytes
+        assert off.ext_mem_cycles > on.ext_mem_cycles
+
+    def test_training_stages_feature_traffic(self, alexnet):
+        train = cost(alexnet, "conv3", store_features_offchip=True)
+        evaln = cost(alexnet, "conv3", store_features_offchip=False)
+        assert train.traffic.ext_mem_bytes > evaln.traffic.ext_mem_bytes
+
+    def test_tile_multiplier_speeds_compute(self, alexnet):
+        base = cost(alexnet, "conv2")
+        wide = cost(alexnet, "conv2", step_tile_multiplier=3)
+        assert wide.compute_cycles < base.compute_cycles
+        assert wide.compute_cycles > base.compute_cycles / 3.5
+
+    def test_weight_batch_amortizes_fc(self):
+        net = zoo.alexnet()
+        chip = fc_chip()
+        one = step_cost(
+            FREQUENCY_HZ, chip, net["fc6"], Step.FP, 4, 4,
+            weights_on_chip=False, weight_reuse_batch=1,
+        )
+        many = step_cost(
+            FREQUENCY_HZ, chip, net["fc6"], Step.FP, 4, 4,
+            weights_on_chip=False, weight_reuse_batch=64,
+        )
+        assert many.traffic.ext_mem_bytes < one.traffic.ext_mem_bytes / 32
+
+
+class TestUtilizationCascade:
+    def test_factors_in_unit_interval(self, alexnet):
+        for layer in ("conv1", "conv2", "conv5"):
+            for step in Step:
+                u = cost(alexnet, layer, step=step).utilization
+                assert 0 < u.feature_distribution <= 1
+                assert 0 < u.array_residue <= 1
+                assert 0 < u.instruction_overhead <= 1
+                assert 0 < u.achieved <= 1
+
+    def test_achieved_is_product(self):
+        u = UtilizationCascade(0.9, 0.5, 0.8)
+        assert u.achieved == pytest.approx(0.36)
+
+    def test_feature_splitting_rescues_few_features(self):
+        """When features < tiles, STEP4's row splitting keeps the tiles
+        busy — utilization must not collapse toward features/tiles."""
+        net = zoo.vgg_a()
+        c = cost(net, "conv1", cols=16)  # 64 features over 96+ tiles
+        assert c.utilization.feature_distribution > 0.5
+
+
+class TestValidation:
+    def test_zero_columns(self, alexnet):
+        with pytest.raises(MappingError):
+            cost(alexnet, "conv1", cols=0)
+
+    def test_bad_multipliers(self, alexnet):
+        with pytest.raises(MappingError):
+            cost(alexnet, "conv1", step_tile_multiplier=0)
+        with pytest.raises(MappingError):
+            cost(alexnet, "conv1", weight_reuse_batch=0)
+
+
+class TestStageCycles:
+    def test_training_at_least_evaluation(self, alexnet):
+        train = layer_stage_cycles(
+            FREQUENCY_HZ, conv_chip(), alexnet["conv2"], 4, 4,
+            weights_on_chip=True, training=True,
+        )
+        evaln = layer_stage_cycles(
+            FREQUENCY_HZ, conv_chip(), alexnet["conv2"], 4, 4,
+            weights_on_chip=True, training=False,
+        )
+        assert train >= evaln
+
+    def test_bound_by_labels(self, alexnet):
+        c = cost(alexnet, "conv2")
+        assert c.bound_by in (
+            "compute", "sfu", "comp-mem-link", "mem-mem-link", "ext-mem"
+        )

@@ -1,0 +1,121 @@
+"""Tests for the energy module and the command-line interface."""
+
+import pytest
+
+from repro.arch import single_precision_node
+from repro.cli import main
+from repro.dnn import zoo
+from repro.sim import simulate
+from repro.sim.energy import IMAGENET_IMAGES, EnergyReport, energy_report
+
+
+@pytest.fixture(scope="module")
+def alexnet_result():
+    return simulate(zoo.alexnet(), single_precision_node())
+
+
+class TestEnergy:
+    def test_energy_balance(self, alexnet_result):
+        report = energy_report(alexnet_result)
+        total = report.logic_j + report.memory_j + report.interconnect_j
+        assert total == pytest.approx(
+            report.joules_per_training_image, rel=1e-6
+        )
+
+    def test_evaluation_cheaper_than_training(self, alexnet_result):
+        report = energy_report(alexnet_result)
+        assert (
+            report.joules_per_evaluation_image
+            < report.joules_per_training_image
+        )
+
+    def test_stage_energy_sums_to_logic(self, alexnet_result):
+        report = energy_report(alexnet_result)
+        assert sum(report.stage_energy.values()) == pytest.approx(
+            report.logic_j, rel=1e-6
+        )
+
+    def test_epoch_energy_scaling(self, alexnet_result):
+        report = energy_report(alexnet_result)
+        expected = (
+            report.joules_per_training_image * IMAGENET_IMAGES / 3.6e6
+        )
+        assert report.kilowatt_hours_per_epoch == pytest.approx(expected)
+        # AlexNet at tens of mJ/image: an epoch costs a handful of kWh.
+        assert 0.001 < report.kilowatt_hours_per_epoch < 100
+
+    def test_bigger_network_costs_more_energy_per_image(self):
+        node = single_precision_node()
+        small = energy_report(simulate(zoo.alexnet(), node))
+        big = energy_report(simulate(zoo.vgg_e(), node))
+        assert (
+            big.joules_per_training_image
+            > small.joules_per_training_image
+        )
+
+    def test_describe(self, alexnet_result):
+        text = energy_report(alexnet_result).describe()
+        assert "mJ" in text and "kWh" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "AlexNet" in out and "VGG-E" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", "AlexNet"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPs/evaluation" in out
+        assert "nD-convolution" in out
+
+    def test_map(self, capsys):
+        assert main(["map", "AlexNet"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "ConvLayer" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "AlexNet", "--minibatch", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "img/s" in out and "comp_mem" in out
+
+    def test_simulate_hp(self, capsys):
+        assert main(["simulate", "AlexNet", "--hp"]) == 0
+        out = capsys.readouterr().out
+        assert "scaledeep-hp" in out
+
+    def test_energy(self, capsys):
+        assert main(["energy", "AlexNet"]) == 0
+        assert "mJ" in capsys.readouterr().out
+
+    def test_compare_gpu(self, capsys):
+        assert main(["compare-gpu", "AlexNet"]) == 0
+        out = capsys.readouterr().out
+        assert "cuDNN-R2" in out and "x" in out
+
+    def test_unknown_network_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "LeNet-1998"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_export(self, capsys, tmp_path):
+        assert main(["export", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 7 figure data files" in out
+        assert (tmp_path / "fig16_sp_throughput.csv").exists()
+
+    def test_stages(self, capsys):
+        assert main(["stages", "AlexNet"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out and "conv2" in out
+
+    def test_report(self, capsys):
+        assert main(["report", "AlexNet"]) == 0
+        out = capsys.readouterr().out
+        for section in ("Mapping", "Throughput", "Nested pipeline",
+                        "Link utilization", "Power", "gradient sync"):
+            assert section in out

@@ -1,0 +1,56 @@
+"""Tests for the CSV figure-data export."""
+
+import csv
+
+import pytest
+
+from repro.bench.export import export_all
+from repro.dnn import zoo
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("figures")
+    return directory, export_all(directory)
+
+
+class TestExport:
+    def test_all_figures_written(self, exported):
+        directory, paths = exported
+        names = {p.name for p in paths}
+        assert names == {
+            "fig01_flops_growth.csv",
+            "fig16_sp_throughput.csv",
+            "fig17_hp_throughput.csv",
+            "fig18_gpu_speedup.csv",
+            "fig19_alexnet_utilization.csv",
+            "fig20_power_efficiency.csv",
+            "fig21_link_utilization.csv",
+        }
+        for p in paths:
+            assert p.exists() and p.stat().st_size > 0
+
+    def _read(self, directory, name):
+        with (directory / name).open() as handle:
+            return list(csv.DictReader(handle))
+
+    def test_throughput_rows_cover_suite(self, exported):
+        directory, _ = exported
+        rows = self._read(directory, "fig16_sp_throughput.csv")
+        assert {r["network"] for r in rows} == set(zoo.BENCHMARKS)
+        for row in rows:
+            assert float(row["train_img_s"]) > 0
+            assert 0 < float(row["pe_util"]) <= 1
+
+    def test_speedup_rows(self, exported):
+        directory, _ = exported
+        rows = self._read(directory, "fig18_gpu_speedup.csv")
+        assert len(rows) == 4 * 5  # networks x frameworks
+        assert all(float(r["speedup"]) > 1 for r in rows)
+
+    def test_link_rows_bounded(self, exported):
+        directory, _ = exported
+        for row in self._read(directory, "fig21_link_utilization.csv"):
+            for key, value in row.items():
+                if key != "network":
+                    assert 0.0 <= float(value) <= 1.0

@@ -1,0 +1,191 @@
+"""Unit tests for layer specifications and shape inference."""
+
+import math
+
+import pytest
+
+from repro.dnn.layers import (
+    Activation,
+    ConcatSpec,
+    ConvSpec,
+    EltwiseAddSpec,
+    FCSpec,
+    FeatureShape,
+    GlobalPoolSpec,
+    InputSpec,
+    LayerKind,
+    PoolMode,
+    PoolSpec,
+    conv_padding_same,
+    fan_in,
+    he_init_scale,
+    is_weighted,
+)
+from repro.errors import ShapeError
+
+
+class TestFeatureShape:
+    def test_properties(self):
+        shape = FeatureShape(96, 55, 55)
+        assert shape.feature_size == 55 * 55
+        assert shape.elements == 96 * 55 * 55
+        assert shape.bytes() == 96 * 55 * 55 * 4
+        assert shape.bytes(dtype_bytes=2) == 96 * 55 * 55 * 2
+
+    def test_str(self):
+        assert str(FeatureShape(3, 224, 224)) == "3x224x224"
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, 0, 1), (1, 1, -1)])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ShapeError):
+            FeatureShape(*bad)
+
+
+class TestInputSpec:
+    def test_shape_passthrough(self):
+        spec = InputSpec("input", FeatureShape(3, 227, 227))
+        assert spec.infer_shape(()) == FeatureShape(3, 227, 227)
+        assert spec.weight_count(()) == 0
+        assert spec.kind is LayerKind.INPUT
+
+    def test_rejects_inputs(self):
+        spec = InputSpec("input", FeatureShape(3, 8, 8))
+        with pytest.raises(ShapeError):
+            spec.infer_shape((FeatureShape(1, 1, 1),))
+
+
+class TestConvSpec:
+    def test_alexnet_conv1_shape(self):
+        spec = ConvSpec("conv1", out_features=96, kernel=11, stride=4)
+        out = spec.infer_shape((FeatureShape(3, 227, 227),))
+        assert out == FeatureShape(96, 55, 55)
+
+    def test_same_padding_preserves_extent(self):
+        spec = ConvSpec("c", out_features=8, kernel=3, pad=1)
+        out = spec.infer_shape((FeatureShape(4, 14, 14),))
+        assert (out.height, out.width) == (14, 14)
+
+    def test_weight_count_with_bias(self):
+        spec = ConvSpec("c", out_features=96, kernel=11)
+        weights = spec.weight_count((FeatureShape(3, 227, 227),))
+        assert weights == 96 * 3 * 11 * 11 + 96
+
+    def test_grouped_weights_halve(self):
+        dense = ConvSpec("c", out_features=256, kernel=5, pad=2)
+        grouped = ConvSpec("g", out_features=256, kernel=5, pad=2, groups=2)
+        src = (FeatureShape(96, 27, 27),)
+        # Grouped: each output sees half the input features.
+        assert grouped.weight_count(src) == (
+            (dense.weight_count(src) - 256) // 2 + 256
+        )
+
+    def test_groups_must_divide(self):
+        spec = ConvSpec("c", out_features=10, kernel=3, groups=3)
+        with pytest.raises(ShapeError):
+            spec.infer_shape((FeatureShape(9, 8, 8),))
+
+    def test_kernel_too_large(self):
+        spec = ConvSpec("c", out_features=1, kernel=9)
+        with pytest.raises(ShapeError):
+            spec.infer_shape((FeatureShape(1, 4, 4),))
+
+    def test_macs_per_output_element(self):
+        spec = ConvSpec("c", out_features=4, kernel=3, groups=2)
+        assert spec.macs_per_output_element(8) == 4 * 9
+
+    def test_expects_single_input(self):
+        spec = ConvSpec("c", out_features=4, kernel=3)
+        with pytest.raises(ShapeError):
+            spec.infer_shape(
+                (FeatureShape(1, 8, 8), FeatureShape(1, 8, 8))
+            )
+
+
+class TestPoolSpec:
+    def test_stride_defaults_to_window(self):
+        spec = PoolSpec("p", window=2)
+        out = spec.infer_shape((FeatureShape(16, 8, 8),))
+        assert out == FeatureShape(16, 4, 4)
+
+    def test_overlapping_pool(self):
+        spec = PoolSpec("p", window=3, stride=2)
+        out = spec.infer_shape((FeatureShape(96, 55, 55),))
+        assert out == FeatureShape(96, 27, 27)
+
+    def test_no_weights(self):
+        spec = PoolSpec("p", window=2)
+        assert spec.weight_count((FeatureShape(4, 8, 8),)) == 0
+        assert not is_weighted(spec)
+
+
+class TestGlobalPoolSpec:
+    def test_collapses_spatial(self):
+        spec = GlobalPoolSpec("g")
+        out = spec.infer_shape((FeatureShape(512, 7, 7),))
+        assert out == FeatureShape(512, 1, 1)
+        assert spec.kind is LayerKind.SAMP
+
+
+class TestFCSpec:
+    def test_output_is_vector(self):
+        spec = FCSpec("fc", out_features=4096)
+        out = spec.infer_shape((FeatureShape(256, 6, 6),))
+        assert out == FeatureShape(4096, 1, 1)
+
+    def test_weight_count(self):
+        spec = FCSpec("fc", out_features=10)
+        weights = spec.weight_count((FeatureShape(4, 3, 3),))
+        assert weights == 4 * 9 * 10 + 10
+
+
+class TestJoinSpecs:
+    def test_concat_adds_features(self):
+        spec = ConcatSpec("cat")
+        out = spec.infer_shape(
+            (FeatureShape(64, 28, 28), FeatureShape(32, 28, 28))
+        )
+        assert out == FeatureShape(96, 28, 28)
+
+    def test_concat_rejects_spatial_mismatch(self):
+        spec = ConcatSpec("cat")
+        with pytest.raises(ShapeError):
+            spec.infer_shape(
+                (FeatureShape(64, 28, 28), FeatureShape(32, 14, 14))
+            )
+
+    def test_concat_needs_two_inputs(self):
+        with pytest.raises(ShapeError):
+            ConcatSpec("cat").infer_shape((FeatureShape(1, 2, 2),))
+
+    def test_eltwise_preserves_shape(self):
+        spec = EltwiseAddSpec("add")
+        shape = FeatureShape(64, 56, 56)
+        assert spec.infer_shape((shape, shape)) == shape
+
+    def test_eltwise_rejects_mismatch(self):
+        spec = EltwiseAddSpec("add")
+        with pytest.raises(ShapeError):
+            spec.infer_shape(
+                (FeatureShape(64, 56, 56), FeatureShape(64, 28, 28))
+            )
+
+
+class TestHelpers:
+    def test_conv_padding_same(self):
+        assert conv_padding_same(3) == 1
+        assert conv_padding_same(11) == 5
+        with pytest.raises(ShapeError):
+            conv_padding_same(4)
+
+    def test_fan_in(self):
+        conv = ConvSpec("c", out_features=8, kernel=3)
+        assert fan_in(conv, (FeatureShape(4, 8, 8),)) == 4 * 9
+        fc = FCSpec("f", out_features=8)
+        assert fan_in(fc, (FeatureShape(4, 3, 3),)) == 36
+        pool = PoolSpec("p", window=2)
+        assert fan_in(pool, (FeatureShape(4, 8, 8),)) == 1
+
+    def test_he_init_scale(self):
+        conv = ConvSpec("c", out_features=8, kernel=3)
+        scale = he_init_scale(conv, (FeatureShape(4, 8, 8),))
+        assert scale == pytest.approx(math.sqrt(2.0 / 36))

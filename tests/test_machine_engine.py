@@ -1,0 +1,287 @@
+"""Tests for the engine machine model and the ISA interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.presets import conv_chip
+from repro.errors import SimulationError
+from repro.isa import Opcode, Program, assemble, make
+from repro.sim.engine import EXTERNAL_PORT, Engine
+from repro.sim.machine import Machine, pack_shape, unpack_shape
+
+
+def machine(cols=3, rows=2):
+    return Machine(conv_chip(), cols, rows)
+
+
+class TestShapePacking:
+    def test_roundtrip_examples(self):
+        assert unpack_shape(pack_shape(55, 55)) == (55, 55)
+        assert unpack_shape(pack_shape(1, 4096)) == (1, 4096)
+
+    @settings(max_examples=200, deadline=None)
+    @given(h=st.integers(1, 65535), w=st.integers(1, 65535))
+    def test_roundtrip(self, h, w):
+        assert unpack_shape(pack_shape(h, w)) == (h, w)
+
+    def test_rejects_oversize(self):
+        with pytest.raises(SimulationError):
+            pack_shape(70000, 3)
+        with pytest.raises(SimulationError):
+            pack_shape(0, 3)
+
+
+class TestMachine:
+    def test_tile_grid(self):
+        m = machine(cols=3, rows=2)
+        assert len(m.mem_tiles) == 6
+        assert m.mem_tile_id(2, 1) == 5
+        with pytest.raises(SimulationError):
+            m.mem_tile_id(3, 0)
+
+    def test_hops(self):
+        m = machine(cols=3, rows=2)
+        a = m.mem_tile_id(0, 0)
+        b = m.mem_tile_id(2, 1)
+        assert m.hops(a, b) == 3
+        assert m.hops(a, a) == 0
+
+    def test_scratchpad_bounds(self):
+        m = machine()
+        tile = m.mem_tile(0)
+        with pytest.raises(SimulationError):
+            tile.read(len(tile.words) - 1, 2)
+        with pytest.raises(SimulationError):
+            tile.write(-1, np.zeros(2, dtype=np.float32), False)
+
+    def test_accumulating_write(self):
+        m = machine()
+        tile = m.mem_tile(0)
+        tile.write(0, np.array([1.0, 2.0], dtype=np.float32), False)
+        tile.write(0, np.array([0.5, 0.5], dtype=np.float32), True)
+        assert tile.read(0, 2).tolist() == [1.5, 2.5]
+
+    def test_duplicate_program_rejected(self):
+        m = machine()
+        prog = Program(tile="t")
+        prog.append(make(Opcode.HALT))
+        m.load_program(prog)
+        with pytest.raises(SimulationError):
+            m.load_program(prog)
+
+
+def run_program(source, m=None, **engine_kwargs):
+    m = m or machine()
+    prog = assemble(source, tile="t0")
+    m.load_program(prog)
+    engine = Engine(m, **engine_kwargs)
+    report = engine.run()
+    return m, engine, report
+
+
+class TestScalarExecution:
+    def test_countdown_loop(self):
+        m, _, report = run_program(
+            """
+            LDRI rd=1, value=5
+            LDRI rd=2, value=0
+            loop:
+            ADDRI rd=2, rs=2, value=3
+            SUBRI rd=1, rs=1, value=1
+            BGTZ rs=1, offset=@loop
+            HALT
+            """
+        )
+        tile = m.comp_tiles["t0"]
+        assert tile.reg(2) == 15
+        assert report.instructions == 2 + 3 * 5 + 1
+
+    def test_branch_taken_and_not(self):
+        m, _, _ = run_program(
+            """
+            LDRI rd=1, value=0
+            BEQZ rs=1, offset=1
+            LDRI rd=2, value=99
+            LDRI rd=3, value=7
+            HALT
+            """
+        )
+        tile = m.comp_tiles["t0"]
+        assert tile.reg(2) == 0  # skipped
+        assert tile.reg(3) == 7
+
+    def test_arithmetic(self):
+        m, _, _ = run_program(
+            """
+            LDRI rd=1, value=6
+            LDRI rd=2, value=7
+            MULR rd=3, rs1=1, rs2=2
+            SUBR rd=4, rs1=3, rs2=2
+            ADDR rd=5, rs1=4, rs2=1
+            MOVR rd=6, rs=5
+            HALT
+            """
+        )
+        assert m.comp_tiles["t0"].reg(6) == 41
+
+
+class TestDataInstructions:
+    def test_dma_between_tiles(self):
+        m = machine()
+        m.mem_tile(0).write(0, np.arange(4, dtype=np.float32), False)
+        run_program(
+            "DMALOAD src_addr=0, src_port=0, dst_addr=8, dst_port=3, "
+            "size=4, is_accum=0\nHALT",
+            m,
+        )
+        assert m.mem_tile(3).read(8, 4).tolist() == [0, 1, 2, 3]
+
+    def test_dma_accumulate_commutes(self):
+        """Accumulation order never changes the result — the property
+        MEMTRACK's correctness argument rests on (Sec 3.2.4)."""
+        results = []
+        for order in [(0, 1), (1, 0)]:
+            m = machine()
+            m.mem_tile(0).write(0, np.array([1.0, 2.0], np.float32), False)
+            m.mem_tile(1).write(0, np.array([10.0, 20.0], np.float32), False)
+            for i, src in enumerate(order):
+                prog = Program(tile=f"t{i}")
+                prog.append(make(
+                    Opcode.DMALOAD, src_addr=0, src_port=src, dst_addr=0,
+                    dst_port=2, size=2, is_accum=1,
+                ))
+                prog.append(make(Opcode.HALT))
+                m.load_program(prog)
+            Engine(m).run()
+            results.append(m.mem_tile(2).read(0, 2).copy())
+        np.testing.assert_allclose(results[0], results[1])
+        np.testing.assert_allclose(results[0], [11.0, 22.0])
+
+    def test_ndaccum_and_vecmul(self):
+        m = machine()
+        m.mem_tile(0).write(0, np.array([1, 2, 3], np.float32), False)
+        m.mem_tile(0).write(4, np.array([10, 20, 30], np.float32), False)
+        run_program(
+            """
+            NDACCUM src_addr=0, port=0, size=3, dst_addr=4
+            VECMUL in1_addr=0, in2_addr=4, port=0, size=3, out_addr=8
+            HALT
+            """,
+            m,
+        )
+        assert m.mem_tile(0).read(4, 3).tolist() == [11, 22, 33]
+        assert m.mem_tile(0).read(8, 3).tolist() == [11, 44, 99]
+
+    def test_wupdate(self):
+        m = machine()
+        m.mem_tile(0).write(0, np.array([1.0, 1.0], np.float32), False)
+        m.mem_tile(0).write(2, np.array([0.5, -0.5], np.float32), False)
+        run_program(
+            "WUPDATE weight_addr=0, grad_addr=2, port=0, size=2, "
+            "lr_num=1, lr_denom=10\nHALT",
+            m,
+        )
+        np.testing.assert_allclose(
+            m.mem_tile(0).read(0, 2), [0.95, 1.05]
+        )
+
+    def test_prefetch_from_external(self):
+        m = machine()
+        eng_machine, engine, _ = (None, None, None)
+        prog = assemble(
+            "PREFETCH src_addr=5, dst_addr=0, dst_port=1, size=3\nHALT",
+            tile="t0",
+        )
+        m.load_program(prog)
+        engine = Engine(m)
+        engine.external[5:8] = [7.0, 8.0, 9.0]
+        engine.run()
+        assert m.mem_tile(1).read(0, 3).tolist() == [7, 8, 9]
+
+    def test_ndconv_matches_numpy(self):
+        from repro.functional import tensor_ops as ops
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1, (1, 6, 6)).astype(np.float32)
+        k = rng.normal(0, 1, (1, 1, 3, 3)).astype(np.float32)
+        want = ops.conv2d_forward(x, k, np.zeros(1, np.float32), 1, 1)
+
+        m = machine()
+        m.mem_tile(0).write(0, x, False)
+        m.mem_tile(0).write(40, k, False)
+        prog = Program(tile="t0")
+        prog.append(make(
+            Opcode.NDCONV, in_addr=0, in_port=0,
+            in_size=pack_shape(6, 6), kernel_addr=40,
+            kernel_size=pack_shape(3, 3), stride=1, pad=1,
+            out_addr=0, out_port=1, is_accum=0,
+        ))
+        prog.append(make(Opcode.HALT))
+        m.load_program(prog)
+        Engine(m).run()
+        got = m.mem_tile(1).read(0, 36).reshape(1, 6, 6)
+        np.testing.assert_allclose(got, want, atol=1e-5)
+
+
+class TestSynchronization:
+    def test_reader_waits_for_writer(self):
+        """A consumer DMA armed behind a tracker must observe the
+        producer's value, regardless of scheduling order."""
+        m = machine()
+        # Producer: writes 42 after spinning a while.
+        producer = assemble(
+            """
+            MEMTRACK addr=0, port=1, size=1, num_updates=1, num_reads=1
+            LDRI rd=1, value=30
+            spin:
+            SUBRI rd=1, rs=1, value=1
+            BGTZ rs=1, offset=@spin
+            DMALOAD src_addr=16, src_port=0, dst_addr=0, dst_port=1, size=1, is_accum=0
+            HALT
+            """,
+            tile="producer",
+        )
+        consumer = assemble(
+            "DMALOAD src_addr=0, src_port=1, dst_addr=4, dst_port=2, "
+            "size=1, is_accum=0\nHALT",
+            tile="consumer",
+        )
+        m.mem_tile(0).write(16, np.array([42.0], np.float32), False)
+        m.load_program(producer)
+        m.load_program(consumer)
+        report = Engine(m).run()
+        assert m.mem_tile(2).read(4, 1)[0] == 42.0
+        assert report.blocked_reads > 0
+
+    def test_deadlock_detection(self):
+        m = machine()
+        prog = assemble(
+            """
+            MEMTRACK addr=0, port=0, size=4, num_updates=1, num_reads=1
+            DMALOAD src_addr=0, src_port=0, dst_addr=0, dst_port=1, size=4, is_accum=0
+            HALT
+            """,
+            tile="stuck",
+        )
+        m.load_program(prog)
+        with pytest.raises(SimulationError, match="deadlock"):
+            Engine(m).run()
+
+    def test_no_programs(self):
+        with pytest.raises(SimulationError):
+            Engine(machine()).run()
+
+    def test_livelock_guard(self):
+        m = machine()
+        prog = assemble(
+            """
+            loop:
+            BRANCH offset=@loop
+            HALT
+            """,
+            tile="spin",
+        )
+        m.load_program(prog)
+        with pytest.raises(SimulationError, match="rounds"):
+            Engine(m, max_rounds=100).run()

@@ -1,0 +1,170 @@
+"""Unit tests for the network graph."""
+
+import pytest
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import (
+    ConvSpec,
+    FCSpec,
+    FeatureShape,
+    InputSpec,
+    LayerKind,
+    PoolSpec,
+)
+from repro.dnn.network import Network
+from repro.errors import TopologyError
+
+
+def chain_net():
+    return Network(
+        "chain",
+        [
+            InputSpec("input", FeatureShape(3, 16, 16)),
+            ConvSpec("conv1", out_features=8, kernel=3, pad=1),
+            PoolSpec("pool1", window=2),
+            FCSpec("fc1", out_features=10),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_implicit_chaining(self):
+        net = chain_net()
+        assert net["conv1"].input_names == ("input",)
+        assert net["pool1"].input_names == ("conv1",)
+        assert net["fc1"].input_names == ("pool1",)
+
+    def test_shapes_flow(self):
+        net = chain_net()
+        assert net["conv1"].output_shape == FeatureShape(8, 16, 16)
+        assert net["pool1"].output_shape == FeatureShape(8, 8, 8)
+        assert net["fc1"].output_shape == FeatureShape(10, 1, 1)
+
+    def test_explicit_wiring(self):
+        net = Network(
+            "wired",
+            [
+                InputSpec("input", FeatureShape(3, 8, 8)),
+                ConvSpec("a", out_features=4, kernel=3, pad=1),
+                ConvSpec("b", out_features=4, kernel=3, pad=1),
+            ],
+            wiring={"b": ["input"]},
+        )
+        assert net["b"].input_names == ("input",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Network("empty", [])
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(TopologyError):
+            Network(
+                "dup",
+                [
+                    InputSpec("input", FeatureShape(1, 4, 4)),
+                    ConvSpec("x", out_features=2, kernel=3, pad=1),
+                    ConvSpec("x", out_features=2, kernel=3, pad=1),
+                ],
+            )
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(TopologyError):
+            Network(
+                "fwd",
+                [
+                    InputSpec("input", FeatureShape(1, 4, 4)),
+                    ConvSpec("a", out_features=2, kernel=3, pad=1),
+                ],
+                wiring={"a": ["later"]},
+            )
+
+    def test_unknown_wiring_rejected(self):
+        with pytest.raises(TopologyError):
+            Network(
+                "bad",
+                [InputSpec("input", FeatureShape(1, 4, 4))],
+                wiring={"ghost": ["input"]},
+            )
+
+    def test_first_layer_must_be_input(self):
+        with pytest.raises(TopologyError):
+            Network("noin", [ConvSpec("c", out_features=2, kernel=3)])
+
+
+class TestAccessors:
+    def test_getitem_unknown(self):
+        with pytest.raises(TopologyError):
+            chain_net()["missing"]
+
+    def test_iteration_order(self):
+        names = [n.name for n in chain_net()]
+        assert names == ["input", "conv1", "pool1", "fc1"]
+
+    def test_input_output(self):
+        net = chain_net()
+        assert net.input.name == "input"
+        assert net.output.name == "fc1"
+        assert len(net) == 4
+
+    def test_consumers(self):
+        net = chain_net()
+        assert net.consumers("conv1") == ("pool1",)
+        assert net.consumers("fc1") == ()
+
+    def test_layers_of_kind(self):
+        net = chain_net()
+        convs = net.layers_of_kind(LayerKind.CONV)
+        assert [n.name for n in convs] == ["conv1"]
+        both = net.layers_of_kind(LayerKind.CONV, LayerKind.FC)
+        assert len(both) == 2
+
+
+class TestStatistics:
+    def test_neuron_count_counts_conv_and_fc(self):
+        net = chain_net()
+        assert net.neuron_count == 8 * 16 * 16 + 10
+
+    def test_weight_count(self):
+        net = chain_net()
+        conv_w = 8 * 3 * 9 + 8
+        fc_w = 8 * 8 * 8 * 10 + 10
+        assert net.weight_count == conv_w + fc_w
+
+    def test_connection_count_is_macs(self):
+        net = chain_net()
+        conv_macs = 8 * 16 * 16 * 3 * 9
+        fc_macs = 8 * 8 * 8 * 10
+        assert net.connection_count == conv_macs + fc_macs
+
+    def test_describe_mentions_every_layer(self):
+        text = chain_net().describe()
+        for name in ("input", "conv1", "pool1", "fc1", "totals"):
+            assert name in text
+
+    def test_layer_counts(self):
+        counts = chain_net().layer_counts()
+        assert counts[LayerKind.CONV] == 1
+        assert counts[LayerKind.SAMP] == 1
+        assert counts[LayerKind.FC] == 1
+
+
+class TestBranching:
+    def test_dag_with_builder(self):
+        b = NetworkBuilder("dag")
+        b.input(3, 8)
+        trunk = b.conv(4, kernel=3, pad=1)
+        left = b.conv(2, kernel=1, inputs=[trunk])
+        right = b.conv(6, kernel=3, pad=1, inputs=[trunk])
+        join = b.concat([left, right])
+        net = b.build()
+        assert net[join].output_shape.count == 8
+        assert set(net.consumers(trunk)) == {left, right}
+
+    def test_residual_add(self):
+        b = NetworkBuilder("res")
+        b.input(4, 8)
+        trunk = b.cursor
+        conv = b.conv(4, kernel=3, pad=1)
+        out = b.add([conv, trunk])
+        net = b.build()
+        assert net[out].output_shape == net[trunk].output_shape

@@ -1,0 +1,115 @@
+"""Unit tests for the performance simulator's internal aggregations."""
+
+import pytest
+
+from repro.arch import single_precision_node
+from repro.compiler import map_network
+from repro.dnn import zoo
+from repro.sim.perf import (
+    _array_flops_per_image,
+    _chip_boundary_bytes,
+    _fc_feature_bytes,
+    _first_fc_input_bytes,
+    _merge_costs,
+    _conv_stage_reports,
+    _throughput,
+)
+
+
+@pytest.fixture(scope="module")
+def node():
+    return single_precision_node()
+
+
+@pytest.fixture(scope="module")
+def alexnet_mapping(node):
+    return map_network(zoo.alexnet(), node)
+
+
+@pytest.fixture(scope="module")
+def vggd_mapping(node):
+    return map_network(zoo.vgg_d(), node)
+
+
+class TestTrafficHelpers:
+    def test_single_chip_has_no_boundary_traffic(self, alexnet_mapping):
+        chip_cols = alexnet_mapping.node.cluster.conv_chip.cols
+        assert alexnet_mapping.conv_columns_per_copy <= chip_cols
+        assert _chip_boundary_bytes(alexnet_mapping, chip_cols) == 0.0
+
+    def test_multi_chip_crosses_boundaries(self, vggd_mapping):
+        chip_cols = vggd_mapping.node.cluster.conv_chip.cols
+        assert vggd_mapping.conv_chips_per_copy > 1
+        assert _chip_boundary_bytes(vggd_mapping, chip_cols) > 0.0
+
+    def test_boundary_bytes_shrink_with_span(self, vggd_mapping):
+        chip_cols = vggd_mapping.node.cluster.conv_chip.cols
+        per_chip = _chip_boundary_bytes(vggd_mapping, chip_cols)
+        per_cluster = _chip_boundary_bytes(vggd_mapping, chip_cols * 4)
+        assert per_cluster <= per_chip
+
+    def test_zero_span_is_free(self, alexnet_mapping):
+        assert _chip_boundary_bytes(alexnet_mapping, 0) == 0.0
+
+    def test_fc_input_bytes(self, alexnet_mapping):
+        # AlexNet fc6 consumes 256*6*6 floats.
+        assert _first_fc_input_bytes(alexnet_mapping) == 256 * 36 * 4
+
+    def test_fc_feature_bytes_cover_all_fc_layers(self, alexnet_mapping):
+        total = _fc_feature_bytes(alexnet_mapping)
+        expected = (
+            (9216 + 4096) + (4096 + 4096) + (4096 + 1000)
+        ) * 4
+        assert total == expected
+
+
+class TestFlopsAccounting:
+    def test_training_array_flops_about_3x_eval(self, alexnet_mapping):
+        train = _array_flops_per_image(alexnet_mapping, training=True)
+        evaln = _array_flops_per_image(alexnet_mapping, training=False)
+        assert 2.5 < train / evaln < 3.5
+
+    def test_array_flops_near_2x_connections(self, alexnet_mapping):
+        evaln = _array_flops_per_image(alexnet_mapping, training=False)
+        macs = alexnet_mapping.network.connection_count
+        assert evaln == pytest.approx(2 * macs, rel=0.02)
+
+
+class TestMergeAndThroughput:
+    def test_merge_sums_member_costs(self, node):
+        mapping = map_network(zoo.googlenet(), node)
+        alloc = mapping.conv_allocations["inc3a"]
+        reports = _conv_stage_reports(mapping, training=False,
+                                      tile_multiplier=1)
+        inc = next(r for r in reports if r.unit == "inc3a")
+        # The merged stage is at least as long as any single member's
+        # share would be: six branch convolutions add up.
+        assert inc.cost.compute_cycles > 0
+        assert inc.cost.traffic.comp_mem_bytes > 0
+        assert len(alloc.members) == 6
+
+    def test_throughput_picks_slowest_stage(self, alexnet_mapping):
+        conv = _conv_stage_reports(alexnet_mapping, training=True,
+                                   tile_multiplier=1)
+        rate, limiting = _throughput(
+            alexnet_mapping, conv, [], training=False, minibatch=256
+        )
+        slowest = max(conv, key=lambda s: s.cycles)
+        assert limiting.unit == slowest.unit
+        expected = (
+            alexnet_mapping.copies
+            * alexnet_mapping.node.frequency_hz
+            / slowest.cycles
+        )
+        assert rate == pytest.approx(expected)
+
+    def test_training_drain_slows_small_minibatches(self, alexnet_mapping):
+        conv = _conv_stage_reports(alexnet_mapping, training=True,
+                                   tile_multiplier=1)
+        fast, _ = _throughput(
+            alexnet_mapping, conv, [], training=True, minibatch=4096
+        )
+        slow, _ = _throughput(
+            alexnet_mapping, conv, [], training=True, minibatch=16
+        )
+        assert slow < fast

@@ -1,0 +1,114 @@
+"""Tests for the power / processing-efficiency model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.power import (
+    ComponentPower,
+    PAPER_POWER_TABLE,
+    PowerDraw,
+    PowerModel,
+    cluster_power_model,
+    node_power_model,
+)
+from repro.errors import ConfigError
+
+
+class TestComponentPower:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            ComponentPower("x", 10.0, 0.5, 0.1, 0.1)
+
+    def test_positive_power(self):
+        with pytest.raises(ConfigError):
+            ComponentPower("x", 0.0, 0.5, 0.1, 0.4)
+
+    def test_subsystem_watts(self):
+        comp = ComponentPower("node", 1400.0, 0.5, 0.1, 0.4)
+        assert comp.logic_w == pytest.approx(700.0)
+        assert comp.memory_w == pytest.approx(140.0)
+        assert comp.interconnect_w == pytest.approx(560.0)
+
+    def test_paper_table_consistency(self):
+        """Tile powers roll up into the chip power envelope: 288
+        CompHeavy + 102 MemHeavy tiles fit inside the ConvLayer chip's
+        57.8 W with room for the uncore."""
+        comp = PAPER_POWER_TABLE["conv_comp_tile"].peak_w * 288
+        mem = PAPER_POWER_TABLE["conv_mem_tile"].peak_w * 102
+        chip = PAPER_POWER_TABLE["conv_chip"].peak_w
+        assert comp + mem < chip
+        assert comp + mem > 0.7 * chip
+
+    def test_cluster_rolls_up_into_node(self):
+        cluster = PAPER_POWER_TABLE["cluster"].peak_w
+        node = PAPER_POWER_TABLE["node"].peak_w
+        assert 4 * cluster < node
+        assert 4 * cluster > 0.9 * node
+
+
+class TestPowerModel:
+    def test_idle_floor(self):
+        model = node_power_model()
+        idle = model.average(0.0, 0.0, 0.0)
+        # Even idle, clocked logic and leaky memory burn power.
+        assert idle.total_w > 0.25 * 1400 * 0.5  # logic floor alone
+
+    def test_full_activity_reaches_peak(self):
+        model = node_power_model()
+        busy = model.average(1.0, 1.0, 1.0)
+        assert busy.total_w == pytest.approx(1400.0, rel=0.01)
+
+    def test_monotonic_in_each_utilization(self):
+        model = node_power_model()
+        base = model.average(0.3, 0.3, 0.3).total_w
+        assert model.average(0.6, 0.3, 0.3).total_w > base
+        assert model.average(0.3, 0.6, 0.3).total_w > base
+        assert model.average(0.3, 0.3, 0.6).total_w > base
+
+    def test_memory_mostly_leakage(self):
+        """Sec 6.2: memory power remains largely constant."""
+        model = node_power_model()
+        lo = model.average(0.5, 0.5, 0.0).memory_w
+        hi = model.average(0.5, 0.5, 1.0).memory_w
+        assert hi / lo < 1.25
+
+    def test_utilization_bounds_checked(self):
+        model = node_power_model()
+        with pytest.raises(ConfigError):
+            model.average(1.5, 0.5, 0.5)
+        with pytest.raises(ConfigError):
+            model.average(0.5, -0.1, 0.5)
+
+    def test_bad_parameters(self):
+        comp = PAPER_POWER_TABLE["node"]
+        with pytest.raises(ConfigError):
+            PowerModel(comp, memory_leakage_fraction=1.5)
+        with pytest.raises(ConfigError):
+            PowerModel(comp, idle_activity_floor=-0.1)
+
+    def test_efficiency(self):
+        model = node_power_model()
+        draw = model.average(0.5, 0.5, 0.5)
+        eff = model.efficiency(100e12, draw)
+        assert eff == pytest.approx(100e12 / draw.total_w)
+
+    def test_cluster_model(self):
+        model = cluster_power_model()
+        busy = model.average(1.0, 1.0, 1.0)
+        assert busy.total_w == pytest.approx(325.6, rel=0.01)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        compute=st.floats(0, 1),
+        link=st.floats(0, 1),
+        memory=st.floats(0, 1),
+    )
+    def test_draw_within_peak(self, compute, link, memory):
+        model = node_power_model()
+        draw = model.average(compute, link, memory)
+        assert 0 < draw.total_w <= 1400.0 * 1.001
+
+    def test_power_draw_fraction(self):
+        comp = PAPER_POWER_TABLE["node"]
+        draw = PowerDraw(350.0, 140.0, 210.0)
+        assert draw.fraction_of(comp) == pytest.approx(0.5)

@@ -1,0 +1,114 @@
+"""Tests for reduced-precision execution (the Fig 17 premise)."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.zoo import tiny_cnn, tiny_mlp
+from repro.errors import ConfigError
+from repro.functional import SGDTrainer, make_synthetic_dataset
+from repro.functional.precision import (
+    NumericFormat,
+    PrecisionComparison,
+    ReducedPrecisionModel,
+    compare_precision,
+    quantize,
+)
+
+
+class TestQuantize:
+    def test_fp32_is_identity(self):
+        x = np.random.default_rng(0).normal(0, 1, 64)
+        np.testing.assert_array_equal(
+            quantize(x, NumericFormat.FP32), x.astype(np.float32)
+        )
+
+    def test_fp16_rounds(self):
+        x = np.array([1.0 + 2**-12], dtype=np.float32)
+        q = quantize(x, NumericFormat.FP16)
+        assert q[0] != x[0]  # below fp16 resolution near 1.0
+        assert abs(q[0] - x[0]) < 1e-3
+
+    def test_bf16_truncates_mantissa(self):
+        x = np.array([1.0 + 2**-9], dtype=np.float32)
+        q = quantize(x, NumericFormat.BF16)
+        assert q[0] == 1.0  # only 7 mantissa bits survive
+        # Exactly-representable values pass through.
+        np.testing.assert_array_equal(
+            quantize(np.array([1.5, -2.0], np.float32), NumericFormat.BF16),
+            [1.5, -2.0],
+        )
+
+    def test_bf16_preserves_exponent_range(self):
+        x = np.array([1e30, 1e-30], dtype=np.float32)
+        q = quantize(x, NumericFormat.BF16)
+        assert np.isfinite(q).all()
+        assert q[0] > 1e29 and 0 < q[1] < 1e-29
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 128).astype(np.float32)
+        for fmt in NumericFormat:
+            once = quantize(x, fmt)
+            np.testing.assert_array_equal(once, quantize(once, fmt))
+
+
+class TestReducedModel:
+    @pytest.fixture(scope="class")
+    def net(self):
+        return tiny_cnn(num_classes=4, in_size=12)
+
+    @pytest.fixture(scope="class")
+    def images(self, net):
+        shape = net.input.output_shape
+        rng = np.random.default_rng(5)
+        return rng.normal(
+            0, 1, (8, shape.count, shape.height, shape.width)
+        ).astype(np.float32)
+
+    def test_fp16_close_to_fp32(self, net, images):
+        """The Sec 6.1 premise: FP16 outputs track FP32 closely enough
+        that classifications barely change."""
+        cmp = compare_precision(net, NumericFormat.FP16, images)
+        assert cmp.max_abs_error < 0.05
+        assert cmp.top1_agreement >= 0.75
+
+    def test_bf16_coarser_than_fp16(self, net, images):
+        fp16 = compare_precision(net, NumericFormat.FP16, images)
+        bf16 = compare_precision(net, NumericFormat.BF16, images)
+        assert bf16.mean_abs_error >= fp16.mean_abs_error
+
+    def test_fp32_format_is_exact(self, net, images):
+        cmp = compare_precision(net, NumericFormat.FP32, images)
+        assert cmp.max_abs_error == 0.0
+        assert cmp.top1_agreement == 1.0
+
+    def test_fp16_training_still_converges(self):
+        """Low-precision robustness: SGD at FP16 storage still learns
+        the synthetic task (the approximate-computing observation of
+        Sec 1 / Fig 2)."""
+        net = tiny_mlp(num_classes=3, in_features=10, hidden=16)
+        model = ReducedPrecisionModel(net, NumericFormat.FP16, seed=4)
+        x, y = make_synthetic_dataset(net, samples=60, num_classes=3,
+                                      seed=5)
+        trainer = SGDTrainer(model, learning_rate=0.1, batch_size=10)
+        first = trainer.train_epoch(x, y, 0)
+        for epoch in range(1, 5):
+            last = trainer.train_epoch(x, y, epoch)
+        assert last.mean_loss < first.mean_loss
+        assert last.accuracy > 0.85
+
+    def test_weights_stay_quantized_after_updates(self):
+        net = tiny_mlp(num_classes=2, in_features=4, hidden=4)
+        model = ReducedPrecisionModel(net, NumericFormat.FP16, seed=0)
+        img = np.random.default_rng(0).normal(
+            0, 1, (4, 1, 1)
+        ).astype(np.float32)
+        model.forward(img)
+        model.backward(1)
+        model.apply_gradients(0.05)
+        w = model.state["fc1"].weights
+        np.testing.assert_array_equal(w, quantize(w, NumericFormat.FP16))
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize(np.zeros(4), "fp8")  # type: ignore[arg-type]

@@ -1,0 +1,233 @@
+"""Property-based tests over randomly generated networks.
+
+Hypothesis builds random (but valid) network graphs and checks the
+invariants that every subsystem must hold for *any* workload, not just
+the zoo: shape/counting consistency, analysis conservation laws,
+reference-model gradient sanity, mapping feasibility, and engine/golden
+equivalence on random chains.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import single_precision_node
+from repro.compiler import map_network
+from repro.compiler.codegen_dag import compile_dag_forward
+from repro.dnn.analysis import (
+    Step,
+    TRAINING_STEPS,
+    evaluation_flops,
+    profile,
+    profile_network,
+    training_flops,
+)
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, LayerKind, PoolMode
+from repro.functional import ReferenceModel
+
+SLOW = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def random_chain(draw):
+    """A random sequential CNN ending in a softmax FC head."""
+    size = draw(st.sampled_from([8, 10, 12]))
+    in_features = draw(st.integers(1, 3))
+    b = NetworkBuilder("rand")
+    b.input(in_features, size)
+    for i in range(draw(st.integers(1, 3))):
+        width = draw(st.integers(2, 6))
+        kernel = draw(st.sampled_from([1, 3]))
+        b.conv(width, kernel=kernel, pad=kernel // 2)
+        if size >= 4 and draw(st.booleans()):
+            b.pool(2, mode=PoolMode.AVG)
+            size //= 2
+    if draw(st.booleans()):
+        b.fc(draw(st.integers(3, 8)))
+    b.fc(draw(st.integers(2, 5)), activation=Activation.SOFTMAX)
+    return b.build()
+
+
+def random_image(net, seed=0):
+    shape = net.input.output_shape
+    rng = np.random.default_rng(seed)
+    return rng.normal(
+        0, 1, (shape.count, shape.height, shape.width)
+    ).astype(np.float32)
+
+
+class TestAnalysisInvariants:
+    @SLOW
+    @given(net=random_chain())
+    def test_training_flops_bracket_evaluation(self, net):
+        """Training runs FP + BP + WG: 2-3.5x one evaluation for CNNs
+        (the first layer skips no work here, SAMP layers skip WG)."""
+        ratio = training_flops(net) / evaluation_flops(net)
+        assert 1.9 < ratio < 3.6
+
+    @SLOW
+    @given(net=random_chain())
+    def test_profiles_nonnegative_and_consistent(self, net):
+        prof = profile_network(net)
+        assert prof.training_flops == sum(
+            prof.step_flops(s) for s in TRAINING_STEPS
+        )
+        for per_step in prof.per_layer.values():
+            for p in per_step.values():
+                assert p.flops >= 0
+                assert p.feature_bytes >= 0
+                assert p.weight_bytes >= 0
+
+    @SLOW
+    @given(net=random_chain())
+    def test_connection_count_positive_and_weighted(self, net):
+        assert net.connection_count > 0
+        assert net.weight_count > 0
+        assert net.neuron_count > 0
+
+    @SLOW
+    @given(net=random_chain())
+    def test_halving_precision_halves_bytes(self, net):
+        for node in net:
+            for step in Step:
+                sp = profile(node, step, dtype_bytes=4)
+                hp = profile(node, step, dtype_bytes=2)
+                assert hp.bytes_total * 2 == sp.bytes_total
+                assert hp.flops == sp.flops
+
+
+class TestReferenceInvariants:
+    @SLOW
+    @given(net=random_chain(), seed=st.integers(0, 100))
+    def test_softmax_output_is_distribution(self, net, seed):
+        model = ReferenceModel(net, seed=0)
+        out = model.forward(random_image(net, seed))
+        assert out.shape == (net.output.output_shape.count,)
+        assert out.sum() == pytest.approx(1.0, abs=1e-4)
+        assert (out >= 0).all()
+
+    @SLOW
+    @given(net=random_chain())
+    def test_loss_is_finite_and_gradients_flow(self, net):
+        model = ReferenceModel(net, seed=1)
+        model.forward(random_image(net, 3))
+        loss = model.backward(0)
+        assert np.isfinite(loss)
+        # Every weighted layer's gradients must be finite; the first
+        # layer's must be nonzero (the chain is fully connected).
+        for name, state in model.state.items():
+            if state.grad_weights is not None:
+                assert np.isfinite(state.grad_weights).all(), name
+        # Gradient must flow somewhere: the softmax head's bias gradient
+        # is the (always nonzero) output error.  Earlier layers may
+        # legitimately receive zero gradient when every ReLU on the
+        # path is dead for this input — hypothesis finds such draws.
+        head = net.output.name
+        assert np.abs(model.state[head].grad_bias).sum() > 0
+
+    @SLOW
+    @given(net=random_chain())
+    def test_update_reduces_loss_on_same_input(self, net):
+        """One SGD step on a single input must not increase its loss
+        (for a small enough step)."""
+        model = ReferenceModel(net, seed=2)
+        image = random_image(net, 7)
+        model.forward(image)
+        before = model.backward(0)
+        model.apply_gradients(1e-3)
+        model.forward(image)
+        after = model.backward(0)
+        assert after <= before + 1e-6
+
+
+class TestMappingInvariants:
+    NODE = single_precision_node()
+
+    @SLOW
+    @given(net=random_chain())
+    def test_any_chain_maps(self, net):
+        mapping = map_network(net, self.NODE)
+        budget = (
+            mapping.conv_chips_per_copy
+            * self.NODE.cluster.conv_chip.cols
+        )
+        assert mapping.conv_columns_per_copy <= budget
+        for alloc in mapping.conv_allocations.values():
+            assert alloc.columns >= alloc.min_columns >= 1
+        assert mapping.copies >= 1
+        # Every layer is reachable through allocation_for.
+        for node in net:
+            if node.kind is not LayerKind.INPUT:
+                assert mapping.allocation_for(node.name) is not None
+
+
+class TestEngineEquivalence:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow, HealthCheck.data_too_large,
+        ],
+    )
+    @given(net=random_chain(), rows=st.sampled_from([1, 2, 3]))
+    def test_random_chains_match_golden_model(self, net, rows):
+        """The DAG compiler + engine reproduce the golden model for any
+        generated chain."""
+        model = ReferenceModel(net, seed=3)
+        compiled = compile_dag_forward(net, model, rows=rows)
+        image = random_image(net, 11)
+        want = model.forward(image)
+        got, _ = compiled.run(image)
+        np.testing.assert_allclose(got, want, atol=1e-4)
+
+
+@st.composite
+def random_dag(draw):
+    """A random branchy network: trunk, 2-3 parallel conv branches
+    joined by concat, optional residual add, softmax head."""
+    b = NetworkBuilder("rand-dag")
+    b.input(draw(st.integers(1, 3)), 8)
+    trunk = b.conv(draw(st.integers(2, 5)), kernel=3, pad=1, name="trunk")
+    branches = []
+    for i in range(draw(st.integers(2, 3))):
+        width = draw(st.integers(1, 4))
+        kernel = draw(st.sampled_from([1, 3]))
+        branches.append(b.conv(
+            width, kernel=kernel, pad=kernel // 2, name=f"br{i}",
+            inputs=[trunk],
+        ))
+    joined = b.concat(branches, name="join")
+    if draw(st.booleans()):
+        width = draw(st.integers(2, 4))
+        proj = b.conv(width, kernel=1, name="proj", inputs=[joined])
+        mirror = b.conv(width, kernel=1, name="mirror", inputs=[joined])
+        joined = b.add([proj, mirror], name="res")
+    b.global_pool(name="gp", inputs=[joined])
+    b.fc(draw(st.integers(2, 4)), activation=Activation.SOFTMAX,
+         name="head")
+    return b.build()
+
+
+class TestDagEngineEquivalence:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[
+            HealthCheck.too_slow, HealthCheck.data_too_large,
+        ],
+    )
+    @given(net=random_dag())
+    def test_random_dags_match_golden_model(self, net):
+        """Branch/join graphs generated at random compile (with fully
+        calibrated trackers) and match the golden model."""
+        model = ReferenceModel(net, seed=5)
+        compiled = compile_dag_forward(net, model, rows=2)
+        image = random_image(net, 13)
+        want = model.forward(image)
+        got, _ = compiled.run(image)
+        np.testing.assert_allclose(got, want, atol=1e-4)

@@ -1,0 +1,193 @@
+"""Tests for RNN / LSTM / autoencoder topologies and their primitives."""
+
+import numpy as np
+import pytest
+
+from repro.arch import single_precision_node
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import (
+    Activation,
+    ActivationSpec,
+    EltwiseMulSpec,
+    FeatureShape,
+    LayerKind,
+    SliceSpec,
+)
+from repro.dnn.recurrent import autoencoder, unrolled_lstm, unrolled_rnn
+from repro.errors import ShapeError, TopologyError
+from repro.functional import ReferenceModel
+from repro.sim import simulate
+
+
+def random_input(net, seed=0):
+    shape = net.input.output_shape
+    rng = np.random.default_rng(seed)
+    return rng.normal(
+        0, 1, (shape.count, shape.height, shape.width)
+    ).astype(np.float32)
+
+
+class TestNewPrimitives:
+    def test_slice_shape_and_bounds(self):
+        spec = SliceSpec("s", start=4, stop=10)
+        out = spec.infer_shape((FeatureShape(16, 1, 1),))
+        assert out.count == 6
+        with pytest.raises(ShapeError):
+            SliceSpec("s", start=4, stop=20).infer_shape(
+                (FeatureShape(16, 1, 1),)
+            )
+        with pytest.raises(ShapeError):
+            SliceSpec("s", start=5, stop=5).infer_shape(
+                (FeatureShape(16, 1, 1),)
+            )
+
+    def test_eltwise_mul_shape(self):
+        spec = EltwiseMulSpec("m")
+        shape = FeatureShape(8, 1, 1)
+        assert spec.infer_shape((shape, shape)) == shape
+        with pytest.raises(ShapeError):
+            spec.infer_shape((shape,))
+        with pytest.raises(ShapeError):
+            spec.infer_shape((shape, FeatureShape(4, 1, 1)))
+
+    def test_activation_spec(self):
+        spec = ActivationSpec("a", activation=Activation.TANH)
+        shape = FeatureShape(8, 2, 2)
+        assert spec.infer_shape((shape,)) == shape
+        assert spec.weight_count((shape,)) == 0
+
+    def test_slice_forward_backward(self):
+        b = NetworkBuilder("slicer")
+        b.input(6, 1)
+        b.slice(2, 5)
+        b.fc(3, activation=Activation.SOFTMAX)
+        net = b.build()
+        model = ReferenceModel(net, seed=0)
+        x = random_input(net)
+        model.forward(x)
+        # The sliced features match the input range.
+        np.testing.assert_allclose(
+            model.state["slice1"].output, x[2:5]
+        )
+        loss = model.backward(1)
+        assert np.isfinite(loss)
+
+    def test_mul_gradient_product_rule(self):
+        b = NetworkBuilder("gates")
+        b.input(4, 1)
+        a = b.fc(4, activation=Activation.SIGMOID, name="a")
+        c = b.fc(4, activation=Activation.TANH, name="c",
+                 inputs=["input"])
+        b.multiply([a, c])
+        b.fc(2, activation=Activation.SOFTMAX)
+        net = b.build()
+        model = ReferenceModel(net, seed=1)
+        x = random_input(net, 3)
+        model.forward(x)
+        model.backward(0)
+        analytic = model.state["a"].grad_weights.copy()
+        w = model.state["a"].weights
+        eps = 1e-4
+
+        def loss_at():
+            model.forward(x)
+            p = model.state[net.output.name].output.reshape(-1)
+            return -np.log(max(p[0], 1e-12))
+
+        idx = (1, 2)
+        orig = w[idx]
+        w[idx] = orig + eps
+        lp = loss_at()
+        w[idx] = orig - eps
+        lm = loss_at()
+        w[idx] = orig
+        assert (lp - lm) / (2 * eps) == pytest.approx(
+            analytic[idx], rel=0.05, abs=1e-4
+        )
+
+
+class TestTopologies:
+    def test_rnn_structure(self):
+        net = unrolled_rnn(input_size=8, hidden_size=12, timesteps=3,
+                           num_classes=5)
+        # One FC per step plus the head.
+        fcs = net.layers_of_kind(LayerKind.FC)
+        assert len(fcs) == 4
+        assert net.output.output_shape.count == 5
+        # Per-step weights are distinct (no tying in hardware state).
+        assert net.weight_count > 3 * 12 * 8
+
+    def test_lstm_structure(self):
+        net = unrolled_lstm(input_size=8, hidden_size=12, timesteps=3,
+                            num_classes=5)
+        fcs = net.layers_of_kind(LayerKind.FC)
+        # init h/c + 4 gates x 2 cells + head.
+        assert len(fcs) == 2 + 4 * 2 + 1
+        assert len(net.layers_of_kind(LayerKind.ELTWISE)) > 0
+
+    def test_autoencoder_symmetric(self):
+        net = autoencoder(input_size=64, bottleneck=8, depth=3)
+        assert net.output.output_shape.count == 64
+        assert net["bottleneck"].output_shape.count == 8
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            unrolled_rnn(timesteps=0)
+        with pytest.raises(TopologyError):
+            unrolled_lstm(timesteps=0)
+        with pytest.raises(TopologyError):
+            autoencoder(input_size=8, bottleneck=8)
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "factory", [unrolled_rnn, unrolled_lstm]
+    )
+    def test_forward_backward_runs(self, factory):
+        net = factory(input_size=6, hidden_size=8, timesteps=3,
+                      num_classes=3)
+        model = ReferenceModel(net, seed=0)
+        out = model.forward(random_input(net))
+        assert out.shape == (3,)
+        assert out.sum() == pytest.approx(1.0)
+        loss = model.backward(2)
+        assert np.isfinite(loss)
+        # Every gate's weights received a gradient.
+        for name, st in model.state.items():
+            if st.grad_weights is not None:
+                assert np.abs(st.grad_weights).sum() > 0, name
+
+    def test_lstm_learns(self):
+        from repro.functional import SGDTrainer, make_synthetic_dataset
+
+        net = unrolled_rnn(input_size=4, hidden_size=10, timesteps=3,
+                           num_classes=3)
+        model = ReferenceModel(net, seed=2)
+        x, y = make_synthetic_dataset(net, samples=36, num_classes=3,
+                                      seed=4)
+        trainer = SGDTrainer(model, learning_rate=0.1, batch_size=6)
+        first = trainer.train_epoch(x, y, 0)
+        for epoch in range(1, 5):
+            last = trainer.train_epoch(x, y, epoch)
+        assert last.mean_loss < first.mean_loss
+
+
+class TestMapping:
+    @pytest.mark.parametrize(
+        "factory", [unrolled_rnn, unrolled_lstm, autoencoder]
+    )
+    def test_maps_and_simulates(self, factory):
+        """The Sec 1 claim: these topologies program onto ScaleDeep
+        through the same compiler/simulator as the CNNs."""
+        net = factory()
+        result = simulate(net, single_precision_node())
+        assert result.training_images_per_s > 0
+        assert 0 < result.pe_utilization <= 1
+
+    def test_recurrent_is_fc_side_only(self):
+        from repro.compiler import map_network
+
+        net = unrolled_rnn()
+        mapping = map_network(net, single_precision_node())
+        assert not mapping.conv_allocations
+        assert len(mapping.fc_allocations) >= 4

@@ -1,0 +1,282 @@
+"""Tests for the reference model and SGD trainer (FP/BP/WG of Fig 3)."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation
+from repro.dnn.zoo import tiny_cnn, tiny_mlp
+from repro.errors import ShapeError
+from repro.functional import (
+    ReferenceModel,
+    SGDTrainer,
+    iterate_minibatches,
+    make_synthetic_dataset,
+)
+from repro.functional import tensor_ops as ops
+
+
+def random_image(net, seed=0):
+    shape = net.input.output_shape
+    rng = np.random.default_rng(seed)
+    return rng.normal(
+        0, 1, (shape.count, shape.height, shape.width)
+    ).astype(np.float32)
+
+
+class TestForward:
+    def test_output_shape(self):
+        net = tiny_cnn(num_classes=7)
+        model = ReferenceModel(net)
+        out = model.forward(random_image(net))
+        assert out.shape == (7,)
+        assert out.sum() == pytest.approx(1.0)  # softmax head
+
+    def test_rejects_wrong_input(self):
+        net = tiny_cnn()
+        model = ReferenceModel(net)
+        with pytest.raises(ShapeError):
+            model.forward(np.zeros((1, 4, 4), np.float32))
+
+    def test_deterministic_given_seed(self):
+        net = tiny_cnn()
+        a = ReferenceModel(net, seed=5).forward(random_image(net))
+        b = ReferenceModel(net, seed=5).forward(random_image(net))
+        np.testing.assert_allclose(a, b)
+
+    def test_branching_network_executes(self):
+        b = NetworkBuilder("branchy")
+        b.input(3, 8)
+        trunk = b.conv(4, kernel=3, pad=1)
+        left = b.conv(2, kernel=1, inputs=[trunk])
+        right = b.conv(2, kernel=3, pad=1, inputs=[trunk])
+        cat = b.concat([left, right])
+        res = b.conv(4, kernel=1, inputs=[cat])
+        b.add([res, cat])
+        b.global_pool()
+        b.fc(3, activation=Activation.SOFTMAX)
+        net = b.build()
+        model = ReferenceModel(net)
+        out = model.forward(random_image(net))
+        assert out.shape == (3,)
+        loss = model.backward(1)
+        assert np.isfinite(loss)
+
+
+class TestBackward:
+    def test_gradient_numeric_check_fc(self):
+        net = tiny_mlp(num_classes=3, in_features=5, hidden=4)
+        model = ReferenceModel(net, seed=0)
+        img = random_image(net, seed=9)
+        model.forward(img)
+        model.backward(2)
+        analytic = model.state["fc1"].grad_weights.copy()
+        w = model.state["fc1"].weights
+        eps = 1e-4
+
+        def loss_at():
+            model.forward(img)
+            p = model.state["fc2"].output.reshape(-1)
+            return -np.log(max(p[2], 1e-12))
+
+        for idx in [(0, 0), (3, 4), (1, 2)]:
+            orig = w[idx]
+            w[idx] = orig + eps
+            lp = loss_at()
+            w[idx] = orig - eps
+            lm = loss_at()
+            w[idx] = orig
+            num = (lp - lm) / (2 * eps)
+            assert num == pytest.approx(analytic[idx], rel=5e-2, abs=1e-4)
+
+    def test_gradient_numeric_check_conv(self):
+        net = tiny_cnn(num_classes=3, in_size=8)
+        model = ReferenceModel(net, seed=1)
+        img = random_image(net, seed=2)
+        model.forward(img)
+        model.backward(0)
+        analytic = model.state["conv1"].grad_weights.copy()
+        w = model.state["conv1"].weights
+        eps = 1e-3
+
+        def loss_at():
+            model.forward(img)
+            p = model.state["fc2"].output.reshape(-1)
+            return -np.log(max(p[0], 1e-12))
+
+        for idx in [(0, 0, 1, 1), (7, 2, 0, 2)]:
+            orig = w[idx]
+            w[idx] = orig + eps
+            lp = loss_at()
+            w[idx] = orig - eps
+            lm = loss_at()
+            w[idx] = orig
+            num = (lp - lm) / (2 * eps)
+            assert num == pytest.approx(analytic[idx], rel=0.1, abs=1e-3)
+
+    def test_gradients_accumulate_across_images(self):
+        """The WG step accumulates over a minibatch (Fig 3a)."""
+        net = tiny_mlp()
+        model = ReferenceModel(net, seed=0)
+        img = random_image(net)
+        model.forward(img)
+        model.backward(0)
+        once = model.state["fc1"].grad_weights.copy()
+        model.forward(img)
+        model.backward(0)
+        np.testing.assert_allclose(
+            model.state["fc1"].grad_weights, 2 * once, rtol=1e-5
+        )
+
+    def test_zero_gradients(self):
+        net = tiny_mlp()
+        model = ReferenceModel(net, seed=0)
+        model.forward(random_image(net))
+        model.backward(0)
+        model.zero_gradients()
+        assert model.state["fc1"].grad_weights.sum() == 0
+
+    def test_apply_gradients_moves_weights(self):
+        net = tiny_mlp()
+        model = ReferenceModel(net, seed=0)
+        before = model.state["fc1"].weights.copy()
+        model.forward(random_image(net))
+        model.backward(1)
+        model.apply_gradients(0.1)
+        assert not np.allclose(before, model.state["fc1"].weights)
+        # Gradients were reset by the update.
+        assert model.state["fc1"].grad_weights.sum() == 0
+
+    def test_parameter_count_matches_network(self):
+        net = tiny_cnn()
+        model = ReferenceModel(net)
+        assert model.parameter_count() == net.weight_count
+
+
+class TestTraining:
+    def test_cnn_learns_synthetic_task(self):
+        net = tiny_cnn(num_classes=4, in_size=12)
+        model = ReferenceModel(net, seed=1)
+        x, y = make_synthetic_dataset(net, samples=48, num_classes=4, seed=2)
+        trainer = SGDTrainer(model, learning_rate=0.05, batch_size=8, seed=3)
+        first = trainer.train_epoch(x, y, 0)
+        last = first
+        for epoch in range(1, 4):
+            last = trainer.train_epoch(x, y, epoch)
+        assert last.mean_loss < first.mean_loss
+        assert last.accuracy > 0.9
+
+    def test_mlp_learns(self):
+        net = tiny_mlp(num_classes=3, in_features=10, hidden=16)
+        model = ReferenceModel(net, seed=4)
+        x, y = make_synthetic_dataset(net, samples=60, num_classes=3, seed=5)
+        trainer = SGDTrainer(model, learning_rate=0.1, batch_size=10)
+        for epoch in range(5):
+            stats = trainer.train_epoch(x, y, epoch)
+        assert stats.accuracy > 0.9
+
+    def test_evaluate(self):
+        net = tiny_mlp(num_classes=2, in_features=4, hidden=4)
+        model = ReferenceModel(net, seed=0)
+        x, y = make_synthetic_dataset(net, samples=10, num_classes=2)
+        trainer = SGDTrainer(model)
+        acc = trainer.evaluate(x, y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_trainer_validation(self):
+        model = ReferenceModel(tiny_mlp())
+        with pytest.raises(ShapeError):
+            SGDTrainer(model, learning_rate=0.0)
+        with pytest.raises(ShapeError):
+            SGDTrainer(model, batch_size=0)
+
+    def test_minibatch_iterator_covers_everything(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(10)[:, None]
+        y = np.arange(10)
+        seen = []
+        for bx, by in iterate_minibatches(x, y, 3, rng):
+            assert len(bx) <= 3
+            seen.extend(by.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_synthetic_dataset_validation(self):
+        with pytest.raises(ShapeError):
+            make_synthetic_dataset(tiny_mlp(), samples=0, num_classes=2)
+
+
+class TestUnsupervised:
+    """The autoencoder path: MSE reconstruction loss (Sec 1's
+    'supervised and unsupervised learning')."""
+
+    def _subspace_data(self, rng, n, dim=32, rank=4):
+        basis = rng.normal(0, 1, (rank, dim))
+        latent = rng.normal(0, 1, (n, rank))
+        return ((latent @ basis) / rank + 0.5).clip(0, 1).astype(
+            np.float32
+        )
+
+    def test_autoencoder_reduces_reconstruction_loss(self):
+        from repro.dnn.recurrent import autoencoder
+
+        net = autoencoder(input_size=32, bottleneck=6, depth=2)
+        model = ReferenceModel(net, seed=0)
+        rng = np.random.default_rng(1)
+        data = self._subspace_data(rng, 48)
+
+        def epoch_loss():
+            total = 0.0
+            for start in range(0, len(data), 8):
+                batch = data[start:start + 8]
+                for x in batch:
+                    model.forward(x.reshape(32, 1, 1))
+                    total += model.backward_mse(x)
+                model.apply_gradients(1.0, scale=1 / len(batch))
+            return total / len(data)
+
+        losses = [epoch_loss() for _ in range(25)]
+        assert losses[-1] < 0.8 * losses[0]
+        assert losses[-1] < 0.09
+
+    def test_mse_gradient_numeric(self):
+        from repro.dnn.recurrent import autoencoder
+
+        net = autoencoder(input_size=8, bottleneck=3, depth=1)
+        model = ReferenceModel(net, seed=2)
+        x = np.random.default_rng(3).uniform(0, 1, 8).astype(np.float32)
+        model.forward(x.reshape(8, 1, 1))
+        model.backward_mse(x * 0.5)
+        analytic = model.state["reconstruction"].grad_weights.copy()
+        w = model.state["reconstruction"].weights
+        eps = 1e-4
+
+        def loss_at():
+            out = model.forward(x.reshape(8, 1, 1))
+            return float(((out - x * 0.5) ** 2).mean())
+
+        idx = (2, 1)
+        orig = w[idx]
+        w[idx] = orig + eps
+        lp = loss_at()
+        w[idx] = orig - eps
+        lm = loss_at()
+        w[idx] = orig
+        assert (lp - lm) / (2 * eps) == pytest.approx(
+            analytic[idx], rel=0.05, abs=1e-5
+        )
+
+    def test_mse_shape_mismatch_rejected(self):
+        from repro.dnn.recurrent import autoencoder
+
+        net = autoencoder(input_size=8, bottleneck=3, depth=1)
+        model = ReferenceModel(net, seed=0)
+        model.forward(np.zeros((8, 1, 1), np.float32))
+        with pytest.raises(ShapeError):
+            model.backward_mse(np.zeros(5))
+
+    def test_mse_through_softmax_rejected(self):
+        net = tiny_mlp(num_classes=3)
+        model = ReferenceModel(net, seed=0)
+        model.forward(np.zeros((16, 1, 1), np.float32))
+        with pytest.raises(ShapeError):
+            model.backward_mse(np.zeros(3))

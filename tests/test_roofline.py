@@ -1,0 +1,102 @@
+"""Roofline analysis tests: machine balance vs layer intensity."""
+
+import pytest
+
+from repro.arch import FREQUENCY_HZ, conv_chip, fc_chip
+from repro.arch.roofline import (
+    Boundedness,
+    ChipRoofline,
+    boundedness_summary,
+    chip_roofline,
+    network_roofline,
+)
+from repro.dnn import zoo
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def conv_rl():
+    return chip_roofline(conv_chip(), FREQUENCY_HZ)
+
+
+@pytest.fixture(scope="module")
+def fc_rl():
+    return chip_roofline(fc_chip(), FREQUENCY_HZ)
+
+
+class TestChipRoofline:
+    def test_balance_points_reflect_heterogeneity(self, conv_rl, fc_rl):
+        """The FcLayer chip is provisioned for far higher B/F than the
+        ConvLayer chip — the Sec 3.2.5 design split in one number."""
+        assert fc_rl.balance_bytes_per_flop > (
+            5 * conv_rl.balance_bytes_per_flop
+        )
+
+    def test_conv_balance_serves_convolutions(self, conv_rl):
+        """CONV layers (B/F ~0.006-0.015, Fig 4) sit compute-bound."""
+        assert conv_rl.classify(0.015) is Boundedness.COMPUTE
+        assert conv_rl.balance_bytes_per_flop > 0.015
+
+    def test_attainable_flops_shape(self, conv_rl):
+        assert conv_rl.attainable_flops(0.0) == conv_rl.peak_flops
+        knee = conv_rl.balance_bytes_per_flop
+        assert conv_rl.attainable_flops(knee) == pytest.approx(
+            conv_rl.peak_flops
+        )
+        assert conv_rl.attainable_flops(10 * knee) == pytest.approx(
+            conv_rl.peak_flops / 10
+        )
+
+    def test_negative_intensity_rejected(self, conv_rl):
+        with pytest.raises(ConfigError):
+            conv_rl.attainable_flops(-1.0)
+
+
+class TestNetworkRoofline:
+    def test_alexnet_conv_layers_compute_bound(self, conv_rl):
+        points = {
+            p.layer: p
+            for p in network_roofline(zoo.alexnet(), conv_rl)
+        }
+        for layer in ("conv1", "conv2", "conv3", "conv4", "conv5"):
+            assert points[layer].boundedness is Boundedness.COMPUTE
+
+    def test_unbatched_fc_bandwidth_bound_even_on_fc_chip(self, fc_rl):
+        """Without batching, fc6's ~2 B/F exceeds even the FcLayer
+        chip's balance — the problem the wheel exists to solve."""
+        points = {
+            p.layer: p
+            for p in network_roofline(zoo.alexnet(), fc_rl,
+                                      weight_reuse_batch=1)
+        }
+        assert points["fc6"].boundedness is Boundedness.BANDWIDTH
+        assert points["fc6"].attainable_fraction < 0.2
+
+    def test_wheel_batching_moves_fc_under_the_roof(self, fc_rl):
+        """Sec 3.3.1: batching amortises weight traffic by the batch
+        size; at the wheel+ring batch the FC layers become viable."""
+        batched = {
+            p.layer: p
+            for p in network_roofline(zoo.alexnet(), fc_rl,
+                                      weight_reuse_batch=128)
+        }
+        unbatched = {
+            p.layer: p
+            for p in network_roofline(zoo.alexnet(), fc_rl,
+                                      weight_reuse_batch=1)
+        }
+        assert batched["fc6"].attainable_fraction == pytest.approx(1.0)
+        assert (
+            batched["fc6"].attainable_fraction
+            > 5 * unbatched["fc6"].attainable_fraction
+        )
+        assert batched["fc6"].boundedness is Boundedness.COMPUTE
+
+    def test_summary_counts(self, conv_rl):
+        points = network_roofline(zoo.alexnet(), conv_rl)
+        summary = boundedness_summary(points)
+        assert sum(summary.values()) == len(points)
+
+    def test_bad_batch_rejected(self, fc_rl):
+        with pytest.raises(ConfigError):
+            network_roofline(zoo.alexnet(), fc_rl, weight_reuse_batch=0)

@@ -1,0 +1,136 @@
+"""Tests for the processing-tile models, including array reconfigurability."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.presets import FREQUENCY_HZ, conv_comp_tile, fc_comp_tile
+from repro.arch.tiles import (
+    ArrayConfig,
+    CompHeavyConfig,
+    MemHeavyConfig,
+    array_utilization,
+)
+from repro.errors import ConfigError
+
+
+class TestCompHeavy:
+    def test_conv_tile_peak_matches_fig14(self):
+        tile = conv_comp_tile()
+        # 8x3 2D-PEs x 4 lanes x 2 FLOPs + 32 accumulator FLOPs = 224/cy.
+        assert tile.flops_per_cycle == 224
+        assert tile.peak_flops(FREQUENCY_HZ) == pytest.approx(134.4e9)
+
+    def test_fc_tile_peak_matches_fig14(self):
+        tile = fc_comp_tile()
+        assert tile.flops_per_cycle == 64
+        assert tile.peak_flops(FREQUENCY_HZ) == pytest.approx(38.4e9)
+
+    def test_counts(self):
+        tile = conv_comp_tile()
+        assert tile.pe_count == 24
+        assert tile.fma_count == 96
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CompHeavyConfig(0, 3, 4, 0, 8, 4, 4, 16)
+        with pytest.raises(ConfigError):
+            CompHeavyConfig(8, 3, 4, -1, 8, 4, 4, 16)
+        with pytest.raises(ConfigError):
+            # Row split demands even rows.
+            CompHeavyConfig(7, 3, 4, 0, 8, 4, 4, 16, row_split=True)
+
+
+class TestReconfigurability:
+    def test_configurations_preserve_col_lane_product(self):
+        tile = conv_comp_tile()
+        for cfg in tile.configurations():
+            assert cfg.cols * cfg.lanes == tile.cols * tile.lanes
+
+    def test_row_split_halves_rows(self):
+        tile = conv_comp_tile()
+        splits = {cfg.splits for cfg in tile.configurations()}
+        assert splits == {1, 2}
+        for cfg in tile.configurations():
+            if cfg.splits == 2:
+                assert cfg.rows == tile.rows // 2
+
+    def test_disabled_reconfigurability(self):
+        tile = CompHeavyConfig(
+            8, 3, 4, 0, 8, 4, 4, 16,
+            row_split=False, lane_redistribution=False,
+        )
+        configs = list(tile.configurations())
+        assert len(configs) == 1
+        assert configs[0] == ArrayConfig(8, 3, 4, 1)
+
+    def test_best_configuration_beats_default(self):
+        """Fig 19: C2/S2 splits row-wise to run 2 batch convolutions —
+        reconfiguration must never lose to the default shape."""
+        tile = conv_comp_tile()
+        default = ArrayConfig(tile.rows, tile.cols, tile.lanes)
+        for rows, count in [(4, 2), (27, 256), (13, 5), (1, 1)]:
+            _, best = tile.best_configuration(rows, count)
+            assert best >= array_utilization(default, rows, count)
+
+    def test_best_configuration_validates(self):
+        with pytest.raises(ConfigError):
+            conv_comp_tile().best_configuration(0, 4)
+
+
+class TestArrayUtilization:
+    def test_perfect_fit(self):
+        cfg = ArrayConfig(rows=8, cols=3, lanes=4)
+        assert array_utilization(cfg, 16, 8) == pytest.approx(1.0)
+
+    def test_row_residue(self):
+        cfg = ArrayConfig(rows=8, cols=3, lanes=4)
+        # 9 rows of work on 8 array rows: 9/16 utilization.
+        assert array_utilization(cfg, 9, 4) == pytest.approx(9 / 16)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        rows=st.integers(1, 16),
+        lanes=st.integers(1, 8),
+        splits=st.sampled_from([1, 2]),
+        feature_rows=st.integers(1, 300),
+        feature_count=st.integers(1, 600),
+    )
+    def test_utilization_bounded(
+        self, rows, lanes, splits, feature_rows, feature_count
+    ):
+        cfg = ArrayConfig(rows=rows, cols=3, lanes=lanes, splits=splits)
+        util = array_utilization(cfg, feature_rows, feature_count)
+        assert 0.0 < util <= 1.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        feature_rows=st.integers(1, 64),
+        feature_count=st.integers(1, 128),
+    )
+    def test_best_configuration_is_argmax(self, feature_rows, feature_count):
+        tile = conv_comp_tile()
+        cfg, util = tile.best_configuration(feature_rows, feature_count)
+        brute = max(
+            array_utilization(c, feature_rows, feature_count)
+            for c in tile.configurations()
+        )
+        assert util == pytest.approx(brute)
+
+
+class TestMemHeavy:
+    def test_peak_flops(self):
+        tile = MemHeavyConfig(capacity_bytes=512 * 1024, num_sfu=32)
+        assert tile.flops_per_cycle == 32
+        assert tile.peak_flops(FREQUENCY_HZ) == pytest.approx(19.2e9)
+
+    def test_halved_capacity(self):
+        tile = MemHeavyConfig(capacity_bytes=512 * 1024, num_sfu=32)
+        half = tile.halved_capacity()
+        assert half.capacity_bytes == 256 * 1024
+        assert half.num_sfu == 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MemHeavyConfig(capacity_bytes=0, num_sfu=32)
+        with pytest.raises(ConfigError):
+            MemHeavyConfig(capacity_bytes=1024, num_sfu=0)

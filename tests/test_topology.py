@@ -1,0 +1,98 @@
+"""Tests for the grid-wheel-ring interconnect graph (Figs 6/12)."""
+
+import networkx as nx
+import pytest
+
+from repro.arch import single_precision_node
+from repro.arch.topology import (
+    bisection_bandwidth,
+    build_fat_tree,
+    build_topology,
+    compare_with_fat_tree,
+    conv_chip_name,
+    hub_name,
+    profile_topology,
+)
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def node():
+    return single_precision_node()
+
+
+@pytest.fixture(scope="module")
+def graph(node):
+    return build_topology(node)
+
+
+class TestStructure:
+    def test_chip_inventory(self, graph, node):
+        kinds = nx.get_node_attributes(graph, "kind")
+        assert sum(1 for k in kinds.values() if k == "conv") == 16
+        assert sum(1 for k in kinds.values() if k == "fc") == 4
+        # No dedicated switch hardware anywhere: every link is
+        # point-to-point between processing chips (Sec 3.2.1).
+        assert all(k in ("conv", "fc") for k in kinds.values())
+
+    def test_link_classes_and_counts(self, graph, node):
+        kinds = [d["kind"] for _, _, d in graph.edges(data=True)]
+        assert kinds.count("spoke") == 16  # 4 per wheel
+        assert kinds.count("arc") == 16  # rim of each wheel
+        assert kinds.count("ring") == 4  # hub ring
+
+    def test_bandwidth_attributes(self, graph, node):
+        for _, _, data in graph.edges(data=True):
+            expected = {
+                "spoke": node.cluster.spoke_bandwidth,
+                "arc": node.cluster.arc_bandwidth,
+                "ring": node.ring_bandwidth,
+            }[data["kind"]]
+            assert data["bandwidth"] == expected
+
+    def test_wheel_adjacency(self, graph):
+        """Adjacent ConvLayer chips of a wheel are one arc apart; their
+        hub is one spoke away — the locality the mapping exploits."""
+        a = conv_chip_name(0, 0)
+        b = conv_chip_name(0, 1)
+        assert nx.shortest_path_length(graph, a, b) == 1
+        assert nx.shortest_path_length(graph, a, hub_name(0)) == 1
+
+    def test_cross_cluster_path_goes_through_ring(self, graph):
+        path = nx.shortest_path(
+            graph, conv_chip_name(0, 0), conv_chip_name(2, 0)
+        )
+        hubs = [n for n in path if n.endswith("hub")]
+        assert len(hubs) >= 2  # enters the ring at one hub, exits at another
+
+
+class TestFatTreeComparison:
+    def test_profiles(self, node):
+        profiles = compare_with_fat_tree(node)
+        ours = profiles["grid-wheel-ring"]
+        tree = profiles["fat-tree"]
+        assert ours.chips == tree.chips == 20
+        # The fat tree needs dedicated switches; ScaleDeep does not.
+        assert tree.switch_nodes > 0
+        assert ours.switch_nodes == 0
+        # Producer->consumer locality: one hop on the wheel rim, two+
+        # through the tree (up to a switch and back down).
+        assert ours.neighbour_hops == 1
+        assert tree.neighbour_hops >= 2
+        # FC work sits one spoke away on ScaleDeep.
+        assert ours.fc_hops == 1.0
+
+    def test_fat_tree_validation(self):
+        with pytest.raises(ConfigError):
+            build_fat_tree(0, 1e9)
+        with pytest.raises(ConfigError):
+            build_fat_tree(8, 1e9, arity=1)
+
+    def test_fat_tree_shape(self):
+        tree = build_fat_tree(16, 1e9, arity=4)
+        leaves = [n for n, d in tree.nodes(data=True) if d["kind"] == "conv"]
+        assert len(leaves) == 16
+        assert nx.is_connected(tree)
+
+    def test_bisection_bandwidth_positive(self, graph):
+        assert bisection_bandwidth(graph) > 0

@@ -1,0 +1,65 @@
+"""Cross-validation: analytical model vs engine cycle counts."""
+
+import pytest
+
+from repro.dnn.builder import NetworkBuilder
+from repro.dnn.layers import Activation, PoolMode
+from repro.dnn.zoo import tiny_cnn, tiny_mlp
+from repro.sim.validation import (
+    ValidationRow,
+    analytical_forward_cycles,
+    cross_validate,
+    rank_agreement,
+)
+
+
+def wide_cnn():
+    b = NetworkBuilder("WideCNN")
+    b.input(3, 16)
+    b.conv(12, kernel=3, pad=1)
+    b.pool(2, mode=PoolMode.AVG)
+    b.conv(16, kernel=3, pad=1)
+    b.fc(6, activation=Activation.SOFTMAX)
+    return b.build()
+
+
+@pytest.fixture(scope="module")
+def rows():
+    nets = {
+        "mlp": tiny_mlp(num_classes=4, in_features=8, hidden=12),
+        "cnn8": tiny_cnn(num_classes=4, in_size=8),
+        "cnn16": tiny_cnn(num_classes=4, in_size=16),
+        "wide": wide_cnn(),
+    }
+    return cross_validate(nets, rows=2)
+
+
+class TestCrossValidation:
+    def test_models_rank_workloads_identically(self, rows):
+        assert rank_agreement(rows) == 1.0
+
+    def test_compute_dominated_ratios_near_one(self, rows):
+        """For networks with real compute, the engine's measured cycles
+        land within 3x of the analytical prediction (the tiny MLP is
+        per-instruction-overhead dominated and excluded)."""
+        for row in rows:
+            if row.analytical_cycles > 100:
+                assert 0.3 < row.ratio < 3.0, row.network
+
+    def test_engine_never_free(self, rows):
+        for row in rows:
+            assert row.engine_cycles > 0
+            assert row.instructions > 0
+
+    def test_analytical_cycles_scale_with_input(self):
+        small = analytical_forward_cycles(
+            tiny_cnn(num_classes=4, in_size=8), rows=2
+        )
+        large = analytical_forward_cycles(
+            tiny_cnn(num_classes=4, in_size=16), rows=2
+        )
+        assert large > 2 * small
+
+    def test_rank_agreement_degenerate(self):
+        assert rank_agreement([]) == 1.0
+        assert rank_agreement([ValidationRow("x", 1, 1.0, 1)]) == 1.0

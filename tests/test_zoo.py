@@ -1,0 +1,135 @@
+"""The benchmark zoo reproduces the paper's Fig 15 table."""
+
+import pytest
+
+from repro.dnn import zoo
+from repro.dnn.layers import LayerKind
+
+#: Relative tolerance for neurons/weights/connections vs Fig 15.  The
+#: paper's exact input crops and layer variants are not fully specified;
+#: GoogLeNet's connection count is the one documented outlier (the
+#: paper's 2.44B vs the standard model's ~1.6B multiply-accumulates).
+TOLERANCE = 0.20
+CONNECTION_OVERRIDES = {"GoogLeNet": 0.40}
+# GoogLeNet neuron counts depend on whether the 5x5-reduce / pool-proj
+# intermediate outputs are counted; ours counts every CONV output.
+NEURON_OVERRIDES = {"GoogLeNet": 0.25}
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return zoo.all_benchmarks()
+
+
+class TestFig15:
+    @pytest.mark.parametrize("name", list(zoo.BENCHMARKS))
+    def test_neurons(self, suite, name):
+        row = zoo.PAPER_FIG15[name]
+        tol = NEURON_OVERRIDES.get(name, TOLERANCE)
+        got = suite[name].neuron_count / 1e6
+        assert got == pytest.approx(row.neurons_m, rel=tol)
+
+    @pytest.mark.parametrize("name", list(zoo.BENCHMARKS))
+    def test_weights(self, suite, name):
+        row = zoo.PAPER_FIG15[name]
+        got = suite[name].weight_count / 1e6
+        assert got == pytest.approx(row.weights_m, rel=0.05)
+
+    @pytest.mark.parametrize("name", list(zoo.BENCHMARKS))
+    def test_connections(self, suite, name):
+        row = zoo.PAPER_FIG15[name]
+        tol = CONNECTION_OVERRIDES.get(name, TOLERANCE)
+        got = suite[name].connection_count / 1e9
+        assert got == pytest.approx(row.connections_b, rel=tol)
+
+    @pytest.mark.parametrize("name", list(zoo.BENCHMARKS))
+    def test_weighted_layer_counts(self, suite, name):
+        """CONV+FC layer counts match the paper's bookkeeping, allowing
+        for inception modules / residual projections counted as units."""
+        row = zoo.PAPER_FIG15[name]
+        net = suite[name]
+        counts = net.layer_counts()
+        fc = counts.get(LayerKind.FC, 0)
+        assert fc == row.fc_layers
+        conv = counts.get(LayerKind.CONV, 0)
+        # The paper counts inception modules as single CONV layers and
+        # omits projection shortcuts, so our graph has >= its count.
+        assert conv >= row.conv_layers
+
+
+class TestZooApi:
+    def test_load_by_name(self):
+        net = zoo.load("AlexNet")
+        assert net.name == "AlexNet"
+
+    def test_load_unknown(self):
+        with pytest.raises(KeyError):
+            zoo.load("LeNet-99")
+
+    def test_factories_are_deterministic(self):
+        a, b = zoo.alexnet(), zoo.alexnet()
+        assert a.weight_count == b.weight_count
+        assert [n.name for n in a] == [n.name for n in b]
+
+    def test_suite_order_matches_paper(self):
+        assert list(zoo.BENCHMARKS)[0] == "AlexNet"
+        assert list(zoo.BENCHMARKS)[-1] == "VGG-E"
+        assert len(zoo.BENCHMARKS) == 11
+
+    def test_custom_class_count(self):
+        net = zoo.alexnet(num_classes=100)
+        assert net.output.output_shape.count == 100
+
+
+class TestTinyNetworks:
+    def test_tiny_cnn_shapes(self):
+        net = zoo.tiny_cnn(num_classes=7, in_size=16)
+        assert net.output.output_shape.count == 7
+        assert net.input.output_shape.height == 16
+
+    def test_tiny_mlp_is_fc_only(self):
+        net = zoo.tiny_mlp()
+        kinds = {n.kind for n in net}
+        assert LayerKind.CONV not in kinds
+
+
+class TestExtras:
+    def test_extras_loadable(self):
+        for name in zoo.EXTRAS:
+            net = zoo.load(name)
+            assert len(net) > 2
+
+    def test_extras_not_in_benchmark_suite(self):
+        assert not set(zoo.EXTRAS) & set(zoo.BENCHMARKS)
+
+    def test_error_lists_extras(self):
+        with pytest.raises(KeyError, match="LeNet-5"):
+            zoo.load("nope")
+
+
+class TestNiN:
+    def test_parameter_count_ballpark(self):
+        """NiN is famously compact: ~7.6M parameters, no FC layers."""
+        net = zoo.nin()
+        assert 6e6 < net.weight_count < 10e6
+        assert not net.layers_of_kind(LayerKind.FC)
+
+    def test_head_is_global_pooling(self):
+        net = zoo.nin(num_classes=100)
+        assert net.output.kind is LayerKind.SAMP
+        assert net.output.output_shape.count == 100
+
+    def test_maps_without_fc_side(self):
+        from repro.arch import single_precision_node
+        from repro.compiler import map_network
+
+        mapping = map_network(zoo.nin(), single_precision_node())
+        assert not mapping.fc_allocations
+        assert mapping.conv_allocations
+
+    def test_simulates(self):
+        from repro.arch import single_precision_node
+        from repro.sim import simulate
+
+        result = simulate(zoo.nin(), single_precision_node())
+        assert result.training_images_per_s > 100
