@@ -8,7 +8,16 @@ tables reproduce the paper's rows/series.
 
 import pytest
 
-from repro.bench import suite_results
+from repro.bench import clear_caches, suite_results
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _cold_caches_between_suite_runs():
+    """Drop the memoised substrate when the session ends, so repeated
+    suite runs in one process time cold caches, not the last run's
+    warm results."""
+    yield
+    clear_caches()
 
 
 @pytest.fixture(scope="session")

@@ -3,6 +3,7 @@
 from repro.bench.runner import (
     cached_mapping,
     cached_simulation,
+    clear_caches,
     suite_results,
 )
 from repro.bench.export import export_all
@@ -12,6 +13,7 @@ __all__ = [
     "Table",
     "cached_mapping",
     "cached_simulation",
+    "clear_caches",
     "export_all",
     "fmt_count",
     "fmt_rate",

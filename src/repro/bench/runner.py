@@ -52,3 +52,12 @@ def suite_results(precision: str = "sp") -> Dict[str, PerfResult]:
     return {
         name: cached_simulation(name, precision) for name in zoo.BENCHMARKS
     }
+
+
+def clear_caches() -> None:
+    """Drop every memoised network/node/mapping/simulation result.
+
+    Benchmark teardown calls this so repeated suite runs in one process
+    measure cold caches rather than the previous run's warm results."""
+    for memo in (_network, _node, cached_mapping, cached_simulation):
+        memo.cache_clear()

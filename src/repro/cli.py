@@ -11,7 +11,14 @@ Subcommands:
 * ``stages NET`` — per-stage pipeline latencies and binding subsystem;
 * ``report NET`` — the full simulation report (mapping, throughput,
   pipeline, links, power, energy, gradient sync);
+* ``trace NET`` — record a telemetry capture and write a Chrome
+  trace-event JSON (open in Perfetto / ``chrome://tracing``);
+* ``profile NET`` — per-tile busy/stalled/blocked cycle accounting and
+  the counter registry;
 * ``export DIR`` — write every figure's data series as CSV.
+
+Network names are resolved case-insensitively with shorthand aliases
+(``alexnet``, ``tiny``); unknown names exit with status 2 and a hint.
 """
 
 from __future__ import annotations
@@ -44,8 +51,13 @@ def _node(args: argparse.Namespace):
 def _load(name: str):
     try:
         return zoo.load(name)
-    except KeyError as exc:
-        raise SystemExit(str(exc))
+    except KeyError:
+        choices = ", ".join(zoo.available())
+        print(
+            f"repro: unknown network {name!r} (choose from: {choices})",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
 
 
 def cmd_list(args: argparse.Namespace) -> None:
@@ -159,6 +171,101 @@ def cmd_report(args: argparse.Namespace) -> None:
     print(full_report(net, _node(args)).render())
 
 
+def _engine_forward(net):
+    """Compile ``net``'s forward pass for the functional engine and run
+    one random image through it (telemetry flows to the active handle)."""
+    import numpy as np
+
+    from repro.compiler.codegen import compile_forward
+    from repro.functional.reference import ReferenceModel
+
+    model = ReferenceModel(net, seed=0)
+    compiled = compile_forward(net, model)
+    shape = net.input.output_shape
+    rng = np.random.default_rng(0)
+    image = rng.normal(
+        0, 1, (shape.count, shape.height, shape.width)
+    ).astype(np.float32)
+    return compiled.run(image)
+
+
+#: Above this weight count the functional engine is not attempted: the
+#: instruction-level model targets test-scale networks (the analytical
+#: model covers the full suite).
+_ENGINE_WEIGHT_LIMIT = 1_000_000
+
+
+def cmd_trace(args: argparse.Namespace) -> None:
+    from repro.errors import ReproError
+    from repro.telemetry import capture, summarize, write_chrome_trace
+
+    net = _load(args.network)
+    tel = None
+    if net.weight_count <= _ENGINE_WEIGHT_LIMIT:
+        with capture() as attempt:
+            try:
+                _, report = _engine_forward(net)
+                source = f"functional engine: {report.describe()}"
+                tel = attempt
+            except ReproError:
+                pass  # engine scope excludes this network; fall back
+    if tel is None:
+        # Engine scope excludes this network: trace the analytical
+        # pipeline (stage spans + mapping decisions) instead.
+        with capture() as tel:
+            result = simulate(net, _node(args))
+        source = f"analytical model: {result.describe()}"
+    path = write_chrome_trace(tel, args.out)
+    print(f"traced {net.name} [{source}]")
+    print(f"{summarize(tel)}")
+    print(f"wrote Chrome trace to {path}")
+
+
+def cmd_profile(args: argparse.Namespace) -> None:
+    from repro.errors import ReproError
+    from repro.telemetry import (
+        analytical_tile_profile,
+        capture,
+        counter_table,
+        engine_tile_profile,
+        profile_table,
+        write_counters_csv,
+    )
+
+    net = _load(args.network)
+    with capture() as tel:
+        result = simulate(net, _node(args))
+        engine_report = None
+        if net.weight_count <= _ENGINE_WEIGHT_LIMIT:
+            try:
+                _, engine_report = _engine_forward(net)
+            except ReproError:
+                pass  # engine scope excludes this network
+
+    beat = result.bottleneck.cycles
+    rows = analytical_tile_profile(result)
+    profile_table(
+        rows, f"Per-tile-group cycles of {net.name} (one pipeline beat)"
+    ).show()
+    busy_total = sum(r.busy_cycles for r in rows)
+    print(
+        f"\npipeline beat {beat:,.0f} cycles "
+        f"({len(rows)} tile groups, {busy_total:,.0f} busy cycles/beat); "
+        f"train {result.training_images_per_s:,.0f} img/s, "
+        f"eval {result.evaluation_images_per_s:,.0f} img/s"
+    )
+    if engine_report is not None:
+        print(f"\nfunctional engine: {engine_report.describe()}")
+        profile_table(
+            engine_tile_profile(tel),
+            f"Engine per-tile cycles ({net.name}, one image)",
+        ).show()
+    if args.counters:
+        counter_table(tel, f"Telemetry counters for {net.name}").show()
+    if args.csv:
+        print(f"wrote counters to {write_counters_csv(tel, args.csv)}")
+
+
 def cmd_export(args: argparse.Namespace) -> None:
     from repro.bench.export import export_all
 
@@ -169,9 +276,14 @@ def cmd_export(args: argparse.Namespace) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ScaleDeep (ISCA 2017) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -203,6 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
     with_net("report", "full simulation report").set_defaults(
         func=cmd_report
     )
+    p = with_net("trace", "write a Chrome trace-event JSON capture")
+    p.add_argument(
+        "--out", default="trace.json",
+        help="output path for the trace (default: trace.json)",
+    )
+    p.set_defaults(func=cmd_trace)
+    p = with_net("profile", "per-tile cycle counters and telemetry")
+    p.add_argument(
+        "--counters", action="store_true",
+        help="also print the full counter registry",
+    )
+    p.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="write the counter registry as CSV to PATH",
+    )
+    p.set_defaults(func=cmd_profile)
     p = sub.add_parser("export", help="write figure data as CSV")
     p.add_argument("directory", help="output directory")
     p.set_defaults(func=cmd_export)

@@ -38,6 +38,7 @@ from repro.dnn.analysis import Step, profile
 from repro.dnn.layers import LayerKind
 from repro.dnn.network import LayerNode, Network
 from repro.errors import MappingError
+from repro.telemetry.core import get_telemetry
 
 #: Stop load-balancing a unit when an extra column improves its stage
 #: latency by less than this fraction.
@@ -278,6 +279,15 @@ def map_network(
     fc_chip = node.cluster.fc_chip
     conv_units, fc_units = _split_layers(net, group_key)
 
+    tel = get_telemetry()
+    if tel.enabled:
+        tel.instant(
+            "step1.partition", "compiler", ("compiler", "STEP1"), 0,
+            network=net.name,
+            conv_units=[u.name for u in conv_units],
+            fc_units=[u.name for u in fc_units],
+        )
+
     fc_allocs = _allocate_side(net, node, fc_chip, fc_units, min_column_gain)
 
     # Minimum chips one copy needs from STEP3a's memory constraint.
@@ -325,6 +335,20 @@ def map_network(
         copies=copies,
     )
     _place_weights(mapping)
+    if tel.enabled:
+        tel.instant(
+            "step3a.footprint", "compiler", ("compiler", "STEP3a"), 0,
+            network=net.name, min_columns=min_cols,
+            chips_per_copy=chips_per_copy,
+            clusters_per_copy=clusters_per_copy, copies=copies,
+        )
+        group = f"mapping/{net.name}"
+        tel.record(group, "conv_units", len(conv_units))
+        tel.record(group, "fc_units", len(fc_units))
+        tel.record(group, "conv_columns_per_copy",
+                   mapping.conv_columns_per_copy)
+        tel.record(group, "fc_columns", mapping.fc_columns)
+        tel.record(group, "copies", copies)
     return mapping
 
 
@@ -342,10 +366,18 @@ def _allocate_side(
     dtype = node.dtype_bytes
     partial_batch = chip.comp_tile.lanes
 
+    tel = get_telemetry()
     allocs: Dict[str, UnitAllocation] = {}
     for unit in units:
         state = _unit_state_bytes(unit, dtype, partial_batch)
         min_cols = max(1, math.ceil(state / chip.mem_capacity_per_column))
+        if tel.enabled:
+            tel.instant(
+                "step3a.min_columns", "compiler",
+                ("compiler", "STEP3a"), len(allocs),
+                unit=unit.name, chip=chip.kind.value,
+                state_bytes=state, min_columns=min_cols,
+            )
         flops = sum(
             profile(n, step, dtype).flops
             for n in unit.members + unit.attached
@@ -381,6 +413,7 @@ def _allocate_side(
     current = {
         name: stage_cycles(name, a.columns) for name, a in allocs.items()
     }
+    grants = 0
     while budget > 0:
         ranked = sorted(current, key=lambda n: current[n], reverse=True)
         granted = False
@@ -393,6 +426,16 @@ def _allocate_side(
                 trial = stage_cycles(name, base_cols + extra)
                 if trial < current[name] * (1 - min_column_gain):
                     allocs[name].columns = base_cols + extra
+                    if tel.enabled:
+                        tel.instant(
+                            "step3b.grant", "compiler",
+                            ("compiler", "STEP3b"), grants,
+                            unit=name, extra_columns=extra,
+                            columns=base_cols + extra,
+                            stage_cycles_before=current[name],
+                            stage_cycles_after=trial,
+                        )
+                        grants += 1
                     current[name] = trial
                     budget -= extra
                     granted = True
@@ -409,6 +452,8 @@ def _place_weights(mapping: WorkloadMapping) -> None:
     node = mapping.node
     dtype = node.dtype_bytes
     net = mapping.network
+    tel = get_telemetry()
+    placed = 0
 
     for table, chip in (
         (mapping.conv_allocations, node.cluster.conv_chip),
@@ -427,3 +472,12 @@ def _place_weights(mapping: WorkloadMapping) -> None:
             spare = capacity - alloc.state_bytes
             # Weights and their gradients both live on-chip when chosen.
             alloc.weights_on_chip = 2 * weights <= spare
+            if tel.enabled:
+                tel.instant(
+                    "step6.weight_placement", "compiler",
+                    ("compiler", "STEP6"), placed,
+                    unit=alloc.unit, chip=chip.kind.value,
+                    weight_bytes=weights, spare_bytes=spare,
+                    on_chip=alloc.weights_on_chip,
+                )
+                placed += 1

@@ -81,14 +81,51 @@ EXTRAS: Dict[str, Callable[[], Network]] = {
 }
 
 
+#: Shorthand spellings accepted by :func:`resolve` (keys are already in
+#: normalised form: lowercase with punctuation stripped).
+ALIASES: Dict[str, str] = {
+    "tiny": "TinyCNN",
+    "mlp": "TinyMLP",
+    "lenet": "LeNet-5",
+    "lenet5": "LeNet-5",
+    "overfeatfast": "OF-Fast",
+    "overfeataccurate": "OF-Acc",
+}
+
+
+def _normalize(name: str) -> str:
+    return "".join(ch for ch in name.lower() if ch.isalnum())
+
+
+def available() -> list:
+    """All loadable network names (suite + extras), sorted."""
+    return sorted(BENCHMARKS) + sorted(EXTRAS)
+
+
+def resolve(name: str) -> str:
+    """Canonical network name for ``name``, accepting case-insensitive
+    spellings (``alexnet``) and shorthand aliases (``tiny``).  Raises
+    ``KeyError`` when nothing matches."""
+    if name in BENCHMARKS or name in EXTRAS:
+        return name
+    key = _normalize(name)
+    if key in ALIASES:
+        return ALIASES[key]
+    for candidate in available():
+        if _normalize(candidate) == key:
+            return candidate
+    raise KeyError(
+        f"unknown network {name!r}; available: {available()}"
+    )
+
+
 def load(name: str) -> Network:
-    """Build a network by name: the Fig 15 suite plus the extras."""
-    factory = BENCHMARKS.get(name) or EXTRAS.get(name)
-    if factory is None:
-        raise KeyError(
-            f"unknown network {name!r}; available: "
-            f"{sorted(BENCHMARKS) + sorted(EXTRAS)}"
-        )
+    """Build a network by name: the Fig 15 suite plus the extras.
+
+    Accepts canonical names, case-insensitive spellings and the
+    :data:`ALIASES` shorthands."""
+    canonical = resolve(name)
+    factory = BENCHMARKS.get(canonical) or EXTRAS[canonical]
     return factory()
 
 
@@ -98,11 +135,14 @@ def all_benchmarks() -> Dict[str, Network]:
 
 
 __all__ = [
+    "ALIASES",
     "BENCHMARKS",
     "EXTRAS",
     "PAPER_FIG15",
     "Fig15Row",
     "all_benchmarks",
+    "available",
+    "resolve",
     "alexnet",
     "cnn_s",
     "googlenet",

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.compiler.mapping import WorkloadMapping
 from repro.errors import SimulationError
+from repro.telemetry.core import get_telemetry
 
 
 def ring_allreduce_cycles(
@@ -172,6 +173,24 @@ def minibatch_sync(
     )
     bottleneck = max(s.cycles for s in stages) if stages else 0.0
     compute = bottleneck * minibatch / max(1, mapping.copies)
+
+    tel = get_telemetry()
+    if tel.enabled:
+        # The two phases serialize: wheel accumulation, then the ring.
+        tel.span(
+            "sync.wheel", "sync", ("sync", net.name), 0.0, wheel,
+            payload_bytes=conv_bytes, chips=chips_active,
+        )
+        tel.span(
+            "sync.ring", "sync", ("sync", net.name), wheel, ring,
+            payload_bytes=ring_payload, clusters=clusters,
+        )
+        group = f"sync/{net.name}"
+        tel.record(group, "conv_gradient_bytes", conv_bytes)
+        tel.record(group, "fc_gradient_bytes", fc_bytes)
+        tel.record(group, "wheel_cycles", wheel)
+        tel.record(group, "ring_cycles", ring)
+        tel.record(group, "minibatch", minibatch)
 
     return SyncReport(
         network=net.name,

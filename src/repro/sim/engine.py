@@ -46,6 +46,7 @@ from repro.sim.machine import (
     unpack_shape,
 )
 from repro.sim.tracker import AccessVerdict, TrackerPhase
+from repro.telemetry.core import NullTelemetry, Telemetry, get_telemetry
 
 #: Port value addressing external memory instead of a MemHeavy tile.
 EXTERNAL_PORT = 0xFFFF
@@ -102,6 +103,7 @@ class Engine:
         max_rounds: int = 10_000_000,
         trace: bool = False,
         trace_limit: int = 100_000,
+        telemetry: "Telemetry | NullTelemetry | None" = None,
     ) -> None:
         self.machine = machine
         self.external = np.zeros(external_words, dtype=np.float32)
@@ -111,6 +113,34 @@ class Engine:
         self.trace_enabled = trace
         self.trace_limit = trace_limit
         self.trace: List[Tuple[int, str, str]] = []
+        #: Telemetry handle: explicit injection wins, else the process
+        #: global (a null object by default — see repro.telemetry).
+        self.telemetry = telemetry if telemetry is not None else (
+            get_telemetry()
+        )
+        self._tel_on = self.telemetry.enabled
+        #: Last tracker obstruction per tile: (kind, port, addr, count,
+        #: phase) — feeds the deadlock diagnostic and telemetry.
+        self._block_reason: Dict[str, Tuple[str, int, int, int, str]] = {}
+        # (Re)wire the per-MemTile tracker hooks: enabled engines see
+        # arm/block/expire events, disabled engines restore the no-op.
+        for mem in machine.mem_tiles:
+            mem.trackers.emit = (
+                self._tracker_emitter(mem.tile_id) if self._tel_on else None
+            )
+
+    def _tracker_emitter(self, mem_tile_id: int):
+        tel = self.telemetry
+
+        def emit(event: str, start: int, size: int, phase: str) -> None:
+            tel.instant(
+                f"tracker.{event}", "engine.tracker",
+                ("engine/trackers", f"mem {mem_tile_id}"), self.rounds,
+                addr_range=[start, start + size], phase=phase,
+            )
+            tel.count(f"mem/{mem_tile_id}", f"tracker_{event}")
+
+        return emit
 
     # ------------------------------------------------------------------
     # Host interaction
@@ -157,12 +187,15 @@ class Engine:
 
     def _gate(
         self,
+        comp: CompTile,
         reads: List[Tuple[int, int, int]],
         writes: List[Tuple[int, int, int]],
     ) -> bool:
         """Check every (port, addr, count) access; consume tracker counts
         only if ALL are allowed.  Returns True when the instruction may
-        proceed."""
+        proceed.  A refusal records *why* ``comp`` is blocked (the
+        obstructing port, address range and tracker phase) for the
+        deadlock diagnostic and, when enabled, telemetry."""
         # Peek first: a blocked companion access must not consume counts.
         for port, addr, count in reads:
             tile = self._tile(port)
@@ -170,6 +203,9 @@ class Engine:
                 TrackerPhase.UPDATING
             ):
                 tile.trackers.blocked_reads += 1
+                self._note_block(
+                    comp, "read", port, addr, count, TrackerPhase.UPDATING
+                )
                 return False
         for port, addr, count in writes:
             tile = self._tile(port)
@@ -177,6 +213,9 @@ class Engine:
                 TrackerPhase.READABLE
             ):
                 tile.trackers.blocked_writes += 1
+                self._note_block(
+                    comp, "write", port, addr, count, TrackerPhase.READABLE
+                )
                 return False
         # All clear: consume.
         for port, addr, count in reads:
@@ -190,6 +229,26 @@ class Engine:
                 verdict = tile.trackers.check_write(addr, count)
                 assert verdict is AccessVerdict.ALLOW
         return True
+
+    def _note_block(
+        self,
+        comp: CompTile,
+        kind: str,
+        port: int,
+        addr: int,
+        count: int,
+        phase: TrackerPhase,
+    ) -> None:
+        self._block_reason[comp.tile_id] = (
+            kind, port, addr, count, phase.value
+        )
+        if self._tel_on:
+            self.telemetry.instant(
+                f"blocked.{kind}", "engine.block",
+                ("engine", f"tile {comp.tile_id}"), comp.cycles,
+                port=port, addr_range=[addr, addr + count],
+                phase=phase.value,
+            )
 
     # ------------------------------------------------------------------
     # Cycle-cost model
@@ -287,7 +346,7 @@ class Engine:
         # (the same facts the tracker calibrator counts), evaluated on
         # the resolved operands ------------------------------------------
         reads, writes = operand_accesses(op, o)
-        if (reads or writes) and not self._gate(reads, writes):
+        if (reads or writes) and not self._gate(tile, reads, writes):
             return None
 
         # --- coarse-grained data ----------------------------------------
@@ -437,6 +496,10 @@ class Engine:
                 o["dst_port"], o["dst_addr"], data.copy(),
                 bool(o["is_accum"]),
             )
+            if self._tel_on:
+                self.telemetry.count(
+                    f"tile/{tile.tile_id}", "dma_bytes", 4 * size
+                )
             return self._dma_cycles(size, o["src_port"], o["dst_port"])
 
         if op in (Opcode.PASSBUFF_RD, Opcode.PASSBUFF_WR):
@@ -448,6 +511,10 @@ class Engine:
             size = o["size"]
             data = self.external[o["src_addr"] : o["src_addr"] + size]
             self._write_words(o["dst_port"], o["dst_addr"], data.copy(), False)
+            if self._tel_on:
+                self.telemetry.count(
+                    f"tile/{tile.tile_id}", "dma_bytes", 4 * size
+                )
             return self._dma_cycles(size, EXTERNAL_PORT, o["dst_port"])
 
         raise SimulationError(f"engine cannot execute {op.value}")
@@ -479,6 +546,8 @@ class Engine:
         if not tiles:
             raise SimulationError("no programs loaded (or all filtered)")
         self.rounds = 0
+        tel = self.telemetry
+        tel_on = self._tel_on
         while True:
             self.rounds += 1
             if self.rounds > self.max_rounds:
@@ -494,16 +563,28 @@ class Engine:
                 live = True
                 instr = tile.program[tile.pc]
                 tile.pc += 1
+                start_cycle = tile.cycles
                 cost = self._execute(tile, instr)
                 if cost is None:
                     tile.pc -= 1  # retry the blocked instruction
                     tile.blocked = True
                     tile.cycles += 1  # stall cycle
+                    tile.stalled_cycles += 1
+                    tile.blocked_retries += 1
                     continue
                 tile.blocked = False
                 tile.cycles += cost
                 tile.instructions_executed += 1
                 progress = True
+                if tel_on:
+                    tel.span(
+                        instr.opcode.value, "engine.instr",
+                        ("engine", f"tile {tile.tile_id}"),
+                        start_cycle, cost,
+                        round=self.rounds,
+                        blocked_retries=tile.blocked_retries,
+                    )
+                tile.blocked_retries = 0
                 if self.trace_enabled and len(self.trace) < self.trace_limit:
                     self.trace.append(
                         (self.rounds, tile.tile_id, str(instr))
@@ -513,14 +594,14 @@ class Engine:
             if not progress:
                 if not raise_on_deadlock:
                     break
-                blocked = [
-                    t.tile_id
-                    for t in tiles
-                    if not t.halted and t.blocked
-                ]
+                if tel_on:
+                    self._flush_counters(tiles)
                 raise SimulationError(
-                    f"deadlock: all live tiles blocked: {blocked}"
+                    "deadlock: all live tiles blocked:\n"
+                    + self._describe_blocked(tiles)
                 )
+        if tel_on:
+            self._flush_counters(tiles)
         return RunReport(
             cycles=self.machine.total_cycles,
             instructions=self.machine.total_instructions,
@@ -531,4 +612,49 @@ class Engine:
             blocked_writes=sum(
                 t.trackers.blocked_writes for t in self.machine.mem_tiles
             ),
+        )
+
+    # ------------------------------------------------------------------
+    # Diagnostics and telemetry flushing
+    # ------------------------------------------------------------------
+    def _describe_blocked(self, tiles: List[CompTile]) -> str:
+        """Per-tile deadlock detail: the tracker phase and address range
+        each blocked tile is waiting on."""
+        lines = []
+        for tile in tiles:
+            if tile.halted or not tile.blocked:
+                continue
+            reason = self._block_reason.get(tile.tile_id)
+            if reason is None:
+                lines.append(f"  {tile.tile_id}: blocked (reason unknown)")
+                continue
+            kind, port, addr, count, phase = reason
+            lines.append(
+                f"  {tile.tile_id}: {kind} of mem tile {port} "
+                f"[{addr}, {addr + count}) blocked by tracker in "
+                f"{phase} phase after {tile.blocked_retries} retries"
+            )
+        return "\n".join(lines)
+
+    def _flush_counters(self, tiles: List[CompTile]) -> None:
+        """Snapshot per-tile cycle counters into the telemetry registry.
+
+        Uses ``record`` (not ``add``) so repeated runs on a persistent
+        machine — the streaming ForwardRunner — stay consistent with the
+        tiles' cumulative clocks."""
+        tel = self.telemetry
+        for tile in tiles:
+            group = f"tile/{tile.tile_id}"
+            tel.record(group, "busy_cycles", tile.busy_cycles)
+            tel.record(group, "stalled_cycles", tile.stalled_cycles)
+            tel.record(group, "total_cycles", tile.cycles)
+            tel.record(group, "instructions", tile.instructions_executed)
+        for mem in self.machine.mem_tiles:
+            group = f"mem/{mem.tile_id}"
+            tel.record(group, "blocked_reads", mem.trackers.blocked_reads)
+            tel.record(group, "blocked_writes", mem.trackers.blocked_writes)
+        tel.record("engine", "rounds", self.rounds)
+        tel.record("engine", "total_cycles", self.machine.total_cycles)
+        tel.record(
+            "engine", "total_instructions", self.machine.total_instructions
         )

@@ -112,6 +112,13 @@ class CompTile:
     halted: bool = False
     blocked: bool = False
     instructions_executed: int = 0
+    stalled_cycles: int = 0  # cycles spent retrying blocked instructions
+    blocked_retries: int = 0  # retries of the *current* instruction
+
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles spent executing (total minus tracker-blocked stalls)."""
+        return self.cycles - self.stalled_cycles
 
     def reg(self, index: int) -> int:
         return int(self.registers[index])
@@ -173,6 +180,7 @@ class Machine:
             tile.pc = 0
             tile.halted = False
             tile.blocked = False
+            tile.blocked_retries = 0
 
     def load_program(self, program: Program) -> CompTile:
         program.validate()

@@ -24,6 +24,7 @@ from repro.dnn.analysis import Step, profile_network
 from repro.dnn.layers import LayerKind
 from repro.dnn.network import Network
 from repro.errors import SimulationError
+from repro.telemetry.core import get_telemetry
 
 #: Default minibatch: the paper aggregates gradients per minibatch; 256
 #: is the conventional ImageNet minibatch of its era.
@@ -239,6 +240,40 @@ def _throughput(
         depth = 2 * units
         images_per_s /= 1.0 + depth / minibatch
     return images_per_s, limiting
+
+
+def _emit_stage_telemetry(
+    tel,
+    network: str,
+    stages: List[StageReport],
+    train_rate: float,
+    eval_rate: float,
+    pe_util: float,
+) -> None:
+    """Report the analytical pipeline through the telemetry schema: one
+    span per (unit, step) stage — all starting at 0, since the stages
+    run concurrently in steady state — plus headline counters."""
+    for stage in stages:
+        cost = stage.cost
+        tel.span(
+            f"{stage.unit}/{stage.step.value}", "perf.stage",
+            ("perf", f"{stage.unit}/{stage.step.value}"), 0.0,
+            stage.cycles,
+            network=network, chip=stage.chip, columns=cost.columns,
+            bound_by=cost.bound_by,
+            compute_cycles=cost.compute_cycles,
+            sfu_cycles=cost.sfu_cycles,
+            achieved_util=cost.utilization.achieved,
+        )
+    group = f"perf/{network}"
+    tel.record(group, "stages", len(stages))
+    tel.record(
+        group, "bottleneck_cycles",
+        max(s.cycles for s in stages) if stages else 0.0,
+    )
+    tel.record(group, "train_images_per_s", train_rate)
+    tel.record(group, "eval_images_per_s", eval_rate)
+    tel.record(group, "pe_utilization", pe_util)
 
 
 # ---------------------------------------------------------------------------
@@ -484,6 +519,13 @@ def simulate(
     training_flops = profile_network(net, node.dtype_bytes).training_flops
     achieved = training_flops * train_rate
     gflops_per_watt = achieved / draw.total_w / 1e9
+
+    tel = get_telemetry()
+    if tel.enabled:
+        _emit_stage_telemetry(
+            tel, net.name, train_conv + train_fc, train_rate, eval_rate,
+            pe_util,
+        )
 
     return PerfResult(
         network=net.name,

@@ -14,9 +14,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SynchronizationError
+
+#: Tracker event hook: ``(event, start, size, phase)`` where ``event``
+#: is "arm" / "block_read" / "block_write" / "expire".  Installed by the
+#: engine when telemetry is enabled; ``None`` costs one identity check.
+TrackerEmit = Callable[[str, int, int, str], None]
 
 
 class TrackerPhase(enum.Enum):
@@ -44,6 +49,7 @@ class RangeTracker:
     num_reads: int
     updates_seen: int = 0
     reads_seen: int = 0
+    expire_emitted: bool = False  # telemetry: expire reported once
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -102,15 +108,28 @@ class TrackerFile:
         self._trackers: List[RangeTracker] = []
         self.blocked_reads = 0  # statistics
         self.blocked_writes = 0
+        self.emit: Optional[TrackerEmit] = None  # telemetry hook
 
     def __len__(self) -> int:
         self._reap()
         return len(self._trackers)
 
     def _reap(self) -> None:
+        if self.emit is not None:
+            for t in self._trackers:
+                if t.phase is TrackerPhase.EXPIRED:
+                    self._emit_expire(t)
         self._trackers = [
             t for t in self._trackers if t.phase is not TrackerPhase.EXPIRED
         ]
+
+    def _emit_expire(self, tracker: RangeTracker) -> None:
+        if not tracker.expire_emitted:
+            tracker.expire_emitted = True
+            self.emit(
+                "expire", tracker.start, tracker.size,
+                TrackerPhase.EXPIRED.value,
+            )
 
     def arm(
         self, start: int, size: int, num_updates: int, num_reads: int
@@ -129,6 +148,8 @@ class TrackerFile:
             )
         tracker = RangeTracker(start, size, num_updates, num_reads)
         self._trackers.append(tracker)
+        if self.emit is not None:
+            self.emit("arm", start, size, tracker.phase.value)
         return tracker
 
     def _matching(self, start: int, size: int) -> Optional[RangeTracker]:
@@ -145,6 +166,15 @@ class TrackerFile:
         verdict = tracker.try_write()
         if verdict is AccessVerdict.BLOCK:
             self.blocked_writes += 1
+            if self.emit is not None:
+                self.emit(
+                    "block_write", tracker.start, tracker.size,
+                    tracker.phase.value,
+                )
+        elif self.emit is not None and (
+            tracker.phase is TrackerPhase.EXPIRED
+        ):
+            self._emit_expire(tracker)
         return verdict
 
     def check_read(self, start: int, size: int) -> AccessVerdict:
@@ -155,6 +185,15 @@ class TrackerFile:
         verdict = tracker.try_read()
         if verdict is AccessVerdict.BLOCK:
             self.blocked_reads += 1
+            if self.emit is not None:
+                self.emit(
+                    "block_read", tracker.start, tracker.size,
+                    tracker.phase.value,
+                )
+        elif self.emit is not None and (
+            tracker.phase is TrackerPhase.EXPIRED
+        ):
+            self._emit_expire(tracker)
         return verdict
 
     def phase_of(self, start: int, size: int) -> Optional[TrackerPhase]:

@@ -1,0 +1,63 @@
+"""Observability layer: counters, spans and trace/profile exporters.
+
+Zero-overhead when disabled (the default): instrumented code guards on
+the null handle's ``enabled`` flag.  Typical use::
+
+    from repro.telemetry import capture, write_chrome_trace
+
+    with capture() as tel:
+        engine.run()
+    write_chrome_trace(tel, "trace.json")
+"""
+
+from repro.telemetry.core import (
+    CounterRegistry,
+    Event,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    PHASE_INSTANT,
+    PHASE_SPAN,
+    Telemetry,
+    Track,
+    capture,
+    get_telemetry,
+    set_telemetry,
+)
+from repro.telemetry.export import (
+    chrome_trace,
+    counter_table,
+    counters_csv,
+    summarize,
+    write_chrome_trace,
+    write_counters_csv,
+)
+from repro.telemetry.profile import (
+    TileGroupProfile,
+    analytical_tile_profile,
+    engine_tile_profile,
+    profile_table,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "Event",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "PHASE_INSTANT",
+    "PHASE_SPAN",
+    "Telemetry",
+    "TileGroupProfile",
+    "Track",
+    "analytical_tile_profile",
+    "capture",
+    "chrome_trace",
+    "counter_table",
+    "counters_csv",
+    "engine_tile_profile",
+    "get_telemetry",
+    "profile_table",
+    "set_telemetry",
+    "summarize",
+    "write_chrome_trace",
+    "write_counters_csv",
+]

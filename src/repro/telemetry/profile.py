@@ -1,0 +1,124 @@
+"""Per-tile cycle accounting, from either simulation model.
+
+Both simulators report where cycles go through the same three-way
+split, so one table (and one test) covers both:
+
+* **busy** — the tile was executing (engine: instruction cycle costs;
+  analytical: the stage's 2D-PE/SFU compute term);
+* **blocked** — the tile was waiting on data movement or a tracker
+  (engine: blocked-retry stall cycles; analytical: the link/external
+  memory portion of the stage latency);
+* **stalled** — the tile was idle against the pipeline beat (analytical
+  model only: the bottleneck stage sets the beat, every faster stage
+  idles for the difference).
+
+For the functional engine the numbers come from the counters the engine
+flushes into the telemetry registry (``tile/<id>`` groups); for the
+analytical model they are derived from the per-stage
+:class:`~repro.compiler.cost.StepCost` breakdown, so
+``busy + blocked + stalled == bottleneck cycles`` for every tile group
+by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.telemetry.core import NullTelemetry, Telemetry
+
+
+@dataclass(frozen=True)
+class TileGroupProfile:
+    """Cycle accounting for one group of identically-scheduled tiles."""
+
+    group: str  # "c0r1" for an engine tile; "conv1/fp" analytically
+    chip: str
+    tiles: int  # CompHeavy tiles covered by this row
+    busy_cycles: float
+    blocked_cycles: float
+    stalled_cycles: float
+    utilization: float  # busy / (busy + blocked + stalled)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.busy_cycles + self.blocked_cycles + self.stalled_cycles
+
+
+def engine_tile_profile(
+    telemetry: "Telemetry | NullTelemetry",
+) -> List[TileGroupProfile]:
+    """Per-CompHeavy-tile profile from an engine capture's counters."""
+    rows: List[TileGroupProfile] = []
+    for group in telemetry.counters.groups():
+        if not group.startswith("tile/"):
+            continue
+        values = telemetry.counters.group(group)
+        busy = values.get("busy_cycles", 0.0)
+        blocked = values.get("stalled_cycles", 0.0)
+        total = busy + blocked
+        rows.append(
+            TileGroupProfile(
+                group=group[len("tile/"):],
+                chip="engine",
+                tiles=1,
+                busy_cycles=busy,
+                blocked_cycles=blocked,
+                stalled_cycles=0.0,
+                utilization=busy / total if total else 0.0,
+            )
+        )
+    return rows
+
+
+def analytical_tile_profile(result) -> List[TileGroupProfile]:
+    """Per-(unit, step) tile-group profile from a :class:`PerfResult`.
+
+    Every pipeline stage owns ``columns x rows`` CompHeavy tiles; the
+    slowest stage sets the pipeline beat.  A stage's compute term is its
+    busy time, the remainder of its latency is blocked on data movement,
+    and the gap up to the beat is pipeline stall.
+    """
+    node = result.mapping.node
+    chips = {
+        node.cluster.conv_chip.kind.value: node.cluster.conv_chip,
+        node.cluster.fc_chip.kind.value: node.cluster.fc_chip,
+    }
+    beat = result.bottleneck.cycles
+    rows: List[TileGroupProfile] = []
+    for stage in result.stages:
+        chip = chips[stage.chip]
+        cost = stage.cost
+        busy = min(max(cost.compute_cycles, cost.sfu_cycles), stage.cycles)
+        blocked = stage.cycles - busy
+        stalled = beat - stage.cycles
+        rows.append(
+            TileGroupProfile(
+                group=f"{stage.unit}/{stage.step.value}",
+                chip=stage.chip,
+                tiles=cost.columns * chip.rows,
+                busy_cycles=busy,
+                blocked_cycles=blocked,
+                stalled_cycles=stalled,
+                utilization=busy / beat if beat else 0.0,
+            )
+        )
+    return rows
+
+
+def profile_table(rows: List[TileGroupProfile], title: str):
+    """Render profiles as a :class:`repro.bench.reporting.Table`."""
+    from repro.bench.reporting import Table
+
+    table = Table(
+        title,
+        ["tile group", "chip", "tiles", "busy", "blocked", "stalled",
+         "util"],
+    )
+    for row in sorted(rows, key=lambda r: -r.busy_cycles):
+        table.add(
+            row.group, row.chip, row.tiles,
+            f"{row.busy_cycles:,.0f}", f"{row.blocked_cycles:,.0f}",
+            f"{row.stalled_cycles:,.0f}", f"{row.utilization:.2f}",
+        )
+    return table
