@@ -10,7 +10,11 @@ the performance/power Pareto frontier.
 
 from __future__ import annotations
 
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
+from functools import partial
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.arch.node import NodeConfig
@@ -18,7 +22,7 @@ from repro.arch.power import estimate_node_power
 from repro.arch.presets import single_precision_node
 from repro.dnn.network import Network
 from repro.errors import ConfigError
-from repro.sim.perf import simulate
+from repro.sweep.cache import cached_simulation
 
 
 @dataclass(frozen=True)
@@ -82,10 +86,15 @@ def evaluate_point(
     workloads: Dict[str, Network],
     base: NodeConfig,
 ) -> DseResult:
-    """Map + simulate every workload on one design point."""
+    """Map + simulate every workload on one design point.
+
+    Routed through the content-keyed compile cache: re-running a study
+    over an overlapping grid skips STEP1-6 for every point already
+    evaluated (in this process or, with a disk-backed cache, ever)."""
     node = point.apply(base)
     results = {
-        name: simulate(net, node) for name, net in workloads.items()
+        name: cached_simulation(net, node)
+        for name, net in workloads.items()
     }
     return DseResult(
         point=point,
@@ -104,9 +113,28 @@ def sweep(
     workloads: Dict[str, Network],
     points: Iterable[DesignPoint],
     base: NodeConfig = None,
+    workers: int = 1,
 ) -> List[DseResult]:
-    """Evaluate a set of design points (the Sec 3.2.5 tuning study)."""
+    """Evaluate a set of design points (the Sec 3.2.5 tuning study).
+
+    ``workers > 1`` fans the points across worker processes (results
+    keep grid order and are bit-identical to a serial run); a pool that
+    cannot start falls back to serial with a warning."""
     base = base or single_precision_node()
+    points = list(points)
+    if workers > 1 and len(points) > 1:
+        run = partial(evaluate_point, workloads=workloads, base=base)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(points))
+            ) as pool:
+                return list(pool.map(run, points))
+        except (OSError, BrokenProcessPool) as exc:
+            print(
+                f"repro: DSE worker pool unavailable ({exc}); "
+                "falling back to serial execution",
+                file=sys.stderr,
+            )
     return [evaluate_point(p, workloads, base) for p in points]
 
 

@@ -133,6 +133,31 @@ def half_precision_node() -> NodeConfig:
     )
 
 
+#: Named chip presets accepted by the sweep runner and CLI.
+PRESETS = {
+    "sp": single_precision_node,
+    "hp": half_precision_node,
+}
+
+
+def load_preset(name: str) -> NodeConfig:
+    """Build the node configuration registered under ``name``.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown presets so
+    callers fail before any sweep work starts.
+    """
+    from repro.errors import ConfigError
+
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chip preset {name!r} "
+            f"(available: {', '.join(sorted(PRESETS))})"
+        ) from None
+    return factory()
+
+
 #: Published Fig 14 peak-FLOPs targets (FLOP/s) for reproduction tests.
 PAPER_PEAK_FLOPS = {
     "node": 0.68e15,

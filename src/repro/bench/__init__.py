@@ -6,7 +6,7 @@ from repro.bench.runner import (
     clear_caches,
     suite_results,
 )
-from repro.bench.export import export_all
+from repro.bench.export import export_all, write_sweep_csv, write_sweep_json
 from repro.bench.reporting import Table, fmt_count, fmt_rate
 
 __all__ = [
@@ -18,4 +18,6 @@ __all__ = [
     "fmt_count",
     "fmt_rate",
     "suite_results",
+    "write_sweep_csv",
+    "write_sweep_json",
 ]

@@ -9,6 +9,7 @@ plot the reproduction against the paper without re-running anything.
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
@@ -125,6 +126,38 @@ def export_fig20_21(directory: Path) -> List[Path]:
             link_rows,
         ),
     ]
+
+
+def write_sweep_json(results: Sequence, path: Union[str, Path]) -> Path:
+    """Write sweep results as a JSON list of row objects.
+
+    Only the deterministic :meth:`SweepResult.to_row` payload is
+    written, at full float precision, with sorted keys — so parallel
+    and serial sweeps over the same jobs produce byte-identical files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(
+            [r.to_row() for r in results], handle,
+            indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    return path
+
+
+def write_sweep_csv(results: Sequence, path: Union[str, Path]) -> Path:
+    """Write sweep results as CSV in ``SweepResult.EXPORT_FIELDS`` order
+    (full float precision via ``repr``, like the JSON writer)."""
+    path = Path(path)
+    if not results:
+        return _write(path, [], [])
+    fields = type(results[0]).EXPORT_FIELDS
+    rows = [
+        [row[name] for name in fields]
+        for row in (r.to_row() for r in results)
+    ]
+    return _write(path, fields, rows)
 
 
 def export_all(directory: Union[str, Path]) -> List[Path]:

@@ -1,30 +1,31 @@
 """Cached simulation runs shared by the figure benchmarks.
 
 Several figures consume the same per-network simulation, so the harness
-memoises mapping and simulation results per (network, precision) pair —
-each figure's pytest-benchmark then times its own aggregation while the
-expensive substrate runs once per session.
+memoises mapping and simulation results — but through the shared
+content-keyed compile cache (:mod:`repro.sweep.cache`) rather than
+per-function ``lru_cache`` tables.  Keying on the digest of (topology,
+node config, compiler version) means logically-equal requests hit the
+same entry regardless of spelling (``"alexnet"`` vs ``"AlexNet"``), a
+changed preset can never serve a stale result, and CLI sweeps, DSE runs
+and the figure benchmarks all warm one another.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Dict
 
 from repro.arch import half_precision_node, single_precision_node
 from repro.arch.node import NodeConfig
-from repro.compiler import WorkloadMapping, map_network
+from repro.compiler import WorkloadMapping
 from repro.dnn import zoo
-from repro.dnn.network import Network
-from repro.sim import PerfResult, simulate
+from repro.sim import PerfResult
+from repro.sweep.cache import (
+    cached_mapping as _cached_mapping,
+    cached_simulation as _cached_simulation,
+    get_cache,
+)
 
 
-@lru_cache(maxsize=None)
-def _network(name: str) -> Network:
-    return zoo.load(name)
-
-
-@lru_cache(maxsize=None)
 def _node(precision: str) -> NodeConfig:
     if precision == "sp":
         return single_precision_node()
@@ -33,18 +34,16 @@ def _node(precision: str) -> NodeConfig:
     raise ValueError(f"unknown precision {precision!r}")
 
 
-@lru_cache(maxsize=None)
 def cached_mapping(name: str, precision: str = "sp") -> WorkloadMapping:
     """Memoised workload mapping for a benchmark network."""
-    return map_network(_network(name), _node(precision))
+    node = _node(precision)
+    return _cached_mapping(zoo.load(name), node)
 
 
-@lru_cache(maxsize=None)
 def cached_simulation(name: str, precision: str = "sp") -> PerfResult:
     """Memoised full simulation for a benchmark network."""
-    return simulate(
-        _network(name), _node(precision), mapping=cached_mapping(name, precision)
-    )
+    node = _node(precision)
+    return _cached_simulation(zoo.load(name), node)
 
 
 def suite_results(precision: str = "sp") -> Dict[str, PerfResult]:
@@ -55,9 +54,9 @@ def suite_results(precision: str = "sp") -> Dict[str, PerfResult]:
 
 
 def clear_caches() -> None:
-    """Drop every memoised network/node/mapping/simulation result.
+    """Drop every memoised mapping/simulation result (the shared compile
+    cache, both its memory and disk layers).
 
     Benchmark teardown calls this so repeated suite runs in one process
     measure cold caches rather than the previous run's warm results."""
-    for memo in (_network, _node, cached_mapping, cached_simulation):
-        memo.cache_clear()
+    get_cache().clear()

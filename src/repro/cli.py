@@ -15,6 +15,9 @@ Subcommands:
   trace-event JSON (open in Perfetto / ``chrome://tracing``);
 * ``profile NET`` — per-tile busy/stalled/blocked cycle accounting and
   the counter registry;
+* ``sweep [NET...]`` — fan (network x preset x minibatch) jobs across
+  worker processes with content-keyed compile caching; writes JSON
+  (and optionally CSV) results;
 * ``export DIR`` — write every figure's data series as CSV.
 
 Network names are resolved case-insensitively with shorthand aliases
@@ -173,14 +176,16 @@ def cmd_report(args: argparse.Namespace) -> None:
 
 def _engine_forward(net):
     """Compile ``net``'s forward pass for the functional engine and run
-    one random image through it (telemetry flows to the active handle)."""
+    one random image through it (telemetry flows to the active handle).
+
+    Compilation routes through the content-keyed compile cache, so a
+    second trace/profile of the same network skips codegen; ``run``
+    builds a fresh machine each time, so the artifact is reusable."""
     import numpy as np
 
-    from repro.compiler.codegen import compile_forward
-    from repro.functional.reference import ReferenceModel
+    from repro.sweep.cache import cached_forward_codegen
 
-    model = ReferenceModel(net, seed=0)
-    compiled = compile_forward(net, model)
+    compiled = cached_forward_codegen(net, seed=0)
     shape = net.input.output_shape
     rng = np.random.default_rng(0)
     image = rng.normal(
@@ -266,6 +271,64 @@ def cmd_profile(args: argparse.Namespace) -> None:
         print(f"wrote counters to {write_counters_csv(tel, args.csv)}")
 
 
+def cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.bench.export import write_sweep_csv, write_sweep_json
+    from repro.errors import ConfigError
+    from repro.sweep import (
+        CompileCache,
+        expand_jobs,
+        get_cache,
+        run_sweep,
+        set_cache,
+    )
+
+    if args.cache_dir:
+        set_cache(CompileCache(args.cache_dir))
+    if args.clear_cache:
+        removed = get_cache().clear()
+        print(f"cleared {removed} cached artifacts")
+        if not args.networks:
+            return  # clear-only invocation: don't launch the full suite
+
+    try:
+        jobs = expand_jobs(
+            networks=args.networks or None,
+            presets=args.presets.split(","),
+            minibatches=args.minibatch or None,
+        )
+    except (KeyError, ConfigError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro: {message}", file=sys.stderr)
+        raise SystemExit(2)
+
+    report = run_sweep(
+        jobs,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+    table = Table(
+        "Sweep results",
+        ["network", "preset", "mb", "train img/s", "eval img/s",
+         "PE util", "GFLOPs/W", "bound by"],
+    )
+    for r in report.results:
+        table.add(
+            r.network, r.preset, r.minibatch,
+            f"{r.train_images_per_s:,.0f}",
+            f"{r.eval_images_per_s:,.0f}",
+            f"{r.pe_utilization:.2f}",
+            f"{r.gflops_per_watt:.0f}",
+            r.bound_by,
+        )
+    table.show()
+    print(report.describe())
+    print(f"wrote {write_sweep_json(report.results, args.out)}")
+    if args.csv:
+        print(f"wrote {write_sweep_csv(report.results, args.csv)}")
+
+
 def cmd_export(args: argparse.Namespace) -> None:
     from repro.bench.export import export_all
 
@@ -331,6 +394,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the counter registry as CSV to PATH",
     )
     p.set_defaults(func=cmd_profile)
+    p = sub.add_parser(
+        "sweep",
+        help="parallel (network x preset x minibatch) sweep with "
+        "compile caching",
+    )
+    p.add_argument(
+        "networks", nargs="*",
+        help="networks to sweep (default: the full Fig 15 suite)",
+    )
+    p.add_argument(
+        "--presets", default="sp",
+        help="comma-separated chip presets (default: sp)",
+    )
+    p.add_argument(
+        "--minibatch", type=int, action="append", metavar="N",
+        help="minibatch size; repeatable (default: 256)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (default: 1 = serial)",
+    )
+    p.add_argument(
+        "--out", default="sweep_results.json",
+        help="JSON results path (default: sweep_results.json)",
+    )
+    p.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write results as CSV to PATH",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the compile cache for this run",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="disk-backed cache directory "
+        "(default: memory only, or $REPRO_CACHE_DIR)",
+    )
+    p.add_argument(
+        "--clear-cache", action="store_true",
+        help="drop cached artifacts first (alone: clear and exit)",
+    )
+    p.set_defaults(func=cmd_sweep)
     p = sub.add_parser("export", help="write figure data as CSV")
     p.add_argument("directory", help="output directory")
     p.set_defaults(func=cmd_export)

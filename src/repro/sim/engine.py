@@ -619,9 +619,13 @@ class Engine:
     # ------------------------------------------------------------------
     def _describe_blocked(self, tiles: List[CompTile]) -> str:
         """Per-tile deadlock detail: the tracker phase and address range
-        each blocked tile is waiting on."""
+        each blocked tile is waiting on.
+
+        Sorted by tile id so identical machine states produce
+        byte-identical diagnostics regardless of program-load or
+        scheduling order."""
         lines = []
-        for tile in tiles:
+        for tile in sorted(tiles, key=lambda t: t.tile_id):
             if tile.halted or not tile.blocked:
                 continue
             reason = self._block_reason.get(tile.tile_id)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.arch.node import NodeConfig
 from repro.arch.power import PowerDraw, node_power_model
@@ -315,25 +315,46 @@ def _allocated_comp_flops_per_cycle(mapping: WorkloadMapping) -> float:
     )
 
 
+def _span_crossings(columns: Sequence[int], span_cols: int) -> List[int]:
+    """Indices of column-sequence units whose output crosses a
+    ``span_cols`` boundary on the way to its consumer.
+
+    A unit crosses when it straddles a boundary internally, or when it
+    ends exactly on a boundary and a successor unit reads its output
+    from the far side.  The trailing unit of the sequence never counts
+    for ending on a boundary — there is no consumer beyond it.
+    """
+    if span_cols <= 0:
+        return []
+    crossings: List[int] = []
+    start = 0
+    for index, width in enumerate(columns):
+        end = start + width
+        straddles = start // span_cols != (end - 1) // span_cols
+        on_edge = (
+            index + 1 < len(columns)
+            and (end - 1) // span_cols != end // span_cols
+        )
+        if straddles or on_edge:
+            crossings.append(index)
+        start = end
+    return crossings
+
+
 def _chip_boundary_bytes(mapping: WorkloadMapping, span_cols: int) -> float:
     """Feature+error bytes per image crossing every ``span_cols``-column
     boundary of the copy's column sequence (chip or cluster edges)."""
-    if span_cols <= 0:
-        return 0.0
+    allocs = list(mapping.conv_allocations.values())
     dtype = mapping.node.dtype_bytes
     crossed = 0.0
-    position = 0
-    for alloc in mapping.conv_allocations.values():
-        before = position
-        position += alloc.columns
-        if before // span_cols != (position - 1) // span_cols:
-            # This unit's output may stay put; the *next* unit reads it
-            # across the boundary.  Count its output once each way.
-            out_elems = sum(
-                mapping.network[m].output_shape.elements
-                for m in alloc.members
-            )
-            crossed += 2.0 * out_elems * dtype
+    for index in _span_crossings([a.columns for a in allocs], span_cols):
+        # This unit's output may stay put; the *next* unit reads it
+        # across the boundary.  Count its output once each way.
+        out_elems = sum(
+            mapping.network[m].output_shape.elements
+            for m in allocs[index].members
+        )
+        crossed += 2.0 * out_elems * dtype
     return crossed
 
 

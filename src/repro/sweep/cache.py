@@ -1,0 +1,243 @@
+"""Content-keyed compile cache shared by the sweep runner, DSE and benchmarks.
+
+Mapping, simulation and codegen artifacts are memoised under the stable
+digests of :mod:`repro.compiler.fingerprint`, so a repeated sweep or DSE
+run skips STEP1-6 (and the downstream cost aggregation) entirely on a
+hit.  Two layers:
+
+* an in-process **memory** table, always on;
+* an optional **disk** layer (pickles under ``<dir>/<kind>/<digest>.pkl``)
+  shared between worker processes and across CLI invocations, enabled by
+  passing a directory or setting ``REPRO_CACHE_DIR``.
+
+Invalidation rules: the digest bakes in the compiler version, so
+changing the compiler, the network topology, or any preset field makes
+old entries unreachable automatically; :meth:`CompileCache.clear` (and
+``repro sweep --clear-cache`` / ``bench.clear_caches``) drops both
+layers explicitly, and ``--no-cache`` bypasses the cache for one run.
+
+Cache activity is observable: every hit/miss bumps a ``cache`` group
+counter on the active telemetry handle (``<kind>_hits`` /
+``<kind>_misses``) and the per-process :attr:`CompileCache.stats` table.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from threading import Lock
+from typing import Callable, Dict, Optional, Tuple, TypeVar, Union
+
+# repro.sim must start loading before repro.compiler: the compiler
+# package pulls in the engine-facing codegen, which resolves through the
+# already-in-progress sim package (same ordering dse relies on).
+from repro.sim.perf import DEFAULT_MINIBATCH, PerfResult, simulate
+
+from repro.arch.node import NodeConfig
+from repro.compiler.fingerprint import compile_digest
+from repro.compiler.mapping import WorkloadMapping, map_network
+from repro.dnn.network import Network
+from repro.telemetry.core import get_telemetry
+
+T = TypeVar("T")
+
+#: Environment variable naming the default on-disk cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class CompileCache:
+    """Keyed artifact store: memory table plus optional pickle directory."""
+
+    def __init__(self, directory: Union[str, Path, None] = None) -> None:
+        self.directory = (
+            Path(directory).expanduser() if directory else None
+        )
+        self._memory: Dict[Tuple[str, str], object] = {}
+        self._lock = Lock()
+        #: ``{"<kind>_hits": n, "<kind>_misses": n}`` for this process.
+        self.stats: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _bump(self, kind: str, outcome: str) -> None:
+        name = f"{kind}_{outcome}"
+        self.stats[name] = self.stats.get(name, 0) + 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("cache", name)
+
+    def _disk_path(self, kind: str, digest: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / kind / f"{digest}.pkl"
+
+    def _disk_load(self, kind: str, digest: str) -> Optional[object]:
+        path = self._disk_path(kind, digest)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None  # corrupt / partial entry: fall through to rebuild
+
+    def _disk_store(self, kind: str, digest: str, artifact: object) -> None:
+        path = self._disk_path(kind, digest)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: parallel writers race benignly (same
+            # digest -> same content), partial writes never surface.
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as handle:
+                pickle.dump(artifact, handle)
+            tmp.replace(path)
+        except Exception:
+            pass  # unpicklable or unwritable: memory layer still serves
+
+    # ------------------------------------------------------------------
+    def get(self, kind: str, digest: str, build: Callable[[], T]) -> T:
+        """The artifact under ``(kind, digest)``, building it on a miss."""
+        key = (kind, digest)
+        with self._lock:
+            if key in self._memory:
+                self._bump(kind, "hits")
+                return self._memory[key]  # type: ignore[return-value]
+        artifact = self._disk_load(kind, digest)
+        if artifact is not None:
+            with self._lock:
+                self._memory[key] = artifact
+            self._bump(kind, "hits")
+            return artifact  # type: ignore[return-value]
+        self._bump(kind, "misses")
+        artifact = build()
+        self.put(kind, digest, artifact)
+        return artifact
+
+    def put(self, kind: str, digest: str, artifact: object) -> None:
+        """Install an artifact (used by the sweep runner to warm the
+        parent cache with results computed in worker processes)."""
+        with self._lock:
+            self._memory[(kind, digest)] = artifact
+        self._disk_store(kind, digest, artifact)
+
+    def clear(self) -> int:
+        """Drop every memory entry and delete the disk entries; returns
+        the number of entries removed."""
+        with self._lock:
+            removed = len(self._memory)
+            self._memory.clear()
+        if self.directory is not None and self.directory.exists():
+            for path in self.directory.glob("*/*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# Process-global default cache
+# ---------------------------------------------------------------------------
+_default: Optional[CompileCache] = None
+
+
+def get_cache() -> CompileCache:
+    """The process-global cache (disk-backed iff ``REPRO_CACHE_DIR`` is
+    set or :func:`set_cache` installed a directory-backed one)."""
+    global _default
+    if _default is None:
+        _default = CompileCache(os.environ.get(CACHE_DIR_ENV) or None)
+    return _default
+
+
+def set_cache(cache: Optional[CompileCache]) -> Optional[CompileCache]:
+    """Install ``cache`` globally (None resets to a fresh default);
+    returns the previous handle so callers can restore it."""
+    global _default
+    previous = _default
+    _default = cache
+    return previous
+
+
+def clear_cache() -> int:
+    """Clear the process-global cache (memory and disk layers)."""
+    return get_cache().clear()
+
+
+# ---------------------------------------------------------------------------
+# Cached compile/simulate entry points
+# ---------------------------------------------------------------------------
+def cached_mapping(
+    net: Network,
+    node: NodeConfig,
+    cache: Optional[CompileCache] = None,
+) -> WorkloadMapping:
+    """STEP1-6 mapping of ``net`` on ``node``, content-cached."""
+    cache = cache if cache is not None else get_cache()
+    digest = compile_digest(net, node, artifact="mapping")
+    return cache.get("mapping", digest, lambda: map_network(net, node))
+
+
+def simulation_digest(
+    net: Network, node: NodeConfig, minibatch: int = DEFAULT_MINIBATCH
+) -> str:
+    """Digest keying a full simulation result."""
+    return compile_digest(
+        net, node, artifact="simulation", minibatch=minibatch
+    )
+
+
+def cached_simulation(
+    net: Network,
+    node: NodeConfig,
+    minibatch: int = DEFAULT_MINIBATCH,
+    cache: Optional[CompileCache] = None,
+) -> PerfResult:
+    """Full analytical simulation, content-cached (the mapping inside a
+    freshly-built result comes from the same cache)."""
+    cache = cache if cache is not None else get_cache()
+    digest = simulation_digest(net, node, minibatch)
+    return cache.get(
+        "simulation",
+        digest,
+        lambda: simulate(
+            net, node, minibatch, mapping=cached_mapping(net, node, cache)
+        ),
+    )
+
+
+def cached_forward_codegen(
+    net: Network,
+    seed: int = 0,
+    chip=None,
+    rows: int = 2,
+    cache: Optional[CompileCache] = None,
+):
+    """Engine codegen (compiled forward pass), content-cached.
+
+    The reference model's weights are a pure function of the topology
+    and ``seed``, so the digest — (topology, chip, rows, seed, compiler
+    version) — covers everything the generated programs and preloads
+    depend on.
+    """
+    from repro.arch.presets import conv_chip
+    from repro.compiler.codegen import compile_forward
+    from repro.functional.reference import ReferenceModel
+
+    cache = cache if cache is not None else get_cache()
+    chip = chip if chip is not None else conv_chip()
+    digest = compile_digest(
+        net, None, artifact="codegen", seed=seed, chip=chip, rows=rows
+    )
+    return cache.get(
+        "codegen",
+        digest,
+        lambda: compile_forward(
+            net, ReferenceModel(net, seed=seed), chip, rows
+        ),
+    )

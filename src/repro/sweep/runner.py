@@ -1,0 +1,281 @@
+"""Parallel sweep runner: (network x chip-preset x minibatch) fan-out.
+
+Jobs are picklable value objects, workers are plain processes
+(``concurrent.futures.ProcessPoolExecutor``), and every job routes
+through the content-keyed compile cache (:mod:`repro.sweep.cache`), so:
+
+* ``workers=1`` runs serially in-process (and is the graceful fallback
+  when a pool cannot be created in a restricted environment);
+* results are **bit-identical** regardless of worker count — jobs are
+  independent, the simulator is deterministic, and results return in
+  job order;
+* a warm rerun answers every job from the cache without touching
+  STEP1-6 (observable through the ``cache`` telemetry counters);
+* each job's telemetry (mapping decisions, stage spans, counters) is
+  captured in the worker and replayed into the caller's active handle,
+  plus one ``sweep.job`` span per job, so ``trace``/``profile``-style
+  exporters work on sweep runs.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from functools import partial
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.presets import load_preset
+from repro.dnn import zoo
+from repro.sim.perf import DEFAULT_MINIBATCH, PerfResult, simulate
+from repro.sweep.cache import (
+    CompileCache,
+    cached_simulation,
+    get_cache,
+    set_cache,
+    simulation_digest,
+)
+from repro.telemetry.core import capture, get_telemetry
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One evaluation: a zoo network on a chip preset at a minibatch."""
+
+    network: str  # canonical zoo name
+    preset: str  # key into repro.arch.presets.PRESETS
+    minibatch: int = DEFAULT_MINIBATCH
+
+    @property
+    def label(self) -> str:
+        return f"{self.network}/{self.preset}/mb{self.minibatch}"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The exported row for one job (deterministic fields only — wall
+    times and cache outcomes live in telemetry, not in results, so
+    parallel and serial runs export byte-identical files)."""
+
+    network: str
+    preset: str
+    minibatch: int
+    digest: str  # simulation content digest (cache key)
+    train_images_per_s: float
+    eval_images_per_s: float
+    pe_utilization: float
+    achieved_tflops: float
+    gflops_per_watt: float
+    total_power_w: float
+    conv_columns_per_copy: int
+    copies: int
+    bottleneck: str
+    bound_by: str
+    cache_hit: bool  # informational; excluded from exported rows
+
+    #: Exported column order (shared by the JSON and CSV writers).
+    EXPORT_FIELDS = (
+        "network", "preset", "minibatch", "digest",
+        "train_images_per_s", "eval_images_per_s", "pe_utilization",
+        "achieved_tflops", "gflops_per_watt", "total_power_w",
+        "conv_columns_per_copy", "copies", "bottleneck", "bound_by",
+    )
+
+    def to_row(self) -> Dict[str, object]:
+        """The deterministic export payload for this job."""
+        return {name: getattr(self, name) for name in self.EXPORT_FIELDS}
+
+
+@dataclass
+class SweepReport:
+    """Results plus run-level bookkeeping for one sweep invocation."""
+
+    results: Tuple[SweepResult, ...]
+    workers: int
+    elapsed_s: float
+    cache_stats: Dict[str, int]  # aggregated hit/miss deltas
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(n for k, n in self.cache_stats.items()
+                   if k.endswith("_hits"))
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(n for k, n in self.cache_stats.items()
+                   if k.endswith("_misses"))
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.results)} jobs on {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''} in {self.elapsed_s:.2f}s "
+            f"(cache: {self.cache_hits} hits / "
+            f"{self.cache_misses} misses)"
+        )
+
+
+def expand_jobs(
+    networks: Optional[Sequence[str]] = None,
+    presets: Sequence[str] = ("sp",),
+    minibatches: Optional[Sequence[int]] = None,
+) -> List[SweepJob]:
+    """The (network x preset x minibatch) job grid, in deterministic
+    order.  ``networks`` defaults to the Fig 15 zoo and ``minibatches``
+    to the paper's 256; names resolve case-insensitively with zoo
+    aliases, presets eagerly (unknown names raise before any work
+    starts)."""
+    names = [
+        zoo.resolve(n) for n in (networks or list(zoo.BENCHMARKS))
+    ]
+    minibatches = minibatches or (DEFAULT_MINIBATCH,)
+    for preset in presets:
+        load_preset(preset)  # validate eagerly
+    return [
+        SweepJob(network=n, preset=p, minibatch=m)
+        for n in names
+        for p in presets
+        for m in minibatches
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The per-job unit of work (module-level: must pickle for the pool)
+# ---------------------------------------------------------------------------
+def _execute_job(
+    job: SweepJob,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> Tuple[SweepResult, PerfResult, Dict[str, int], tuple, tuple]:
+    """Run one job; returns the result row, the full simulation (to warm
+    the parent's cache), the cache hit/miss delta, and the telemetry the
+    job emitted (events + counter rows) for replay in the parent."""
+    net = zoo.load(job.network)
+    node = load_preset(job.preset)
+
+    cache: Optional[CompileCache] = None
+    if use_cache:
+        cache = get_cache()
+        if cache_dir is not None and str(cache.directory or "") != cache_dir:
+            cache = CompileCache(cache_dir)
+            set_cache(cache)
+    before = dict(cache.stats) if cache is not None else {}
+
+    with capture() as tel:
+        if cache is not None:
+            perf = cached_simulation(net, node, job.minibatch, cache)
+        else:
+            perf = simulate(net, node, job.minibatch)
+
+    delta: Dict[str, int] = {}
+    if cache is not None:
+        delta = {
+            k: v - before.get(k, 0)
+            for k, v in cache.stats.items()
+            if v != before.get(k, 0)
+        }
+
+    bottleneck = perf.bottleneck
+    row = SweepResult(
+        network=job.network,
+        preset=job.preset,
+        minibatch=job.minibatch,
+        digest=simulation_digest(net, node, job.minibatch),
+        train_images_per_s=perf.training_images_per_s,
+        eval_images_per_s=perf.evaluation_images_per_s,
+        pe_utilization=perf.pe_utilization,
+        achieved_tflops=perf.achieved_tflops,
+        gflops_per_watt=perf.gflops_per_watt,
+        total_power_w=perf.average_power.total_w,
+        conv_columns_per_copy=perf.mapping.conv_columns_per_copy,
+        copies=perf.mapping.copies,
+        bottleneck=f"{bottleneck.unit}/{bottleneck.step.value}",
+        bound_by=bottleneck.cost.bound_by,
+        cache_hit=delta.get("simulation_hits", 0) > 0,
+    )
+    return row, perf, delta, tuple(tel.events), tuple(tel.counters.rows())
+
+
+def run_sweep(
+    jobs: Iterable[SweepJob],
+    workers: int = 1,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> SweepReport:
+    """Evaluate ``jobs`` across ``workers`` processes.
+
+    ``workers=1`` (or a single job) runs serially in-process; a pool
+    that cannot start (sandboxed environments) falls back to serial with
+    a warning rather than failing the sweep.  ``cache_dir`` installs a
+    disk-backed cache for this process and every worker.
+    """
+    jobs = list(jobs)
+    if use_cache and cache_dir is not None:
+        current = get_cache()
+        if str(current.directory or "") != cache_dir:
+            set_cache(CompileCache(cache_dir))
+
+    run = partial(_execute_job, use_cache=use_cache, cache_dir=cache_dir)
+    started = time.perf_counter()
+    outputs = None
+    pool_size = min(workers, len(jobs)) if jobs else 1
+    if pool_size > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                outputs = list(pool.map(run, jobs))
+        except (OSError, BrokenProcessPool) as exc:
+            print(
+                f"repro: worker pool unavailable ({exc}); "
+                "falling back to serial execution",
+                file=sys.stderr,
+            )
+            outputs = None
+    if outputs is None:
+        outputs = [run(job) for job in jobs]
+    elapsed = time.perf_counter() - started
+
+    tel = get_telemetry()
+    cache = get_cache() if use_cache else None
+    results: List[SweepResult] = []
+    totals: Dict[str, int] = {}
+    offset = 0.0
+    for job, (row, perf, delta, events, counter_rows) in zip(jobs, outputs):
+        results.append(row)
+        for key, value in delta.items():
+            totals[key] = totals.get(key, 0) + value
+        if cache is not None:
+            # Warm the parent's cache with worker-computed results so a
+            # rerun hits even when this run fanned out to processes.
+            cache.put("simulation", row.digest, perf)
+        if tel.enabled:
+            tel.span(
+                job.label, "sweep.job", ("sweep", job.preset),
+                offset, 1.0,
+                network=job.network, preset=job.preset,
+                minibatch=job.minibatch, digest=row.digest,
+                cache_hit=row.cache_hit,
+            )
+            offset += 1.0
+            tel.count("sweep", "jobs")
+            tel.count(
+                "sweep",
+                "cache_hits" if row.cache_hit else "cache_misses",
+            )
+            for event in events:
+                tel.events.append(event)
+            for group, name, value in counter_rows:
+                if group == "cache":
+                    tel.count(group, name, value)
+                else:
+                    tel.record(group, name, value)
+    if tel.enabled:
+        tel.record("sweep", "elapsed_s", elapsed)
+        tel.record("sweep", "workers", workers)
+
+    return SweepReport(
+        results=tuple(results),
+        workers=workers,
+        elapsed_s=elapsed,
+        cache_stats=totals,
+    )

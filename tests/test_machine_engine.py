@@ -268,6 +268,36 @@ class TestSynchronization:
         with pytest.raises(SimulationError, match="deadlock"):
             Engine(m).run()
 
+    def test_deadlock_report_deterministic(self):
+        """Identical machine states yield byte-identical deadlock text,
+        sorted by tile id, regardless of program-load order."""
+
+        def stuck(tile, addr):
+            return assemble(
+                f"""
+                MEMTRACK addr={addr}, port=0, size=4, num_updates=1, num_reads=1
+                DMALOAD src_addr={addr}, src_port=0, dst_addr=0, dst_port=1, size=4, is_accum=0
+                HALT
+                """,
+                tile=tile,
+            )
+
+        def run(order):
+            m = machine()
+            for name, addr in order:
+                m.load_program(stuck(name, addr))
+            with pytest.raises(SimulationError) as exc:
+                Engine(m).run()
+            return str(exc.value)
+
+        first = run([("z_tile", 0), ("a_tile", 32)])
+        second = run([("a_tile", 32), ("z_tile", 0)])
+        assert first == second
+        detail = first.splitlines()[1:]
+        assert len(detail) == 2
+        assert detail == sorted(detail)
+        assert detail[0].lstrip().startswith("a_tile:")
+
     def test_no_programs(self):
         with pytest.raises(SimulationError):
             Engine(machine()).run()

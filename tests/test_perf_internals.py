@@ -12,6 +12,7 @@ from repro.sim.perf import (
     _first_fc_input_bytes,
     _merge_costs,
     _conv_stage_reports,
+    _span_crossings,
     _throughput,
 )
 
@@ -29,6 +30,35 @@ def alexnet_mapping(node):
 @pytest.fixture(scope="module")
 def vggd_mapping(node):
     return map_network(zoo.vgg_d(), node)
+
+
+class TestSpanCrossings:
+    """Pins the boundary-crossing count, including the exact-landing
+    case the old ``(position - 1) // span`` test missed."""
+
+    def test_unit_ending_exactly_on_boundary_crosses(self):
+        # Unit 1 ends at column 16; unit 2 reads across the edge.
+        assert _span_crossings([8, 8, 8], 16) == [1]
+
+    def test_internal_straddle_crosses(self):
+        assert _span_crossings([8, 9, 7], 16) == [1]
+
+    def test_trailing_unit_on_boundary_is_free(self):
+        # No consumer beyond the last unit: nothing crosses.
+        assert _span_crossings([16], 16) == []
+        assert _span_crossings([8, 8], 16) == []
+
+    def test_two_full_spans(self):
+        assert _span_crossings([16, 16], 16) == [0]
+
+    def test_sequence_within_one_span(self):
+        assert _span_crossings([4, 4], 16) == []
+
+    def test_wide_unit_straddling_twice_counts_once(self):
+        assert _span_crossings([8, 33, 7], 16) == [1]
+
+    def test_degenerate_span(self):
+        assert _span_crossings([8, 8], 0) == []
 
 
 class TestTrafficHelpers:

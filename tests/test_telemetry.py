@@ -349,15 +349,10 @@ class TestCli:
 
 
 class TestBenchCaches:
-    def test_clear_caches_empties_all_memos(self):
+    def test_clear_caches_empties_the_compile_cache(self):
+        from repro.sweep import get_cache
+
         bench_runner.cached_mapping("TinyCNN")
-        assert bench_runner.cached_mapping.cache_info().currsize > 0
-        assert bench_runner._network.cache_info().currsize > 0
+        assert len(get_cache()) > 0
         bench_runner.clear_caches()
-        for memo in (
-            bench_runner._network,
-            bench_runner._node,
-            bench_runner.cached_mapping,
-            bench_runner.cached_simulation,
-        ):
-            assert memo.cache_info().currsize == 0
+        assert len(get_cache()) == 0
