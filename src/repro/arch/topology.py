@@ -64,6 +64,52 @@ def build_topology(node: NodeConfig) -> nx.Graph:
     return graph
 
 
+def degraded_topology(node: NodeConfig, faults) -> nx.Graph:
+    """The node graph with a fault mask's down links removed.
+
+    ``faults`` is a :class:`repro.faults.model.FaultMask` (duck-typed:
+    anything with ``down_arcs`` / ``down_ring`` works).  Raises
+    :class:`ConfigError` if the surviving graph is disconnected — a
+    partitioned machine cannot run a single training job.
+    """
+    graph = build_topology(node)
+    wheel = node.cluster.conv_chip_count
+    for cluster, i in faults.down_arcs:
+        a = conv_chip_name(cluster, i)
+        b = conv_chip_name(cluster, (i + 1) % wheel)
+        if graph.has_edge(a, b):
+            graph.remove_edge(a, b)
+    for i in faults.down_ring:
+        a = hub_name(i)
+        b = hub_name((i + 1) % node.cluster_count)
+        if graph.has_edge(a, b):
+            graph.remove_edge(a, b)
+    if not nx.is_connected(graph):
+        raise ConfigError(
+            f"fault mask partitions the node: "
+            f"{len(faults.down_arcs)} wheel arc(s) and "
+            f"{len(faults.down_ring)} ring link(s) down"
+        )
+    return graph
+
+
+def reroute_penalties(node: NodeConfig, faults) -> Dict[str, float]:
+    """Average hop inflation caused by a fault mask's down links.
+
+    Compares producer->consumer and CONV->hub hop counts on the
+    degraded graph against the healthy one — the structural cost the
+    perf/sync models approximate with their reroute multipliers.
+    """
+    healthy = profile_topology(build_topology(node), "healthy")
+    hurt = profile_topology(degraded_topology(node, faults), "degraded")
+    return {
+        "neighbour_hops": hurt.neighbour_hops
+        / max(1.0, healthy.neighbour_hops),
+        "fc_hops": hurt.fc_hops / max(1.0, healthy.fc_hops),
+        "diameter": hurt.diameter / max(1, healthy.diameter),
+    }
+
+
 def build_fat_tree(
     leaves: int, link_bandwidth: float, arity: int = 4
 ) -> nx.Graph:

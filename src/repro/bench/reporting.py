@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
+from repro.errors import ConfigError
+
 
 def fmt_rate(value: float) -> str:
     """Format an images/s figure."""
@@ -33,7 +35,7 @@ class Table:
 
     def add(self, *cells: object) -> None:
         if len(cells) != len(self.columns):
-            raise ValueError(
+            raise ConfigError(
                 f"row has {len(cells)} cells, table has "
                 f"{len(self.columns)} columns"
             )

@@ -18,6 +18,7 @@ from repro.arch import half_precision_node, single_precision_node
 from repro.arch.node import NodeConfig
 from repro.compiler import WorkloadMapping
 from repro.dnn import zoo
+from repro.errors import ConfigError
 from repro.sim import PerfResult
 from repro.sweep.cache import (
     cached_mapping as _cached_mapping,
@@ -31,7 +32,7 @@ def _node(precision: str) -> NodeConfig:
         return single_precision_node()
     if precision == "hp":
         return half_precision_node()
-    raise ValueError(f"unknown precision {precision!r}")
+    raise ConfigError(f"unknown precision {precision!r}")
 
 
 def cached_mapping(name: str, precision: str = "sp") -> WorkloadMapping:

@@ -18,10 +18,16 @@ Subcommands:
 * ``sweep [NET...]`` — fan (network x preset x minibatch) jobs across
   worker processes with content-keyed compile caching; writes JSON
   (and optionally CSV) results;
+* ``faults NET`` — inject a deterministic fault mask and report
+  baseline vs degraded throughput / energy after remapping;
 * ``export DIR`` — write every figure's data series as CSV.
 
 Network names are resolved case-insensitively with shorthand aliases
 (``alexnet``, ``tiny``); unknown names exit with status 2 and a hint.
+Exit codes: 0 on success, 1 for domain failures (:class:`ReproError`
+— unmappable networks, partitioned topologies, failed sweep jobs), 2
+for usage errors (unknown names, malformed specs).  No public failure
+path surfaces a traceback.
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from repro.dnn.analysis import (
     layer_class_summary,
     training_flops,
 )
+from repro.errors import ReproError
 from repro.sim import simulate
 from repro.sim.energy import energy_report
 
@@ -271,9 +278,84 @@ def cmd_profile(args: argparse.Namespace) -> None:
         print(f"wrote counters to {write_counters_csv(tel, args.csv)}")
 
 
+def _fault_spec(args: argparse.Namespace):
+    """Build a :class:`FaultSpec` from CLI flags; malformed specs are
+    usage errors (exit 2)."""
+    from repro.errors import ConfigError
+    from repro.faults import ALL_KINDS, FaultSpec, parse_kinds
+
+    try:
+        kind = args.kind.strip()
+        kinds = ALL_KINDS if kind == "all" else parse_kinds(kind)
+        return FaultSpec(
+            rate=args.rate, seed=args.seed, kinds=kinds,
+            slow_factor=args.slow_factor,
+        )
+    except ConfigError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def cmd_faults(args: argparse.Namespace) -> None:
+    from repro.sweep.cache import CompileCache, cached_simulation, set_cache
+
+    net = _load(args.network)
+    node = _node(args)
+    spec = _fault_spec(args)
+    if args.cache_dir:
+        set_cache(CompileCache(args.cache_dir))
+
+    # Both runs route through the content-keyed cache: the fault spec is
+    # folded into the fingerprint digest, so baseline and degraded
+    # artifacts never collide and reruns are byte-identical.
+    baseline = cached_simulation(net, node, args.minibatch)
+    degraded = cached_simulation(net, node, args.minibatch, faults=spec)
+
+    mask = degraded.mapping.faults
+    print(f"fault what-if: {net.name} on {node.name}")
+    if mask is not None:
+        print(mask.describe())
+    if degraded.mapping.degraded:
+        print(
+            f"remapped {degraded.mapping.remapped_columns} column(s) "
+            f"around faulty tiles"
+        )
+    print()
+
+    base_energy = energy_report(baseline)
+    hurt_energy = energy_report(degraded)
+    table = Table(
+        f"Baseline vs degraded ({spec.describe()})",
+        ["metric", "baseline", "degraded", "ratio"],
+    )
+
+    def row(label: str, b: float, d: float, fmt: str) -> None:
+        ratio = d / b if b else 0.0
+        table.add(label, fmt.format(b), fmt.format(d), f"{ratio:.3f}x")
+
+    row("train img/s", baseline.training_images_per_s,
+        degraded.training_images_per_s, "{:,.0f}")
+    row("eval img/s", baseline.evaluation_images_per_s,
+        degraded.evaluation_images_per_s, "{:,.0f}")
+    row("PE utilization", baseline.pe_utilization,
+        degraded.pe_utilization, "{:.3f}")
+    row("achieved TFLOPs", baseline.achieved_tflops,
+        degraded.achieved_tflops, "{:.2f}")
+    row("total power W", baseline.average_power.total_w,
+        degraded.average_power.total_w, "{:,.1f}")
+    row("mJ/training image",
+        base_energy.joules_per_training_image * 1e3,
+        hurt_energy.joules_per_training_image * 1e3, "{:.1f}")
+    row("mJ/evaluation",
+        base_energy.joules_per_evaluation_image * 1e3,
+        hurt_energy.joules_per_evaluation_image * 1e3, "{:.2f}")
+    table.show()
+
+
 def cmd_sweep(args: argparse.Namespace) -> None:
     from repro.bench.export import write_sweep_csv, write_sweep_json
     from repro.errors import ConfigError
+    from repro.faults import FaultSpec, parse_kinds
     from repro.sweep import (
         CompileCache,
         expand_jobs,
@@ -291,10 +373,17 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             return  # clear-only invocation: don't launch the full suite
 
     try:
+        faults = None
+        if args.fault_rate is not None:
+            faults = FaultSpec(
+                rate=args.fault_rate, seed=args.fault_seed,
+                kinds=parse_kinds(args.fault_kind),
+            )
         jobs = expand_jobs(
             networks=args.networks or None,
             presets=args.presets.split(","),
             minibatches=args.minibatch or None,
+            faults=faults,
         )
     except (KeyError, ConfigError) as exc:
         message = exc.args[0] if exc.args else str(exc)
@@ -306,6 +395,8 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        retries=args.retries,
+        fail_fast=args.fail_fast,
     )
 
     table = Table(
@@ -320,13 +411,21 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             f"{r.eval_images_per_s:,.0f}",
             f"{r.pe_utilization:.2f}",
             f"{r.gflops_per_watt:.0f}",
-            r.bound_by,
+            "FAILED" if r.failed else r.bound_by,
         )
     table.show()
     print(report.describe())
     print(f"wrote {write_sweep_json(report.results, args.out)}")
     if args.csv:
         print(f"wrote {write_sweep_csv(report.results, args.csv)}")
+    if report.failures:
+        for r in report.failures:
+            print(
+                f"repro: job {r.network}/{r.preset}/mb{r.minibatch} "
+                f"failed:\n{r.error}",
+                file=sys.stderr,
+            )
+        raise SystemExit(1)
 
 
 def cmd_export(args: argparse.Namespace) -> None:
@@ -436,7 +535,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--clear-cache", action="store_true",
         help="drop cached artifacts first (alone: clear and exit)",
     )
+    p.add_argument(
+        "--retries", type=int, default=1,
+        help="re-attempts per failing job before quarantine (default: 1)",
+    )
+    p.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep on the first failed job instead of "
+        "quarantining it as a failed row",
+    )
+    p.add_argument(
+        "--fault-rate", type=float, default=None, metavar="R",
+        help="inject faults at per-site rate R into every job",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="fault RNG seed (default: 0)",
+    )
+    p.add_argument(
+        "--fault-kind", default="tile-dead",
+        help="comma-separated fault kinds (default: tile-dead)",
+    )
     p.set_defaults(func=cmd_sweep)
+    p = with_net("faults", "fault-injection what-if: baseline vs degraded")
+    p.add_argument(
+        "--rate", type=float, default=0.02,
+        help="per-site fault probability (default: 0.02)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="fault RNG seed (default: 0)",
+    )
+    p.add_argument(
+        "--kind", default="tile-dead",
+        help="comma-separated fault kinds: tile-dead, tile-slow, "
+        "link-down, dma-bitflip, or 'all' (default: tile-dead)",
+    )
+    p.add_argument(
+        "--slow-factor", type=float, default=0.5,
+        help="throughput fraction a tile-slow column retains "
+        "(default: 0.5)",
+    )
+    p.add_argument("--minibatch", type=int, default=256)
+    p.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="disk-backed compile cache directory",
+    )
+    p.set_defaults(func=cmd_faults)
     p = sub.add_parser("export", help="write figure data as CSV")
     p.add_argument("directory", help="output directory")
     p.set_defaults(func=cmd_export)
@@ -445,7 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except ReproError as exc:
+        # Domain failures (unmappable networks, partitioned topologies,
+        # simulation timeouts, fail-fast sweeps) exit 1 with a one-line
+        # message — never a traceback.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro: {message}", file=sys.stderr)
+        return 1
     return 0
 
 

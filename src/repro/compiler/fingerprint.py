@@ -28,7 +28,9 @@ from repro.dnn.network import Network
 #: Bump this whenever STEP1-6 or the code generators change the
 #: artifacts they produce for the same inputs — every cache entry keyed
 #: under the old version becomes unreachable (implicit invalidation).
-COMPILER_VERSION = "1"
+#: "2": fault-aware mapping added assigned-column/derate fields to
+#: allocations and a fault mask to WorkloadMapping.
+COMPILER_VERSION = "2"
 
 
 def canonical(obj: Any) -> Any:

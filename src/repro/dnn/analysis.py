@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.dnn.layers import ConvSpec, FCSpec, LayerKind, PoolSpec
+from repro.errors import AnalysisError
 from repro.dnn.network import LayerNode, Network
 
 
@@ -395,7 +396,9 @@ def intrinsic_bytes_per_flop(kernel: Kernel, dtype_bytes: int = 4) -> float:
         return dtype_bytes * 1.25
     if kernel is Kernel.ACT_FN:
         return dtype_bytes * 2.0
-    raise ValueError(f"{kernel} is compute-dominant; use layer traffic")
+    raise AnalysisError(
+        f"{kernel} is compute-dominant; use layer traffic"
+    )
 
 
 def kernel_summary(

@@ -21,8 +21,21 @@ class ConfigError(ReproError):
     """An architecture configuration is inconsistent or out of range."""
 
 
+class AnalysisError(ReproError):
+    """A workload-analysis query was asked of data that cannot answer it."""
+
+
 class MappingError(ReproError):
     """The compiler could not map a network onto the given architecture."""
+
+
+class UnmappableError(MappingError):
+    """Fault-degraded capacity genuinely cannot host the network.
+
+    Raised only when remapping around dead tiles has been attempted and
+    the surviving columns still cannot satisfy the STEP3a memory
+    constraint — i.e. capacity is truly exhausted, not merely degraded.
+    """
 
 
 class ProgramError(ReproError):
@@ -31,6 +44,26 @@ class ProgramError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator reached an invalid state (deadlock, bad access)."""
+
+
+class SimulationTimeout(SimulationError):
+    """The engine watchdog killed a run that exceeded its wall-clock or
+    cycle budget.
+
+    ``snapshot`` carries the per-tile tracker state at the moment of the
+    kill: a tuple of dicts with ``tile``, ``pc``, ``cycles``,
+    ``instructions``, ``halted``, ``blocked`` and ``reason`` (the
+    obstructing tracker access, or ``None``), sorted by tile id.
+    """
+
+    def __init__(self, message: str, snapshot=()) -> None:
+        super().__init__(message)
+        self.snapshot = tuple(snapshot)
+
+
+class SweepError(ReproError):
+    """A sweep aborted (a job failed while ``fail_fast`` was set, or the
+    runner itself could not proceed)."""
 
 
 class SynchronizationError(SimulationError):

@@ -1,0 +1,25 @@
+"""Fault-injection subsystem: deterministic fault sampling plus the
+graceful-degradation hooks consumed by the compiler, the performance
+model, the gradient-sync model and the functional engine."""
+
+from repro.faults.model import (
+    ALL_KINDS,
+    Fault,
+    FaultKind,
+    FaultMask,
+    FaultModel,
+    FaultSpec,
+    parse_kinds,
+    sample_faults,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "Fault",
+    "FaultKind",
+    "FaultMask",
+    "FaultModel",
+    "FaultSpec",
+    "parse_kinds",
+    "sample_faults",
+]

@@ -37,11 +37,16 @@ def ring_allreduce_cycles(
     participants: int,
     link_bandwidth: float,
     frequency_hz: float,
+    down_links: int = 0,
 ) -> float:
     """Cycles for a bandwidth-optimal ring all-reduce.
 
     Reduce-scatter plus all-gather: each of the ``n`` links carries
-    ``2 * (n - 1) / n * payload`` bytes.
+    ``2 * (n - 1) / n * payload`` bytes.  With one link down the ring
+    degrades to a line — the reduce and broadcast both traverse the
+    middle link with the full payload (``2 * payload`` bytes on the
+    busiest link).  Two or more down links partition the ring, which is
+    unrecoverable: gradients can no longer reach every participant.
     """
     if participants < 1:
         raise SimulationError("all-reduce needs at least one participant")
@@ -49,7 +54,17 @@ def ring_allreduce_cycles(
         raise SimulationError("payload must be >= 0 and bandwidth > 0")
     if participants == 1:
         return 0.0
-    bytes_per_link = 2.0 * (participants - 1) / participants * payload_bytes
+    if down_links >= 2:
+        raise SimulationError(
+            f"ring partitioned: {down_links} of {participants} links "
+            f"down, gradient all-reduce cannot reach every cluster"
+        )
+    if down_links == 1:
+        bytes_per_link = 2.0 * payload_bytes
+    else:
+        bytes_per_link = (
+            2.0 * (participants - 1) / participants * payload_bytes
+        )
     bytes_per_cycle = link_bandwidth / frequency_hz
     return bytes_per_link / bytes_per_cycle
 
@@ -59,6 +74,7 @@ def wheel_accumulate_cycles(
     conv_chips: int,
     arc_bandwidth: float,
     frequency_hz: float,
+    down_arcs: int = 0,
 ) -> float:
     """Cycles to accumulate gradients across a wheel's ConvLayer chips
     and redistribute updated weights over the arcs.
@@ -66,13 +82,16 @@ def wheel_accumulate_cycles(
     The chips form a line of ``conv_chips - 1`` arcs; accumulation
     daisy-chains toward the hub-adjacent chip and the updated weights
     flow back, so the busiest arc moves the payload once each way.
+    Every down arc forces its traffic the long way round the rim,
+    adding one full payload traversal to the busiest surviving arc.
     """
     if conv_chips < 1:
         raise SimulationError("a wheel needs at least one ConvLayer chip")
     if conv_chips == 1:
         return 0.0
     bytes_per_cycle = arc_bandwidth / frequency_hz
-    return 2.0 * payload_bytes / bytes_per_cycle
+    reroute = 1 + max(0, down_arcs)
+    return reroute * 2.0 * payload_bytes / bytes_per_cycle
 
 
 @dataclass(frozen=True)
@@ -143,6 +162,7 @@ def minibatch_sync(
         for m in a.members
     ) * dtype
 
+    faults = mapping.faults
     copies_per_wheel = max(
         1, node.cluster.conv_chip_count // max(1, mapping.conv_chips_per_copy)
     )
@@ -153,6 +173,7 @@ def minibatch_sync(
     wheel = wheel_accumulate_cycles(
         conv_bytes, chips_active, node.cluster.arc_bandwidth,
         node.frequency_hz,
+        down_arcs=faults.worst_cluster_down_arcs if faults else 0,
     )
 
     clusters = max(1, node.cluster_count // mapping.clusters_per_copy)
@@ -161,7 +182,8 @@ def minibatch_sync(
         # Replicated FC weights must synchronize too.
         ring_payload += fc_bytes
     ring = ring_allreduce_cycles(
-        ring_payload, clusters, node.ring_bandwidth, node.frequency_hz
+        ring_payload, clusters, node.ring_bandwidth, node.frequency_hz,
+        down_links=len(faults.down_ring) if faults and clusters > 1 else 0,
     )
 
     # Compute time for the minibatch, from the pipeline bottleneck.

@@ -26,13 +26,15 @@ Engine conventions (the compiler's code generator follows these):
 from __future__ import annotations
 
 import math
+import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.dnn.layers import Activation, PoolMode
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SimulationTimeout
 from repro.functional import tensor_ops as ops
 from repro.isa.instructions import Instruction, InstrGroup, Opcode
 from repro.isa.program import Program
@@ -104,10 +106,26 @@ class Engine:
         trace: bool = False,
         trace_limit: int = 100_000,
         telemetry: "Telemetry | NullTelemetry | None" = None,
+        wall_clock_limit: Optional[float] = None,
+        faults=None,
     ) -> None:
         self.machine = machine
         self.external = np.zeros(external_words, dtype=np.float32)
         self.max_rounds = max_rounds
+        #: Watchdog: seconds of host wall-clock a run() may take before
+        #: it is killed with a :class:`SimulationTimeout` (None = no
+        #: limit; the ``max_rounds`` cycle budget always applies).
+        self.wall_clock_limit = wall_clock_limit
+        #: DMA bit-flip faults: a :class:`repro.faults.model.FaultMask`
+        #: (duck-typed — ``dma_flip_rate`` and ``spec.seed`` suffice).
+        #: Flips are drawn from a named RNG stream so a given seed
+        #: corrupts the same transfers in every run.
+        self._dma_flip_rate = float(
+            getattr(faults, "dma_flip_rate", 0.0) or 0.0
+        )
+        seed = getattr(getattr(faults, "spec", None), "seed", 0)
+        self._dma_rng = random.Random(f"scaledeep-dma:{seed}")
+        self.dma_flips = 0
         self.rounds = 0
         #: Optional execution trace: (round, tile_id, instruction text).
         self.trace_enabled = trace
@@ -264,6 +282,27 @@ class Engine:
     def _offload_cycles(self, elems: int) -> int:
         sfu = self.machine.chip.mem_tile.num_sfu
         return _SETUP_OFFLOAD + math.ceil(elems / sfu)
+
+    def _dma_payload(self, data: np.ndarray, tile_id: str) -> np.ndarray:
+        """Copy a DMA transfer's words, injecting a sign-bit flip on one
+        word when a dma-bitflip fault fires for this transfer."""
+        out = np.array(data, dtype=np.float32)
+        if (
+            self._dma_flip_rate
+            and out.size
+            and self._dma_rng.random() < self._dma_flip_rate
+        ):
+            flat = out.reshape(-1)
+            index = self._dma_rng.randrange(flat.size)
+            flat[index] = -flat[index]
+            self.dma_flips += 1
+            if self._tel_on:
+                self.telemetry.instant(
+                    "fault.dma_flip", "faults", ("faults", "dma-bitflip"),
+                    self.rounds, tile=tile_id, index=index,
+                )
+                self.telemetry.count("faults", "dma_flips")
+        return out
 
     def _dma_cycles(self, words: int, src_port: int, dst_port: int) -> int:
         chip = self.machine.chip
@@ -493,7 +532,8 @@ class Engine:
             size = o["size"]
             data = self._read_words(o["src_port"], o["src_addr"], size)
             self._write_words(
-                o["dst_port"], o["dst_addr"], data.copy(),
+                o["dst_port"], o["dst_addr"],
+                self._dma_payload(data, tile.tile_id),
                 bool(o["is_accum"]),
             )
             if self._tel_on:
@@ -510,7 +550,10 @@ class Engine:
         if op is Opcode.PREFETCH:
             size = o["size"]
             data = self.external[o["src_addr"] : o["src_addr"] + size]
-            self._write_words(o["dst_port"], o["dst_addr"], data.copy(), False)
+            self._write_words(
+                o["dst_port"], o["dst_addr"],
+                self._dma_payload(data, tile.tile_id), False,
+            )
             if self._tel_on:
                 self.telemetry.count(
                     f"tile/{tile.tile_id}", "dma_bytes", 4 * size
@@ -548,12 +591,25 @@ class Engine:
         self.rounds = 0
         tel = self.telemetry
         tel_on = self._tel_on
+        deadline = (
+            time.monotonic() + self.wall_clock_limit
+            if self.wall_clock_limit is not None else None
+        )
         while True:
             self.rounds += 1
             if self.rounds > self.max_rounds:
-                raise SimulationError(
+                raise SimulationTimeout(
                     f"engine exceeded {self.max_rounds} rounds; likely "
-                    "livelock"
+                    "livelock (watchdog cycle budget)\n"
+                    + self._describe_blocked(tiles),
+                    snapshot=self._snapshot(tiles),
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise SimulationTimeout(
+                    f"engine watchdog: run exceeded wall-clock limit of "
+                    f"{self.wall_clock_limit:g}s after {self.rounds} "
+                    "rounds\n" + self._describe_blocked(tiles),
+                    snapshot=self._snapshot(tiles),
                 )
             progress = False
             live = False
@@ -617,6 +673,32 @@ class Engine:
     # ------------------------------------------------------------------
     # Diagnostics and telemetry flushing
     # ------------------------------------------------------------------
+    def _snapshot(self, tiles: List[CompTile]) -> List[Dict[str, object]]:
+        """Per-tile tracker state for :class:`SimulationTimeout`, sorted
+        by tile id for deterministic diagnostics."""
+        rows: List[Dict[str, object]] = []
+        for tile in sorted(tiles, key=lambda t: t.tile_id):
+            reason = self._block_reason.get(tile.tile_id)
+            rows.append({
+                "tile": tile.tile_id,
+                "pc": tile.pc,
+                "cycles": tile.cycles,
+                "instructions": tile.instructions_executed,
+                "halted": tile.halted,
+                "blocked": tile.blocked,
+                "reason": (
+                    {
+                        "kind": reason[0],
+                        "port": reason[1],
+                        "addr": reason[2],
+                        "count": reason[3],
+                        "phase": reason[4],
+                    }
+                    if reason is not None and tile.blocked else None
+                ),
+            })
+        return rows
+
     def _describe_blocked(self, tiles: List[CompTile]) -> str:
         """Per-tile deadlock detail: the tracker phase and address range
         each blocked tile is waiting on.
@@ -657,6 +739,8 @@ class Engine:
             group = f"mem/{mem.tile_id}"
             tel.record(group, "blocked_reads", mem.trackers.blocked_reads)
             tel.record(group, "blocked_writes", mem.trackers.blocked_writes)
+        if self.dma_flips:
+            tel.record("engine", "dma_flips", self.dma_flips)
         tel.record("engine", "rounds", self.rounds)
         tel.record("engine", "total_cycles", self.machine.total_cycles)
         tel.record(

@@ -13,7 +13,7 @@ processing efficiency (Fig 20).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.arch.node import NodeConfig
@@ -24,6 +24,7 @@ from repro.dnn.analysis import Step, profile_network
 from repro.dnn.layers import LayerKind
 from repro.dnn.network import Network
 from repro.errors import SimulationError
+from repro.faults.model import FaultMask
 from repro.telemetry.core import get_telemetry
 
 #: Default minibatch: the paper aggregates gradients per minibatch; 256
@@ -107,6 +108,27 @@ class PerfResult:
         )
 
 
+def _derate_cost(cost: StepCost, derate: float) -> StepCost:
+    """Fold a tile-slow fault into a stage cost.
+
+    The columns of a stage advance in lockstep (features distribute
+    across the columns and partial outputs merge — the STEP4/5 state
+    partitioning), so a derated column paces the whole stage: every
+    cycle term stretches by ``1 / derate``.
+    """
+    if derate >= 1.0:
+        return cost
+    scale = 1.0 / max(derate, 1e-9)
+    return replace(
+        cost,
+        compute_cycles=cost.compute_cycles * scale,
+        sfu_cycles=cost.sfu_cycles * scale,
+        comp_mem_link_cycles=cost.comp_mem_link_cycles * scale,
+        mem_mem_link_cycles=cost.mem_mem_link_cycles * scale,
+        ext_mem_cycles=cost.ext_mem_cycles * scale,
+    )
+
+
 def _conv_stage_reports(
     mapping: WorkloadMapping,
     training: bool,
@@ -132,7 +154,7 @@ def _conv_stage_reports(
             # Members of a unit share their columns, so their latencies
             # add; attribute the merged cost to the slowest member's
             # breakdown with summed cycle terms.
-            merged = _merge_costs(costs, alloc)
+            merged = _derate_cost(_merge_costs(costs, alloc), alloc.derate)
             reports.append(StageReport(alloc.unit, step, chip.kind.value, merged))
     return reports
 
@@ -198,7 +220,7 @@ def _fc_stage_reports(
             reports.append(
                 StageReport(
                     alloc.unit, step, chip.kind.value,
-                    _merge_costs(costs, alloc),
+                    _derate_cost(_merge_costs(costs, alloc), alloc.derate),
                 )
             )
     return reports
@@ -452,6 +474,12 @@ def _link_utilization(
     arc_links = max(1, min(mapping.conv_chips_per_copy, 4) - 1) if (
         mapping.conv_chips_per_copy > 1
     ) else 1
+    if mapping.faults is not None:
+        # Traffic of a down arc reroutes the long way round the rim,
+        # concentrating on the surviving arcs of the worst-hit cluster.
+        arc_links = max(
+            1, arc_links - mapping.faults.worst_cluster_down_arcs
+        )
     arc_util = clamp(
         per_copy_rate * arc_bytes
         / max(1.0, arc_links * node.cluster.arc_bandwidth)
@@ -468,9 +496,14 @@ def _link_utilization(
             mapping, conv.cols * node.cluster.conv_chip_count
         )
     ring_bytes += WEIGHT_SYNC_OVERLAP * 2.0 * conv_weight_bytes / minibatch
+    ring_links = node.cluster_count
+    if mapping.faults is not None:
+        # A cut ring degrades to a line; the traffic squeezes onto the
+        # surviving links.
+        ring_links = max(1, ring_links - len(mapping.faults.down_ring))
     ring_util = clamp(
         images_per_s * ring_bytes
-        / max(1.0, node.cluster_count * node.ring_bandwidth)
+        / max(1.0, ring_links * node.ring_bandwidth)
     )
 
     return LinkUtilization(
@@ -489,17 +522,20 @@ def simulate(
     node: NodeConfig,
     minibatch: int = DEFAULT_MINIBATCH,
     mapping: Optional[WorkloadMapping] = None,
+    faults: Optional[FaultMask] = None,
 ) -> PerfResult:
     """Simulate training and evaluation of ``net`` on ``node``.
 
     Returns throughput, utilization, link utilization and power — the
     quantities behind Figs 16/17 (throughput + utilization), Fig 20
-    (power/efficiency) and Fig 21 (bandwidth utilization).
+    (power/efficiency) and Fig 21 (bandwidth utilization).  With a
+    ``faults`` mask (or a fault-remapped ``mapping``) the pipeline runs
+    on the degraded machine: derated stages, rerouted arc/ring traffic.
     """
     if minibatch < 1:
         raise SimulationError(f"minibatch must be >= 1, got {minibatch}")
     if mapping is None:
-        mapping = map_network(net, node)
+        mapping = map_network(net, node, faults=faults)
 
     train_conv = _conv_stage_reports(mapping, training=True, tile_multiplier=1)
     train_fc = _fc_stage_reports(mapping, training=True, tile_multiplier=1)

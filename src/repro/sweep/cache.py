@@ -38,12 +38,19 @@ from repro.arch.node import NodeConfig
 from repro.compiler.fingerprint import compile_digest
 from repro.compiler.mapping import WorkloadMapping, map_network
 from repro.dnn.network import Network
+from repro.faults.model import FaultMask, FaultSpec, sample_faults
 from repro.telemetry.core import get_telemetry
 
 T = TypeVar("T")
 
 #: Environment variable naming the default on-disk cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: On-disk entry format version.  Entries are ``{"version", "kind",
+#: "digest", "artifact"}`` dicts; anything else (truncated pickle, a
+#: pre-versioning bare artifact, a future format) is treated as corrupt:
+#: counted, evicted and rebuilt — never raised to the caller.
+DISK_FORMAT_VERSION = 2
 
 
 class CompileCache:
@@ -73,27 +80,59 @@ class CompileCache:
             return None
         return self.directory / kind / f"{digest}.pkl"
 
+    def _evict_corrupt(self, kind: str, path: Path) -> None:
+        """A disk entry failed validation: count it, delete it, and let
+        the caller rebuild through the normal miss path."""
+        self.stats["corrupt"] = self.stats.get("corrupt", 0) + 1
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("cache", "corrupt")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
     def _disk_load(self, kind: str, digest: str) -> Optional[object]:
         path = self._disk_path(kind, digest)
         if path is None or not path.exists():
             return None
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
+                entry = pickle.load(handle)
         except Exception:
-            return None  # corrupt / partial entry: fall through to rebuild
+            # Truncated or garbled pickle.
+            self._evict_corrupt(kind, path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != DISK_FORMAT_VERSION
+            or entry.get("kind") != kind
+            or entry.get("digest") != digest
+            or "artifact" not in entry
+        ):
+            # Stale format, or an entry that does not match its own
+            # file name (bit rot, a bad copy): self-invalidate.
+            self._evict_corrupt(kind, path)
+            return None
+        return entry["artifact"]
 
     def _disk_store(self, kind: str, digest: str, artifact: object) -> None:
         path = self._disk_path(kind, digest)
         if path is None:
             return
+        entry = {
+            "version": DISK_FORMAT_VERSION,
+            "kind": kind,
+            "digest": digest,
+            "artifact": artifact,
+        }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             # Atomic publish: parallel writers race benignly (same
             # digest -> same content), partial writes never surface.
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             with tmp.open("wb") as handle:
-                pickle.dump(artifact, handle)
+                pickle.dump(entry, handle)
             tmp.replace(path)
         except Exception:
             pass  # unpicklable or unwritable: memory layer still serves
@@ -172,23 +211,48 @@ def clear_cache() -> int:
 # ---------------------------------------------------------------------------
 # Cached compile/simulate entry points
 # ---------------------------------------------------------------------------
+def _fault_extra(faults: Optional[FaultSpec]) -> dict:
+    """Digest payload for a fault spec (empty when fault-free, so
+    historical fault-free digests keep their shape)."""
+    return {"faults": faults} if faults is not None else {}
+
+
 def cached_mapping(
     net: Network,
     node: NodeConfig,
     cache: Optional[CompileCache] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> WorkloadMapping:
-    """STEP1-6 mapping of ``net`` on ``node``, content-cached."""
+    """STEP1-6 mapping of ``net`` on ``node``, content-cached.
+
+    ``faults`` is a declarative :class:`FaultSpec`: sampling is a pure
+    function of (spec, node), so the spec is the true content key and
+    the mask is re-sampled only on a miss.
+    """
     cache = cache if cache is not None else get_cache()
-    digest = compile_digest(net, node, artifact="mapping")
-    return cache.get("mapping", digest, lambda: map_network(net, node))
+    digest = compile_digest(
+        net, node, artifact="mapping", **_fault_extra(faults)
+    )
+
+    def build() -> WorkloadMapping:
+        mask: Optional[FaultMask] = (
+            sample_faults(faults, node) if faults is not None else None
+        )
+        return map_network(net, node, faults=mask)
+
+    return cache.get("mapping", digest, build)
 
 
 def simulation_digest(
-    net: Network, node: NodeConfig, minibatch: int = DEFAULT_MINIBATCH
+    net: Network,
+    node: NodeConfig,
+    minibatch: int = DEFAULT_MINIBATCH,
+    faults: Optional[FaultSpec] = None,
 ) -> str:
     """Digest keying a full simulation result."""
     return compile_digest(
-        net, node, artifact="simulation", minibatch=minibatch
+        net, node, artifact="simulation", minibatch=minibatch,
+        **_fault_extra(faults),
     )
 
 
@@ -197,16 +261,18 @@ def cached_simulation(
     node: NodeConfig,
     minibatch: int = DEFAULT_MINIBATCH,
     cache: Optional[CompileCache] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> PerfResult:
     """Full analytical simulation, content-cached (the mapping inside a
     freshly-built result comes from the same cache)."""
     cache = cache if cache is not None else get_cache()
-    digest = simulation_digest(net, node, minibatch)
+    digest = simulation_digest(net, node, minibatch, faults)
     return cache.get(
         "simulation",
         digest,
         lambda: simulate(
-            net, node, minibatch, mapping=cached_mapping(net, node, cache)
+            net, node, minibatch,
+            mapping=cached_mapping(net, node, cache, faults=faults),
         ),
     )
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import sys
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -29,6 +30,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.arch.presets import load_preset
 from repro.dnn import zoo
+from repro.errors import SweepError
+from repro.faults.model import FaultSpec, sample_faults
 from repro.sim.perf import DEFAULT_MINIBATCH, PerfResult, simulate
 from repro.sweep.cache import (
     CompileCache,
@@ -42,22 +45,32 @@ from repro.telemetry.core import capture, get_telemetry
 
 @dataclass(frozen=True)
 class SweepJob:
-    """One evaluation: a zoo network on a chip preset at a minibatch."""
+    """One evaluation: a zoo network on a chip preset at a minibatch,
+    optionally on a fault-degraded machine."""
 
     network: str  # canonical zoo name
     preset: str  # key into repro.arch.presets.PRESETS
     minibatch: int = DEFAULT_MINIBATCH
+    faults: Optional[FaultSpec] = None
 
     @property
     def label(self) -> str:
-        return f"{self.network}/{self.preset}/mb{self.minibatch}"
+        base = f"{self.network}/{self.preset}/mb{self.minibatch}"
+        if self.faults is not None:
+            base += f"/fault{self.faults.rate:g}s{self.faults.seed}"
+        return base
 
 
 @dataclass(frozen=True)
 class SweepResult:
     """The exported row for one job (deterministic fields only — wall
     times and cache outcomes live in telemetry, not in results, so
-    parallel and serial runs export byte-identical files)."""
+    parallel and serial runs export byte-identical files).
+
+    A job that crashed is quarantined as a row with ``status="failed"``
+    and the trimmed traceback in ``error`` (numeric fields zeroed); the
+    sweep itself always completes unless ``fail_fast`` is set.
+    """
 
     network: str
     preset: str
@@ -74,6 +87,8 @@ class SweepResult:
     bottleneck: str
     bound_by: str
     cache_hit: bool  # informational; excluded from exported rows
+    status: str = "ok"  # "ok" | "failed"
+    error: str = ""  # traceback string for failed rows
 
     #: Exported column order (shared by the JSON and CSV writers).
     EXPORT_FIELDS = (
@@ -81,7 +96,12 @@ class SweepResult:
         "train_images_per_s", "eval_images_per_s", "pe_utilization",
         "achieved_tflops", "gflops_per_watt", "total_power_w",
         "conv_columns_per_copy", "copies", "bottleneck", "bound_by",
+        "status", "error",
     )
+
+    @property
+    def failed(self) -> bool:
+        return self.status != "ok"
 
     def to_row(self) -> Dict[str, object]:
         """The deterministic export payload for this job."""
@@ -107,12 +127,18 @@ class SweepReport:
         return sum(n for k, n in self.cache_stats.items()
                    if k.endswith("_misses"))
 
+    @property
+    def failures(self) -> Tuple[SweepResult, ...]:
+        return tuple(r for r in self.results if r.failed)
+
     def describe(self) -> str:
+        failed = len(self.failures)
+        suffix = f", {failed} job(s) FAILED" if failed else ""
         return (
             f"{len(self.results)} jobs on {self.workers} worker"
             f"{'s' if self.workers != 1 else ''} in {self.elapsed_s:.2f}s "
             f"(cache: {self.cache_hits} hits / "
-            f"{self.cache_misses} misses)"
+            f"{self.cache_misses} misses){suffix}"
         )
 
 
@@ -120,12 +146,14 @@ def expand_jobs(
     networks: Optional[Sequence[str]] = None,
     presets: Sequence[str] = ("sp",),
     minibatches: Optional[Sequence[int]] = None,
+    faults: Optional[FaultSpec] = None,
 ) -> List[SweepJob]:
     """The (network x preset x minibatch) job grid, in deterministic
     order.  ``networks`` defaults to the Fig 15 zoo and ``minibatches``
     to the paper's 256; names resolve case-insensitively with zoo
     aliases, presets eagerly (unknown names raise before any work
-    starts)."""
+    starts).  ``faults`` applies one fault spec to every job (the mask
+    itself still differs per preset — sampling depends on the node)."""
     names = [
         zoo.resolve(n) for n in (networks or list(zoo.BENCHMARKS))
     ]
@@ -133,7 +161,7 @@ def expand_jobs(
     for preset in presets:
         load_preset(preset)  # validate eagerly
     return [
-        SweepJob(network=n, preset=p, minibatch=m)
+        SweepJob(network=n, preset=p, minibatch=m, faults=faults)
         for n in names
         for p in presets
         for m in minibatches
@@ -164,9 +192,15 @@ def _execute_job(
 
     with capture() as tel:
         if cache is not None:
-            perf = cached_simulation(net, node, job.minibatch, cache)
+            perf = cached_simulation(
+                net, node, job.minibatch, cache, faults=job.faults
+            )
         else:
-            perf = simulate(net, node, job.minibatch)
+            mask = (
+                sample_faults(job.faults, node)
+                if job.faults is not None else None
+            )
+            perf = simulate(net, node, job.minibatch, faults=mask)
 
     delta: Dict[str, int] = {}
     if cache is not None:
@@ -181,7 +215,7 @@ def _execute_job(
         network=job.network,
         preset=job.preset,
         minibatch=job.minibatch,
-        digest=simulation_digest(net, node, job.minibatch),
+        digest=simulation_digest(net, node, job.minibatch, job.faults),
         train_images_per_s=perf.training_images_per_s,
         eval_images_per_s=perf.evaluation_images_per_s,
         pe_utilization=perf.pe_utilization,
@@ -197,11 +231,77 @@ def _execute_job(
     return row, perf, delta, tuple(tel.events), tuple(tel.counters.rows())
 
 
+def _format_failure(exc: BaseException) -> str:
+    """A traceback string trimmed to the frames at/below
+    :func:`_execute_job`, so serial and pooled runs (whose outer call
+    stacks differ) quarantine a poison job with byte-identical text."""
+    frames = traceback.extract_tb(exc.__traceback__)
+    for index, frame in enumerate(frames):
+        if frame.name == "_execute_job":
+            frames = frames[index:]
+            break
+    lines = ["Traceback (most recent call last):\n"]
+    lines += traceback.format_list(frames)
+    lines += traceback.format_exception_only(type(exc), exc)
+    return "".join(lines).rstrip()
+
+
+def _failed_result(job: SweepJob, error: str) -> SweepResult:
+    """The quarantine row for a job whose execution raised."""
+    return SweepResult(
+        network=job.network,
+        preset=job.preset,
+        minibatch=job.minibatch,
+        digest="",
+        train_images_per_s=0.0,
+        eval_images_per_s=0.0,
+        pe_utilization=0.0,
+        achieved_tflops=0.0,
+        gflops_per_watt=0.0,
+        total_power_w=0.0,
+        conv_columns_per_copy=0,
+        copies=0,
+        bottleneck="",
+        bound_by="",
+        cache_hit=False,
+        status="failed",
+        error=error,
+    )
+
+
+def _run_job(
+    job: SweepJob,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+    retries: int = 1,
+    backoff: float = 0.1,
+) -> Tuple[SweepResult, Optional[PerfResult], Dict[str, int], tuple, tuple]:
+    """Execute one job with retry + quarantine (runs in the worker, so
+    the pool never sees an exception and a poison job cannot abort the
+    sweep).  Transient failures get ``retries`` re-attempts with
+    exponential backoff; a job still failing is returned as a
+    ``status="failed"`` row carrying its traceback."""
+    attempt = 0
+    while True:
+        try:
+            return _execute_job(job, use_cache=use_cache,
+                                cache_dir=cache_dir)
+        except Exception as exc:
+            if attempt < retries:
+                time.sleep(backoff * (2 ** attempt))
+                attempt += 1
+                continue
+            return _failed_result(job, _format_failure(exc)), None, {}, (), ()
+
+
 def run_sweep(
     jobs: Iterable[SweepJob],
     workers: int = 1,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
+    retries: int = 1,
+    backoff: float = 0.1,
+    fail_fast: bool = False,
 ) -> SweepReport:
     """Evaluate ``jobs`` across ``workers`` processes.
 
@@ -209,6 +309,11 @@ def run_sweep(
     that cannot start (sandboxed environments) falls back to serial with
     a warning rather than failing the sweep.  ``cache_dir`` installs a
     disk-backed cache for this process and every worker.
+
+    A crashing job is retried ``retries`` times with exponential backoff
+    and then quarantined as a ``status="failed"`` row — the other jobs
+    always complete.  ``fail_fast=True`` opts out: the sweep raises
+    :class:`SweepError` on the first failed job instead.
     """
     jobs = list(jobs)
     if use_cache and cache_dir is not None:
@@ -216,7 +321,8 @@ def run_sweep(
         if str(current.directory or "") != cache_dir:
             set_cache(CompileCache(cache_dir))
 
-    run = partial(_execute_job, use_cache=use_cache, cache_dir=cache_dir)
+    run = partial(_run_job, use_cache=use_cache, cache_dir=cache_dir,
+                  retries=retries, backoff=backoff)
     started = time.perf_counter()
     outputs = None
     pool_size = min(workers, len(jobs)) if jobs else 1
@@ -242,9 +348,14 @@ def run_sweep(
     offset = 0.0
     for job, (row, perf, delta, events, counter_rows) in zip(jobs, outputs):
         results.append(row)
+        if row.failed and fail_fast:
+            raise SweepError(
+                f"sweep aborted (fail-fast): job {job.label} failed:\n"
+                f"{row.error}"
+            )
         for key, value in delta.items():
             totals[key] = totals.get(key, 0) + value
-        if cache is not None:
+        if cache is not None and perf is not None:
             # Warm the parent's cache with worker-computed results so a
             # rerun hits even when this run fanned out to processes.
             cache.put("simulation", row.digest, perf)
@@ -254,14 +365,17 @@ def run_sweep(
                 offset, 1.0,
                 network=job.network, preset=job.preset,
                 minibatch=job.minibatch, digest=row.digest,
-                cache_hit=row.cache_hit,
+                cache_hit=row.cache_hit, status=row.status,
             )
             offset += 1.0
             tel.count("sweep", "jobs")
-            tel.count(
-                "sweep",
-                "cache_hits" if row.cache_hit else "cache_misses",
-            )
+            if row.failed:
+                tel.count("sweep", "failed_jobs")
+            else:
+                tel.count(
+                    "sweep",
+                    "cache_hits" if row.cache_hit else "cache_misses",
+                )
             for event in events:
                 tel.events.append(event)
             for group, name, value in counter_rows:

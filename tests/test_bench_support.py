@@ -11,6 +11,7 @@ from repro.bench import (
     suite_results,
 )
 from repro.dnn import zoo
+from repro.errors import ConfigError
 
 
 class TestFormatting:
@@ -47,7 +48,7 @@ class TestTable:
 
     def test_wrong_arity_rejected(self):
         table = Table("t", ["a", "b"])
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             table.add("only-one")
 
     def test_empty_table_renders(self):
@@ -79,7 +80,7 @@ class TestRunnerCache:
         assert hp.node.dtype_bytes == 2
 
     def test_unknown_precision(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             cached_mapping("AlexNet", "fp8")
 
     def test_suite_results_cover_benchmarks(self):

@@ -1,0 +1,344 @@
+"""Tests for the fault-injection subsystem: spec/model determinism,
+fault-aware remapping, performance degradation, topology rerouting, the
+engine watchdog and DMA bit-flips."""
+
+import numpy as np
+import pytest
+
+from repro.arch import single_precision_node
+from repro.arch.presets import conv_chip
+from repro.arch.topology import degraded_topology, reroute_penalties
+from repro.compiler.fingerprint import compile_digest
+from repro.compiler.mapping import map_network
+from repro.dnn import zoo
+from repro.errors import (
+    ConfigError,
+    SimulationError,
+    SimulationTimeout,
+    UnmappableError,
+)
+from repro.faults import (
+    ALL_KINDS,
+    FaultKind,
+    FaultModel,
+    FaultSpec,
+    parse_kinds,
+    sample_faults,
+)
+from repro.isa import assemble
+from repro.sim.allreduce import ring_allreduce_cycles
+from repro.sim.engine import Engine
+from repro.sim.machine import Machine
+from repro.sim.perf import simulate
+
+
+def node():
+    return single_precision_node()
+
+
+class TestFaultSpec:
+    def test_rate_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(rate=-0.1)
+        with pytest.raises(ConfigError):
+            FaultSpec(rate=1.5)
+
+    def test_slow_factor_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(rate=0.1, slow_factor=0.0)
+        with pytest.raises(ConfigError):
+            FaultSpec(rate=0.1, slow_factor=1.5)
+
+    def test_needs_kinds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(rate=0.1, kinds=())
+
+    def test_parse_kinds(self):
+        assert parse_kinds("tile-dead,link-down") == (
+            FaultKind.TILE_DEAD,
+            FaultKind.LINK_DOWN,
+        )
+        with pytest.raises(ConfigError):
+            parse_kinds("bogus")
+        with pytest.raises(ConfigError):
+            parse_kinds("")
+
+    def test_dict_roundtrip(self):
+        spec = FaultSpec(rate=0.02, seed=7, kinds=ALL_KINDS)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError):
+            FaultSpec.from_dict({"rate": 0.1, "color": "red"})
+        with pytest.raises(ConfigError):
+            FaultSpec.from_dict({"seed": 3})
+
+    def test_kinds_normalised_to_canonical_order(self):
+        spec = FaultSpec(
+            rate=0.1, kinds=(FaultKind.LINK_DOWN, FaultKind.TILE_DEAD)
+        )
+        assert spec.kinds == (FaultKind.TILE_DEAD, FaultKind.LINK_DOWN)
+
+    def test_rng_name_is_seed_scoped(self):
+        assert FaultSpec(rate=0.1, seed=7).rng_name != (
+            FaultSpec(rate=0.1, seed=8).rng_name
+        )
+
+
+class TestSampling:
+    def test_same_seed_same_mask(self):
+        spec = FaultSpec(rate=0.05, seed=7, kinds=ALL_KINDS)
+        a = FaultModel(spec).sample(node())
+        b = sample_faults(spec, node())
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        masks = {
+            sample_faults(
+                FaultSpec(rate=0.05, seed=s, kinds=ALL_KINDS), node()
+            ).faults
+            for s in range(4)
+        }
+        assert len(masks) > 1
+
+    def test_rate_zero_is_healthy(self):
+        mask = sample_faults(FaultSpec(rate=0.0), node())
+        assert mask.fault_count == 0
+        assert not mask.degraded
+
+    def test_dict_spec_accepted(self):
+        mask = sample_faults({"rate": 0.05, "seed": 7}, node())
+        assert mask == sample_faults(
+            FaultSpec(rate=0.05, seed=7), node()
+        )
+
+    def test_sites_name_real_hardware(self):
+        mask = sample_faults(
+            FaultSpec(rate=0.2, seed=1, kinds=ALL_KINDS), node()
+        )
+        assert mask.fault_count > 0
+        for fault in mask.faults:
+            assert fault.site.startswith(
+                ("conv/", "fc/", "arc/", "ring/", "dma")
+            )
+
+    def test_describe_counts_kinds(self):
+        mask = sample_faults(
+            FaultSpec(rate=0.1, seed=3, kinds=ALL_KINDS), node()
+        )
+        text = mask.describe()
+        assert f"{mask.fault_count} fault" in text
+
+
+class TestFaultAwareMapping:
+    def test_no_fault_mapping_unchanged(self):
+        net = zoo.alexnet()
+        plain = map_network(net, node())
+        masked = map_network(
+            net, node(), faults=sample_faults(FaultSpec(rate=0.0), node())
+        )
+        assert plain.conv_columns_per_copy == masked.conv_columns_per_copy
+        assert plain.copies == masked.copies
+        assert not masked.degraded
+
+    def test_dead_tiles_are_remapped(self):
+        net = zoo.alexnet()
+        mask = sample_faults(FaultSpec(rate=0.05, seed=7), node())
+        assert mask.dead_conv_columns
+        mapping = map_network(net, node(), faults=mask)
+        assert mapping.degraded
+        assert mapping.remapped_columns >= len(mask.dead_conv_columns)
+        for alloc in mapping.conv_allocations.values():
+            assert not set(alloc.assigned_columns) & mask.dead_conv_columns
+
+    def test_remap_deterministic(self):
+        net = zoo.vgg_e()
+        mask = sample_faults(FaultSpec(rate=0.05, seed=7), node())
+        a = map_network(net, node(), faults=mask).describe()
+        b = map_network(net, node(), faults=mask).describe()
+        assert a == b
+
+    def test_capacity_exhaustion_raises_unmappable(self):
+        net = zoo.alexnet()
+        mask = sample_faults(FaultSpec(rate=0.93, seed=3), node())
+        with pytest.raises(UnmappableError, match="capacity exhausted"):
+            map_network(net, node(), faults=mask)
+
+    def test_slow_tiles_derate_allocations(self):
+        net = zoo.alexnet()
+        mask = sample_faults(
+            FaultSpec(
+                rate=0.3, seed=5, kinds=(FaultKind.TILE_SLOW,),
+                slow_factor=0.5,
+            ),
+            node(),
+        )
+        assert mask.slow_conv_columns
+        mapping = map_network(net, node(), faults=mask)
+        derates = [a.derate for a in mapping.conv_allocations.values()]
+        assert min(derates) == pytest.approx(0.5)
+
+
+class TestDegradedPerformance:
+    def test_dead_tiles_lower_throughput(self):
+        net = zoo.vgg_e()
+        base = simulate(net, node())
+        mask = sample_faults(FaultSpec(rate=0.05, seed=7), node())
+        hurt = simulate(net, node(), faults=mask)
+        assert (
+            hurt.training_images_per_s < base.training_images_per_s
+        )
+
+    def test_slow_tiles_lower_throughput(self):
+        net = zoo.alexnet()
+        base = simulate(net, node())
+        mask = sample_faults(
+            FaultSpec(rate=0.3, seed=5, kinds=(FaultKind.TILE_SLOW,)),
+            node(),
+        )
+        hurt = simulate(net, node(), faults=mask)
+        assert (
+            hurt.training_images_per_s < base.training_images_per_s
+        )
+
+    def test_ring_partition_raises(self):
+        with pytest.raises(SimulationError, match="ring partitioned"):
+            ring_allreduce_cycles(1e6, 4, 1e9, 1e9, down_links=2)
+
+    def test_one_down_ring_link_costs_more(self):
+        healthy = ring_allreduce_cycles(1e6, 4, 1e9, 1e9)
+        degraded = ring_allreduce_cycles(1e6, 4, 1e9, 1e9, down_links=1)
+        assert degraded > healthy
+
+
+class TestDegradedTopology:
+    def test_down_links_removed(self):
+        n = node()
+        mask = sample_faults(
+            FaultSpec(rate=0.2, seed=1, kinds=(FaultKind.LINK_DOWN,)), n
+        )
+        assert mask.down_arcs or mask.down_ring
+        graph = degraded_topology(n, mask)
+        healthy_edges = len(degraded_topology(n, sample_faults(
+            FaultSpec(rate=0.0), n)).edges)
+        assert len(graph.edges) == healthy_edges - len(mask.down_arcs) - len(
+            mask.down_ring
+        )
+
+    def test_reroute_penalties_at_least_one(self):
+        n = node()
+        mask = sample_faults(
+            FaultSpec(rate=0.2, seed=1, kinds=(FaultKind.LINK_DOWN,)), n
+        )
+        penalties = reroute_penalties(n, mask)
+        assert all(v >= 1.0 for v in penalties.values())
+
+
+def spin_machine():
+    m = Machine(conv_chip(), 3, 2)
+    prog = assemble(
+        """
+        loop:
+        BRANCH offset=@loop
+        HALT
+        """,
+        tile="spin",
+    )
+    m.load_program(prog)
+    return m
+
+
+class TestWatchdog:
+    def test_cycle_budget_raises_timeout(self):
+        with pytest.raises(SimulationTimeout) as exc:
+            Engine(spin_machine(), max_rounds=50).run()
+        assert exc.value.snapshot
+        assert any(t["tile"] == "spin" for t in exc.value.snapshot)
+
+    def test_wall_clock_raises_timeout(self):
+        with pytest.raises(SimulationTimeout, match="wall-clock") as exc:
+            Engine(
+                spin_machine(), max_rounds=10**9, wall_clock_limit=0.05
+            ).run()
+        assert any(t["tile"] == "spin" for t in exc.value.snapshot)
+
+    def test_timeout_is_simulation_error(self):
+        # Callers catching SimulationError keep working.
+        assert issubclass(SimulationTimeout, SimulationError)
+
+    def test_snapshot_sorted_and_structured(self):
+        with pytest.raises(SimulationTimeout) as exc:
+            Engine(spin_machine(), max_rounds=50).run()
+        tiles = [t["tile"] for t in exc.value.snapshot]
+        assert tiles == sorted(tiles)
+        for entry in exc.value.snapshot:
+            assert {"tile", "pc", "cycles", "halted"} <= set(entry)
+
+
+def dma_machine():
+    m = Machine(conv_chip(), 3, 2)
+    prog = assemble(
+        """
+        DMALOAD src_addr=0, src_port=65535, dst_addr=0, dst_port=0, size=16, is_accum=0
+        HALT
+        """,
+        tile="loader",
+    )
+    m.load_program(prog)
+    return m
+
+
+class _FlipFaults:
+    """Duck-typed fault mask carrying only a DMA flip rate."""
+
+    def __init__(self, rate, seed=0):
+        self.dma_flip_rate = rate
+        self.spec = FaultSpec(rate=0.5, seed=seed)
+
+
+class TestDmaBitFlips:
+    def run_engine(self, faults):
+        m = dma_machine()
+        engine = Engine(m, faults=faults)
+        engine.external[0:16] = np.arange(16, dtype=np.float32) + 1.0
+        engine.run()
+        return engine, m.mem_tile(0).read(0, 16)
+
+    def test_no_faults_no_flips(self):
+        engine, data = self.run_engine(None)
+        assert engine.dma_flips == 0
+        assert np.all(data > 0)
+
+    def test_rate_one_flips_exactly_one_word_per_transfer(self):
+        engine, data = self.run_engine(_FlipFaults(1.0))
+        assert engine.dma_flips == 1
+        assert int(np.sum(data < 0)) == 1
+
+    def test_flips_deterministic(self):
+        _, first = self.run_engine(_FlipFaults(1.0, seed=3))
+        _, second = self.run_engine(_FlipFaults(1.0, seed=3))
+        assert np.array_equal(first, second)
+
+
+class TestFaultFingerprint:
+    def test_spec_changes_digest(self):
+        net = zoo.alexnet()
+        n = node()
+        plain = compile_digest(net, n, artifact="mapping")
+        spec = FaultSpec(rate=0.02, seed=7)
+        faulted = compile_digest(net, n, artifact="mapping", faults=spec)
+        reseeded = compile_digest(
+            net, n, artifact="mapping", faults=FaultSpec(rate=0.02, seed=8)
+        )
+        assert len({plain, faulted, reseeded}) == 3
+
+    def test_equal_specs_share_digest(self):
+        net = zoo.alexnet()
+        n = node()
+        a = compile_digest(
+            net, n, artifact="mapping", faults=FaultSpec(rate=0.02, seed=7)
+        )
+        b = compile_digest(
+            net, n, artifact="mapping", faults=FaultSpec(rate=0.02, seed=7)
+        )
+        assert a == b
