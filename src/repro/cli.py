@@ -5,6 +5,9 @@ Subcommands:
 * ``list`` — the benchmark zoo with Fig 15 statistics;
 * ``analyze NET`` — workload analysis (Fig 4/5 style);
 * ``map NET`` — the compiler's column allocation (Fig 13 / STEP1-6);
+* ``lower NET`` — compile to the unified IR through the verified pass
+  pipeline and dump it (``--json`` for the full serialised form,
+  ``--phase fp|bp|wg`` to restrict to one phase);
 * ``simulate NET`` — throughput / utilization / power (Figs 16/20/21);
 * ``energy NET`` — per-image energy and ImageNet-epoch cost;
 * ``compare-gpu NET`` — speedup over the TitanX stacks (Fig 18);
@@ -39,7 +42,7 @@ from typing import List, Optional
 from repro.arch import half_precision_node, single_precision_node
 from repro.baselines.gpu import GpuFramework, all_framework_rates
 from repro.bench import Table, fmt_count
-from repro.compiler import map_network
+from repro.compiler import compile_network
 from repro.dnn import zoo
 from repro.dnn.analysis import (
     Kernel,
@@ -115,8 +118,33 @@ def cmd_analyze(args: argparse.Namespace) -> None:
 
 def cmd_map(args: argparse.Namespace) -> None:
     net = _load(args.network)
-    mapping = map_network(net, _node(args))
-    print(mapping.describe())
+    compiled = compile_network(net, _node(args))
+    print(compiled.mapping.describe())
+
+
+def cmd_lower(args: argparse.Namespace) -> None:
+    from repro.compiler.ir import Phase
+
+    net = _load(args.network)
+    compiled = compile_network(net, _node(args))
+    ir = compiled.ir
+    if args.phase:
+        ir = ir.filtered(Phase.parse(args.phase))
+    if args.json:
+        print(ir.to_json(indent=2))
+        return
+    phase = f", phase {args.phase}" if args.phase else ""
+    print(
+        f"lowered {net.name} on {compiled.node.name} to "
+        f"{ir.level}-level IR (schema {ir.schema_version}{phase})"
+    )
+    table = Table("IR statistics", ["metric", "value"])
+    for metric, value in ir.stats().items():
+        table.add(metric, f"{value:,}")
+    table.show()
+    print("passes:")
+    for stats in compiled.pass_stats:
+        print(f"  {stats.describe()}")
 
 
 def cmd_simulate(args: argparse.Namespace) -> None:
@@ -464,6 +492,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     with_net("analyze", "workload analysis").set_defaults(func=cmd_analyze)
     with_net("map", "compiler column allocation").set_defaults(func=cmd_map)
+    p = with_net("lower", "compile to the unified IR and dump it")
+    p.add_argument(
+        "--phase", choices=["fp", "bp", "wg"], default=None,
+        help="restrict the dump to one training phase",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="dump the full IR as JSON instead of a summary",
+    )
+    p.set_defaults(func=cmd_lower)
     p = with_net("simulate", "throughput / power simulation")
     p.add_argument("--minibatch", type=int, default=256)
     p.set_defaults(func=cmd_simulate)

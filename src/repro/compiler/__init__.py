@@ -54,8 +54,29 @@ from repro.compiler.verifier import (
     assert_verified,
     verify_programs,
 )
+from repro.compiler.ir import (
+    IR_SCHEMA_VERSION,
+    IREdge,
+    IROp,
+    MappingIR,
+    Phase,
+    UnitPlan,
+    build_mapping_ir,
+    build_tile_ir,
+)
+from repro.compiler.pipeline import CompiledNetwork, compile_network
 
 __all__ = [
+    "CompiledNetwork",
+    "IR_SCHEMA_VERSION",
+    "IREdge",
+    "IROp",
+    "MappingIR",
+    "Phase",
+    "UnitPlan",
+    "build_mapping_ir",
+    "build_tile_ir",
+    "compile_network",
     "CompiledForward",
     "CONV_BATCH_FP",
     "CompiledTraining",

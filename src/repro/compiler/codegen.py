@@ -6,12 +6,15 @@ it emits one ScaleDeep program per CompHeavy tile, arranges the memory
 image (home feature blocks, staged inputs, kernels, biases), and arms
 the MEMTRACK trackers that synchronise producers with consumers.
 
-The generated code follows the CONV-layer-FP recipe of Fig 9: each tile
-convolves staged input features against its kernels, accumulating
-partial outputs into the right-hand MemHeavy tile, then offloads the
-activation function to the SFUs.  Every address is resolved statically
-(the data flow of a DNN is known at compile time — the property the
-whole synchronization scheme rests on), so loops are unrolled.
+Since the IR refactor the emission itself lives in the pass pipeline
+(:mod:`repro.compiler.passes`): this module builds the tile-level IR
+for the partition, drives ``legalize -> place-check -> tracker-assign
+-> schedule -> lower`` in the sequential exact-tracker dialect, and
+wraps the emitted programs in :class:`CompiledForward`.  The generated
+code follows the CONV-layer-FP recipe of Fig 9, every address resolved
+statically (the data flow of a DNN is known at compile time — the
+property the whole synchronization scheme rests on), so loops are
+unrolled.
 
 Scope: forward propagation of sequential networks without grouped
 convolutions or pooling padding — enough to run the tiny zoo networks
@@ -20,49 +23,40 @@ end-to-end and validate the engine against the numpy golden model.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.arch.chip import ChipConfig
 from repro.arch.presets import conv_chip
+from repro.compiler.ir import MappingIR, Phase, build_tile_ir
 from repro.compiler.partition import (
     FeatureHome,
     StatePartition,
     partition_sequential,
 )
-from repro.dnn.layers import (
-    Activation,
-    ConvSpec,
-    FCSpec,
-    GlobalPoolSpec,
-    LayerKind,
-    PoolSpec,
+from repro.compiler.passes.legalize import LegalizePass
+from repro.compiler.passes.lower import LowerPass
+from repro.compiler.passes.manager import (
+    PassContext,
+    PassManager,
+    PassStats,
 )
-from repro.dnn.network import LayerNode, Network
+from repro.compiler.passes.place_check import PlaceCheckPass
+from repro.compiler.passes.schedule import SchedulePass
+from repro.compiler.passes.tracker_assign import TrackerAssignPass
+from repro.compiler.templates import Preload, align_prologues
+from repro.dnn.network import Network
 from repro.errors import MappingError
 from repro.functional.reference import ReferenceModel
-from repro.isa.instructions import Instruction, Opcode, make
 from repro.isa.program import Program
-from repro.sim.engine import ACT_CODES, Engine, RunReport, SAMP_CODES
-from repro.sim.machine import Machine, pack_shape
+from repro.sim.engine import Engine, RunReport
+from repro.sim.machine import Machine
 
-
-@dataclass
-class _Preload:
-    """A value written into a tile at machine-build time."""
-
-    col: int
-    row: int
-    addr: int
-    data: np.ndarray
-
-    def __post_init__(self) -> None:
-        # Defensive copy: preloads must capture the compile-time values
-        # even if the source model's arrays are mutated later.
-        self.data = np.array(self.data, dtype=np.float32).reshape(-1)
+#: Historic name; the dataclass now lives with the shared emission
+#: helpers in :mod:`repro.compiler.templates`.
+_Preload = Preload
 
 
 @dataclass
@@ -76,6 +70,10 @@ class CompiledForward:
     programs: List[Program]
     preloads: List[_Preload]
     output_blocks: List[FeatureHome]
+    #: The compiled tile-level IR and per-pass statistics (None/empty
+    #: for hand-assembled program sets).
+    ir: Optional[MappingIR] = None
+    pass_stats: List[PassStats] = field(default_factory=list)
 
     def build_machine(self) -> Machine:
         """A fresh machine with weights/biases preloaded."""
@@ -93,7 +91,6 @@ class CompiledForward:
         machine = self.build_machine()
         # Write the input image into column 0's home blocks.
         in_node = self.network.input
-        fsize = in_node.output_shape.feature_size
         for home in self.partition.blocks_of(in_node.name):
             tile = machine.mem_tile(machine.mem_tile_id(0, home.row))
             block = image[
@@ -196,7 +193,18 @@ class ForwardRunner:
 
 
 class ForwardCompiler:
-    """Compiles FP programs for one (network, model) pair."""
+    """Compiles FP programs for one (network, model) pair.
+
+    Subclasses select the lowering *dialect* (``exact`` arms every
+    tracker with hand-derived counts; ``calibrated`` arms placeholders
+    and runs the static access analysis), the legalization *scope*, the
+    IR *phases*, and how the network is partitioned — everything else
+    is the shared pass pipeline.
+    """
+
+    dialect = "exact"
+    scope = "forward"
+    phases: Tuple[Phase, ...] = (Phase.FP,)
 
     def __init__(
         self,
@@ -211,33 +219,64 @@ class ForwardCompiler:
         self.model = model
         self.chip = chip or conv_chip()
         self.rows = rows
-        self.partition = partition_sequential(
-            net, rows, self.chip.mem_tile.capacity_bytes // 4
-        )
+        self.partition = self._partition()
         self.preloads: List[_Preload] = []
+        self.ir: Optional[MappingIR] = None
+        self.pass_stats: List[PassStats] = []
+
+    def _partition(self) -> StatePartition:
+        return partition_sequential(
+            self.net, self.rows, self.chip.mem_tile.capacity_bytes // 4
+        )
 
     # ------------------------------------------------------------------
+    def _pipeline(self, align: bool) -> PassManager:
+        return PassManager([
+            LegalizePass(self.scope),
+            PlaceCheckPass(),
+            TrackerAssignPass(),
+            SchedulePass(),
+            LowerPass(align=align),
+        ])
+
+    def _run_pipeline(
+        self,
+        align: bool,
+        minibatch: int = 1,
+        learning_rate: Tuple[int, int] = (1, 100),
+    ) -> PassContext:
+        ir = build_tile_ir(
+            self.net, self.partition, self.rows,
+            phases=self.phases, minibatch=minibatch,
+        )
+        ctx = PassContext(
+            net=self.net,
+            model=self.model,
+            chip=self.chip,
+            partition=self.partition,
+            rows=self.rows,
+            dialect=self.dialect,
+            minibatch=minibatch,
+            learning_rate=learning_rate,
+        )
+        self.ir, self.pass_stats = self._pipeline(align).run(ir, ctx)
+        self.preloads = ctx.preloads
+        return ctx
+
     def compile(self, align: bool = True) -> CompiledForward:
         """Compile the forward programs.  ``align=False`` defers prologue
-        alignment to a caller that will add more programs (the training
-        compiler aligns the combined set once)."""
-        programs: List[Program] = []
-        for node in self.net:
-            if node.kind is LayerKind.INPUT:
-                continue
-            programs.extend(self._compile_layer(node))
-        if align:
-            self._align_prologues(programs)
-        for program in programs:
-            program.validate()
+        alignment to a caller that will add more programs."""
+        ctx = self._run_pipeline(align)
         compiled = CompiledForward(
             network=self.net,
             chip=self.chip,
             rows=self.rows,
             partition=self.partition,
-            programs=programs,
+            programs=ctx.programs,
             preloads=self.preloads,
             output_blocks=self.partition.blocks_of(self.net.output.name),
+            ir=self.ir,
+            pass_stats=self.pass_stats,
         )
         if align:
             # The training compiler verifies the combined set itself
@@ -246,408 +285,9 @@ class ForwardCompiler:
         return compiled
 
     # ------------------------------------------------------------------
-    def _port(self, col: int, row: int) -> int:
-        return col * self.rows + row
-
-    def _consumer_reads(self, node: LayerNode) -> int:
-        """How many reads each of ``node``'s home blocks receives."""
-        consumers = self.net.consumers(node.name)
-        if not consumers:
-            return 0
-        consumer = self.net[consumers[0]]
-        if consumer.kind in (LayerKind.CONV, LayerKind.FC):
-            return len(self.partition.blocks_of(consumer.name))
-        # SAMP: one NDSUBSAMP read per feature in the block — counted
-        # per-block below (varies), handled by the caller.
-        return -1
-
-    def _extra_out_reads(self, node: LayerNode) -> int:
-        """Additional readers of a home output block beyond the forward
-        consumers (the training compiler adds the BP mask's activation
-        copy)."""
-        return 0
-
-    def _conv_staging_reads(self, node: LayerNode, block_features: int) -> int:
-        """Reads each staged input feature receives from a CONV layer's
-        compute (one NDCONV per output feature; training adds WG)."""
-        return block_features
-
-    def _fc_staging_reads(self, node: LayerNode, block_features: int) -> int:
-        """Reads of the staged FC input vector (one FP MATMUL; training
-        adds one WG MATMUL per output feature)."""
-        return 1
-
-    def _compile_layer(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        if isinstance(spec, ConvSpec):
-            if spec.groups != 1:
-                raise MappingError(
-                    "engine code generation supports groups=1 convolutions"
-                )
-            return self._compile_conv(node)
-        if isinstance(spec, (PoolSpec, GlobalPoolSpec)):
-            return self._compile_pool(node)
-        if isinstance(spec, FCSpec):
-            return self._compile_fc(node)
-        raise MappingError(
-            f"cannot generate engine code for layer kind {node.kind}"
-        )
-
-    # ------------------------------------------------------------------
-    def _out_tracker(
-        self, prog: Program, node: LayerNode, home: FeatureHome, col: int,
-        num_updates: int = 1,
-    ) -> None:
-        """Arm the tracker guarding a home output block."""
-        reads = self._consumer_reads(node)
-        if reads < 0:  # SAMP consumer reads each feature once
-            reads = home.feature_count
-        reads += self._extra_out_reads(node)
-        prog.append(make(
-            Opcode.DMA_MEMTRACK,
-            addr=home.address,
-            port=self._port(col, home.row),
-            size=home.feature_count * home.feature_words,
-            num_updates=num_updates,
-            num_reads=reads,
-            target=self._port(col, home.row),
-            comment=f"track {node.name} outputs @r{home.row}",
-        ))
-
-    def _stage_inputs(
-        self,
-        prog: Program,
-        body: List[Instruction],
-        src: LayerNode,
-        col: int,
-        row: int,
-        reads_per_feature: int,
-        tag: str,
-    ) -> Tuple[int, int]:
-        """Arm + emit DMAs staging all of ``src``'s features into tile
-        (col-1, row).  Returns (staging base address, feature words)."""
-        src_blocks = self.partition.blocks_of(src.name)
-        fwords = src.output_shape.feature_size
-        total_words = src.output_shape.count * fwords
-        alloc = self.partition.allocator(col - 1, row)
-        base = alloc.alloc(f"{tag}/stage@r{row}", total_words)
-        port = self._port(col - 1, row)
-        prog.append(make(
-            Opcode.MEMTRACK,
-            addr=base,
-            port=port,
-            size=total_words,
-            num_updates=len(src_blocks),
-            num_reads=reads_per_feature * src.output_shape.count,
-            comment=f"track staged {src.name} inputs",
-        ))
-        src_col = self.partition.column_of[src.name]
-        for block in src_blocks:
-            body.append(make(
-                Opcode.DMALOAD,
-                src_addr=block.address,
-                src_port=self._port(src_col, block.row),
-                dst_addr=base + block.first_feature * fwords,
-                dst_port=port,
-                size=block.feature_count * fwords,
-                is_accum=0,
-                comment=f"stage {src.name}[{block.first_feature}:"
-                        f"{block.first_feature + block.feature_count}]",
-            ))
-        return base, fwords
-
-    # ------------------------------------------------------------------
-    def _compile_conv(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        assert isinstance(spec, ConvSpec)
-        src = self.net[node.input_names[0]]
-        col = self.partition.column_of[node.name]
-        in_shape = node.input_shapes[0]
-        out_size = node.output_shape.feature_size
-        k = spec.kernel
-        weights = self.model.state[node.name].weights
-        bias = self.model.state[node.name].bias
-        programs = []
-
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            left = self._port(col - 1, row)
-            right = self._port(col, row)
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            body: List[Instruction] = []
-
-            # Trackers (prologue).
-            self._out_tracker(prog, node, home, col)
-            stage_base, fwords = self._stage_inputs(
-                prog, body, src, col, row,
-                reads_per_feature=self._conv_staging_reads(
-                    node, home.feature_count
-                ),
-                tag=node.name,
-            )
-
-            # Pre-activation region plus a preserved bias-broadcast
-            # region: the first NDCONV per output overwrites stale data,
-            # so the same programs re-run image after image.
-            alloc = self.partition.allocator(col, row)
-            pre_base = alloc.alloc(
-                f"{node.name}/pre@r{row}", home.feature_count * out_size
-            )
-            bias_base = alloc.alloc(
-                f"{node.name}/bias@r{row}", home.feature_count * out_size
-            )
-            bias_image = np.repeat(
-                bias[home.first_feature:
-                     home.first_feature + home.feature_count],
-                out_size,
-            ).astype(np.float32)
-            self.preloads.append(_Preload(col, row, bias_base, bias_image))
-            prog.append(make(
-                Opcode.MEMTRACK,
-                addr=pre_base,
-                port=right,
-                size=home.feature_count * out_size,
-                num_updates=home.feature_count * (in_shape.count + 1),
-                num_reads=1,
-                comment=f"track {node.name} partial sums",
-            ))
-
-            # Kernels, preloaded into the left tile.
-            kwords = k * k
-            kern_alloc = self.partition.allocator(col - 1, row)
-            kern_base = kern_alloc.alloc(
-                f"{node.name}/kernels@r{row}",
-                home.feature_count * in_shape.count * kwords,
-            )
-            kern_image = weights[
-                home.first_feature:
-                home.first_feature + home.feature_count
-            ].reshape(-1)
-            self.preloads.append(
-                _Preload(col - 1, row, kern_base, kern_image)
-            )
-
-            # Body: batch convolution, Fig 9 steps 1-2, then bias.
-            for f_local in range(home.feature_count):
-                for g in range(in_shape.count):
-                    body.append(make(
-                        Opcode.NDCONV,
-                        in_addr=stage_base + g * fwords,
-                        in_port=left,
-                        in_size=pack_shape(in_shape.height, in_shape.width),
-                        kernel_addr=kern_base
-                        + (f_local * in_shape.count + g) * kwords,
-                        kernel_size=pack_shape(k, k),
-                        stride=spec.stride,
-                        pad=spec.pad,
-                        out_addr=pre_base + f_local * out_size,
-                        out_port=right,
-                        is_accum=int(g > 0),
-                        comment=f"conv out={home.first_feature + f_local} "
-                                f"in={g}",
-                    ))
-                body.append(make(
-                    Opcode.NDACCUM,
-                    src_addr=bias_base + f_local * out_size,
-                    port=right,
-                    size=out_size,
-                    dst_addr=pre_base + f_local * out_size,
-                    comment=f"bias out={home.first_feature + f_local}",
-                ))
-            # Step 4: activation into the home block.
-            body.append(make(
-                Opcode.NDACTFN,
-                fn_type=ACT_CODES.get(spec.activation, 0),
-                in_addr=pre_base,
-                port=right,
-                size=home.feature_count * out_size,
-                out_addr=home.address,
-                out_port=right,
-                comment=f"{spec.activation.value} -> home block",
-            ))
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
-    def _compile_pool(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        src = self.net[node.input_names[0]]
-        col = self.partition.column_of[node.name]
-        in_shape = node.input_shapes[0]
-        if isinstance(spec, PoolSpec):
-            if spec.pad:
-                raise MappingError(
-                    "engine code generation supports unpadded pooling"
-                )
-            window, stride = spec.window, spec.effective_stride
-            mode = spec.mode
-        else:
-            assert isinstance(spec, GlobalPoolSpec)
-            window = in_shape.height
-            stride = in_shape.height
-            mode = spec.mode
-        src_blocks = {b.row: b for b in self.partition.blocks_of(src.name)}
-        programs = []
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            left = self._port(col - 1, row)
-            right = self._port(col, row)
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            # Pooling writes its home block one feature at a time.
-            self._out_tracker(
-                prog, node, home, col, num_updates=home.feature_count
-            )
-            src_block = src_blocks[row]
-            for f_local in range(home.feature_count):
-                feature = home.first_feature + f_local
-                prog.append(make(
-                    Opcode.NDSUBSAMP,
-                    samp_type=SAMP_CODES[mode],
-                    in_addr=src_block.feature_address(feature),
-                    port=left,
-                    in_size=pack_shape(in_shape.height, in_shape.width),
-                    window=window,
-                    stride=stride,
-                    out_addr=home.address + f_local * home.feature_words,
-                    out_port=right,
-                    comment=f"pool feature {feature}",
-                ))
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
-    def _compile_fc(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        assert isinstance(spec, FCSpec)
-        src = self.net[node.input_names[0]]
-        col = self.partition.column_of[node.name]
-        in_elems = node.input_shapes[0].elements
-        weights = self.model.state[node.name].weights
-        bias = self.model.state[node.name].bias
-        programs = []
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            left = self._port(col - 1, row)
-            right = self._port(col, row)
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            body: List[Instruction] = []
-            self._out_tracker(prog, node, home, col)
-            stage_base, _ = self._stage_inputs(
-                prog, body, src, col, row, reads_per_feature=0, tag=node.name
-            )
-            # The staged vector is read as a whole (not per feature):
-            # replace the tracker emitted by _stage_inputs with the FC
-            # read count.
-            tracked = prog.instructions[-1]
-            assert tracked.opcode is Opcode.MEMTRACK
-            prog.instructions[-1] = make(
-                Opcode.MEMTRACK,
-                addr=tracked.operand("addr"),
-                port=tracked.operand("port"),
-                size=tracked.operand("size"),
-                num_updates=tracked.operand("num_updates"),
-                num_reads=self._fc_staging_reads(node, home.feature_count),
-                comment="track staged FC input vector",
-            )
-
-            alloc = self.partition.allocator(col, row)
-            pre_base = alloc.alloc(
-                f"{node.name}/pre@r{row}", home.feature_count
-            )
-            bias_base = alloc.alloc(
-                f"{node.name}/bias@r{row}", home.feature_count
-            )
-            self.preloads.append(_Preload(
-                col, row, bias_base,
-                bias[home.first_feature:
-                     home.first_feature + home.feature_count].copy(),
-            ))
-            prog.append(make(
-                Opcode.MEMTRACK,
-                addr=pre_base,
-                port=right,
-                size=home.feature_count,
-                num_updates=2,
-                num_reads=1,
-                comment=f"track {node.name} pre-activation",
-            ))
-
-            w_alloc = self.partition.allocator(col - 1, row)
-            w_base = w_alloc.alloc(
-                f"{node.name}/weights@r{row}",
-                home.feature_count * in_elems,
-            )
-            self.preloads.append(_Preload(
-                col - 1, row, w_base,
-                weights[home.first_feature:
-                        home.first_feature + home.feature_count].reshape(-1),
-            ))
-
-            body.append(make(
-                Opcode.MATMUL,
-                in1_addr=stage_base,
-                in1_port=left,
-                in1_size=pack_shape(1, in_elems),
-                in2_addr=w_base,
-                in2_port=left,
-                in2_size=pack_shape(home.feature_count, in_elems),
-                out_addr=pre_base,
-                out_port=right,
-                is_accum=0,
-                comment=f"matmul rows [{home.first_feature}, "
-                        f"{home.first_feature + home.feature_count})",
-            ))
-            body.append(make(
-                Opcode.NDACCUM,
-                src_addr=bias_base,
-                port=right,
-                size=home.feature_count,
-                dst_addr=pre_base,
-                comment="bias add",
-            ))
-            body.append(make(
-                Opcode.NDACTFN,
-                fn_type=ACT_CODES.get(spec.activation, 0),
-                in_addr=pre_base,
-                port=right,
-                size=home.feature_count,
-                out_addr=home.address,
-                out_port=right,
-                comment=f"{spec.activation.value} -> home block",
-            ))
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
     @staticmethod
     def _align_prologues(programs: List[Program]) -> None:
-        """Pad every program's tracker prologue to the same length so all
-        trackers are armed before any tile issues its first data access
-        (the round-robin scheduler executes one instruction per tile per
-        round)."""
-        def prologue_len(prog: Program) -> int:
-            n = 0
-            for instr in prog:
-                if instr.opcode in (Opcode.MEMTRACK, Opcode.DMA_MEMTRACK):
-                    n += 1
-                else:
-                    break
-            return n
-
-        longest = max(prologue_len(p) for p in programs)
-        for prog in programs:
-            pad = longest - prologue_len(prog)
-            if pad:
-                filler = [
-                    make(Opcode.LDRI, rd=0, value=0, comment="prologue pad")
-                    for _ in range(pad)
-                ]
-                prog.instructions[0:0] = filler
+        align_prologues(programs)
 
 
 def compile_forward(

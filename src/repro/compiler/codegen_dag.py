@@ -13,6 +13,12 @@ compiler predates:
   analysis fills in the exact update/read numbers afterwards, so fan-out
   to multiple consumers never needs hand bookkeeping.
 
+Since the IR refactor this is a thin dialect of the shared pass
+pipeline: the same :class:`~repro.compiler.passes.lower.EngineEmitter`
+emits the general DAG forms (per-feature source lists for grouped and
+connection-table convolutions, block-searching pool reads) with
+``calibrated`` placeholder trackers, over a graph partition.
+
 Scope: forward propagation; unpadded pooling; element-wise products of
 exactly two operands.  Convolutions may be grouped (AlexNet's two-GPU
 split) or carry a connection table (LeNet-5's C3): each output feature
@@ -23,39 +29,25 @@ output features are connected".
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Optional
 
 from repro.arch.chip import ChipConfig
-from repro.arch.presets import conv_chip
-from repro.compiler.codegen import CompiledForward, ForwardCompiler, _Preload
-from repro.compiler.partition import FeatureHome, partition_graph
-from repro.compiler.trackers import calibrate_trackers
-from repro.dnn.layers import (
-    Activation,
-    ActivationSpec,
-    ConcatSpec,
-    ConvSpec,
-    EltwiseAddSpec,
-    EltwiseMulSpec,
-    FCSpec,
-    GlobalPoolSpec,
-    LayerKind,
-    PoolSpec,
-    SliceSpec,
+from repro.compiler.codegen import (
+    CompiledForward,
+    ForwardCompiler,
+    _Preload,  # noqa: F401  (historic re-export)
 )
-from repro.dnn.network import LayerNode, Network
-from repro.errors import MappingError
+from repro.compiler.partition import StatePartition, partition_graph
+from repro.compiler.passes.legalize import check_dag_scope
+from repro.dnn.network import Network
 from repro.functional.reference import ReferenceModel
-from repro.isa.instructions import Instruction, Opcode, make
-from repro.isa.program import Program
-from repro.sim.engine import ACT_CODES, SAMP_CODES
-from repro.sim.machine import pack_shape
 
 
-class DagForwardCompiler:
+class DagForwardCompiler(ForwardCompiler):
     """Compiles the forward pass of an arbitrary network DAG."""
+
+    dialect = "calibrated"
+    scope = "dag"
 
     def __init__(
         self,
@@ -64,526 +56,15 @@ class DagForwardCompiler:
         chip: Optional[ChipConfig] = None,
         rows: int = 2,
     ) -> None:
-        if model.net is not net:
-            raise MappingError("model must be built from the same network")
-        self.net = net
-        self.model = model
-        self.chip = chip or conv_chip()
-        self.rows = rows
-        self.partition = partition_graph(
-            net, rows, self.chip.mem_tile.capacity_bytes // 4
+        super().__init__(net, model, chip, rows)
+        # Scope violations surface at construction, as they always have
+        # for the DAG compiler (the pipeline's legalize pass re-checks).
+        check_dag_scope(net)
+
+    def _partition(self) -> StatePartition:
+        return partition_graph(
+            self.net, self.rows, self.chip.mem_tile.capacity_bytes // 4
         )
-        self.preloads: List[_Preload] = []
-        self._validate_scope()
-
-    def _validate_scope(self) -> None:
-        for node in self.net:
-            spec = node.spec
-            if isinstance(spec, PoolSpec) and spec.pad:
-                raise MappingError(
-                    f"{node.name}: DAG codegen supports unpadded pooling"
-                )
-            elif isinstance(spec, EltwiseMulSpec):
-                if len(node.input_names) != 2:
-                    raise MappingError(
-                        f"{node.name}: element-wise products take exactly "
-                        "two operands"
-                    )
-
-    # ------------------------------------------------------------------
-    def compile(self) -> CompiledForward:
-        programs: List[Program] = []
-        for node in self.net:
-            if node.kind is LayerKind.INPUT:
-                continue
-            programs.extend(self._compile_node(node))
-        calibrate_trackers(programs)
-        ForwardCompiler._align_prologues(programs)
-        for program in programs:
-            program.validate()
-        compiled = CompiledForward(
-            network=self.net,
-            chip=self.chip,
-            rows=self.rows,
-            partition=self.partition,
-            programs=programs,
-            preloads=self.preloads,
-            output_blocks=self.partition.blocks_of(self.net.output.name),
-        )
-        compiled.verify()
-        return compiled
-
-    # ------------------------------------------------------------------
-    # Shared helpers
-    # ------------------------------------------------------------------
-    def _port(self, col: int, row: int) -> int:
-        return col * self.rows + row
-
-    def _track(
-        self, prog: Program, port: int, addr: int, size: int, what: str
-    ) -> None:
-        """Arm a placeholder tracker; calibration fills the counts."""
-        prog.append(make(
-            Opcode.MEMTRACK, addr=addr, port=port, size=size,
-            num_updates=0, num_reads=0, comment=f"track {what}",
-        ))
-
-    def _copy_features(
-        self,
-        body: List[Instruction],
-        src: LayerNode,
-        feature_lo: int,
-        feature_hi: int,
-        dst_port: int,
-        dst_addr: int,
-        accum: int = 0,
-        src_feature_offset: int = 0,
-    ) -> None:
-        """DMA features [feature_lo, feature_hi) of ``src`` (offset by
-        ``src_feature_offset`` in the source's own numbering) into a
-        contiguous destination, one DMA per overlapping source block."""
-        src_col = self.partition.column_of[src.name]
-        fwords = src.output_shape.feature_size
-        for block in self.partition.blocks_of(src.name):
-            lo = max(feature_lo + src_feature_offset, block.first_feature)
-            hi = min(
-                feature_hi + src_feature_offset,
-                block.first_feature + block.feature_count,
-            )
-            if lo >= hi:
-                continue
-            body.append(make(
-                Opcode.DMALOAD,
-                src_addr=block.feature_address(lo),
-                src_port=self._port(src_col, block.row),
-                dst_addr=dst_addr
-                + (lo - src_feature_offset - feature_lo) * fwords,
-                dst_port=dst_port,
-                size=(hi - lo) * fwords,
-                is_accum=accum,
-                comment=f"copy {src.name}[{lo}:{hi}]",
-            ))
-
-    def _stage_all(
-        self,
-        prog: Program,
-        body: List[Instruction],
-        src: LayerNode,
-        col: int,
-        row: int,
-        tag: str,
-    ) -> int:
-        """Stage every feature of ``src`` into tile (col-1, row)."""
-        total = src.output_shape.elements
-        base = self.partition.allocator(col - 1, row).alloc(
-            f"{tag}/stage@r{row}", total
-        )
-        port = self._port(col - 1, row)
-        self._track(prog, port, base, total, f"staged {src.name}")
-        self._copy_features(body, src, 0, src.output_shape.count, port, base)
-        return base
-
-    # ------------------------------------------------------------------
-    def _compile_node(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        if isinstance(spec, ConvSpec):
-            return self._compile_conv(node)
-        if isinstance(spec, FCSpec):
-            return self._compile_fc(node)
-        if isinstance(spec, (PoolSpec, GlobalPoolSpec)):
-            return self._compile_pool(node)
-        if isinstance(spec, ConcatSpec):
-            return self._compile_concat(node)
-        if isinstance(spec, SliceSpec):
-            return self._compile_slice(node)
-        if isinstance(spec, (EltwiseAddSpec, EltwiseMulSpec,
-                             ActivationSpec)):
-            return self._compile_eltwise(node)
-        raise MappingError(
-            f"DAG codegen cannot compile layer kind {node.kind}"
-        )
-
-    # ------------------------------------------------------------------
-    def _compile_conv(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        assert isinstance(spec, ConvSpec)
-        src = self.net[node.input_names[0]]
-        col = self.partition.column_of[node.name]
-        in_shape = node.input_shapes[0]
-        out_size = node.output_shape.feature_size
-        k = spec.kernel
-        weights = self.model.state[node.name].weights
-        bias = self.model.state[node.name].bias
-        programs = []
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            left = self._port(col - 1, row)
-            right = self._port(col, row)
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            body: List[Instruction] = []
-            self._track(
-                prog, right, home.address,
-                home.feature_count * home.feature_words,
-                f"{node.name} outputs",
-            )
-            stage_base = self._stage_all(prog, body, src, col, row,
-                                         node.name)
-            alloc = self.partition.allocator(col, row)
-            pre_base = alloc.alloc(
-                f"{node.name}/pre@r{row}", home.feature_count * out_size
-            )
-            bias_base = alloc.alloc(
-                f"{node.name}/bias@r{row}", home.feature_count * out_size
-            )
-            self.preloads.append(_Preload(
-                col, row, bias_base,
-                np.repeat(
-                    bias[home.first_feature:
-                         home.first_feature + home.feature_count],
-                    out_size,
-                ),
-            ))
-            self._track(
-                prog, right, pre_base, home.feature_count * out_size,
-                f"{node.name} partial sums",
-            )
-            # Each output feature's input sources as (global input
-            # index, kernel plane index): tables store kernels densely
-            # at the *global* input index (masked-dense layout), groups
-            # at the *within-group* index.
-            def sources_of(feature: int):
-                if spec.connection_table is not None:
-                    return [
-                        (g, g) for g in spec.connection_table[feature]
-                    ]
-                per_out = node.output_shape.count // spec.groups
-                in_per = in_shape.count // spec.groups
-                group = feature // per_out
-                return [
-                    (group * in_per + local, local)
-                    for local in range(in_per)
-                ]
-
-            kwords = k * k
-            kernel_slots = sum(
-                len(sources_of(home.first_feature + f_local))
-                for f_local in range(home.feature_count)
-            )
-            kern_base = self.partition.allocator(col - 1, row).alloc(
-                f"{node.name}/kernels@r{row}", kernel_slots * kwords
-            )
-            # Pack kernels ragged: for output f, one k*k kernel per
-            # connected source, in source order.  Dense weights store
-            # (out, in/groups, k, k): source index within the group (or
-            # within the table row) selects the kernel plane.
-            packed = []
-            for f_local in range(home.feature_count):
-                feature = home.first_feature + f_local
-                for _, plane in sources_of(feature):
-                    packed.append(weights[feature, plane])
-            self.preloads.append(_Preload(
-                col - 1, row, kern_base, np.stack(packed)
-            ))
-            fwords = in_shape.feature_size
-            slot = 0
-            for f_local in range(home.feature_count):
-                feature = home.first_feature + f_local
-                for i, (g, _) in enumerate(sources_of(feature)):
-                    body.append(make(
-                        Opcode.NDCONV,
-                        in_addr=stage_base + g * fwords,
-                        in_port=left,
-                        in_size=pack_shape(in_shape.height, in_shape.width),
-                        kernel_addr=kern_base + slot * kwords,
-                        kernel_size=pack_shape(k, k),
-                        stride=spec.stride,
-                        pad=spec.pad,
-                        out_addr=pre_base + f_local * out_size,
-                        out_port=right,
-                        is_accum=int(i > 0),
-                    ))
-                    slot += 1
-                body.append(make(
-                    Opcode.NDACCUM,
-                    src_addr=bias_base + f_local * out_size,
-                    port=right,
-                    size=out_size,
-                    dst_addr=pre_base + f_local * out_size,
-                ))
-            body.append(make(
-                Opcode.NDACTFN,
-                fn_type=ACT_CODES[spec.activation],
-                in_addr=pre_base,
-                port=right,
-                size=home.feature_count * out_size,
-                out_addr=home.address,
-                out_port=right,
-            ))
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
-    def _compile_fc(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        assert isinstance(spec, FCSpec)
-        src = self.net[node.input_names[0]]
-        col = self.partition.column_of[node.name]
-        in_elems = node.input_shapes[0].elements
-        weights = self.model.state[node.name].weights
-        bias = self.model.state[node.name].bias
-        programs = []
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            left = self._port(col - 1, row)
-            right = self._port(col, row)
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            body: List[Instruction] = []
-            self._track(
-                prog, right, home.address, home.feature_count,
-                f"{node.name} outputs",
-            )
-            stage_base = self._stage_all(prog, body, src, col, row,
-                                         node.name)
-            alloc = self.partition.allocator(col, row)
-            pre_base = alloc.alloc(
-                f"{node.name}/pre@r{row}", home.feature_count
-            )
-            bias_base = alloc.alloc(
-                f"{node.name}/bias@r{row}", home.feature_count
-            )
-            self.preloads.append(_Preload(
-                col, row, bias_base,
-                bias[home.first_feature:
-                     home.first_feature + home.feature_count],
-            ))
-            self._track(
-                prog, right, pre_base, home.feature_count,
-                f"{node.name} pre-activation",
-            )
-            w_base = self.partition.allocator(col - 1, row).alloc(
-                f"{node.name}/weights@r{row}",
-                home.feature_count * in_elems,
-            )
-            self.preloads.append(_Preload(
-                col - 1, row, w_base,
-                weights[home.first_feature:
-                        home.first_feature + home.feature_count],
-            ))
-            body.append(make(
-                Opcode.MATMUL,
-                in1_addr=stage_base,
-                in1_port=left,
-                in1_size=pack_shape(1, in_elems),
-                in2_addr=w_base,
-                in2_port=left,
-                in2_size=pack_shape(home.feature_count, in_elems),
-                out_addr=pre_base,
-                out_port=right,
-                is_accum=0,
-            ))
-            body.append(make(
-                Opcode.NDACCUM,
-                src_addr=bias_base,
-                port=right,
-                size=home.feature_count,
-                dst_addr=pre_base,
-            ))
-            body.append(make(
-                Opcode.NDACTFN,
-                fn_type=ACT_CODES[spec.activation],
-                in_addr=pre_base,
-                port=right,
-                size=home.feature_count,
-                out_addr=home.address,
-                out_port=right,
-            ))
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
-    def _compile_pool(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        src = self.net[node.input_names[0]]
-        src_col = self.partition.column_of[src.name]
-        col = self.partition.column_of[node.name]
-        in_shape = node.input_shapes[0]
-        if isinstance(spec, PoolSpec):
-            window, stride, mode = (
-                spec.window, spec.effective_stride, spec.mode
-            )
-        else:
-            assert isinstance(spec, GlobalPoolSpec)
-            window = stride = in_shape.height
-            mode = spec.mode
-        src_blocks = self.partition.blocks_of(src.name)
-
-        def src_location(feature: int) -> Tuple[int, int]:
-            for block in src_blocks:
-                if (block.first_feature <= feature
-                        < block.first_feature + block.feature_count):
-                    return (
-                        self._port(src_col, block.row),
-                        block.feature_address(feature),
-                    )
-            raise MappingError(f"feature {feature} unplaced in {src.name}")
-
-        programs = []
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            right = self._port(col, row)
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            self._track(
-                prog, right, home.address,
-                home.feature_count * home.feature_words,
-                f"{node.name} outputs",
-            )
-            for f_local in range(home.feature_count):
-                feature = home.first_feature + f_local
-                src_port, src_addr = src_location(feature)
-                prog.append(make(
-                    Opcode.NDSUBSAMP,
-                    samp_type=SAMP_CODES[mode],
-                    in_addr=src_addr,
-                    port=src_port,
-                    in_size=pack_shape(in_shape.height, in_shape.width),
-                    window=window,
-                    stride=stride,
-                    out_addr=home.address + f_local * home.feature_words,
-                    out_port=right,
-                ))
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
-    def _compile_concat(self, node: LayerNode) -> List[Program]:
-        col = self.partition.column_of[node.name]
-        sources = [self.net[s] for s in node.input_names]
-        offsets = []
-        offset = 0
-        for src in sources:
-            offsets.append(offset)
-            offset += src.output_shape.count
-        programs = []
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            right = self._port(col, row)
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            body: List[Instruction] = []
-            self._track(
-                prog, right, home.address,
-                home.feature_count * home.feature_words,
-                f"{node.name} outputs",
-            )
-            lo, hi = home.first_feature, (
-                home.first_feature + home.feature_count
-            )
-            for src, src_offset in zip(sources, offsets):
-                s_lo = max(lo, src_offset)
-                s_hi = min(hi, src_offset + src.output_shape.count)
-                if s_lo >= s_hi:
-                    continue
-                self._copy_features(
-                    body, src,
-                    feature_lo=s_lo - src_offset,
-                    feature_hi=s_hi - src_offset,
-                    dst_port=right,
-                    dst_addr=home.address
-                    + (s_lo - lo) * home.feature_words,
-                )
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
-    def _compile_slice(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        assert isinstance(spec, SliceSpec)
-        col = self.partition.column_of[node.name]
-        src = self.net[node.input_names[0]]
-        programs = []
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            right = self._port(col, row)
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            body: List[Instruction] = []
-            self._track(
-                prog, right, home.address,
-                home.feature_count * home.feature_words,
-                f"{node.name} outputs",
-            )
-            self._copy_features(
-                body, src,
-                feature_lo=home.first_feature,
-                feature_hi=home.first_feature + home.feature_count,
-                dst_port=right,
-                dst_addr=home.address,
-                src_feature_offset=spec.start,
-            )
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
-    def _compile_eltwise(self, node: LayerNode) -> List[Program]:
-        spec = node.spec
-        col = self.partition.column_of[node.name]
-        sources = [self.net[s] for s in node.input_names]
-        programs = []
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            right = self._port(col, row)
-            words = home.feature_count * home.feature_words
-            prog = Program(tile=f"{node.name}@c{col}r{row}")
-            body: List[Instruction] = []
-            self._track(
-                prog, right, home.address, words, f"{node.name} outputs"
-            )
-            alloc = self.partition.allocator(col, row)
-            lo = home.first_feature
-            hi = home.first_feature + home.feature_count
-
-            if isinstance(spec, EltwiseMulSpec):
-                acc1 = alloc.alloc(f"{node.name}/opA@r{row}", words)
-                acc2 = alloc.alloc(f"{node.name}/opB@r{row}", words)
-                self._track(prog, right, acc1, words, "operand A")
-                self._track(prog, right, acc2, words, "operand B")
-                self._copy_features(body, sources[0], lo, hi, right, acc1)
-                self._copy_features(body, sources[1], lo, hi, right, acc2)
-                body.append(make(
-                    Opcode.VECMUL,
-                    in1_addr=acc1, in2_addr=acc2, port=right,
-                    size=words, out_addr=home.address,
-                ))
-            else:
-                # Element-wise sum (possibly >2 operands) or standalone
-                # activation (one operand): accumulate then activate.
-                acc = alloc.alloc(f"{node.name}/acc@r{row}", words)
-                self._track(prog, right, acc, words, "accumulator")
-                for i, src in enumerate(sources):
-                    self._copy_features(
-                        body, src, lo, hi, right, acc, accum=int(i > 0)
-                    )
-                fn = spec.activation  # type: ignore[attr-defined]
-                body.append(make(
-                    Opcode.NDACTFN,
-                    fn_type=ACT_CODES[fn],
-                    in_addr=acc,
-                    port=right,
-                    size=words,
-                    out_addr=home.address,
-                    out_port=right,
-                ))
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
 
 
 def compile_dag_forward(

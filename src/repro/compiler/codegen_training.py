@@ -18,6 +18,13 @@ the engine machine, synchronised purely through MEMTRACK trackers — a
 direct functional test of the Sec 3.2.4 scheme on a dataflow with both
 directions active.
 
+Since the IR refactor the BP/WG emission lives in the shared lowering
+(:mod:`repro.compiler.passes.lower`): this compiler builds the
+tile-level IR with all three phases and drives the pipeline in the
+exact-tracker dialect; the lowering grows the FP tracker counts for the
+backward wave's readers, allocates the error regions, and emits the
+deferred weight-update programs in minibatch mode.
+
 The loss gradient at the network output is computed by the host between
 the FP and BP phases (the paper computes it in the final FP tiles) and
 injected through a tracker-counted write, which is what un-blocks the
@@ -34,40 +41,21 @@ accumulation over a minibatch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.arch.chip import ChipConfig
-from repro.compiler.codegen import (
-    CompiledForward,
-    ForwardCompiler,
-    _Preload,
-)
-from repro.compiler.partition import FeatureHome
-from repro.dnn.layers import (
-    Activation,
-    ConvSpec,
-    FCSpec,
-    GlobalPoolSpec,
-    LayerKind,
-    PoolMode,
-    PoolSpec,
-)
-from repro.dnn.network import LayerNode, Network
+from repro.compiler.codegen import CompiledForward, ForwardCompiler
+from repro.compiler.ir import Phase
+from repro.compiler.passes.legalize import check_training_scope
+from repro.dnn.layers import ConvSpec
+from repro.dnn.network import Network
 from repro.errors import MappingError, SimulationError
 from repro.functional import tensor_ops as ops
 from repro.functional.reference import ReferenceModel
-from repro.isa.instructions import Instruction, Opcode, make
-from repro.isa.program import Program
-from repro.sim.engine import (
-    ACT_CODES,
-    Engine,
-    RunReport,
-    SAMP_CODES,
-    UPSAMP_ZERO_INSERT,
-)
-from repro.sim.machine import Machine, pack_shape
+from repro.sim.engine import Engine, RunReport
+from repro.sim.machine import Machine
 
 
 @dataclass
@@ -226,6 +214,9 @@ class TrainingCompiler(ForwardCompiler):
     learning rate scaled by 1/minibatch.
     """
 
+    scope = "training"
+    phases = (Phase.FP, Phase.BP, Phase.WG)
+
     def __init__(
         self,
         net: Network,
@@ -240,822 +231,43 @@ class TrainingCompiler(ForwardCompiler):
             raise MappingError("minibatch must be >= 1")
         self.lr_num, self.lr_denom = learning_rate
         self.minibatch = minibatch
-        self._validate_scope()
-        #: err[L] home blocks, allocated lazily per layer.
-        self._err_blocks: Dict[str, List[Tuple[FeatureHome, int]]] = {}
-        #: Deferred weight-update programs (minibatch mode).
-        self._update_programs: List[Program] = []
-
-    # ------------------------------------------------------------------
-    def _validate_scope(self) -> None:
-        nodes = list(self.net)
-        last = nodes[-1]
-        if not isinstance(last.spec, FCSpec) or (
-            last.spec.activation is not Activation.SOFTMAX
-        ):
-            raise MappingError(
-                "training compilation needs a softmax FC head"
-            )
-        for node in nodes:
-            spec = node.spec
-            if isinstance(spec, ConvSpec):
-                if spec.groups != 1 or spec.connection_table is not None:
-                    raise MappingError(
-                        f"{node.name}: BP compilation supports plain "
-                        "ungrouped convolutions"
-                    )
-                if spec.stride > 1:
-                    in_shape = node.input_shapes[0]
-                    for extent in (in_shape.height, in_shape.width):
-                        if (extent + 2 * spec.pad - spec.kernel) % spec.stride:
-                            raise MappingError(
-                                f"{node.name}: strided BP needs the window "
-                                "sweep to divide the input exactly"
-                            )
-            elif isinstance(spec, PoolSpec):
-                if spec.pad or spec.effective_stride != spec.window:
-                    raise MappingError(
-                        f"{node.name}: BP compilation supports unpadded "
-                        "pooling with stride == window"
-                    )
-                if spec.mode is PoolMode.MAX:
-                    in_shape = node.input_shapes[0]
-                    if (in_shape.height % spec.window
-                            or in_shape.width % spec.window):
-                        raise MappingError(
-                            f"{node.name}: max-pool BP needs the window "
-                            "to tile the input exactly (the routing "
-                            "reads the covered region contiguously)"
-                        )
-            elif isinstance(spec, GlobalPoolSpec):
-                if spec.mode is not PoolMode.AVG:
-                    raise MappingError(
-                        f"{node.name}: BP needs average global pooling"
-                    )
-
-    # ------------------------------------------------------------------
-    # Bookkeeping helpers
-    # ------------------------------------------------------------------
-    def _pred(self, node: LayerNode) -> LayerNode:
-        return self.net[node.input_names[0]]
-
-    def _succ(self, node: LayerNode) -> Optional[LayerNode]:
-        consumers = self.net.consumers(node.name)
-        return self.net[consumers[0]] if consumers else None
-
-    def _is_weighted(self, node: LayerNode) -> bool:
-        return node.kind in (LayerKind.CONV, LayerKind.FC)
-
-    def _bp_exists(self, node: LayerNode) -> bool:
-        """BP program of ``node`` exists iff its predecessor needs an
-        error (i.e. is not the network input)."""
-        return self._pred(node).kind is not LayerKind.INPUT
-
-    def _err_reads(self, node: LayerNode, block: FeatureHome) -> int:
-        """Readers of err[node]'s home block ``block``."""
-        reads = 0
-        if self._bp_exists(node):
-            if self._is_weighted(node):
-                # BP staging: one DMA per predecessor block row.
-                reads += len(self.partition.blocks_of(self._pred(node).name))
-            else:
-                # Pool BP: one NDUPSAMP read per feature.
-                reads += block.feature_count
-        if self._is_weighted(node):
-            reads += 1  # WG's err-copy DMA
-        return reads
-
-    def _err_updates(self, node: LayerNode, block: FeatureHome) -> int:
-        """Writers of err[node]'s home block."""
-        succ = self._succ(node)
-        if succ is None:
-            return 1  # host injection at the network output
-        if self._is_weighted(node):
-            return 1  # NDACTBP write by the successor's BP program
-        # Pool: the successor's BP partials land here unmasked.
-        if succ.kind is LayerKind.CONV:
-            return block.feature_count * succ.output_shape.count
-        if succ.kind is LayerKind.FC:
-            return 1  # one MATMUL write per block
-        raise MappingError(
-            f"unsupported SAMP successor {succ.name} ({succ.kind})"
-        )
-
-    def _alloc_err_blocks(self) -> None:
-        """Allocate err[L] regions mirroring each layer's home blocks."""
-        for node in self.net:
-            if node.kind is LayerKind.INPUT:
-                continue
-            col = self.partition.column_of[node.name]
-            entries: List[Tuple[FeatureHome, int]] = []
-            for home in self.partition.blocks_of(node.name):
-                addr = self.partition.allocator(col, home.row).alloc(
-                    f"{node.name}/err@r{home.row}",
-                    home.feature_count * home.feature_words,
-                )
-                entries.append((home, addr))
-            self._err_blocks[node.name] = entries
-
-    def _err_block(self, layer: str, row: int) -> Tuple[FeatureHome, int]:
-        for home, addr in self._err_blocks[layer]:
-            if home.row == row:
-                return home, addr
-        raise MappingError(f"no err block for {layer} at row {row}")
-
-    # ------------------------------------------------------------------
-    # Hooks that extend the forward programs' tracker counts
-    # ------------------------------------------------------------------
-    def _extra_out_reads(self, node: LayerNode) -> int:
-        # The BP mask copies the layer's activations next to the raw
-        # error (one DMA per block) for every weighted, non-final layer
-        # that receives an error; a MAX-pool successor's BP additionally
-        # copies the original (pre-pool) feature per block for argmax
-        # recomputation.
-        reads = 0
-        succ = self._succ(node)
-        if self._is_weighted(node) and succ is not None:
-            reads += 1
-        if succ is not None and isinstance(succ.spec, PoolSpec):
-            if succ.spec.mode is PoolMode.MAX and self._bp_exists(succ):
-                reads += 1
-        return reads
-
-    def _conv_staging_reads(self, node: LayerNode, block_features: int) -> int:
-        # FP reads each staged input once per output feature; WG reads
-        # it again as the correlation input for each gradient.
-        return 2 * block_features
-
-    def _fc_staging_reads(self, node: LayerNode, block_features: int) -> int:
-        # FP's single MATMUL plus one WG outer-product MATMUL per output.
-        return 1 + block_features
+        # Scope violations surface at construction, as they always have
+        # for the training compiler (legalize re-checks in the pipeline).
+        check_training_scope(net)
 
     # ------------------------------------------------------------------
     def compile_training(self) -> CompiledTraining:
-        self._alloc_err_blocks()
-        forward = super().compile(align=False)
-
-        training_programs: List[Program] = []
-        for node in self.net:
-            if node.kind is LayerKind.INPUT:
-                continue
-            if node.kind is LayerKind.SAMP:
-                if self._bp_exists(node):
-                    training_programs.extend(self._compile_pool_bp(node))
-            elif self._is_weighted(node):
-                if self._bp_exists(node):
-                    training_programs.extend(self._compile_bp(node))
-                training_programs.extend(self._compile_wg(node))
-
-        # The output layer's error tracker: armed here so the host's
-        # injection is the counted single update.
-        final = self.net.output
-        fin_home, fin_addr = self._err_block(final.name, 0)
-        tracker_prog = Program(tile="err-injection-tracker")
-        tracker_prog.append(make(
-            Opcode.MEMTRACK,
-            addr=fin_addr,
-            port=self._port(
-                self.partition.column_of[final.name], fin_home.row
-            ),
-            size=fin_home.feature_count * fin_home.feature_words,
-            num_updates=1,
-            num_reads=self._err_reads(final, fin_home),
-            comment="loss gradient injection point",
-        ))
-        tracker_prog.append(make(Opcode.HALT))
-        training_programs.append(tracker_prog)
-
-        all_programs = (
-            forward.programs + training_programs + self._update_programs
+        ctx = self._run_pipeline(
+            align=True,
+            minibatch=self.minibatch,
+            learning_rate=(self.lr_num, self.lr_denom),
         )
-        self._align_prologues(all_programs)
-        for program in all_programs:
-            program.validate()
-        forward.programs = all_programs
-        forward.verify(host_writes=[(
-            self._port(
-                self.partition.column_of[final.name], fin_home.row
-            ),
-            fin_addr,
-            fin_home.feature_count * fin_home.feature_words,
-        )])
+        err_port, err_addr, err_size = ctx.extra["err_injection"]
+        forward = CompiledForward(
+            network=self.net,
+            chip=self.chip,
+            rows=self.rows,
+            partition=self.partition,
+            programs=ctx.programs + ctx.update_programs,
+            preloads=self.preloads,
+            output_blocks=self.partition.blocks_of(self.net.output.name),
+            ir=self.ir,
+            pass_stats=self.pass_stats,
+        )
+        forward.verify(host_writes=[(err_port, err_addr, err_size)])
 
         return CompiledTraining(
             forward=forward,
-            err_port=self._port(
-                self.partition.column_of[final.name], fin_home.row
-            ),
-            err_addr=fin_addr,
-            err_size=fin_home.feature_count * fin_home.feature_words,
+            err_port=err_port,
+            err_addr=err_addr,
+            err_size=err_size,
             lr_num=self.lr_num,
             lr_denom=self.lr_denom,
             minibatch=self.minibatch,
             update_tiles=frozenset(
-                p.tile for p in self._update_programs
+                p.tile for p in ctx.update_programs
             ),
         )
-
-    # ------------------------------------------------------------------
-    # BP of weighted layers
-    # ------------------------------------------------------------------
-    def _stage_err(
-        self, prog: Program, body: List[Instruction], node: LayerNode,
-        col: int, row: int, reads: int, tag: str,
-    ) -> int:
-        """Stage all of err[node] into tile (col, row); returns base."""
-        blocks = self._err_blocks[node.name]
-        fwords = node.output_shape.feature_size
-        total = node.output_shape.count * fwords
-        base = self.partition.allocator(col, row).alloc(
-            f"{tag}/errstage@r{row}", total
-        )
-        port = self._port(col, row)
-        prog.append(make(
-            Opcode.MEMTRACK, addr=base, port=port, size=total,
-            num_updates=len(blocks), num_reads=reads,
-            comment=f"track staged err[{node.name}]",
-        ))
-        for home, addr in blocks:
-            body.append(make(
-                Opcode.DMALOAD,
-                src_addr=addr,
-                src_port=self._port(col, home.row),
-                dst_addr=base + home.first_feature * fwords,
-                dst_port=port,
-                size=home.feature_count * fwords,
-                is_accum=0,
-                comment=f"stage err[{node.name}] block r{home.row}",
-            ))
-        return base
-
-    def _emit_mask(
-        self, prog: Program, body: List[Instruction], pred: LayerNode,
-        raw_base: int, pred_home: FeatureHome, pred_col: int,
-    ) -> None:
-        """Copy activations beside the raw error and apply NDACTBP."""
-        words = pred_home.feature_count * pred_home.feature_words
-        port = self._port(pred_col, pred_home.row)
-        _, err_addr = self._err_block(pred.name, pred_home.row)
-        act = pred.spec.activation  # type: ignore[attr-defined]
-        body.append(make(
-            Opcode.DMALOAD,
-            src_addr=pred_home.address,
-            src_port=port,
-            dst_addr=raw_base + words,
-            dst_port=port,
-            size=words,
-            is_accum=0,
-            comment=f"copy {pred.name} activations for masking",
-        ))
-        body.append(make(
-            Opcode.NDACTBP,
-            fn_type=ACT_CODES.get(act, 0),
-            err_addr=raw_base,
-            port=port,
-            size=words,
-            out_addr=err_addr,
-            out_port=port,
-            comment=f"mask err[{pred.name}] with {act.value}'",
-        ))
-
-    def _arm_raw_and_err(
-        self, prog: Program, pred: LayerNode, raw_base: int,
-        pred_home: FeatureHome, pred_col: int, raw_updates: int,
-    ) -> None:
-        """Trackers for the raw region (+act copy) and the masked err."""
-        words = pred_home.feature_count * pred_home.feature_words
-        port = self._port(pred_col, pred_home.row)
-        prog.append(make(
-            Opcode.MEMTRACK, addr=raw_base, port=port, size=words,
-            num_updates=raw_updates, num_reads=1,
-            comment=f"track raw err[{pred.name}]",
-        ))
-        prog.append(make(
-            Opcode.MEMTRACK, addr=raw_base + words, port=port, size=words,
-            num_updates=1, num_reads=1,
-            comment=f"track {pred.name} activation copy",
-        ))
-        _, err_addr = self._err_block(pred.name, pred_home.row)
-        prog.append(make(
-            Opcode.MEMTRACK, addr=err_addr, port=port, size=words,
-            num_updates=self._err_updates(pred, pred_home),
-            num_reads=self._err_reads(pred, pred_home),
-            comment=f"track err[{pred.name}]",
-        ))
-
-    def _compile_bp(self, node: LayerNode) -> List[Program]:
-        """BP of a weighted layer: produce err for its predecessor."""
-        pred = self._pred(node)
-        col = self.partition.column_of[node.name]
-        pred_col = col - 1
-        pred_masked = self._is_weighted(pred)
-        programs: List[Program] = []
-
-        for pred_home in self.partition.blocks_of(pred.name):
-            row = pred_home.row
-            prog = Program(tile=f"bp:{node.name}@r{row}")
-            body: List[Instruction] = []
-            words = pred_home.feature_count * pred_home.feature_words
-            pred_port = self._port(pred_col, row)
-
-            if pred_masked:
-                raw_base = self.partition.allocator(pred_col, row).alloc(
-                    f"{node.name}/raw@r{row}", 2 * words
-                )
-                raw_updates = (
-                    pred_home.feature_count * node.output_shape.count
-                    if node.kind is LayerKind.CONV
-                    else 1
-                )
-                self._arm_raw_and_err(
-                    prog, pred, raw_base, pred_home, pred_col, raw_updates
-                )
-                target_addr = raw_base
-            else:
-                # Predecessor is a pool: write into err[pred] directly.
-                _, target_addr = self._err_block(pred.name, row)
-                prog.append(make(
-                    Opcode.MEMTRACK,
-                    addr=target_addr, port=pred_port, size=words,
-                    num_updates=self._err_updates(pred, pred_home),
-                    num_reads=self._err_reads(pred, pred_home),
-                    comment=f"track err[{pred.name}] (unmasked)",
-                ))
-
-            if node.kind is LayerKind.CONV:
-                self._emit_conv_bp(
-                    prog, body, node, pred, pred_home, col, row, target_addr
-                )
-            else:
-                self._emit_fc_bp(
-                    prog, body, node, pred, pred_home, col, row, target_addr
-                )
-
-            if pred_masked:
-                self._emit_mask(prog, body, pred, target_addr, pred_home,
-                                pred_col)
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    def _dilate_errors(
-        self, prog: Program, body: List[Instruction], node: LayerNode,
-        col: int, row: int, stage_base: int, reads_per_feature: int,
-        tag: str,
-    ) -> Tuple[int, int, int]:
-        """Zero-insert every staged error feature of a strided layer.
-
-        Returns (dilated base address, dilated height, dilated width);
-        for stride 1 the staged region is returned untouched."""
-        spec = node.spec
-        assert isinstance(spec, ConvSpec)
-        out_shape = node.output_shape
-        if spec.stride == 1:
-            return stage_base, out_shape.height, out_shape.width
-        s_ = spec.stride
-        dh = (out_shape.height - 1) * s_ + 1
-        dw = (out_shape.width - 1) * s_ + 1
-        err_words = out_shape.feature_size
-        dil_words = dh * dw
-        port = self._port(col, row)
-        dil_base = self.partition.allocator(col, row).alloc(
-            f"{tag}/dilated@r{row}", out_shape.count * dil_words
-        )
-        prog.append(make(
-            Opcode.MEMTRACK, addr=dil_base, port=port,
-            size=out_shape.count * dil_words,
-            num_updates=out_shape.count,
-            num_reads=reads_per_feature * out_shape.count,
-            comment=f"track dilated err[{node.name}]",
-        ))
-        for f in range(out_shape.count):
-            body.append(make(
-                Opcode.NDUPSAMP,
-                samp_type=UPSAMP_ZERO_INSERT,
-                in_addr=stage_base + f * err_words,
-                port=port,
-                in_size=pack_shape(out_shape.height, out_shape.width),
-                window=1,
-                stride=s_,
-                out_addr=dil_base + f * dil_words,
-                out_port=port,
-                comment=f"dilate err f={f} (stride {s_})",
-            ))
-        return dil_base, dh, dw
-
-    def _emit_conv_bp(
-        self, prog: Program, body: List[Instruction], node: LayerNode,
-        pred: LayerNode, pred_home: FeatureHome, col: int, row: int,
-        target_addr: int,
-    ) -> None:
-        spec = node.spec
-        assert isinstance(spec, ConvSpec)
-        out_shape = node.output_shape
-        k = spec.kernel
-        pad_bp = k - 1 - spec.pad
-        # For stride 1 every NDCONV reads its error feature directly; a
-        # strided layer reads the dilated copies instead (one read per
-        # target feature each).
-        if spec.stride == 1:
-            err_reads = pred_home.feature_count * out_shape.count
-        else:
-            err_reads = 1  # each staged feature is read once, to dilate
-        stage_base = self._stage_err(
-            prog, body, node, col, row, err_reads, f"bp:{node.name}"
-        )
-        stage_base, eff_h, eff_w = self._dilate_errors(
-            prog, body, node, col, row, stage_base,
-            reads_per_feature=pred_home.feature_count,
-            tag=f"bp:{node.name}",
-        )
-        # Rotated kernels for the targets this row computes.
-        weights = self.model.state[node.name].weights
-        rot = weights[:, :, ::-1, ::-1]
-        g0 = pred_home.first_feature
-        kern = np.ascontiguousarray(
-            rot[:, g0 : g0 + pred_home.feature_count]
-        )  # (out_c, block, k, k)
-        kwords = k * k
-        kern_base = self.partition.allocator(col, row).alloc(
-            f"bp:{node.name}/rotkernels@r{row}", kern.size
-        )
-        self.preloads.append(_Preload(col, row, kern_base, kern.reshape(-1)))
-
-        err_fwords = eff_h * eff_w
-        for g_local in range(pred_home.feature_count):
-            for f in range(out_shape.count):
-                body.append(make(
-                    Opcode.NDCONV,
-                    in_addr=stage_base + f * err_fwords,
-                    in_port=self._port(col, row),
-                    in_size=pack_shape(eff_h, eff_w),
-                    kernel_addr=kern_base
-                    + (f * pred_home.feature_count + g_local) * kwords,
-                    kernel_size=pack_shape(k, k),
-                    stride=1,
-                    pad=pad_bp,
-                    out_addr=target_addr
-                    + g_local * pred_home.feature_words,
-                    out_port=self._port(col - 1, row),
-                    is_accum=int(f > 0),
-                    comment=f"bp partial g={g0 + g_local} f={f}",
-                ))
-
-    def _emit_fc_bp(
-        self, prog: Program, body: List[Instruction], node: LayerNode,
-        pred: LayerNode, pred_home: FeatureHome, col: int, row: int,
-        target_addr: int,
-    ) -> None:
-        out_count = node.output_shape.count
-        stage_base = self._stage_err(
-            prog, body, node, col, row, reads=1, tag=f"bp:{node.name}"
-        )
-        # W^T rows for the flattened range this predecessor block spans.
-        weights = self.model.state[node.name].weights  # (out, in)
-        fwords = pred_home.feature_words
-        flat0 = pred_home.first_feature * fwords
-        flat1 = flat0 + pred_home.feature_count * fwords
-        wt = np.ascontiguousarray(weights[:, flat0:flat1].T)
-        wt_base = self.partition.allocator(col, row).alloc(
-            f"bp:{node.name}/wt@r{row}", wt.size
-        )
-        self.preloads.append(_Preload(col, row, wt_base, wt.reshape(-1)))
-        body.append(make(
-            Opcode.MATMUL,
-            in1_addr=stage_base,
-            in1_port=self._port(col, row),
-            in1_size=pack_shape(1, out_count),
-            in2_addr=wt_base,
-            in2_port=self._port(col, row),
-            in2_size=pack_shape(flat1 - flat0, out_count),
-            out_addr=target_addr,
-            out_port=self._port(col - 1, row),
-            is_accum=0,
-            comment=f"bp matmul W^T rows [{flat0}, {flat1})",
-        ))
-
-    # ------------------------------------------------------------------
-    # BP of pool layers: up-sample the error through the window
-    # ------------------------------------------------------------------
-    def _compile_pool_bp(self, node: LayerNode) -> List[Program]:
-        pred = self._pred(node)
-        spec = node.spec
-        col = self.partition.column_of[node.name]
-        pred_col = col - 1
-        in_shape = node.input_shapes[0]
-        if isinstance(spec, PoolSpec):
-            window = spec.window
-        else:
-            window = in_shape.height
-        out_shape = node.output_shape
-        programs: List[Program] = []
-        pred_blocks = {
-            b.row: b for b in self.partition.blocks_of(pred.name)
-        }
-        mode = getattr(spec, "mode", PoolMode.AVG)
-        for err_home, err_addr in self._err_blocks[node.name]:
-            row = err_home.row
-            pred_home = pred_blocks[row]
-            words = pred_home.feature_count * pred_home.feature_words
-            prog = Program(tile=f"bp:{node.name}@r{row}")
-            body: List[Instruction] = []
-            raw_base = self.partition.allocator(pred_col, row).alloc(
-                f"{node.name}/raw@r{row}", 2 * words
-            )
-            self._arm_raw_and_err(
-                prog, pred, raw_base, pred_home, pred_col,
-                raw_updates=pred_home.feature_count,
-            )
-            err_words = err_home.feature_words
-            orig_words = pred_home.feature_words
-            if mode is PoolMode.MAX:
-                # Per-feature work slots [error | original feature]: the
-                # NDUPSAMP max mode recomputes the argmax from the
-                # original and routes the error to it.
-                slot = err_words + orig_words
-                work_base = self.partition.allocator(col, row).alloc(
-                    f"{node.name}/maxwork@r{row}",
-                    err_home.feature_count * slot,
-                )
-                prog.append(make(
-                    Opcode.MEMTRACK, addr=work_base,
-                    port=self._port(col, row),
-                    size=err_home.feature_count * slot,
-                    num_updates=2 * err_home.feature_count,
-                    num_reads=2 * err_home.feature_count,
-                    comment=f"track {node.name} max-routing slots",
-                ))
-                # All slot fills first, then all routings: the block's
-                # tracker must see every update before its first read
-                # (the reads sit later in this same program).
-                for f_local in range(err_home.feature_count):
-                    feature = err_home.first_feature + f_local
-                    body.append(make(
-                        Opcode.DMALOAD,
-                        src_addr=err_addr + f_local * err_words,
-                        src_port=self._port(col, row),
-                        dst_addr=work_base + f_local * slot,
-                        dst_port=self._port(col, row),
-                        size=err_words,
-                        is_accum=0,
-                        comment=f"stage pooled err f={feature}",
-                    ))
-                    body.append(make(
-                        Opcode.DMALOAD,
-                        src_addr=pred_home.feature_address(feature),
-                        src_port=self._port(pred_col, row),
-                        dst_addr=work_base + f_local * slot + err_words,
-                        dst_port=self._port(col, row),
-                        size=orig_words,
-                        is_accum=0,
-                        comment=f"stage original f={feature} for argmax",
-                    ))
-                for f_local in range(err_home.feature_count):
-                    feature = err_home.first_feature + f_local
-                    body.append(make(
-                        Opcode.NDUPSAMP,
-                        samp_type=SAMP_CODES[PoolMode.MAX],
-                        in_addr=work_base + f_local * slot,
-                        port=self._port(col, row),
-                        in_size=pack_shape(
-                            out_shape.height, out_shape.width
-                        ),
-                        window=window,
-                        stride=window,
-                        out_addr=raw_base
-                        + f_local * pred_home.feature_words,
-                        out_port=self._port(pred_col, row),
-                        comment=f"route err to maxima f={feature}",
-                    ))
-            else:
-                for f_local in range(err_home.feature_count):
-                    body.append(make(
-                        Opcode.NDUPSAMP,
-                        samp_type=SAMP_CODES[PoolMode.AVG],
-                        in_addr=err_addr + f_local * err_words,
-                        port=self._port(col, row),
-                        in_size=pack_shape(
-                            out_shape.height, out_shape.width
-                        ),
-                        window=window,
-                        stride=window,
-                        out_addr=raw_base
-                        + f_local * pred_home.feature_words,
-                        out_port=self._port(pred_col, row),
-                        comment="upsample err "
-                                f"f={err_home.first_feature + f_local}",
-                    ))
-            self._emit_mask(prog, body, pred, raw_base, pred_home, pred_col)
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    # ------------------------------------------------------------------
-    # WG: weight gradients + in-place SGD update
-    # ------------------------------------------------------------------
-    def _compile_wg(self, node: LayerNode) -> List[Program]:
-        col = self.partition.column_of[node.name]
-        src = self._pred(node)
-        in_shape = node.input_shapes[0]
-        programs: List[Program] = []
-
-        for home in self.partition.blocks_of(node.name):
-            row = home.row
-            left = self._port(col - 1, row)
-            prog = Program(tile=f"wg:{node.name}@r{row}")
-            body: List[Instruction] = []
-
-            # Copy this row's error block beside the weights so NDCONV /
-            # MATMUL can read it from the same port as its other operand.
-            err_home, err_addr = self._err_block(node.name, row)
-            err_words = home.feature_count * node.output_shape.feature_size
-            werr_base = self.partition.allocator(col - 1, row).alloc(
-                f"wg:{node.name}/err@r{row}", err_words
-            )
-            strided = (
-                node.kind is LayerKind.CONV and node.spec.stride > 1
-            )
-            if node.kind is not LayerKind.CONV:
-                kernel_reads = home.feature_count
-            elif strided:
-                kernel_reads = home.feature_count  # one dilation each
-            else:
-                kernel_reads = home.feature_count * in_shape.count
-            prog.append(make(
-                Opcode.MEMTRACK, addr=werr_base, port=left, size=err_words,
-                num_updates=1, num_reads=kernel_reads,
-                comment=f"track wg err copy [{node.name}]",
-            ))
-            body.append(make(
-                Opcode.DMALOAD,
-                src_addr=err_addr,
-                src_port=self._port(col, row),
-                dst_addr=werr_base,
-                dst_port=left,
-                size=err_words,
-                is_accum=0,
-                comment=f"copy err[{node.name}] block for WG",
-            ))
-
-            if node.kind is LayerKind.CONV:
-                grad_words = self._emit_conv_wg(
-                    prog, body, node, home, col, row, werr_base
-                )
-                weight_block = f"{node.name}/kernels@r{row}"
-            else:
-                grad_words = self._emit_fc_wg(
-                    prog, body, node, home, col, row, werr_base
-                )
-                weight_block = f"{node.name}/weights@r{row}"
-
-            weight_base, _ = self.partition.allocator(
-                col - 1, row
-            ).lookup(weight_block)
-            grad_base, _ = self.partition.allocator(col - 1, row).lookup(
-                f"wg:{node.name}/grads@r{row}"
-            )
-            update = make(
-                Opcode.WUPDATE,
-                weight_addr=weight_base,
-                grad_addr=grad_base,
-                port=left,
-                size=grad_words,
-                lr_num=self.lr_num,
-                lr_denom=self.lr_denom * self.minibatch,
-                comment=f"SGD update {node.name} block r{row}",
-            )
-            if self.minibatch == 1:
-                body.append(update)
-            else:
-                upd_prog = Program(tile=f"upd:{node.name}@r{row}")
-                upd_prog.append(update)
-                upd_prog.append(make(Opcode.HALT))
-                self._update_programs.append(upd_prog)
-            prog.extend(body)
-            prog.append(make(Opcode.HALT))
-            programs.append(prog)
-        return programs
-
-    def _emit_conv_wg(
-        self, prog: Program, body: List[Instruction], node: LayerNode,
-        home: FeatureHome, col: int, row: int, werr_base: int,
-    ) -> int:
-        spec = node.spec
-        assert isinstance(spec, ConvSpec)
-        src = self._pred(node)
-        in_shape = node.input_shapes[0]
-        out_shape = node.output_shape
-        k = spec.kernel
-        left = self._port(col - 1, row)
-        stage_base, _ = self.partition.allocator(col - 1, row).lookup(
-            f"{node.name}/stage@r{row}"
-        )
-        fwords = in_shape.feature_size
-        err_fwords = out_shape.feature_size
-        eff_h, eff_w = out_shape.height, out_shape.width
-        if spec.stride > 1:
-            # Correlating with the *dilated* error recovers the strided
-            # gradient; dilate this block's error copies in place.
-            s_ = spec.stride
-            eff_h = (out_shape.height - 1) * s_ + 1
-            eff_w = (out_shape.width - 1) * s_ + 1
-            dil_words = eff_h * eff_w
-            dil_base = self.partition.allocator(col - 1, row).alloc(
-                f"wg:{node.name}/dilated@r{row}",
-                home.feature_count * dil_words,
-            )
-            prog.append(make(
-                Opcode.MEMTRACK, addr=dil_base, port=left,
-                size=home.feature_count * dil_words,
-                num_updates=home.feature_count,
-                num_reads=home.feature_count * in_shape.count,
-                comment=f"track wg dilated err [{node.name}]",
-            ))
-            for f_local in range(home.feature_count):
-                body.append(make(
-                    Opcode.NDUPSAMP,
-                    samp_type=UPSAMP_ZERO_INSERT,
-                    in_addr=werr_base + f_local * err_fwords,
-                    port=left,
-                    in_size=pack_shape(out_shape.height, out_shape.width),
-                    window=1,
-                    stride=s_,
-                    out_addr=dil_base + f_local * dil_words,
-                    out_port=left,
-                    comment=f"wg dilate f={home.first_feature + f_local}",
-                ))
-            werr_base = dil_base
-            err_fwords = dil_words
-        kwords = k * k
-        grad_words = home.feature_count * in_shape.count * kwords
-        grad_base = self.partition.allocator(col - 1, row).alloc(
-            f"wg:{node.name}/grads@r{row}", grad_words
-        )
-        prog.append(make(
-            Opcode.MEMTRACK, addr=grad_base, port=left, size=grad_words,
-            num_updates=home.feature_count * in_shape.count,
-            num_reads=1 if self.minibatch == 1 else 0,
-            comment=f"track {node.name} weight gradients",
-        ))
-        accumulate = int(self.minibatch > 1)
-        for f_local in range(home.feature_count):
-            for g in range(in_shape.count):
-                body.append(make(
-                    Opcode.NDCONV,
-                    in_addr=stage_base + g * fwords,
-                    in_port=left,
-                    in_size=pack_shape(in_shape.height, in_shape.width),
-                    kernel_addr=werr_base + f_local * err_fwords,
-                    kernel_size=pack_shape(eff_h, eff_w),
-                    stride=1,
-                    pad=spec.pad,
-                    out_addr=grad_base
-                    + (f_local * in_shape.count + g) * kwords,
-                    out_port=left,
-                    is_accum=accumulate,
-                    comment=f"grad f={home.first_feature + f_local} in={g}",
-                ))
-        return grad_words
-
-    def _emit_fc_wg(
-        self, prog: Program, body: List[Instruction], node: LayerNode,
-        home: FeatureHome, col: int, row: int, werr_base: int,
-    ) -> int:
-        in_elems = node.input_shapes[0].elements
-        left = self._port(col - 1, row)
-        stage_base, _ = self.partition.allocator(col - 1, row).lookup(
-            f"{node.name}/stage@r{row}"
-        )
-        grad_words = home.feature_count * in_elems
-        grad_base = self.partition.allocator(col - 1, row).alloc(
-            f"wg:{node.name}/grads@r{row}", grad_words
-        )
-        prog.append(make(
-            Opcode.MEMTRACK, addr=grad_base, port=left, size=grad_words,
-            num_updates=home.feature_count,
-            num_reads=1 if self.minibatch == 1 else 0,
-            comment=f"track {node.name} weight gradients",
-        ))
-        # Outer product, one output row at a time: grads[f, :] =
-        # err[f] * input — realised as MATMUL(input-as-matrix, err[f]).
-        accumulate = int(self.minibatch > 1)
-        for f_local in range(home.feature_count):
-            body.append(make(
-                Opcode.MATMUL,
-                in1_addr=werr_base + f_local,
-                in1_port=left,
-                in1_size=pack_shape(1, 1),
-                in2_addr=stage_base,
-                in2_port=left,
-                in2_size=pack_shape(in_elems, 1),
-                out_addr=grad_base + f_local * in_elems,
-                out_port=left,
-                is_accum=accumulate,
-                comment=f"grad row f={home.first_feature + f_local}",
-            ))
-        return grad_words
 
 
 def compile_training(

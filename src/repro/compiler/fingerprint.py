@@ -22,6 +22,7 @@ import json
 from typing import Any, Dict
 
 from repro.arch.node import NodeConfig
+from repro.compiler.ir import IR_SCHEMA_VERSION
 from repro.dnn.network import Network
 
 #: Version of the mapping/codegen pipeline baked into every digest.
@@ -30,7 +31,9 @@ from repro.dnn.network import Network
 #: under the old version becomes unreachable (implicit invalidation).
 #: "2": fault-aware mapping added assigned-column/derate fields to
 #: allocations and a fault mask to WorkloadMapping.
-COMPILER_VERSION = "2"
+#: "3": the unified-IR pass pipeline; digests also bake in
+#: ``IR_SCHEMA_VERSION``, so IR shape changes invalidate on their own.
+COMPILER_VERSION = "3"
 
 
 def canonical(obj: Any) -> Any:
@@ -95,6 +98,7 @@ def compile_digest(
     """
     payload = {
         "compiler_version": COMPILER_VERSION,
+        "ir_schema_version": IR_SCHEMA_VERSION,
         "artifact": artifact,
         "network": network_fingerprint(net),
         "node": None if node is None else node_fingerprint(node),

@@ -1,0 +1,568 @@
+"""The unified compiler IR: typed, serialisable mapping intermediate form.
+
+Everything between workload mapping (STEP1-6, Fig 13) and execution
+modelling flows through :class:`MappingIR`: a flat list of *ops* — each
+a unit of placed work with a phase tag (FP/BP/WG), a tile/column
+placement and free-form integer attributes — connected by *data-movement
+edges* that carry word counts.  Two levels share the one schema:
+
+* **unit level** (``level="unit"``): one op per (phase, mapping unit)
+  as produced by STEP1-6 for the analytical model.  :class:`UnitPlan`
+  entries mirror the column allocations.
+* **tile level** (``level="tile"``): one op per (phase, layer, home
+  block) as consumed by the engine code generators; attrs carry the
+  concrete home placement (row, address, feature range).
+
+The IR is plain data: serialisable to JSON (:meth:`MappingIR.to_json`)
+and back without loss, so compiled placements can be cached, diffed and
+re-lowered.  The pass pipeline (:mod:`repro.compiler.passes`) transforms
+and verifies instances of it; ``IR_SCHEMA_VERSION`` is folded into the
+compile-cache fingerprints so stale pre-IR artifacts self-invalidate.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.dnn.layers import LayerKind
+from repro.dnn.network import Network
+from repro.errors import IRError
+
+#: Version of the IR schema.  Bump when the op/edge/unit shape or the
+#: meaning of standard attrs changes: fingerprints bake it in, so every
+#: cached artifact produced under an older schema becomes unreachable.
+IR_SCHEMA_VERSION = "1"
+
+
+class Phase(enum.Enum):
+    """Training-iteration phase an op belongs to (paper Fig 3)."""
+
+    FP = "fp"
+    BP = "bp"
+    WG = "wg"
+
+    @classmethod
+    def parse(cls, text: str) -> "Phase":
+        try:
+            return cls(text.lower())
+        except ValueError:
+            choices = ", ".join(p.value for p in cls)
+            raise IRError(
+                f"unknown phase {text!r} (choose from: {choices})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class IROp:
+    """One placed unit of work.
+
+    ``name`` is unique within the IR and encodes phase/layer/placement
+    (e.g. ``fp:conv1@r0``); ``column``/``row`` place it (row is -1 at
+    unit level, where placement is a column span); ``attrs`` carries
+    level-specific integers/strings (home address, feature range, column
+    counts, derates).
+    """
+
+    name: str
+    layer: str
+    kind: str
+    phase: Phase
+    column: int
+    row: int = -1
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "layer": self.layer,
+            "kind": self.kind,
+            "phase": self.phase.value,
+            "column": self.column,
+            "row": self.row,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, form: Dict[str, Any]) -> "IROp":
+        return cls(
+            name=form["name"],
+            layer=form["layer"],
+            kind=form["kind"],
+            phase=Phase.parse(form["phase"]),
+            column=int(form["column"]),
+            row=int(form.get("row", -1)),
+            attrs=dict(form.get("attrs", {})),
+        )
+
+
+@dataclass(frozen=True)
+class IREdge:
+    """A data-movement dependence: ``words`` words flow src -> dst."""
+
+    src: str
+    dst: str
+    words: int
+    kind: str = "data"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "src": self.src, "dst": self.dst,
+            "words": self.words, "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, form: Dict[str, Any]) -> "IREdge":
+        return cls(
+            src=form["src"], dst=form["dst"],
+            words=int(form["words"]), kind=form.get("kind", "data"),
+        )
+
+
+@dataclass
+class UnitPlan:
+    """Serialisable column allocation of one mapping unit (STEP2-6)."""
+
+    unit: str
+    members: Tuple[str, ...]
+    attached: Tuple[str, ...]
+    kind: str
+    chip_kind: str
+    columns: int
+    min_columns: int
+    weights_on_chip: bool
+    training_flops: int = 0
+    state_bytes: int = 0
+    assigned_columns: Tuple[int, ...] = ()
+    home_column: int = -1
+    derate: float = 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "unit": self.unit,
+            "members": list(self.members),
+            "attached": list(self.attached),
+            "kind": self.kind,
+            "chip_kind": self.chip_kind,
+            "columns": self.columns,
+            "min_columns": self.min_columns,
+            "weights_on_chip": self.weights_on_chip,
+            "training_flops": self.training_flops,
+            "state_bytes": self.state_bytes,
+            "assigned_columns": list(self.assigned_columns),
+            "home_column": self.home_column,
+            "derate": self.derate,
+        }
+
+    @classmethod
+    def from_dict(cls, form: Dict[str, Any]) -> "UnitPlan":
+        return cls(
+            unit=form["unit"],
+            members=tuple(form["members"]),
+            attached=tuple(form.get("attached", ())),
+            kind=form["kind"],
+            chip_kind=form["chip_kind"],
+            columns=int(form["columns"]),
+            min_columns=int(form["min_columns"]),
+            weights_on_chip=bool(form["weights_on_chip"]),
+            training_flops=int(form.get("training_flops", 0)),
+            state_bytes=int(form.get("state_bytes", 0)),
+            assigned_columns=tuple(form.get("assigned_columns", ())),
+            home_column=int(form.get("home_column", -1)),
+            derate=float(form.get("derate", 1.0)),
+        )
+
+
+@dataclass
+class MappingIR:
+    """The unified IR: ops + edges + unit plans + a schedule.
+
+    ``schedule`` is the deterministic lowering order (op names); the
+    engine's round-robin scheduler makes program order cycle-visible, so
+    the schedule is explicit IR state rather than an emission detail.
+    """
+
+    network: str
+    node: str
+    level: str  # "unit" | "tile"
+    ops: List[IROp] = field(default_factory=list)
+    edges: List[IREdge] = field(default_factory=list)
+    units: Dict[str, UnitPlan] = field(default_factory=dict)
+    schedule: List[str] = field(default_factory=list)
+    footprint: Dict[str, Any] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    schema_version: str = IR_SCHEMA_VERSION
+
+    # ------------------------------------------------------------------
+    def add_op(self, op: IROp) -> IROp:
+        if any(existing.name == op.name for existing in self.ops):
+            raise IRError(f"duplicate op {op.name!r}")
+        self.ops.append(op)
+        return op
+
+    def add_edge(
+        self, src: str, dst: str, words: int, kind: str = "data"
+    ) -> IREdge:
+        edge = IREdge(src=src, dst=dst, words=words, kind=kind)
+        self.edges.append(edge)
+        return edge
+
+    def op(self, name: str) -> IROp:
+        for op in self.ops:
+            if op.name == name:
+                return op
+        raise IRError(f"no op named {name!r} in {self.network} IR")
+
+    def ops_in_phase(self, phase: Phase) -> List[IROp]:
+        return [op for op in self.ops if op.phase is phase]
+
+    def consumers_of(self, name: str) -> List[IREdge]:
+        return [e for e in self.edges if e.src == name]
+
+    def producers_of(self, name: str) -> List[IREdge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def filtered(self, phase: Phase) -> "MappingIR":
+        """A copy restricted to one phase (edges with both endpoints in
+        the phase; schedule filtered to surviving ops)."""
+        keep = {op.name for op in self.ops if op.phase is phase}
+        return MappingIR(
+            network=self.network,
+            node=self.node,
+            level=self.level,
+            ops=[replace(op) for op in self.ops if op.name in keep],
+            edges=[
+                e for e in self.edges
+                if e.src in keep and e.dst in keep
+            ],
+            units=dict(self.units),
+            schedule=[n for n in self.schedule if n in keep],
+            footprint=dict(self.footprint),
+            meta=dict(self.meta),
+            schema_version=self.schema_version,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Size summary: op/edge counts per phase plus moved words."""
+        out: Dict[str, int] = {
+            "ops": len(self.ops),
+            "edges": len(self.edges),
+            "units": len(self.units),
+        }
+        for phase in Phase:
+            out[f"ops_{phase.value}"] = len(self.ops_in_phase(phase))
+        out["edge_words"] = sum(e.words for e in self.edges)
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "network": self.network,
+            "node": self.node,
+            "level": self.level,
+            "ops": [op.to_dict() for op in self.ops],
+            "edges": [e.to_dict() for e in self.edges],
+            "units": {
+                name: plan.to_dict()
+                for name, plan in sorted(self.units.items())
+            },
+            "schedule": list(self.schedule),
+            "footprint": dict(self.footprint),
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, form: Dict[str, Any]) -> "MappingIR":
+        version = form.get("schema_version")
+        if version != IR_SCHEMA_VERSION:
+            raise IRError(
+                f"IR schema version {version!r} is not supported "
+                f"(this compiler speaks {IR_SCHEMA_VERSION!r})"
+            )
+        return cls(
+            network=form["network"],
+            node=form["node"],
+            level=form["level"],
+            ops=[IROp.from_dict(o) for o in form.get("ops", [])],
+            edges=[IREdge.from_dict(e) for e in form.get("edges", [])],
+            units={
+                name: UnitPlan.from_dict(u)
+                for name, u in form.get("units", {}).items()
+            },
+            schedule=list(form.get("schedule", [])),
+            footprint=dict(form.get("footprint", {})),
+            meta=dict(form.get("meta", {})),
+            schema_version=version,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MappingIR":
+        try:
+            form = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise IRError(f"malformed IR JSON: {exc}") from None
+        return cls.from_dict(form)
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+def _unit_phase_ops(
+    ir: MappingIR, plan: UnitPlan, weighted: bool
+) -> None:
+    """Add one op per phase for a unit (BP/WG only when weighted)."""
+    phases = [Phase.FP] + ([Phase.BP, Phase.WG] if weighted else [])
+    for phase in phases:
+        ir.add_op(IROp(
+            name=f"{phase.value}:{plan.unit}",
+            layer=plan.unit,
+            kind=plan.kind,
+            phase=phase,
+            column=plan.home_column,
+            attrs={
+                "columns": plan.columns,
+                "chip_kind": plan.chip_kind,
+                "weights_on_chip": plan.weights_on_chip,
+                "derate": plan.derate,
+            },
+        ))
+
+
+def build_mapping_ir(net: Network, node_name: str, mapping) -> MappingIR:
+    """Unit-level IR from a :class:`WorkloadMapping` (STEP1-6 output).
+
+    One op per (phase, unit); FP edges follow the forward dataflow
+    between units, BP edges run it backwards, and each weighted unit's
+    WG op consumes its staged inputs (from the predecessor's FP) and its
+    error (from its own BP).  Word counts are activation/error element
+    counts — the quantities the paper's Fig 10 traffic model moves.
+    """
+    ir = MappingIR(network=net.name, node=node_name, level="unit")
+    unit_of: Dict[str, str] = {}
+    output_words: Dict[str, int] = {}
+    all_allocs = list(mapping.conv_allocations.values()) + list(
+        mapping.fc_allocations.values()
+    )
+    for alloc in all_allocs:
+        plan = UnitPlan(
+            unit=alloc.unit,
+            members=tuple(alloc.members),
+            attached=tuple(alloc.attached),
+            kind=alloc.kind.value,
+            chip_kind=alloc.chip_kind.value,
+            columns=alloc.columns,
+            min_columns=alloc.min_columns,
+            weights_on_chip=alloc.weights_on_chip,
+            training_flops=alloc.training_flops,
+            state_bytes=alloc.state_bytes,
+            assigned_columns=tuple(alloc.assigned_columns),
+            home_column=alloc.home_column,
+            derate=alloc.derate,
+        )
+        ir.units[alloc.unit] = plan
+        for member in alloc.members + alloc.attached:
+            unit_of[member] = alloc.unit
+        output_words[alloc.unit] = sum(
+            net[m].output_shape.elements for m in alloc.members
+        )
+        _unit_phase_ops(ir, plan, weighted=True)
+
+    # Dataflow between units, collapsed from the layer graph.
+    links: List[Tuple[str, str]] = []
+    for node in net:
+        dst = unit_of.get(node.name)
+        if dst is None:
+            continue
+        for src_name in node.input_names:
+            src = unit_of.get(src_name)
+            if src is not None and src != dst and (src, dst) not in links:
+                links.append((src, dst))
+    for src, dst in links:
+        words = output_words[src]
+        ir.add_edge(f"fp:{src}", f"fp:{dst}", words, kind="activation")
+        ir.add_edge(f"bp:{dst}", f"bp:{src}", words, kind="error")
+        ir.add_edge(f"fp:{src}", f"wg:{dst}", words, kind="stage")
+    for name in ir.units:
+        ir.add_edge(
+            f"bp:{name}", f"wg:{name}", output_words[name], kind="error"
+        )
+
+    # Pipeline schedule: FP in forward order, BP backwards, then WG.
+    order = [u for u in ir.units]
+    ir.schedule = (
+        [f"fp:{u}" for u in order]
+        + [f"bp:{u}" for u in reversed(order)]
+        + [f"wg:{u}" for u in order]
+    )
+    ir.footprint = {
+        "conv_chips_per_copy": mapping.conv_chips_per_copy,
+        "clusters_per_copy": mapping.clusters_per_copy,
+        "copies": mapping.copies,
+        "remapped_columns": mapping.remapped_columns,
+        "degraded": mapping.degraded,
+    }
+    return ir
+
+
+def build_tile_ir(
+    net: Network,
+    partition,
+    rows: int,
+    phases: Iterable[Phase] = (Phase.FP,),
+    minibatch: int = 1,
+) -> MappingIR:
+    """Tile-level IR for the functional engine: one op per (phase,
+    layer, home block), edges following the staged data movement.
+
+    The op attrs mirror the :class:`~repro.compiler.partition.FeatureHome`
+    placement; the lowering pass turns each op into one ISA program.
+    """
+    phase_set = set(phases)
+    ir = MappingIR(network=net.name, node="engine", level="tile")
+    ir.meta["rows"] = rows
+    ir.meta["minibatch"] = minibatch
+
+    def block_attrs(home) -> Dict[str, Any]:
+        return {
+            "first_feature": home.first_feature,
+            "feature_count": home.feature_count,
+            "address": home.address,
+            "feature_words": home.feature_words,
+        }
+
+    # FP ops (the input layer's blocks are host-written pseudo-ops).
+    for node in net:
+        col = partition.column_of[node.name]
+        for home in partition.blocks_of(node.name):
+            ir.add_op(IROp(
+                name=f"fp:{node.name}@r{home.row}",
+                layer=node.name,
+                kind=node.kind.value,
+                phase=Phase.FP,
+                column=col,
+                row=home.row,
+                attrs=block_attrs(home),
+            ))
+    for node in net:
+        if node.kind is LayerKind.INPUT:
+            continue
+        for home in partition.blocks_of(node.name):
+            for src_name in node.input_names:
+                src = net[src_name]
+                for src_home in partition.blocks_of(src_name):
+                    ir.add_edge(
+                        f"fp:{src_name}@r{src_home.row}",
+                        f"fp:{node.name}@r{home.row}",
+                        src_home.feature_count
+                        * src.output_shape.feature_size,
+                        kind="stage",
+                    )
+
+    if Phase.BP in phase_set or Phase.WG in phase_set:
+        seq = [n for n in net]
+        weighted = (LayerKind.CONV, LayerKind.FC)
+        for node in seq:
+            if node.kind is LayerKind.INPUT:
+                continue
+            pred = net[node.input_names[0]]
+            bp_exists = pred.kind is not LayerKind.INPUT
+            if Phase.BP in phase_set and bp_exists and (
+                node.kind in weighted or node.kind is LayerKind.SAMP
+            ):
+                # Weighted BP iterates the predecessor's blocks (it
+                # produces err[pred]); pool BP iterates the node's own
+                # err blocks (it up-samples its pooled error).
+                bp_blocks = (
+                    partition.blocks_of(pred.name)
+                    if node.kind in weighted
+                    else partition.blocks_of(node.name)
+                )
+                for bp_home in bp_blocks:
+                    ir.add_op(IROp(
+                        name=f"bp:{node.name}@r{bp_home.row}",
+                        layer=node.name,
+                        kind=node.kind.value,
+                        phase=Phase.BP,
+                        column=partition.column_of[node.name],
+                        row=bp_home.row,
+                        attrs={
+                            "first_feature": bp_home.first_feature,
+                            "feature_count": bp_home.feature_count,
+                            "target": pred.name,
+                        },
+                    ))
+            if Phase.WG in phase_set and node.kind in weighted:
+                for home in partition.blocks_of(node.name):
+                    ir.add_op(IROp(
+                        name=f"wg:{node.name}@r{home.row}",
+                        layer=node.name,
+                        kind=node.kind.value,
+                        phase=Phase.WG,
+                        column=partition.column_of[node.name],
+                        row=home.row,
+                        attrs=dict(
+                            block_attrs(home), minibatch=minibatch
+                        ),
+                    ))
+        # The host's loss-gradient injection at the network output: a
+        # tracker-counted write that un-blocks the backward wave.
+        if Phase.BP in phase_set:
+            final = net.output
+            fin_blocks = partition.blocks_of(final.name)
+            ir.add_op(IROp(
+                name="bp:inject",
+                layer=final.name,
+                kind="inject",
+                phase=Phase.BP,
+                column=partition.column_of[final.name],
+                row=fin_blocks[0].row,
+                attrs={"feature_count": final.output_shape.count},
+            ))
+            err_words = final.output_shape.elements
+            for op in list(ir.ops):
+                if op.name != "bp:inject" and op.layer == final.name and (
+                    op.phase in (Phase.BP, Phase.WG)
+                ):
+                    ir.add_edge("bp:inject", op.name, err_words,
+                                kind="error")
+
+        # Error dataflow: each BP op consumes the error of its layer and
+        # produces the predecessor's; WG consumes its layer's error and
+        # the staged FP inputs.
+        for node in seq:
+            if node.kind is LayerKind.INPUT:
+                continue
+            pred = net[node.input_names[0]]
+            err_words = node.output_shape.elements
+            for op in list(ir.ops):
+                if op.phase is Phase.BP and op.layer == node.name:
+                    succ_names = net.consumers(node.name)
+                    if succ_names:
+                        succ = net[succ_names[0]]
+                        for other in ir.ops:
+                            if (other.phase is Phase.BP
+                                    and other.layer == succ.name):
+                                ir.add_edge(
+                                    other.name, op.name, err_words,
+                                    kind="error",
+                                )
+                if op.phase is Phase.WG and op.layer == node.name:
+                    ir.add_edge(
+                        f"fp:{pred.name}@r{op.row}"
+                        if any(
+                            h.row == op.row
+                            for h in partition.blocks_of(pred.name)
+                        )
+                        else f"fp:{pred.name}@r0",
+                        op.name,
+                        pred.output_shape.elements,
+                        kind="stage",
+                    )
+    return ir

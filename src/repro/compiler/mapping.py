@@ -181,186 +181,6 @@ class WorkloadMapping:
 
 
 # ---------------------------------------------------------------------------
-# Fault-aware placement (column reallocation + home re-election)
-# ---------------------------------------------------------------------------
-def _healthy_conv_columns(
-    node: NodeConfig, faults: FaultMask
-) -> List[List[int]]:
-    """Per global ConvLayer chip: surviving global column ids, in order."""
-    cols = node.cluster.conv_chip.cols
-    healthy: List[List[int]] = []
-    for chip in range(node.conv_chip_count):
-        ids = range(chip * cols, (chip + 1) * cols)
-        healthy.append(
-            [c for c in ids if c not in faults.dead_conv_columns]
-        )
-    return healthy
-
-
-def _greedy_spans(
-    capacities: Sequence[int], group: int, need: int
-) -> List[Tuple[List[int], int]]:
-    """Greedily pack contiguous spans with capacity >= ``need``.
-
-    Spans never cross a ``group`` boundary (a copy cannot straddle two
-    wheels, or two non-adjacent cluster groups).  Returns
-    ``(member indices, capacity)`` per span.  With no dead columns this
-    reduces exactly to the uniform ``group // ceil(need / cap)`` layout
-    of the fault-free mapper.
-    """
-    spans: List[Tuple[List[int], int]] = []
-    for start in range(0, len(capacities), group):
-        members: List[int] = []
-        cap = 0
-        for i in range(start, min(start + group, len(capacities))):
-            members.append(i)
-            cap += capacities[i]
-            if cap >= need:
-                spans.append((members, cap))
-                members, cap = [], 0
-    return spans
-
-
-def _conv_fault_footprint(
-    net: Network,
-    node: NodeConfig,
-    min_cols: int,
-    faults: FaultMask,
-) -> Tuple[int, int, int, int, List[int], int]:
-    """Fault-aware STEP3a: place network copies over surviving columns.
-
-    Returns ``(chips_per_copy, clusters_per_copy, copies, column_budget,
-    assign_ids, remapped)`` where ``assign_ids`` are the healthy global
-    column ids of the first placement (the copy every unit's concrete
-    assignment is expressed in) and ``remapped`` counts the dead columns
-    routed around inside the chips the placements actually use.
-    """
-    wheel = node.cluster.conv_chip_count
-    healthy = _healthy_conv_columns(node, faults)
-    caps = [len(h) for h in healthy]
-    tel = get_telemetry()
-
-    spans = _greedy_spans(caps, wheel, min_cols)
-    if spans:
-        clusters_per_copy = 1
-        copies = len(spans)
-        chips_per_copy = max(len(chips) for chips, _ in spans)
-        budget = min(cap for _, cap in spans)
-        used_chips = [i for chips, _ in spans for i in chips]
-        first_chips = spans[0][0]
-    else:
-        cluster_caps = [
-            sum(caps[c * wheel:(c + 1) * wheel])
-            for c in range(node.cluster_count)
-        ]
-        cspans = _greedy_spans(cluster_caps, node.cluster_count, min_cols)
-        if not cspans:
-            alive = sum(caps)
-            raise UnmappableError(
-                f"{net.name} needs {min_cols} ConvLayer columns in one "
-                f"copy but only {alive} of {node.total_conv_columns} "
-                f"columns survive "
-                f"{len(faults.dead_conv_columns)} tile-dead fault(s): "
-                f"capacity exhausted"
-            )
-        clusters_per_copy = max(len(cl) for cl, _ in cspans)
-        chips_per_copy = clusters_per_copy * wheel
-        copies = len(cspans)
-        budget = min(cap for _, cap in cspans)
-        used_chips = [
-            chip
-            for clusters, _ in cspans
-            for cl in clusters
-            for chip in range(cl * wheel, (cl + 1) * wheel)
-        ]
-        first_chips = [
-            chip
-            for cl in cspans[0][0]
-            for chip in range(cl * wheel, (cl + 1) * wheel)
-        ]
-
-    cols = node.cluster.conv_chip.cols
-    remapped = sum(cols - caps[chip] for chip in used_chips)
-    assign_ids = [c for chip in first_chips for c in healthy[chip]]
-    if tel.enabled and remapped:
-        tel.instant(
-            "fault.remap", "faults", ("faults", "remap"), 0,
-            network=net.name, dead_columns=remapped,
-            copies=copies, chips_per_copy=chips_per_copy,
-            column_budget=budget,
-        )
-        tel.count("faults", "remapped_columns", remapped)
-    return (chips_per_copy, clusters_per_copy, copies, budget,
-            assign_ids, remapped)
-
-
-def _fc_fault_budget(
-    net: Network,
-    node: NodeConfig,
-    fc_chip: ChipConfig,
-    fc_units: List[MappingUnit],
-    faults: FaultMask,
-) -> Tuple[int, List[int]]:
-    """Surviving FcLayer column budget (the worst hub bounds everyone:
-    model parallelism shards the same allocation across every hub)."""
-    cols = fc_chip.cols
-    dtype = node.dtype_bytes
-    healthy = [
-        [
-            c * cols + k
-            for k in range(cols)
-            if (c * cols + k) not in faults.dead_fc_columns
-        ]
-        for c in range(node.cluster_count)
-    ]
-    worst = min(healthy, key=len)
-    need = sum(
-        max(1, math.ceil(
-            _unit_state_bytes(u, dtype, fc_chip.comp_tile.lanes)
-            / fc_chip.mem_capacity_per_column
-        ))
-        for u in fc_units
-    )
-    if need > len(worst):
-        raise UnmappableError(
-            f"{net.name} needs {need} FcLayer columns per hub but only "
-            f"{len(worst)} of {cols} survive on the worst hub after "
-            f"{len(faults.dead_fc_columns)} tile-dead fault(s): "
-            f"capacity exhausted"
-        )
-    return len(worst), list(worst)
-
-
-def _assign_columns(
-    allocs: Dict[str, UnitAllocation],
-    healthy_ids: Sequence[int],
-    speed_of: Callable[[int], float],
-    network: str,
-) -> None:
-    """Give every unit its concrete healthy columns, re-elect its home
-    column, and fold tile-slow faults into a per-unit derate."""
-    if not allocs or not healthy_ids:
-        return
-    tel = get_telemetry()
-    pos = 0
-    for index, alloc in enumerate(allocs.values()):
-        span = tuple(healthy_ids[pos:pos + alloc.columns])
-        pos += alloc.columns
-        alloc.assigned_columns = span
-        if not span:
-            continue
-        alloc.home_column = span[0]
-        alloc.derate = min(speed_of(c) for c in span)
-        if tel.enabled:
-            tel.instant(
-                "fault.assign", "faults", ("faults", "assign"), index,
-                network=network, unit=alloc.unit,
-                home_column=alloc.home_column,
-                columns=len(span), derate=alloc.derate,
-            )
-
-
-# ---------------------------------------------------------------------------
 # STEP1: build mapping units and split them between chip kinds
 # ---------------------------------------------------------------------------
 def _split_layers(
@@ -490,6 +310,16 @@ def map_network(
     fc_chip = node.cluster.fc_chip
     conv_units, fc_units = _split_layers(net, group_key)
 
+    if faults is not None:
+        # The fault-placement primitives live with the pass pipeline
+        # (FaultRemapPass shares them); imported lazily because the
+        # passes package pulls in the lowering's simulator imports.
+        from repro.compiler.passes.faults import (
+            assign_columns,
+            conv_fault_footprint,
+            fc_fault_budget,
+        )
+
     tel = get_telemetry()
     if tel.enabled:
         tel.instant(
@@ -502,7 +332,7 @@ def map_network(
     fc_budget: Optional[int] = None
     fc_assign_ids: List[int] = []
     if faults is not None and fc_units:
-        fc_budget, fc_assign_ids = _fc_fault_budget(
+        fc_budget, fc_assign_ids = fc_fault_budget(
             net, node, fc_chip, fc_units, faults
         )
         fc_remapped = len(faults.dead_fc_columns)
@@ -552,7 +382,7 @@ def map_network(
         # columns instead of assuming every chip contributes all of
         # its columns.
         (chips_per_copy, clusters_per_copy, copies,
-         conv_budget, conv_assign_ids, remapped) = _conv_fault_footprint(
+         conv_budget, conv_assign_ids, remapped) = conv_fault_footprint(
             net, node, min_cols, faults
         )
     conv_allocs = _allocate_side(
@@ -560,10 +390,10 @@ def map_network(
         column_budget=conv_budget,
     )
     if faults is not None:
-        _assign_columns(
+        assign_columns(
             conv_allocs, conv_assign_ids, faults.conv_speed, net.name
         )
-        _assign_columns(
+        assign_columns(
             fc_allocs, fc_assign_ids, faults.fc_speed, net.name
         )
 

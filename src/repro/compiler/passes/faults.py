@@ -1,0 +1,275 @@
+"""Fault-aware remapping: column reallocation as an IR rewrite pass.
+
+The placement primitives live here — greedy span packing over surviving
+columns, the fault-aware STEP3a footprint, the FcLayer budget and the
+concrete column assignment with home re-election —  and
+:func:`~repro.compiler.mapping.map_network` imports them for its fault
+path.  :class:`FaultRemapPass` expresses the whole remap at the IR
+level: given a healthy unit-level IR, it recomputes the placement over
+the surviving columns and rewrites the unit plans, op placements and
+footprint in place, recording what moved in ``ir.meta["fault_remap"]``.
+A compilation without a fault mask passes through untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.arch.chip import ChipConfig
+from repro.arch.node import NodeConfig
+from repro.compiler.ir import MappingIR
+from repro.compiler.passes.manager import Pass, PassContext, PassStats
+from repro.dnn.network import Network
+from repro.errors import UnmappableError
+from repro.faults.model import FaultMask
+from repro.telemetry.core import get_telemetry
+
+
+def healthy_conv_columns(
+    node: NodeConfig, faults: FaultMask
+) -> List[List[int]]:
+    """Per global ConvLayer chip: surviving global column ids, in order."""
+    cols = node.cluster.conv_chip.cols
+    healthy: List[List[int]] = []
+    for chip in range(node.conv_chip_count):
+        ids = range(chip * cols, (chip + 1) * cols)
+        healthy.append(
+            [c for c in ids if c not in faults.dead_conv_columns]
+        )
+    return healthy
+
+
+def greedy_spans(
+    capacities: Sequence[int], group: int, need: int
+) -> List[Tuple[List[int], int]]:
+    """Greedily pack contiguous spans with capacity >= ``need``.
+
+    Spans never cross a ``group`` boundary (a copy cannot straddle two
+    wheels, or two non-adjacent cluster groups).  Returns
+    ``(member indices, capacity)`` per span.  With no dead columns this
+    reduces exactly to the uniform ``group // ceil(need / cap)`` layout
+    of the fault-free mapper.
+    """
+    spans: List[Tuple[List[int], int]] = []
+    for start in range(0, len(capacities), group):
+        members: List[int] = []
+        cap = 0
+        for i in range(start, min(start + group, len(capacities))):
+            members.append(i)
+            cap += capacities[i]
+            if cap >= need:
+                spans.append((members, cap))
+                members, cap = [], 0
+    return spans
+
+
+def conv_fault_footprint(
+    net: Network,
+    node: NodeConfig,
+    min_cols: int,
+    faults: FaultMask,
+) -> Tuple[int, int, int, int, List[int], int]:
+    """Fault-aware STEP3a: place network copies over surviving columns.
+
+    Returns ``(chips_per_copy, clusters_per_copy, copies, column_budget,
+    assign_ids, remapped)`` where ``assign_ids`` are the healthy global
+    column ids of the first placement (the copy every unit's concrete
+    assignment is expressed in) and ``remapped`` counts the dead columns
+    routed around inside the chips the placements actually use.
+    """
+    wheel = node.cluster.conv_chip_count
+    healthy = healthy_conv_columns(node, faults)
+    caps = [len(h) for h in healthy]
+    tel = get_telemetry()
+
+    spans = greedy_spans(caps, wheel, min_cols)
+    if spans:
+        clusters_per_copy = 1
+        copies = len(spans)
+        chips_per_copy = max(len(chips) for chips, _ in spans)
+        budget = min(cap for _, cap in spans)
+        used_chips = [i for chips, _ in spans for i in chips]
+        first_chips = spans[0][0]
+    else:
+        cluster_caps = [
+            sum(caps[c * wheel:(c + 1) * wheel])
+            for c in range(node.cluster_count)
+        ]
+        cspans = greedy_spans(cluster_caps, node.cluster_count, min_cols)
+        if not cspans:
+            alive = sum(caps)
+            raise UnmappableError(
+                f"{net.name} needs {min_cols} ConvLayer columns in one "
+                f"copy but only {alive} of {node.total_conv_columns} "
+                f"columns survive "
+                f"{len(faults.dead_conv_columns)} tile-dead fault(s): "
+                f"capacity exhausted"
+            )
+        clusters_per_copy = max(len(cl) for cl, _ in cspans)
+        chips_per_copy = clusters_per_copy * wheel
+        copies = len(cspans)
+        budget = min(cap for _, cap in cspans)
+        used_chips = [
+            chip
+            for clusters, _ in cspans
+            for cl in clusters
+            for chip in range(cl * wheel, (cl + 1) * wheel)
+        ]
+        first_chips = [
+            chip
+            for cl in cspans[0][0]
+            for chip in range(cl * wheel, (cl + 1) * wheel)
+        ]
+
+    cols = node.cluster.conv_chip.cols
+    remapped = sum(cols - caps[chip] for chip in used_chips)
+    assign_ids = [c for chip in first_chips for c in healthy[chip]]
+    if tel.enabled and remapped:
+        tel.instant(
+            "fault.remap", "faults", ("faults", "remap"), 0,
+            network=net.name, dead_columns=remapped,
+            copies=copies, chips_per_copy=chips_per_copy,
+            column_budget=budget,
+        )
+        tel.count("faults", "remapped_columns", remapped)
+    return (chips_per_copy, clusters_per_copy, copies, budget,
+            assign_ids, remapped)
+
+
+def fc_fault_budget(
+    net: Network,
+    node: NodeConfig,
+    fc_chip: ChipConfig,
+    fc_units: List[Any],
+    faults: FaultMask,
+) -> Tuple[int, List[int]]:
+    """Surviving FcLayer column budget (the worst hub bounds everyone:
+    model parallelism shards the same allocation across every hub)."""
+    from repro.compiler.mapping import _unit_state_bytes
+
+    cols = fc_chip.cols
+    dtype = node.dtype_bytes
+    healthy = [
+        [
+            c * cols + k
+            for k in range(cols)
+            if (c * cols + k) not in faults.dead_fc_columns
+        ]
+        for c in range(node.cluster_count)
+    ]
+    worst = min(healthy, key=len)
+    need = sum(
+        max(1, math.ceil(
+            _unit_state_bytes(u, dtype, fc_chip.comp_tile.lanes)
+            / fc_chip.mem_capacity_per_column
+        ))
+        for u in fc_units
+    )
+    if need > len(worst):
+        raise UnmappableError(
+            f"{net.name} needs {need} FcLayer columns per hub but only "
+            f"{len(worst)} of {cols} survive on the worst hub after "
+            f"{len(faults.dead_fc_columns)} tile-dead fault(s): "
+            f"capacity exhausted"
+        )
+    return len(worst), list(worst)
+
+
+def assign_columns(
+    allocs: Dict[str, Any],
+    healthy_ids: Sequence[int],
+    speed_of: Callable[[int], float],
+    network: str,
+) -> None:
+    """Give every unit its concrete healthy columns, re-elect its home
+    column, and fold tile-slow faults into a per-unit derate."""
+    if not allocs or not healthy_ids:
+        return
+    tel = get_telemetry()
+    pos = 0
+    for index, alloc in enumerate(allocs.values()):
+        span = tuple(healthy_ids[pos:pos + alloc.columns])
+        pos += alloc.columns
+        alloc.assigned_columns = span
+        if not span:
+            continue
+        alloc.home_column = span[0]
+        alloc.derate = min(speed_of(c) for c in span)
+        if tel.enabled:
+            tel.instant(
+                "fault.assign", "faults", ("faults", "assign"), index,
+                network=network, unit=alloc.unit,
+                home_column=alloc.home_column,
+                columns=len(span), derate=alloc.derate,
+            )
+
+
+class FaultRemapPass(Pass):
+    """Rewrite a healthy unit-level IR into its fault-remapped placement.
+
+    With no fault mask in the context the pass is the identity.  With a
+    mask it recomputes the mapping over the surviving columns (the same
+    STEP1-6 flow, using the fault-aware footprint and budget above) and
+    replaces the IR's unit plans, ops, edges, schedule and footprint
+    with the degraded placement, annotating ``ir.meta["fault_remap"]``.
+    Raises :class:`~repro.errors.UnmappableError` when the surviving
+    capacity genuinely cannot host the network.
+    """
+
+    name = "fault-remap"
+
+    def __init__(
+        self,
+        min_column_gain: float = None,  # type: ignore[assignment]
+        group_key: Callable[[str], str] = None,  # type: ignore[assignment]
+    ) -> None:
+        self.min_column_gain = min_column_gain
+        self.group_key = group_key
+
+    def run(self, ir: MappingIR, ctx: PassContext,
+            stats: PassStats) -> MappingIR:
+        faults = ctx.faults
+        if faults is None:
+            return ir
+        from repro.compiler.ir import build_mapping_ir
+        from repro.compiler.mapping import (
+            MIN_COLUMN_GAIN,
+            default_group_key,
+            map_network,
+        )
+
+        gain = (self.min_column_gain if self.min_column_gain is not None
+                else MIN_COLUMN_GAIN)
+        key = self.group_key or default_group_key
+        remapped = map_network(
+            ctx.net, ctx.node, min_column_gain=gain, group_key=key,
+            faults=faults,
+        )
+        new_ir = build_mapping_ir(ctx.net, ctx.node.name, remapped)
+        moved = [
+            unit
+            for unit, plan in new_ir.units.items()
+            if plan.assigned_columns
+            and plan.home_column != ir.units[unit].home_column
+        ]
+        ir.ops = new_ir.ops
+        ir.edges = new_ir.edges
+        ir.units = new_ir.units
+        ir.schedule = new_ir.schedule
+        ir.footprint = new_ir.footprint
+        ir.meta["fault_remap"] = {
+            "fault_count": faults.fault_count,
+            "dead_conv_columns": len(faults.dead_conv_columns),
+            "dead_fc_columns": len(faults.dead_fc_columns),
+            "remapped_columns": remapped.remapped_columns,
+            "moved_units": moved,
+            "homes": {
+                unit: plan.home_column
+                for unit, plan in new_ir.units.items()
+            },
+        }
+        ctx.mapping = remapped
+        stats.notes["remapped_columns"] = remapped.remapped_columns
+        stats.notes["moved_units"] = len(moved)
+        return ir

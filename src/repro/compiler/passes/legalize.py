@@ -1,0 +1,161 @@
+"""Legalize: reject networks outside a lowering dialect's scope.
+
+The scope rules formerly scattered across the three codegen backends
+(`_validate_scope` and per-layer raises) live here as one pass with
+three dialects:
+
+* ``forward`` — the sequential exact-tracker lowering: chains of
+  ``groups=1`` convolutions, unpadded pooling, FC;
+* ``dag`` — the calibrated-tracker DAG lowering: adds concat, slice,
+  element-wise joins, grouped/table convolutions;
+* ``training`` — the forward scope plus BP/WG restrictions (softmax FC
+  head, stride/window divisibility, average global pooling).
+
+Violations raise :class:`~repro.errors.MappingError` — the same typed
+error the backends historically raised — so scope failures surface
+before any placement or emission work happens.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import MappingIR
+from repro.compiler.passes.manager import Pass, PassContext, PassStats
+from repro.dnn.layers import (
+    Activation,
+    ActivationSpec,
+    ConcatSpec,
+    ConvSpec,
+    EltwiseAddSpec,
+    EltwiseMulSpec,
+    FCSpec,
+    GlobalPoolSpec,
+    LayerKind,
+    PoolMode,
+    PoolSpec,
+    SliceSpec,
+)
+from repro.dnn.network import Network
+from repro.errors import MappingError
+
+
+def check_forward_scope(net: Network) -> None:
+    """Sequential exact-tracker lowering scope."""
+    for node in net:
+        if node.kind is LayerKind.INPUT:
+            continue
+        spec = node.spec
+        if isinstance(spec, ConvSpec):
+            if spec.groups != 1:
+                raise MappingError(
+                    "engine code generation supports groups=1 convolutions"
+                )
+        elif isinstance(spec, PoolSpec):
+            if spec.pad:
+                raise MappingError(
+                    "engine code generation supports unpadded pooling"
+                )
+        elif isinstance(spec, (GlobalPoolSpec, FCSpec)):
+            pass
+        else:
+            raise MappingError(
+                f"cannot generate engine code for layer kind {node.kind}"
+            )
+
+
+def check_dag_scope(net: Network) -> None:
+    """DAG calibrated-tracker lowering scope."""
+    for node in net:
+        spec = node.spec
+        if isinstance(spec, PoolSpec) and spec.pad:
+            raise MappingError(
+                f"{node.name}: DAG codegen supports unpadded pooling"
+            )
+        elif isinstance(spec, EltwiseMulSpec):
+            if len(node.input_names) != 2:
+                raise MappingError(
+                    f"{node.name}: element-wise products take exactly "
+                    "two operands"
+                )
+        elif not isinstance(spec, (
+            ConvSpec, FCSpec, PoolSpec, GlobalPoolSpec, ConcatSpec,
+            SliceSpec, EltwiseAddSpec, ActivationSpec,
+        )) and node.kind is not LayerKind.INPUT:
+            raise MappingError(
+                f"DAG codegen cannot compile layer kind {node.kind}"
+            )
+
+
+def check_training_scope(net: Network) -> None:
+    """Training (FP+BP+WG) lowering scope."""
+    nodes = list(net)
+    last = nodes[-1]
+    if not isinstance(last.spec, FCSpec) or (
+        last.spec.activation is not Activation.SOFTMAX
+    ):
+        raise MappingError(
+            "training compilation needs a softmax FC head"
+        )
+    for node in nodes:
+        spec = node.spec
+        if isinstance(spec, ConvSpec):
+            if spec.groups != 1 or spec.connection_table is not None:
+                raise MappingError(
+                    f"{node.name}: BP compilation supports plain "
+                    "ungrouped convolutions"
+                )
+            if spec.stride > 1:
+                in_shape = node.input_shapes[0]
+                for extent in (in_shape.height, in_shape.width):
+                    if (extent + 2 * spec.pad - spec.kernel) % spec.stride:
+                        raise MappingError(
+                            f"{node.name}: strided BP needs the window "
+                            "sweep to divide the input exactly"
+                        )
+        elif isinstance(spec, PoolSpec):
+            if spec.pad or spec.effective_stride != spec.window:
+                raise MappingError(
+                    f"{node.name}: BP compilation supports unpadded "
+                    "pooling with stride == window"
+                )
+            if spec.mode is PoolMode.MAX:
+                in_shape = node.input_shapes[0]
+                if (in_shape.height % spec.window
+                        or in_shape.width % spec.window):
+                    raise MappingError(
+                        f"{node.name}: max-pool BP needs the window "
+                        "to tile the input exactly (the routing "
+                        "reads the covered region contiguously)"
+                    )
+        elif isinstance(spec, GlobalPoolSpec):
+            if spec.mode is not PoolMode.AVG:
+                raise MappingError(
+                    f"{node.name}: BP needs average global pooling"
+                )
+
+
+_CHECKS = {
+    "forward": (check_forward_scope,),
+    "dag": (check_dag_scope,),
+    "training": (check_forward_scope, check_training_scope),
+}
+
+
+class LegalizePass(Pass):
+    """Reject out-of-scope networks before placement/emission."""
+
+    name = "legalize"
+
+    def __init__(self, scope: str) -> None:
+        if scope not in _CHECKS:
+            raise MappingError(
+                f"unknown legalization scope {scope!r} "
+                f"(choose from: {', '.join(sorted(_CHECKS))})"
+            )
+        self.scope = scope
+
+    def run(self, ir: MappingIR, ctx: PassContext,
+            stats: PassStats) -> MappingIR:
+        for check in _CHECKS[self.scope]:
+            check(ctx.net)
+        stats.notes["scope"] = self.scope
+        return ir

@@ -1,0 +1,30 @@
+"""Place-check: the IR verifier as an explicit pipeline stage.
+
+The :class:`~repro.compiler.passes.manager.PassManager` already runs
+the verifier after every pass; this pass makes the placement gate an
+explicit, orderable stage (and the one the ``ir-verify`` CI job and the
+``repro lower`` verb report on), recording the diagnostic count in its
+stats.  Malformed placements raise
+:class:`~repro.errors.IRVerificationError` with the typed findings.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import MappingIR
+from repro.compiler.passes.manager import Pass, PassContext, PassStats
+from repro.compiler.verifier import assert_ir_verified, verify_ir
+
+
+class PlaceCheckPass(Pass):
+    """Verify op placements and dataflow edges; raise on findings."""
+
+    name = "place-check"
+
+    def run(self, ir: MappingIR, ctx: PassContext,
+            stats: PassStats) -> MappingIR:
+        shape = ctx.machine_shape()
+        issues = verify_ir(ir, shape)
+        stats.notes["diagnostics"] = len(issues)
+        if issues:
+            assert_ir_verified(ir, shape)  # raises with the findings
+        return ir

@@ -1,0 +1,72 @@
+"""Schedule: pin the deterministic lowering order into the IR.
+
+The engine's round-robin scheduler executes one instruction per tile
+per round, so the *order* programs are emitted in is cycle-visible:
+prologue alignment, tracker arming and DMA interleave all depend on it.
+This pass makes that order explicit IR state (``ir.schedule``) instead
+of an emission accident:
+
+* FP ops in network order, per layer in home-block order;
+* then, per layer in network order, its BP ops (pool BP over the
+  layer's own rows, weighted BP over the predecessor's) followed by its
+  WG ops;
+* finally the host's loss-gradient injection point (``bp:inject``).
+
+Weight-update programs (minibatch mode) are emitted by the lowering as
+a side effect of each WG op, in schedule order, so they need no ops of
+their own.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import MappingIR, Phase
+from repro.compiler.passes.manager import Pass, PassContext, PassStats
+from repro.dnn.layers import LayerKind
+
+
+class SchedulePass(Pass):
+    """Order ops: FP forward, then per-layer BP + WG, then injection."""
+
+    name = "schedule"
+
+    def run(self, ir: MappingIR, ctx: PassContext,
+            stats: PassStats) -> MappingIR:
+        present = {op.name for op in ir.ops}
+        schedule = []
+        net, partition = ctx.net, ctx.partition
+
+        for node in net:
+            if node.kind is LayerKind.INPUT:
+                continue
+            for home in partition.blocks_of(node.name):
+                name = f"fp:{node.name}@r{home.row}"
+                if name in present:
+                    schedule.append(name)
+
+        training = any(op.phase is not Phase.FP for op in ir.ops)
+        if training:
+            weighted = (LayerKind.CONV, LayerKind.FC)
+            for node in net:
+                if node.kind is LayerKind.INPUT:
+                    continue
+                pred = net[node.input_names[0]]
+                bp_blocks = (
+                    partition.blocks_of(pred.name)
+                    if node.kind in weighted
+                    else partition.blocks_of(node.name)
+                )
+                for home in bp_blocks:
+                    name = f"bp:{node.name}@r{home.row}"
+                    if name in present:
+                        schedule.append(name)
+                if node.kind in weighted:
+                    for home in partition.blocks_of(node.name):
+                        name = f"wg:{node.name}@r{home.row}"
+                        if name in present:
+                            schedule.append(name)
+            if "bp:inject" in present:
+                schedule.append("bp:inject")
+
+        ir.schedule = schedule
+        stats.notes["scheduled"] = len(schedule)
+        return ir

@@ -19,11 +19,74 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from string import Template
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
+
+import numpy as np
 
 from repro.errors import ProgramError
 from repro.isa.assembler import assemble
+from repro.isa.instructions import Opcode, make
 from repro.isa.program import Program
+
+
+# ---------------------------------------------------------------------------
+# Shared emission helpers (used by every engine lowering)
+# ---------------------------------------------------------------------------
+@dataclass
+class Preload:
+    """A value written into a tile at machine-build time."""
+
+    col: int
+    row: int
+    addr: int
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        # Defensive copy: preloads must capture the compile-time values
+        # even if the source model's arrays are mutated later.
+        self.data = np.array(self.data, dtype=np.float32).reshape(-1)
+
+
+def port_of(rows: int, col: int, row: int) -> int:
+    """Mem-tile port id of (col, row) on an engine machine."""
+    return col * rows + row
+
+
+def tracker_prologue_len(prog: Program) -> int:
+    """Length of a program's leading tracker-arming prologue."""
+    n = 0
+    for instr in prog:
+        if instr.opcode in (Opcode.MEMTRACK, Opcode.DMA_MEMTRACK):
+            n += 1
+        else:
+            break
+    return n
+
+
+def align_prologues(programs: List[Program]) -> None:
+    """Pad every program's tracker prologue to the same length so all
+    trackers are armed before any tile issues its first data access
+    (the round-robin scheduler executes one instruction per tile per
+    round)."""
+    longest = max(tracker_prologue_len(p) for p in programs)
+    for prog in programs:
+        pad = longest - tracker_prologue_len(prog)
+        if pad:
+            filler = [
+                make(Opcode.LDRI, rd=0, value=0, comment="prologue pad")
+                for _ in range(pad)
+            ]
+            prog.instructions[0:0] = filler
+
+
+def arm_placeholder_tracker(
+    prog: Program, port: int, addr: int, size: int, what: str
+) -> None:
+    """Arm a placeholder tracker; calibration fills the counts."""
+    prog.append(make(
+        Opcode.MEMTRACK, addr=addr, port=port, size=size,
+        num_updates=0, num_reads=0, comment=f"track {what}",
+    ))
 
 
 @dataclass(frozen=True)

@@ -1,7 +1,9 @@
-"""Static verification of compiled program sets.
+"""Static verification of compiled program sets and compiler IR.
 
 `Program.validate` checks one program's structural well-formedness;
-this verifier checks whole compiled *sets* against a machine shape:
+this verifier checks whole compiled *sets* against a machine shape, and
+— since the pass pipeline landed — :func:`verify_ir` checks a
+:class:`~repro.compiler.ir.MappingIR` between passes:
 
 * every address range a data instruction touches fits inside its
   tile's scratchpad;
@@ -19,9 +21,9 @@ uninitialised scratchpad.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ProgramError
+from repro.errors import IRVerificationError, ProgramError
 from repro.isa.instructions import Opcode
 from repro.isa.program import Program
 from repro.sim.engine import EXTERNAL_PORT
@@ -141,6 +143,113 @@ def verify_programs(
                 f"holds {shape.trackers_per_tile}",
             ))
     return issues
+
+
+# ---------------------------------------------------------------------------
+# IR verification (runs between compiler passes)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class IRIssue:
+    """One IR verification finding, anchored to an op (or the IR)."""
+
+    op: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.op}: {self.message}"
+
+
+def verify_ir(ir, shape: Optional[MachineShape] = None) -> List[IRIssue]:
+    """Check a :class:`~repro.compiler.ir.MappingIR`; returns findings.
+
+    Structural checks apply to both levels (unique ops, resolvable edge
+    endpoints, positive edge words, a schedule that references real ops
+    exactly once).  At tile level a ``shape`` additionally bounds the
+    placements: home blocks must fit the scratchpad and no two FP ops
+    may claim overlapping home words of the same tile.
+    """
+    from repro.compiler.ir import Phase  # local: avoid import cycle
+
+    issues: List[IRIssue] = []
+    names: Set[str] = set()
+    for op in ir.ops:
+        if op.name in names:
+            issues.append(IRIssue(op.name, "duplicate op name"))
+        names.add(op.name)
+        if op.column < 0 and ir.level == "tile":
+            issues.append(IRIssue(
+                op.name, f"tile-level op has no column ({op.column})"
+            ))
+    for edge in ir.edges:
+        for end in (edge.src, edge.dst):
+            if end not in names:
+                issues.append(IRIssue(
+                    end, f"edge {edge.src} -> {edge.dst} references an "
+                    "op that does not exist",
+                ))
+        if edge.words <= 0:
+            issues.append(IRIssue(
+                edge.src,
+                f"edge {edge.src} -> {edge.dst} moves {edge.words} words",
+            ))
+        if edge.src == edge.dst:
+            issues.append(IRIssue(
+                edge.src, "self-edge (an op cannot feed itself)"
+            ))
+    seen_sched: Set[str] = set()
+    for name in ir.schedule:
+        if name not in names:
+            issues.append(IRIssue(
+                name, "schedule references an op that does not exist"
+            ))
+        elif name in seen_sched:
+            issues.append(IRIssue(name, "op scheduled twice"))
+        seen_sched.add(name)
+
+    if ir.level == "tile" and shape is not None:
+        claimed: Dict[Tuple[int, int], List[Tuple[int, int, str]]] = {}
+        for op in ir.ops:
+            if op.phase is not Phase.FP:
+                continue
+            attrs = op.attrs
+            if "address" not in attrs:
+                continue
+            words = attrs["feature_count"] * attrs["feature_words"]
+            addr = attrs["address"]
+            if addr < 0 or addr + words > shape.words_per_tile:
+                issues.append(IRIssue(
+                    op.name,
+                    f"home block [{addr}, {addr + words}) exceeds the "
+                    f"{shape.words_per_tile}-word scratchpad",
+                ))
+            if op.row < 0 or op.column < 0:
+                issues.append(IRIssue(
+                    op.name, f"unplaced op (c{op.column} r{op.row})"
+                ))
+                continue
+            for lo, hi, other in claimed.get((op.column, op.row), []):
+                if addr < hi and lo < addr + words:
+                    issues.append(IRIssue(
+                        op.name,
+                        f"home block overlaps {other} on tile "
+                        f"c{op.column} r{op.row}",
+                    ))
+            claimed.setdefault((op.column, op.row), []).append(
+                (addr, addr + words, op.name)
+            )
+    return issues
+
+
+def assert_ir_verified(ir, shape: Optional[MachineShape] = None) -> None:
+    """Raise :class:`IRVerificationError` listing every finding."""
+    issues = verify_ir(ir, shape)
+    if issues:
+        summary = "; ".join(str(i) for i in issues[:5])
+        more = f" (+{len(issues) - 5} more)" if len(issues) > 5 else ""
+        raise IRVerificationError(
+            f"IR verification failed for {ir.network}: {summary}{more}",
+            issues=issues,
+        )
 
 
 def assert_verified(

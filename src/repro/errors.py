@@ -38,6 +38,21 @@ class UnmappableError(MappingError):
     """
 
 
+class IRError(ReproError):
+    """A compiler IR is malformed (duplicate ops, unknown references,
+    unsupported schema version)."""
+
+
+class IRVerificationError(IRError):
+    """The IR verifier pass found diagnostics: placements or dataflow
+    edges that no lowering could realise.  ``issues`` carries the typed
+    findings (one :class:`repro.compiler.verifier.IRIssue` each)."""
+
+    def __init__(self, message: str, issues=()) -> None:
+        super().__init__(message)
+        self.issues = tuple(issues)
+
+
 class ProgramError(ReproError):
     """An ISA program is malformed or uses an unknown instruction."""
 

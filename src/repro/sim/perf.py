@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.arch.node import NodeConfig
 from repro.arch.power import PowerDraw, node_power_model
 from repro.compiler.cost import StepCost, step_cost
-from repro.compiler.mapping import UnitAllocation, WorkloadMapping, map_network
+from repro.compiler.mapping import UnitAllocation, WorkloadMapping
 from repro.dnn.analysis import Step, profile_network
 from repro.dnn.layers import LayerKind
 from repro.dnn.network import Network
@@ -535,7 +535,11 @@ def simulate(
     if minibatch < 1:
         raise SimulationError(f"minibatch must be >= 1, got {minibatch}")
     if mapping is None:
-        mapping = map_network(net, node, faults=faults)
+        # Through the unified pipeline: the placement that arrives here
+        # has passed IR verification (and fault remapping, when masked).
+        from repro.compiler.pipeline import compile_network
+
+        mapping = compile_network(net, node, faults=faults).mapping
 
     train_conv = _conv_stage_reports(mapping, training=True, tile_multiplier=1)
     train_fc = _fc_stage_reports(mapping, training=True, tile_multiplier=1)

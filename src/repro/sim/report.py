@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.arch.node import NodeConfig
-from repro.compiler.mapping import WorkloadMapping, map_network
+from repro.compiler.mapping import WorkloadMapping
 from repro.dnn.network import Network
 from repro.sim.allreduce import SyncReport, minibatch_sync
 from repro.sim.energy import EnergyReport, energy_report
@@ -89,7 +89,9 @@ def full_report(
 ) -> FullReport:
     """Run every analysis for one workload and bundle the results."""
     if mapping is None:
-        mapping = map_network(net, node)
+        from repro.compiler.pipeline import compile_network
+
+        mapping = compile_network(net, node).mapping
     performance = simulate(net, node, minibatch=minibatch, mapping=mapping)
     return FullReport(
         network=net.name,

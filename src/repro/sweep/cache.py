@@ -36,7 +36,7 @@ from repro.sim.perf import DEFAULT_MINIBATCH, PerfResult, simulate
 
 from repro.arch.node import NodeConfig
 from repro.compiler.fingerprint import compile_digest
-from repro.compiler.mapping import WorkloadMapping, map_network
+from repro.compiler.mapping import WorkloadMapping
 from repro.dnn.network import Network
 from repro.faults.model import FaultMask, FaultSpec, sample_faults
 from repro.telemetry.core import get_telemetry
@@ -235,10 +235,12 @@ def cached_mapping(
     )
 
     def build() -> WorkloadMapping:
+        from repro.compiler.pipeline import compile_network
+
         mask: Optional[FaultMask] = (
             sample_faults(faults, node) if faults is not None else None
         )
-        return map_network(net, node, faults=mask)
+        return compile_network(net, node, faults=mask).mapping
 
     return cache.get("mapping", digest, build)
 

@@ -1,0 +1,162 @@
+"""Golden-file pins for the compile pipeline.
+
+``tests/data/pipeline_baseline.json`` was recorded from the pre-IR
+compiler: program disassembly digests, engine run statistics, output
+digests and analytical throughput for every zoo network.  These tests
+pin the refactored pass pipeline to it — the IR introduction must be
+semantics-preserving down to the emitted instruction bytes — and close
+the round trip: an IR serialised to JSON, deserialised, and re-lowered
+produces byte-identical ISA programs.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.arch import single_precision_node
+from repro.compiler.codegen import ForwardCompiler, compile_forward
+from repro.compiler.codegen_dag import DagForwardCompiler, compile_dag_forward
+from repro.compiler.codegen_training import TrainingCompiler, compile_training
+from repro.compiler.ir import MappingIR
+from repro.compiler.passes.lower import LowerPass
+from repro.compiler.passes.manager import PassContext, PassManager
+from repro.dnn import zoo
+from repro.functional.reference import ReferenceModel
+from repro.sim import simulate
+
+BASELINE = json.loads(
+    (Path(__file__).parent / "data" / "pipeline_baseline.json").read_text()
+)
+
+ENGINE_FORWARD = [("TinyCNN", 2), ("TinyCNN", 3), ("TinyMLP", 2)]
+ENGINE_DAG = [("TinyCNN", 2), ("LeNet-5", 2), ("TinyMLP", 2)]
+ENGINE_TRAINING = [("TinyCNN", 1), ("TinyCNN", 2), ("TinyMLP", 1)]
+
+
+def digest(programs):
+    text = "\n".join(p.disassemble() for p in programs)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def image_for(net, seed=0):
+    shape = net.input.output_shape
+    rng = np.random.default_rng(seed)
+    return rng.normal(
+        0, 1, (shape.count, shape.height, shape.width)
+    ).astype(np.float32)
+
+
+def relower(source_compiler, minibatch=1, learning_rate=(1, 100)):
+    """Serialise the compiled IR, deserialise it, and run the lowering
+    alone against a *fresh* compiler's partition (the tile allocator is
+    stateful, so re-lowering needs a clean one)."""
+    net = zoo.load(source_compiler.net.name)
+    model = ReferenceModel(net, seed=0)
+    kwargs = {}
+    if isinstance(source_compiler, TrainingCompiler):
+        kwargs["minibatch"] = minibatch
+    fresh = type(source_compiler)(
+        net, model, rows=source_compiler.rows, **kwargs
+    )
+    ir = MappingIR.from_json(source_compiler.ir.to_json())
+    ctx = PassContext(
+        net=fresh.net,
+        model=fresh.model,
+        chip=fresh.chip,
+        partition=fresh.partition,
+        rows=fresh.rows,
+        dialect=fresh.dialect,
+        minibatch=minibatch,
+        learning_rate=learning_rate,
+    )
+    PassManager([LowerPass(align=True)]).run(ir, ctx)
+    return ctx.programs + ctx.update_programs
+
+
+class TestEngineForwardGolden:
+    @pytest.mark.parametrize("name,rows", ENGINE_FORWARD)
+    def test_sequential_matches_baseline(self, name, rows):
+        pin = BASELINE["engine"][f"{name}/r{rows}/seq"]
+        net = zoo.load(name)
+        compiled = compile_forward(net, ReferenceModel(net, seed=0),
+                                   rows=rows)
+        assert digest(compiled.programs) == pin["program_sha"]
+        out, report = compiled.run(image_for(net))
+        assert report.cycles == pin["cycles"]
+        assert report.instructions == pin["instructions"]
+        assert hashlib.sha256(out.tobytes()).hexdigest() == pin["out_sha"]
+
+    @pytest.mark.parametrize("name,rows", ENGINE_DAG)
+    def test_dag_matches_baseline(self, name, rows):
+        pin = BASELINE["engine"][f"{name}/r{rows}/dag"]
+        net = zoo.load(name)
+        compiled = compile_dag_forward(net, ReferenceModel(net, seed=0),
+                                       rows=rows)
+        assert digest(compiled.programs) == pin["program_sha"]
+        out, report = compiled.run(image_for(net))
+        assert report.cycles == pin["cycles"]
+        assert report.instructions == pin["instructions"]
+        assert hashlib.sha256(out.tobytes()).hexdigest() == pin["out_sha"]
+
+
+class TestEngineTrainingGolden:
+    @pytest.mark.parametrize("name,mb", ENGINE_TRAINING)
+    def test_training_matches_baseline(self, name, mb):
+        pin = BASELINE["training"][f"{name}/mb{mb}"]
+        net = zoo.load(name)
+        compiled = compile_training(net, ReferenceModel(net, seed=0),
+                                    rows=2, minibatch=mb)
+        assert digest(compiled.forward.programs) == pin["program_sha"]
+        out, loss, report = compiled.train_step(image_for(net, seed=1), 1)
+        assert report.cycles == pin["cycles"]
+        assert report.instructions == pin["instructions"]
+        assert round(float(loss), 6) == pin["loss"]
+        assert hashlib.sha256(out.tobytes()).hexdigest() == pin["out_sha"]
+
+
+class TestRelowerRoundTrip:
+    """serialise -> deserialise -> re-lower == byte-identical programs."""
+
+    @pytest.mark.parametrize("name,cls", [
+        ("TinyCNN", ForwardCompiler),
+        ("TinyMLP", ForwardCompiler),
+        ("TinyCNN", DagForwardCompiler),
+        ("LeNet-5", DagForwardCompiler),
+    ])
+    def test_forward_relower_is_byte_identical(self, name, cls):
+        net = zoo.load(name)
+        compiler = cls(net, ReferenceModel(net, seed=0), rows=2)
+        compiled = compiler.compile()
+        assert digest(relower(compiler)) == digest(compiled.programs)
+
+    @pytest.mark.parametrize("name,mb", ENGINE_TRAINING)
+    def test_training_relower_is_byte_identical(self, name, mb):
+        net = zoo.load(name)
+        compiler = TrainingCompiler(
+            net, ReferenceModel(net, seed=0), rows=2, minibatch=mb
+        )
+        compiled = compiler.compile_training()
+        assert digest(relower(compiler, minibatch=mb)) == digest(
+            compiled.forward.programs
+        )
+
+
+class TestAnalyticalGolden:
+    @pytest.mark.parametrize(
+        "name", sorted(zoo.BENCHMARKS) + sorted(zoo.EXTRAS)
+    )
+    def test_throughput_matches_baseline(self, name):
+        pin = BASELINE["analytical"][name]
+        result = simulate(zoo.load(name), single_precision_node())
+        assert round(result.bottleneck.cycles, 3) == (
+            pin["bottleneck_cycles"]
+        )
+        assert round(result.training_images_per_s, 3) == (
+            pin["train_images_per_s"]
+        )
+        assert round(result.evaluation_images_per_s, 3) == (
+            pin["eval_images_per_s"]
+        )
