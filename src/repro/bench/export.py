@@ -146,6 +146,21 @@ def write_sweep_json(results: Sequence, path: Union[str, Path]) -> Path:
     return path
 
 
+def write_validation_json(report, path: Union[str, Path]) -> Path:
+    """Write a :class:`~repro.sim.validation.ValidationReport` as the
+    ``BENCH_validate.json`` artifact: the full differential table
+    (per-network cycles, ratios, tolerance bands, output errors), the
+    rank-agreement score, the gate verdict, and the fast-path speedup
+    measurement.  Sorted keys; only the timing fields vary across
+    reruns."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def write_sweep_csv(results: Sequence, path: Union[str, Path]) -> Path:
     """Write sweep results as CSV in ``SweepResult.EXPORT_FIELDS`` order
     (full float precision via ``repr``, like the JSON writer)."""

@@ -231,8 +231,9 @@ def _engine_forward(net):
 
 #: Above this weight count the functional engine is not attempted: the
 #: instruction-level model targets test-scale networks (the analytical
-#: model covers the full suite).
-_ENGINE_WEIGHT_LIMIT = 1_000_000
+#: model covers the full suite).  Canonically defined beside the
+#: validation harness, which shares it.
+from repro.sim.validation import ENGINE_WEIGHT_LIMIT as _ENGINE_WEIGHT_LIMIT
 
 
 def cmd_trace(args: argparse.Namespace) -> None:
@@ -378,6 +379,91 @@ def cmd_faults(args: argparse.Namespace) -> None:
         base_energy.joules_per_evaluation_image * 1e3,
         hurt_energy.joules_per_evaluation_image * 1e3, "{:.2f}")
     table.show()
+
+
+def cmd_validate(args: argparse.Namespace) -> None:
+    import json as json_mod
+
+    from repro.bench.export import write_validation_json
+    from repro.sim.validation import (
+        DEFAULT_SPEEDUP_BATCH,
+        MIN_RANK_AGREEMENT,
+        validate_zoo,
+    )
+
+    names = None
+    if args.networks:
+        from repro.sim.validation import VALIDATION_VARIANTS
+
+        names = []
+        for name in args.networks:
+            if name in VALIDATION_VARIANTS:
+                names.append(name)
+                continue
+            try:
+                names.append(zoo.resolve(name))
+            except KeyError:
+                choices = ", ".join(
+                    list(zoo.available()) + sorted(VALIDATION_VARIANTS)
+                )
+                print(
+                    f"repro: unknown network {name!r} "
+                    f"(choose from: {choices})",
+                    file=sys.stderr,
+                )
+                raise SystemExit(2)
+
+    report = validate_zoo(
+        names=names,
+        rows=args.rows,
+        seed=args.seed,
+        min_rank_agreement=(
+            args.min_rank if args.min_rank is not None
+            else MIN_RANK_AGREEMENT
+        ),
+        speedup=not args.no_speedup,
+        speedup_batch=args.batch or DEFAULT_SPEEDUP_BATCH,
+    )
+
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        table = Table(
+            "Differential validation: engine vs analytical vs reference",
+            ["network", "status", "engine cyc", "analytical cyc",
+             "ratio", "band", "max |err|"],
+        )
+        for r in report.rows:
+            if r.status == "ok":
+                table.add(
+                    r.network, r.status, f"{r.engine_cycles:,}",
+                    f"{r.analytical_cycles:,.0f}", f"{r.ratio:.3f}",
+                    r.band.describe(), f"{r.max_abs_error:.1e}",
+                )
+            else:
+                table.add(r.network, r.status, "-", "-", "-", "-", "-")
+        table.show()
+        skipped = [r for r in report.rows if r.status != "ok"]
+        if skipped:
+            print(f"{len(skipped)} network(s) beyond engine scope:")
+            for r in skipped:
+                print(f"  {r.network}: {r.reason}")
+        print(
+            f"rank agreement {report.rank:.2f} "
+            f"(threshold {report.min_rank_agreement:.2f})"
+        )
+        if report.speedup is not None:
+            print(f"speedup: {report.speedup.describe()}")
+
+    if args.out:
+        path = write_validation_json(report, args.out)
+        if not args.json:
+            print(f"wrote {path}")
+
+    # Gate last, so the artifact exists even on failure (CI uploads it).
+    report.raise_on_failure()
+    if not args.json:
+        print("validation gate passed")
 
 
 def cmd_sweep(args: argparse.Namespace) -> None:
@@ -595,6 +681,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated fault kinds (default: tile-dead)",
     )
     p.set_defaults(func=cmd_sweep)
+    p = sub.add_parser(
+        "validate",
+        help="differential gate: engine vs analytical vs numpy reference",
+    )
+    p.add_argument(
+        "networks", nargs="*",
+        help="networks to validate (default: every zoo network the "
+        "engine can compile, plus the built-in validation variants)",
+    )
+    p.add_argument(
+        "--rows", type=int, default=2,
+        help="MemHeavy rows per column for the engine layout (default: 2)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="image / weight RNG seed (default: 0)",
+    )
+    p.add_argument(
+        "--min-rank", type=float, default=None,
+        help="rank-agreement threshold override",
+    )
+    p.add_argument(
+        "--batch", type=int, default=None,
+        help="minibatch size for the speedup measurement",
+    )
+    p.add_argument(
+        "--no-speedup", action="store_true",
+        help="skip the wall-clock speedup measurement",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON instead of a table",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the report as a JSON artifact "
+        "(e.g. BENCH_validate.json)",
+    )
+    p.set_defaults(func=cmd_validate)
     p = with_net("faults", "fault-injection what-if: baseline vs degraded")
     p.add_argument(
         "--rate", type=float, default=0.02,

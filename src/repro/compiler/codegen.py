@@ -48,7 +48,7 @@ from repro.compiler.passes.schedule import SchedulePass
 from repro.compiler.passes.tracker_assign import TrackerAssignPass
 from repro.compiler.templates import Preload, align_prologues
 from repro.dnn.network import Network
-from repro.errors import MappingError
+from repro.errors import MappingError, SimulationError
 from repro.functional.reference import ReferenceModel
 from repro.isa.program import Program
 from repro.sim.engine import Engine, RunReport
@@ -85,9 +85,12 @@ class CompiledForward:
             machine.load_program(program)
         return machine
 
-    def run(self, image: np.ndarray) -> Tuple[np.ndarray, RunReport]:
+    def run(
+        self, image: np.ndarray, fast: bool = True
+    ) -> Tuple[np.ndarray, RunReport]:
         """Execute the forward pass on one image; returns (output vector,
-        run statistics)."""
+        run statistics).  ``fast=False`` selects the legacy interpreter
+        (identical reports and outputs; kept for the equivalence tests)."""
         machine = self.build_machine()
         # Write the input image into column 0's home blocks.
         in_node = self.network.input
@@ -97,7 +100,7 @@ class CompiledForward:
                 home.first_feature : home.first_feature + home.feature_count
             ]
             tile.write(home.address, block, accumulate=False)
-        engine = Engine(machine)
+        engine = Engine(machine, fast=fast)
         report = engine.run()
         out = np.concatenate([
             machine.mem_tile(
@@ -109,6 +112,46 @@ class CompiledForward:
             .copy()
             for home in self.output_blocks
         ])
+        return out, report
+
+    def run_batch(
+        self, images: np.ndarray
+    ) -> Tuple[np.ndarray, RunReport]:
+        """Execute the forward pass on a minibatch at once: ``images``
+        is ``(batch, channels, height, width)`` (any per-image layout
+        matching :meth:`run`'s input works — only the leading batch axis
+        is special).  Decoded op tables are shared and every tensor op
+        vectorises across the batch on mirrored scratchpads; cycles and
+        instruction counts model ONE image's program, identical to
+        :meth:`run`.  Returns ``(batch, features)`` outputs plus the
+        report."""
+        images = np.asarray(images, dtype=np.float32)
+        if images.ndim < 2:
+            raise SimulationError(
+                f"run_batch needs a leading batch axis, got shape "
+                f"{images.shape}"
+            )
+        machine = self.build_machine()
+        engine = Engine(machine)
+        state = engine.make_batch(images.shape[0])
+        in_node = self.network.input
+        for home in self.partition.blocks_of(in_node.name):
+            port = machine.mem_tile_id(0, home.row)
+            block = images[
+                :, home.first_feature : home.first_feature
+                + home.feature_count
+            ]
+            state.write(port, home.address, block, accumulate=False)
+        report = engine.run()
+        out_col = self.partition.column_of[self.network.output.name]
+        out = np.concatenate([
+            state.read(
+                machine.mem_tile_id(out_col, home.row),
+                home.address,
+                home.feature_count * home.feature_words,
+            ).copy()
+            for home in self.output_blocks
+        ], axis=1)
         return out, report
 
     @property
@@ -150,21 +193,21 @@ class CompiledForward:
             preloaded=self.preloaded_regions(), host_writes=host_writes,
         )
 
-    def runner(self) -> "ForwardRunner":
+    def runner(self, fast: bool = True) -> "ForwardRunner":
         """A persistent-machine runner for streaming many images: the
         machine is built once, weights stay resident, and programs are
         rewound per image (the steady-state operation of Sec 3.2.3,
         minus the inter-image overlap)."""
-        return ForwardRunner(self)
+        return ForwardRunner(self, fast=fast)
 
 
 class ForwardRunner:
     """Streams images through one compiled forward pass."""
 
-    def __init__(self, compiled: CompiledForward) -> None:
+    def __init__(self, compiled: CompiledForward, fast: bool = True) -> None:
         self.compiled = compiled
         self.machine = compiled.build_machine()
-        self.engine = Engine(self.machine)
+        self.engine = Engine(self.machine, fast=fast)
         self.images_run = 0
 
     def __call__(self, image: np.ndarray) -> Tuple[np.ndarray, RunReport]:

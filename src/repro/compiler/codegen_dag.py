@@ -75,3 +75,18 @@ def compile_dag_forward(
 ) -> CompiledForward:
     """Compile the forward pass of an arbitrary network DAG."""
     return DagForwardCompiler(net, model, chip, rows).compile()
+
+
+def run_dag_batch(
+    net: Network,
+    model: ReferenceModel,
+    images,
+    chip: Optional[ChipConfig] = None,
+    rows: int = 2,
+):
+    """Batch-aware entry: compile ``net`` (DAG dialect) and execute a
+    whole ``(batch, channels, height, width)`` minibatch at once on the
+    engine's pre-decoded batched path.  Returns ``(outputs, report)``
+    with outputs shaped ``(batch, features)``; cycles model one image's
+    program, identical to :meth:`CompiledForward.run`."""
+    return compile_dag_forward(net, model, chip, rows).run_batch(images)

@@ -76,6 +76,18 @@ class SimulationTimeout(SimulationError):
         self.snapshot = tuple(snapshot)
 
 
+class ValidationError(ReproError):
+    """The differential validation gate failed: engine-vs-analytical
+    cycle ratios left their tolerance bands, the models disagree on
+    workload ranking, or engine outputs diverged from the numpy
+    reference.  ``violations`` carries one human-readable finding per
+    failure."""
+
+    def __init__(self, message: str, violations=()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class SweepError(ReproError):
     """A sweep aborted (a job failed while ``fail_fast`` was set, or the
     runner itself could not proceed)."""

@@ -37,15 +37,19 @@ class EnergyReport:
         return self.joules_per_training_image * IMAGENET_IMAGES / 3.6e6
 
     def describe(self) -> str:
-        top = max(self.stage_energy, key=lambda k: self.stage_energy[k])
+        if self.stage_energy:
+            top = max(self.stage_energy, key=lambda k: self.stage_energy[k])
+            hottest = f" (hottest stage: {top[0]}/{top[1]})"
+        else:
+            hottest = ""  # degrade gracefully: no stages attributed
         return (
             f"{self.network}: {self.joules_per_training_image * 1e3:.1f} mJ/"
             f"training image ({self.logic_j * 1e3:.1f} logic / "
             f"{self.memory_j * 1e3:.1f} memory / "
             f"{self.interconnect_j * 1e3:.1f} interconnect), "
             f"{self.joules_per_evaluation_image * 1e3:.2f} mJ/evaluation, "
-            f"{self.kilowatt_hours_per_epoch:.1f} kWh/ImageNet epoch "
-            f"(hottest stage: {top[0]}/{top[1]})"
+            f"{self.kilowatt_hours_per_epoch:.1f} kWh/ImageNet epoch"
+            + hottest
         )
 
 
@@ -60,6 +64,10 @@ def energy_report(result: PerfResult) -> EnergyReport:
     """
     if result.training_images_per_s <= 0:
         raise SimulationError("cannot derive energy from zero throughput")
+    if result.evaluation_images_per_s <= 0:
+        raise SimulationError(
+            "cannot derive energy from zero evaluation throughput"
+        )
     power = result.average_power
     j_train = power.total_w / result.training_images_per_s
     j_eval = power.total_w / result.evaluation_images_per_s

@@ -43,6 +43,7 @@ from repro.sim.machine import (
     Machine,
     MemTile,
     REG_OPERAND_MASK,
+    instruction_accesses,
     is_reg_operand,
     operand_accesses,
     unpack_shape,
@@ -95,6 +96,109 @@ class RunReport:
         )
 
 
+class _Decoded:
+    """One pre-decoded instruction slot of a tile's flat op table.
+
+    The fast path resolves everything static once per program: the gated
+    address quads (with the MemTile objects already bound), the cycle
+    cost, and a closure executing the exact numpy calls of the legacy
+    interpreter.  Instructions the decoder cannot resolve statically —
+    scalar/control, register-indirect operands, or anything whose decode
+    raises — keep ``fallback=True`` and run through :meth:`Engine._execute`
+    so error timing and semantics are unchanged.
+    """
+
+    __slots__ = (
+        "instr", "fallback", "batch_safe", "fn", "fn_batch",
+        "reads", "writes", "cost",
+    )
+
+    def __init__(
+        self,
+        instr: Instruction,
+        fallback: bool = False,
+        batch_safe: bool = True,
+        fn=None,
+        fn_batch=None,
+        reads=(),
+        writes=(),
+        cost: int = 0,
+    ) -> None:
+        self.instr = instr
+        self.fallback = fallback
+        self.batch_safe = batch_safe
+        self.fn = fn
+        self.fn_batch = fn_batch
+        self.reads = reads
+        self.writes = writes
+        self.cost = cost
+
+
+class BatchState:
+    """Per-image scratchpad mirrors behind batched execution.
+
+    Each MemHeavy tile (and the external memory) gains a lazily
+    materialised ``(batch, words)`` mirror seeded from the machine's
+    current contents — so preloaded weights and biases replicate to
+    every image, while inputs written through :meth:`write` stay
+    per-image.  Trackers, registers and program counters remain shared:
+    compiled forward programs are data-independent, so one control-flow
+    trace drives the whole minibatch.
+    """
+
+    def __init__(self, engine: "Engine", batch: int) -> None:
+        if batch < 1:
+            raise SimulationError(f"batch size must be >= 1, got {batch}")
+        self.engine = engine
+        self.batch = batch
+        self._mem: Dict[int, np.ndarray] = {}
+        self._external: Optional[np.ndarray] = None
+
+    def words(self, port: int) -> np.ndarray:
+        """The (batch, words) mirror for ``port``, materialising it on
+        first touch."""
+        if port == EXTERNAL_PORT:
+            if self._external is None:
+                self._external = np.repeat(
+                    self.engine.external[None, :], self.batch, axis=0
+                )
+            return self._external
+        arr = self._mem.get(port)
+        if arr is None:
+            arr = self.engine.machine.mem_tile(port).batched_words(
+                self.batch
+            )
+            self._mem[port] = arr
+        return arr
+
+    def read(self, port: int, addr: int, count: int) -> np.ndarray:
+        words = self.words(port)
+        if addr < 0 or addr + count > words.shape[1]:
+            raise SimulationError(
+                f"port {port}: batched read [{addr}, {addr + count}) out "
+                f"of bounds ({words.shape[1]} words)"
+            )
+        return words[:, addr : addr + count]
+
+    def write(
+        self, port: int, addr: int, data: np.ndarray, accumulate: bool
+    ) -> None:
+        words = self.words(port)
+        # astype always copies — mirrors MemTile.write, and keeps an
+        # accumulating NDACCUM safe when source and target ranges alias.
+        flat = np.asarray(data).astype(np.float32).reshape(self.batch, -1)
+        count = flat.shape[1]
+        if addr < 0 or addr + count > words.shape[1]:
+            raise SimulationError(
+                f"port {port}: batched write [{addr}, {addr + count}) out "
+                f"of bounds ({words.shape[1]} words)"
+            )
+        if accumulate:
+            words[:, addr : addr + count] += flat
+        else:
+            words[:, addr : addr + count] = flat
+
+
 class Engine:
     """Round-robin interpreter over a :class:`Machine`."""
 
@@ -108,10 +212,18 @@ class Engine:
         telemetry: "Telemetry | NullTelemetry | None" = None,
         wall_clock_limit: Optional[float] = None,
         faults=None,
+        fast: bool = True,
     ) -> None:
         self.machine = machine
         self.external = np.zeros(external_words, dtype=np.float32)
         self.max_rounds = max_rounds
+        #: Pre-decoded fast path: decode each tile's program once into a
+        #: flat op table instead of re-parsing instruction dicts every
+        #: round.  ``fast=False`` keeps the legacy interpreter — reports
+        #: and outputs are identical either way (pinned by tests).
+        self.fast = fast
+        self._decoded: Dict[str, List[_Decoded]] = {}
+        self._batch: Optional[BatchState] = None
         #: Watchdog: seconds of host wall-clock a run() may take before
         #: it is killed with a :class:`SimulationTimeout` (None = no
         #: limit; the ``max_rounds`` cycle budget always applies).
@@ -563,6 +675,540 @@ class Engine:
         raise SimulationError(f"engine cannot execute {op.value}")
 
     # ------------------------------------------------------------------
+    # Pre-decoded fast path
+    # ------------------------------------------------------------------
+    def make_batch(self, batch: int) -> BatchState:
+        """Prepare batched multi-image execution: the next :meth:`run`
+        executes every decoded data instruction across ``batch`` images
+        at once (numpy ops vectorised over a leading batch axis), on
+        lazily materialised scratchpad mirrors.  Returns the
+        :class:`BatchState` — write per-image inputs into it before the
+        run and read per-image outputs after."""
+        if not self.fast:
+            raise SimulationError(
+                "batched execution requires the pre-decoded fast path "
+                "(fast=True)"
+            )
+        if self._dma_flip_rate:
+            raise SimulationError(
+                "batched execution is incompatible with dma-bitflip "
+                "faults: flips target single transfers, not minibatches"
+            )
+        self._batch = BatchState(self, batch)
+        return self._batch
+
+    def _reader(self, port: int):
+        """A bound ``(addr, count) -> words`` reader for ``port``."""
+        tile = self._tile(port)
+        if tile is None:
+            ext = self.external
+            return lambda addr, count: ext[addr : addr + count]
+        return tile.read
+
+    def _writer(self, port: int):
+        """A bound ``(addr, data, accumulate)`` writer for ``port``."""
+        tile = self._tile(port)
+        if tile is None:
+            ext = self.external
+
+            def write_external(
+                addr: int, data: np.ndarray, accumulate: bool
+            ) -> None:
+                flat = data.reshape(-1).astype(np.float32)
+                if accumulate:
+                    ext[addr : addr + flat.size] += flat
+                else:
+                    ext[addr : addr + flat.size] = flat
+
+            return write_external
+        return tile.write
+
+    def _decode_program(self, tile: CompTile) -> List[_Decoded]:
+        cached = self._decoded.get(tile.tile_id)
+        if cached is not None and len(cached) == len(tile.program):
+            return cached
+        entries = [
+            self._decode_instr(instr, tile.tile_id)
+            for instr in tile.program.instructions
+        ]
+        self._decoded[tile.tile_id] = entries
+        return entries
+
+    def _decode_instr(self, instr: Instruction, tile_id: str) -> _Decoded:
+        group = instr.group
+        if group is InstrGroup.SCALAR:
+            # Register/branch/halt: cheap already, and inherently
+            # dynamic — always interpreted.  Touches no scratchpad
+            # words, so it is safe under batched execution too.
+            return _Decoded(instr, fallback=True, batch_safe=True)
+        if any(is_reg_operand(v) for v in instr.operands):
+            # Fig 13-style R-operands resolve at issue time only.
+            return _Decoded(
+                instr, fallback=True,
+                batch_safe=group is InstrGroup.TRACK,
+            )
+        if group is InstrGroup.TRACK:
+            o = instr.named_operands()
+            port = (
+                o["target"] if instr.opcode is Opcode.DMA_MEMTRACK
+                else o["port"]
+            )
+            if port == EXTERNAL_PORT:
+                # Arming external memory raises at execution time.
+                return _Decoded(instr, fallback=True, batch_safe=True)
+            try:
+                trackers = self.machine.mem_tile(port).trackers
+            except SimulationError:
+                # Out-of-mesh port: raise at execution, like _execute.
+                return _Decoded(instr, fallback=True, batch_safe=True)
+            addr, size = o["addr"], o["size"]
+            num_updates, num_reads = o["num_updates"], o["num_reads"]
+
+            def arm() -> None:
+                trackers.arm(addr, size, num_updates, num_reads)
+
+            return _Decoded(
+                instr, fn=arm, fn_batch=lambda state: arm(), cost=1
+            )
+        try:
+            return self._decode_data(instr, tile_id)
+        except Exception:
+            # Anything the decoder cannot resolve (bad activation code,
+            # shape mismatch, out-of-mesh port, zero lr denominator...)
+            # must fail at *execution* time exactly as the legacy
+            # interpreter does — fall back to it.
+            return _Decoded(instr, fallback=True, batch_safe=False)
+
+    def _decode_data(self, instr: Instruction, tile_id: str) -> _Decoded:
+        """Decode one data instruction into a :class:`_Decoded` entry.
+
+        The closures replicate the legacy :meth:`_execute` numpy calls
+        verbatim — regression tests pin bit-identical outputs — with all
+        operand parsing, access analysis and cost arithmetic hoisted to
+        decode time.
+        """
+        op = instr.opcode
+        o = instr.named_operands()
+        raw_reads, raw_writes = instruction_accesses(instr)
+        reads = tuple(
+            (self._tile(port), port, addr, count)
+            for port, addr, count in raw_reads
+        )
+        writes = tuple(
+            (self._tile(port), port, addr, count)
+            for port, addr, count in raw_writes
+        )
+
+        if op is Opcode.NDCONV:
+            h, w = unpack_shape(o["in_size"])
+            k, _ = unpack_shape(o["kernel_size"])
+            stride, pad = o["stride"], o["pad"]
+            out_h = (h + 2 * pad - k) // stride + 1
+            out_w = (w + 2 * pad - k) // stride + 1
+            in_addr, kernel_addr = o["in_addr"], o["kernel_addr"]
+            in_port, out_port = o["in_port"], o["out_port"]
+            out_addr, accum = o["out_addr"], bool(o["is_accum"])
+            rd = self._reader(in_port)
+            wr = self._writer(out_port)
+            zero_bias = np.zeros(1, dtype=np.float32)
+
+            def conv() -> None:
+                x = rd(in_addr, h * w)
+                kern = rd(kernel_addr, k * k)
+                out = ops.conv2d_forward(
+                    x.reshape(1, h, w), kern.reshape(1, 1, k, k),
+                    zero_bias, stride, pad,
+                )
+                wr(out_addr, out, accum)
+
+            def conv_batch(state: BatchState) -> None:
+                x = state.read(in_port, in_addr, h * w)
+                kern = state.read(in_port, kernel_addr, k * k)
+                out = ops.conv2d_plane_batched(
+                    x.reshape(-1, h, w), kern.reshape(-1, k, k),
+                    stride, pad,
+                )
+                state.write(out_port, out_addr, out, accum)
+
+            return _Decoded(
+                instr, fn=conv, fn_batch=conv_batch, reads=reads,
+                writes=writes, cost=self._conv_cycles(out_h * out_w, k),
+            )
+
+        if op is Opcode.MATMUL:
+            rows, cols = unpack_shape(o["in2_size"])
+            _, n = unpack_shape(o["in1_size"])
+            if n != cols:
+                # Raise at execution time via the fallback path, after
+                # gating — identical to the legacy interpreter.
+                raise SimulationError("MATMUL shape mismatch")
+            in1_port, in2_port = o["in1_port"], o["in2_port"]
+            in1_addr, in2_addr = o["in1_addr"], o["in2_addr"]
+            out_port, out_addr = o["out_port"], o["out_addr"]
+            accum = bool(o["is_accum"])
+            rd_vec = self._reader(in1_port)
+            rd_mat = self._reader(in2_port)
+            wr = self._writer(out_port)
+
+            def matmul() -> None:
+                vec = rd_vec(in1_addr, n)
+                mat = rd_mat(in2_addr, rows * cols).reshape(rows, cols)
+                wr(out_addr, mat @ vec, accum)
+
+            def matmul_batch(state: BatchState) -> None:
+                vec = state.read(in1_port, in1_addr, n)
+                mat = state.read(
+                    in2_port, in2_addr, rows * cols
+                ).reshape(-1, rows, cols)
+                state.write(
+                    out_port, out_addr, ops.matmul_rows(mat, vec), accum
+                )
+
+            return _Decoded(
+                instr, fn=matmul, fn_batch=matmul_batch, reads=reads,
+                writes=writes, cost=self._matmul_cycles(rows * cols),
+            )
+
+        if op is Opcode.NDACTFN:
+            size = o["size"]
+            port, in_addr = o["port"], o["in_addr"]
+            out_port, out_addr = o["out_port"], o["out_addr"]
+            fn_act = _CODE_TO_ACT[o["fn_type"]]
+            rd = self._reader(port)
+            wr = self._writer(out_port)
+
+            def actfn() -> None:
+                data = rd(in_addr, size)
+                wr(out_addr, ops.activate(data.copy(), fn_act), False)
+
+            def actfn_batch(state: BatchState) -> None:
+                data = state.read(port, in_addr, size)
+                state.write(
+                    out_port, out_addr,
+                    ops.activate_rows(data.copy(), fn_act), False,
+                )
+
+            return _Decoded(
+                instr, fn=actfn, fn_batch=actfn_batch, reads=reads,
+                writes=writes, cost=self._offload_cycles(size),
+            )
+
+        if op is Opcode.NDACTBP:
+            size = o["size"]
+            port, err_addr = o["port"], o["err_addr"]
+            act_addr = err_addr + size
+            out_port, out_addr = o["out_port"], o["out_addr"]
+            fn_act = _CODE_TO_ACT[o["fn_type"]]
+            rd = self._reader(port)
+            wr = self._writer(out_port)
+
+            def actbp() -> None:
+                err = rd(err_addr, size)
+                act = rd(act_addr, size)
+                wr(
+                    out_addr,
+                    ops.activate_backward(err.copy(), act, fn_act), False,
+                )
+
+            def actbp_batch(state: BatchState) -> None:
+                err = state.read(port, err_addr, size)
+                act = state.read(port, act_addr, size)
+                state.write(
+                    out_port, out_addr,
+                    ops.activate_backward(err.copy(), act, fn_act), False,
+                )
+
+            return _Decoded(
+                instr, fn=actbp, fn_batch=actbp_batch, reads=reads,
+                writes=writes, cost=self._offload_cycles(size),
+            )
+
+        if op is Opcode.NDSUBSAMP:
+            h, w = unpack_shape(o["in_size"])
+            window, stride = o["window"], o["stride"]
+            port, in_addr = o["port"], o["in_addr"]
+            out_port, out_addr = o["out_port"], o["out_addr"]
+            mode = _CODE_TO_SAMP[o["samp_type"]]
+            rd = self._reader(port)
+            wr = self._writer(out_port)
+
+            def subsamp() -> None:
+                x = rd(in_addr, h * w)
+                out, _ = ops.pool_forward(
+                    x.reshape(1, h, w), window, stride, 0, mode
+                )
+                wr(out_addr, out, False)
+
+            def subsamp_batch(state: BatchState) -> None:
+                # Batch rides the channel axis: pool_forward pools each
+                # leading-axis plane independently.
+                x = state.read(port, in_addr, h * w)
+                out, _ = ops.pool_forward(
+                    x.reshape(-1, h, w), window, stride, 0, mode
+                )
+                state.write(out_port, out_addr, out, False)
+
+            return _Decoded(
+                instr, fn=subsamp, fn_batch=subsamp_batch, reads=reads,
+                writes=writes, cost=self._offload_cycles(h * w),
+            )
+
+        if op is Opcode.NDUPSAMP:
+            h, w = unpack_shape(o["in_size"])
+            window, stride = o["window"], o["stride"]
+            mode = o["samp_type"]
+            port, in_addr = o["port"], o["in_addr"]
+            out_port, out_addr = o["out_port"], o["out_addr"]
+            rd = self._reader(port)
+            wr = self._writer(out_port)
+            if mode == UPSAMP_ZERO_INSERT:
+                out_h = (h - 1) * stride + 1
+                out_w = (w - 1) * stride + 1
+
+                def upsamp() -> None:
+                    err = rd(in_addr, h * w).reshape(1, h, w)
+                    up = np.zeros((1, out_h, out_w), dtype=np.float32)
+                    up[0, ::stride, ::stride] = err[0]
+                    wr(out_addr, up, False)
+
+                def upsamp_batch(state: BatchState) -> None:
+                    err = state.read(port, in_addr, h * w)
+                    err = err.reshape(-1, h, w)
+                    up = np.zeros(
+                        (err.shape[0], out_h, out_w), dtype=np.float32
+                    )
+                    up[:, ::stride, ::stride] = err
+                    state.write(out_port, out_addr, up, False)
+
+            elif mode == SAMP_CODES[PoolMode.MAX]:
+                out_h, out_w = h * stride, w * stride
+                orig_addr = in_addr + h * w
+
+                def upsamp() -> None:
+                    err = rd(in_addr, h * w).reshape(1, h, w)
+                    original = rd(orig_addr, out_h * out_w).reshape(
+                        1, out_h, out_w
+                    )
+                    _, argmax = ops.pool_forward(
+                        original, window, stride, 0, PoolMode.MAX
+                    )
+                    up = ops.pool_backward(
+                        err.copy(), (1, out_h, out_w), window, stride, 0,
+                        PoolMode.MAX, argmax,
+                    )
+                    wr(out_addr, up, False)
+
+                def upsamp_batch(state: BatchState) -> None:
+                    err = state.read(port, in_addr, h * w)
+                    err = err.reshape(-1, h, w)
+                    original = state.read(
+                        port, orig_addr, out_h * out_w
+                    ).reshape(-1, out_h, out_w)
+                    _, argmax = ops.pool_forward(
+                        original, window, stride, 0, PoolMode.MAX
+                    )
+                    up = ops.pool_backward(
+                        err.copy(), original.shape, window, stride, 0,
+                        PoolMode.MAX, argmax,
+                    )
+                    state.write(out_port, out_addr, up, False)
+
+            elif mode == SAMP_CODES[PoolMode.AVG]:
+                out_h, out_w = h * stride, w * stride
+
+                def upsamp() -> None:
+                    err = rd(in_addr, h * w).reshape(1, h, w)
+                    up = ops.pool_backward(
+                        err.copy(), (1, out_h, out_w), window, stride, 0,
+                        PoolMode.AVG, np.empty(0),
+                    )
+                    wr(out_addr, up, False)
+
+                def upsamp_batch(state: BatchState) -> None:
+                    err = state.read(port, in_addr, h * w)
+                    err = err.reshape(-1, h, w)
+                    up = ops.pool_backward(
+                        err.copy(), (err.shape[0], out_h, out_w),
+                        window, stride, 0, PoolMode.AVG, np.empty(0),
+                    )
+                    state.write(out_port, out_addr, up, False)
+
+            else:
+                raise SimulationError(f"unknown NDUPSAMP mode {mode}")
+
+            return _Decoded(
+                instr, fn=upsamp, fn_batch=upsamp_batch, reads=reads,
+                writes=writes, cost=self._offload_cycles(out_h * out_w),
+            )
+
+        if op is Opcode.NDACCUM:
+            size = o["size"]
+            port = o["port"]
+            src_addr, dst_addr = o["src_addr"], o["dst_addr"]
+            rd = self._reader(port)
+            wr = self._writer(port)
+
+            def accum() -> None:
+                wr(dst_addr, rd(src_addr, size), True)
+
+            def accum_batch(state: BatchState) -> None:
+                state.write(
+                    port, dst_addr, state.read(port, src_addr, size), True
+                )
+
+            return _Decoded(
+                instr, fn=accum, fn_batch=accum_batch, reads=reads,
+                writes=writes, cost=self._offload_cycles(size),
+            )
+
+        if op is Opcode.VECMUL:
+            size = o["size"]
+            port = o["port"]
+            in1_addr, in2_addr = o["in1_addr"], o["in2_addr"]
+            out_addr = o["out_addr"]
+            rd = self._reader(port)
+            wr = self._writer(port)
+
+            def vecmul() -> None:
+                wr(out_addr, rd(in1_addr, size) * rd(in2_addr, size), False)
+
+            def vecmul_batch(state: BatchState) -> None:
+                a = state.read(port, in1_addr, size)
+                b = state.read(port, in2_addr, size)
+                state.write(port, out_addr, a * b, False)
+
+            return _Decoded(
+                instr, fn=vecmul, fn_batch=vecmul_batch, reads=reads,
+                writes=writes, cost=self._offload_cycles(size),
+            )
+
+        if op is Opcode.WUPDATE:
+            size = o["size"]
+            port = o["port"]
+            grad_addr, weight_addr = o["grad_addr"], o["weight_addr"]
+            lr = o["lr_num"] / o["lr_denom"]
+            rd = self._reader(port)
+            wr = self._writer(port)
+            zeros = np.zeros(size, dtype=np.float32)
+
+            def wupdate() -> None:
+                grad = rd(grad_addr, size).copy()
+                wr(weight_addr, -lr * grad, True)
+                wr(grad_addr, zeros, False)
+
+            def wupdate_batch(state: BatchState) -> None:
+                grad = state.read(port, grad_addr, size).copy()
+                state.write(port, weight_addr, -lr * grad, True)
+                state.write(port, grad_addr, np.zeros_like(grad), False)
+
+            return _Decoded(
+                instr, fn=wupdate, fn_batch=wupdate_batch, reads=reads,
+                writes=writes, cost=self._offload_cycles(size),
+            )
+
+        if op in (Opcode.DMALOAD, Opcode.DMASTORE):
+            size = o["size"]
+            src_port, dst_port = o["src_port"], o["dst_port"]
+            src_addr, dst_addr = o["src_addr"], o["dst_addr"]
+            accum = bool(o["is_accum"])
+            rd = self._reader(src_port)
+            wr = self._writer(dst_port)
+            cost = self._dma_cycles(size, src_port, dst_port)
+
+            def dma() -> None:
+                data = rd(src_addr, size)
+                wr(dst_addr, self._dma_payload(data, tile_id), accum)
+                if self._tel_on:
+                    self.telemetry.count(
+                        f"tile/{tile_id}", "dma_bytes", 4 * size
+                    )
+
+            def dma_batch(state: BatchState) -> None:
+                # make_batch refuses dma-bitflip faults, so the payload
+                # is a plain copy here.
+                data = state.read(src_port, src_addr, size)
+                state.write(
+                    dst_port, dst_addr,
+                    np.array(data, dtype=np.float32), accum,
+                )
+                if self._tel_on:
+                    self.telemetry.count(
+                        f"tile/{tile_id}", "dma_bytes", 4 * size
+                    )
+
+            return _Decoded(
+                instr, fn=dma, fn_batch=dma_batch, reads=reads,
+                writes=writes, cost=cost,
+            )
+
+        if op in (Opcode.PASSBUFF_RD, Opcode.PASSBUFF_WR):
+            noop = lambda: None  # noqa: E731 — handshake only
+            return _Decoded(
+                instr, fn=noop, fn_batch=lambda state: None,
+                reads=reads, writes=writes, cost=2,
+            )
+
+        if op is Opcode.PREFETCH:
+            size = o["size"]
+            src_addr = o["src_addr"]
+            dst_port, dst_addr = o["dst_port"], o["dst_addr"]
+            wr = self._writer(dst_port)
+            cost = self._dma_cycles(size, EXTERNAL_PORT, dst_port)
+
+            def prefetch() -> None:
+                data = self.external[src_addr : src_addr + size]
+                wr(dst_addr, self._dma_payload(data, tile_id), False)
+                if self._tel_on:
+                    self.telemetry.count(
+                        f"tile/{tile_id}", "dma_bytes", 4 * size
+                    )
+
+            def prefetch_batch(state: BatchState) -> None:
+                data = state.read(EXTERNAL_PORT, src_addr, size)
+                state.write(
+                    dst_port, dst_addr,
+                    np.array(data, dtype=np.float32), False,
+                )
+                if self._tel_on:
+                    self.telemetry.count(
+                        f"tile/{tile_id}", "dma_bytes", 4 * size
+                    )
+
+            return _Decoded(
+                instr, fn=prefetch, fn_batch=prefetch_batch, reads=reads,
+                writes=writes, cost=cost,
+            )
+
+        raise SimulationError(f"engine cannot decode {op.value}")
+
+    def _gate_quads(self, comp: CompTile, reads, writes) -> bool:
+        """The fast-path twin of :meth:`_gate`, over pre-bound
+        ``(mem_tile, port, addr, count)`` quads.  Identical tracker
+        accounting: peek every access first (a blocked companion must
+        not consume counts), then consume."""
+        for mem, port, addr, count in reads:
+            if mem is not None and mem.trackers.read_blocked(addr, count):
+                self._note_block(
+                    comp, "read", port, addr, count, TrackerPhase.UPDATING
+                )
+                return False
+        for mem, port, addr, count in writes:
+            if mem is not None and mem.trackers.write_blocked(addr, count):
+                self._note_block(
+                    comp, "write", port, addr, count, TrackerPhase.READABLE
+                )
+                return False
+        for mem, _port, addr, count in reads:
+            if mem is not None:
+                verdict = mem.trackers.check_read(addr, count)
+                assert verdict is AccessVerdict.ALLOW
+        for mem, _port, addr, count in writes:
+            if mem is not None:
+                verdict = mem.trackers.check_write(addr, count)
+                assert verdict is AccessVerdict.ALLOW
+        return True
+
+    # ------------------------------------------------------------------
     def run(
         self,
         raise_on_deadlock: bool = True,
@@ -595,6 +1241,17 @@ class Engine:
             time.monotonic() + self.wall_clock_limit
             if self.wall_clock_limit is not None else None
         )
+        batch = self._batch
+        if batch is not None and not self.fast:
+            raise SimulationError(
+                "batched execution requires the pre-decoded fast path"
+            )
+        # Pre-decoded fast path: one flat op table per tile, indexed by
+        # pc in lockstep with the program (same list semantics).
+        work: List[Tuple[CompTile, Optional[List[_Decoded]]]] = [
+            (t, self._decode_program(t) if self.fast else None)
+            for t in tiles
+        ]
         while True:
             self.rounds += 1
             if self.rounds > self.max_rounds:
@@ -613,14 +1270,38 @@ class Engine:
                 )
             progress = False
             live = False
-            for tile in tiles:
+            for tile, entries in work:
                 if tile.halted:
                     continue
                 live = True
-                instr = tile.program[tile.pc]
-                tile.pc += 1
+                pc = tile.pc
+                tile.pc = pc + 1
                 start_cycle = tile.cycles
-                cost = self._execute(tile, instr)
+                if entries is None:
+                    instr = tile.program[pc]
+                    cost = self._execute(tile, instr)
+                else:
+                    entry = entries[pc]
+                    instr = entry.instr
+                    if entry.fallback:
+                        if batch is not None and not entry.batch_safe:
+                            raise SimulationError(
+                                f"{instr.opcode.value} needs the "
+                                "single-image interpreter (register-"
+                                "indirect or undecodable operands) and "
+                                "cannot run in a batched execution"
+                            )
+                        cost = self._execute(tile, instr)
+                    elif not self._gate_quads(
+                        tile, entry.reads, entry.writes
+                    ):
+                        cost = None
+                    elif batch is not None:
+                        entry.fn_batch(batch)
+                        cost = entry.cost
+                    else:
+                        entry.fn()
+                        cost = entry.cost
                 if cost is None:
                     tile.pc -= 1  # retry the blocked instruction
                     tile.blocked = True

@@ -158,6 +158,27 @@ class TrackerFile:
                 return tracker
         return None
 
+    def read_blocked(self, start: int, size: int) -> bool:
+        """Peek: would a read of [start, start+size) block right now?
+
+        Counts a blocked read when it would — the engine's gate peeks
+        every access of an instruction before consuming any, so a
+        blocked companion access must not advance tracker counts."""
+        tracker = self._matching(start, size)
+        if tracker is not None and tracker.phase is TrackerPhase.UPDATING:
+            self.blocked_reads += 1
+            return True
+        return False
+
+    def write_blocked(self, start: int, size: int) -> bool:
+        """Peek: would a write to [start, start+size) block right now?
+        Counts a blocked write when it would (see :meth:`read_blocked`)."""
+        tracker = self._matching(start, size)
+        if tracker is not None and tracker.phase is TrackerPhase.READABLE:
+            self.blocked_writes += 1
+            return True
+        return False
+
     def check_write(self, start: int, size: int) -> AccessVerdict:
         """Gate a write to [start, start+size)."""
         tracker = self._matching(start, size)

@@ -1,10 +1,14 @@
 """Tests for the energy module and the command-line interface."""
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.arch import single_precision_node
 from repro.cli import main
 from repro.dnn import zoo
+from repro.errors import SimulationError
 from repro.sim import simulate
 from repro.sim.energy import IMAGENET_IMAGES, EnergyReport, energy_report
 
@@ -56,6 +60,32 @@ class TestEnergy:
     def test_describe(self, alexnet_result):
         text = energy_report(alexnet_result).describe()
         assert "mJ" in text and "kWh" in text
+        assert "hottest stage" in text
+
+    def test_zero_training_throughput_rejected(self, alexnet_result):
+        broken = dataclasses.replace(
+            alexnet_result, training_images_per_s=0.0
+        )
+        with pytest.raises(SimulationError, match="zero throughput"):
+            energy_report(broken)
+
+    def test_zero_evaluation_throughput_rejected(self, alexnet_result):
+        """Regression: this used to divide by zero instead of raising."""
+        broken = dataclasses.replace(
+            alexnet_result, evaluation_images_per_s=0.0
+        )
+        with pytest.raises(
+            SimulationError, match="zero evaluation throughput"
+        ):
+            energy_report(broken)
+
+    def test_describe_without_stage_attribution(self, alexnet_result):
+        """Regression: `describe` crashed on max() of an empty dict."""
+        report = dataclasses.replace(
+            energy_report(alexnet_result), stage_energy={}
+        )
+        text = report.describe()
+        assert "mJ" in text and "hottest" not in text
 
 
 class TestCli:
@@ -119,3 +149,34 @@ class TestCli:
         for section in ("Mapping", "Throughput", "Nested pipeline",
                         "Link utilization", "Power", "gradient sync"):
             assert section in out
+
+    def test_validate(self, capsys, tmp_path):
+        artifact = tmp_path / "BENCH_validate.json"
+        assert main([
+            "validate", "TinyCNN-8", "WideCNN", "--no-speedup",
+            "--out", str(artifact),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rank agreement" in out
+        assert "validation gate passed" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["passed"] is True
+        assert {r["network"] for r in payload["rows"]} == {
+            "TinyCNN-8", "WideCNN",
+        }
+
+    def test_validate_json_output(self, capsys):
+        assert main(["validate", "TinyCNN-8", "--no-speedup",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1 and payload["passed"] is True
+
+    def test_validate_accepts_zoo_aliases(self, capsys):
+        assert main(["validate", "tiny", "--no-speedup"]) == 0
+        assert "TinyCNN" in capsys.readouterr().out
+
+    def test_validate_unknown_network_exits(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["validate", "nosuchnet"])
+        assert err.value.code == 2
+        assert "nosuchnet" in capsys.readouterr().err

@@ -1,15 +1,26 @@
 """Cross-validation: analytical model vs engine cycle counts."""
 
+import json
+
 import pytest
 
+from repro.bench.export import write_validation_json
 from repro.dnn.builder import NetworkBuilder
 from repro.dnn.layers import Activation, PoolMode
 from repro.dnn.zoo import tiny_cnn, tiny_mlp
+from repro.errors import ValidationError
 from repro.sim.validation import (
+    BANDS,
+    DEFAULT_BAND,
+    OVERHEAD_BAND,
+    OVERHEAD_CYCLE_FLOOR,
+    ValidationReport,
     ValidationRow,
     analytical_forward_cycles,
+    band_for,
     cross_validate,
     rank_agreement,
+    validate_zoo,
 )
 
 
@@ -63,3 +74,157 @@ class TestCrossValidation:
     def test_rank_agreement_degenerate(self):
         assert rank_agreement([]) == 1.0
         assert rank_agreement([ValidationRow("x", 1, 1.0, 1)]) == 1.0
+
+
+def _row(name, engine, analytical, **kw):
+    return ValidationRow(name, engine, analytical, 1, **kw)
+
+
+class TestGuardedRatio:
+    def test_normal_ratio(self):
+        assert _row("a", 300, 100.0).ratio == pytest.approx(3.0)
+
+    def test_zero_analytical_with_engine_work_is_inf(self):
+        """The old code divided by zero here."""
+        assert _row("a", 5, 0.0).ratio == float("inf")
+
+    def test_both_zero_agrees(self):
+        assert _row("a", 0, 0.0).ratio == 1.0
+
+
+class TestRankAgreementTies:
+    def test_tie_in_both_models_concords(self):
+        rows = [_row("a", 10, 5.0), _row("b", 10, 5.0)]
+        assert rank_agreement(rows) == 1.0
+
+    def test_tie_against_strict_order_discords(self):
+        """The old `<=`-both-sides rule scored this pair concordant in
+        one direction and discordant in the other; the sign rule is
+        symmetric — a tie never agrees with a strict ordering."""
+        tied_engine = [_row("a", 10, 5.0), _row("b", 10, 9.0)]
+        assert rank_agreement(tied_engine) == 0.0
+        assert rank_agreement(list(reversed(tied_engine))) == 0.0
+        tied_model = [_row("a", 10, 5.0), _row("b", 12, 5.0)]
+        assert rank_agreement(tied_model) == 0.0
+        assert rank_agreement(list(reversed(tied_model))) == 0.0
+
+    def test_opposite_order_discords(self):
+        rows = [_row("a", 10, 9.0), _row("b", 20, 5.0)]
+        assert rank_agreement(rows) == 0.0
+
+
+class TestToleranceBands:
+    def test_overhead_floor_widens_band(self):
+        assert band_for("anything", OVERHEAD_CYCLE_FLOOR) is OVERHEAD_BAND
+        assert (
+            band_for("anything", OVERHEAD_CYCLE_FLOOR + 1) is DEFAULT_BAND
+        )
+
+    def test_pinned_override_wins(self):
+        assert "LeNet-5" in BANDS
+        assert band_for("LeNet-5", 1e6) is BANDS["LeNet-5"]
+        assert band_for("LeNet-5", 1.0) is BANDS["LeNet-5"]
+
+    def test_band_is_inclusive(self):
+        band = DEFAULT_BAND
+        assert band.contains(band.low) and band.contains(band.high)
+        assert not band.contains(band.high * 1.01)
+        assert "[" in band.describe()
+
+
+def _report(rows, rank=1.0, **kw):
+    return ValidationReport(rows=rows, rank=rank, **kw)
+
+
+class TestValidationReport:
+    def test_clean_report_passes(self):
+        report = _report([_row("a", 150, 120.0)])
+        assert report.passed and report.violations() == []
+        report.raise_on_failure()  # no-op
+
+    def test_band_violation_fails(self):
+        report = _report([_row("a", 10_000, 120.0)])
+        assert not report.passed
+        assert "tolerance band" in report.violations()[0]
+        with pytest.raises(ValidationError) as err:
+            report.raise_on_failure()
+        assert list(err.value.violations) == report.violations()
+
+    def test_output_error_violation(self):
+        report = _report(
+            [_row("a", 150, 120.0, max_abs_error=0.5)]
+        )
+        assert any("deviates" in v for v in report.violations())
+
+    def test_nan_output_error_violates(self):
+        report = _report(
+            [_row("a", 150, 120.0, max_abs_error=float("nan"))]
+        )
+        assert not report.passed
+
+    def test_low_rank_fails(self):
+        report = _report([_row("a", 150, 120.0)], rank=0.5)
+        assert any("rank agreement" in v for v in report.violations())
+
+    def test_no_ok_rows_fails(self):
+        skipped = ValidationRow(
+            "a", 0, 0.0, 0, status="skipped", reason="too big"
+        )
+        report = _report([skipped])
+        assert not report.passed
+        assert "nothing validated" in report.violations()[0]
+
+    def test_skipped_rows_not_gated(self):
+        rows = [
+            _row("a", 150, 120.0),
+            ValidationRow("b", 0, 0.0, 0, status="skipped", reason="x"),
+        ]
+        assert _report(rows).passed
+
+    def test_to_dict_round_trips_through_json(self, tmp_path):
+        report = _report([
+            _row("a", 150, 120.0),
+            ValidationRow("b", 7, 0.0, 1),  # inf ratio -> null
+            ValidationRow("c", 0, 0.0, 0, status="skipped", reason="big"),
+        ])
+        path = write_validation_json(report, tmp_path / "v.json")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 1
+        assert payload["passed"] is False  # b's inf ratio violates
+        by_name = {r["network"]: r for r in payload["rows"]}
+        assert by_name["a"]["ratio"] == pytest.approx(1.25)
+        assert by_name["b"]["ratio"] is None
+        assert by_name["c"]["band_low"] is None
+        assert by_name["c"]["reason"] == "big"
+
+
+class TestValidateZoo:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return validate_zoo(
+            ["TinyCNN-8", "WideCNN", "tinymlp"], speedup=False
+        )
+
+    def test_explicit_names_all_ok(self, report):
+        assert [r.network for r in report.rows] == [
+            "TinyCNN-8", "WideCNN", "tinymlp",
+        ]
+        assert all(r.status == "ok" for r in report.rows)
+
+    def test_gate_passes_on_small_nets(self, report):
+        assert report.passed, report.violations()
+        assert 0.0 <= report.rank <= 1.0
+
+    def test_outputs_match_reference(self, report):
+        for row in report.rows:
+            assert row.max_abs_error <= report.max_output_error
+
+    def test_speedup_disabled(self, report):
+        assert report.speedup is None
+
+    def test_oversize_network_skipped(self):
+        report = validate_zoo(["AlexNet"], speedup=False)
+        (row,) = report.rows
+        assert row.status == "skipped"
+        assert "engine limit" in row.reason
+        assert not report.passed  # nothing validated
