@@ -1,0 +1,259 @@
+"""Regression baselines: persisted metric snapshots with tolerance bands.
+
+A **snapshot** is the deterministic metric state of one ``repro stats``
+run — gauges and histogram summaries (counts, means, p50/p90/p95/p99)
+plus headline attribution shares — keyed by the compiler fingerprint
+digest of everything that produced it (network topology, node config,
+compiler/IR versions, minibatch).  A **baseline file** stores one
+snapshot per digest, so one checked-in file can gate several
+configurations, and a digest change (a deliberate compiler change)
+surfaces as "no baseline entry" rather than a spurious diff.
+
+:func:`compare_snapshots` diffs a current snapshot against a baseline
+with per-metric tolerance **bands**: each band names a glob pattern
+over ``group/name/field`` paths, a relative tolerance, and a direction
+(whether larger values are regressions, smaller are, or both).  The
+``repro stats --compare`` verb exits 2 when any metric degrades beyond
+its band — the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+
+#: Bump when the snapshot layout changes incompatibly.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Band:
+    """Tolerance band for one family of metrics.
+
+    ``direction`` says which drift is a regression: ``"higher"`` (more
+    is worse — cycle counts, stall shares), ``"lower"`` (less is worse —
+    throughput, utilization), or ``"both"``.  Drift within
+    ``rel_tol`` (relative) or ``abs_tol`` (absolute) is tolerated.
+    """
+
+    rel_tol: float = 0.01
+    abs_tol: float = 1e-9
+    direction: str = "both"  # "higher" | "lower" | "both"
+
+    def allows(self, baseline: float, current: float) -> bool:
+        delta = current - baseline
+        if self.direction == "higher" and delta <= 0:
+            return True
+        if self.direction == "lower" and delta >= 0:
+            return True
+        return abs(delta) <= max(self.abs_tol, self.rel_tol * abs(baseline))
+
+    def describe(self) -> str:
+        return f"±{self.rel_tol:.1%} ({self.direction}-is-worse)"
+
+
+#: Default per-metric tolerance bands, first match wins (patterns match
+#: the ``group/name/field`` path of each scalar).  Counts are exact:
+#: an instruction-count or stage-count drift is a compiler change and
+#: must be re-baselined deliberately.
+DEFAULT_BANDS: Tuple[Tuple[str, Band], ...] = (
+    ("*/count", Band(rel_tol=0.0, abs_tol=0.0, direction="both")),
+    ("*images_per_s*", Band(rel_tol=0.01, direction="lower")),
+    ("*utilization*", Band(rel_tol=0.01, direction="lower")),
+    ("*util*", Band(rel_tol=0.01, direction="lower")),
+    ("*cycles*", Band(rel_tol=0.01, direction="higher")),
+    ("*bytes*", Band(rel_tol=0.01, direction="higher")),
+    ("*", Band(rel_tol=0.01, direction="both")),
+)
+
+
+def band_for(
+    path: str, bands: Sequence[Tuple[str, Band]] = DEFAULT_BANDS
+) -> Band:
+    """The first band whose pattern matches ``path`` (always matches:
+    the default table ends with ``*``)."""
+    for pattern, band in bands:
+        if fnmatchcase(path, pattern):
+            return band
+    return Band()
+
+
+def _scalar_paths(snapshot_metrics: Dict) -> Dict[str, float]:
+    """Flatten ``{group: {name: entry}}`` into ``group/name/field``
+    scalars (gauges contribute one ``value`` field, histograms their
+    whole summary)."""
+    flat: Dict[str, float] = {}
+    for group in sorted(snapshot_metrics):
+        for name in sorted(snapshot_metrics[group]):
+            entry = snapshot_metrics[group][name]
+            for key in sorted(entry):
+                if key == "kind":
+                    continue
+                value = entry[key]
+                if isinstance(value, (int, float)):
+                    flat[f"{group}/{name}/{key}"] = float(value)
+    return flat
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric: baseline vs current against its band."""
+
+    path: str  # group/name/field
+    baseline: Optional[float]
+    current: Optional[float]
+    band: Band
+    status: str  # "ok" | "regressed" | "new" | "missing"
+
+    @property
+    def regressed(self) -> bool:
+        return self.status in ("regressed", "missing")
+
+    def describe(self) -> str:
+        def fmt(v: Optional[float]) -> str:
+            return "-" if v is None else f"{v:,.4g}"
+
+        return (
+            f"{self.path}: baseline {fmt(self.baseline)} -> current "
+            f"{fmt(self.current)} [{self.status}, band "
+            f"{self.band.describe()}]"
+        )
+
+
+@dataclass
+class BaselineComparison:
+    """The diff of one snapshot against one baseline entry."""
+
+    digest: str
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        compared = sum(1 for d in self.deltas if d.status != "new")
+        head = (
+            f"compared {compared} metric(s) against baseline "
+            f"{self.digest[:12]}: "
+        )
+        if self.ok:
+            return head + "no regressions"
+        lines = [head + f"{len(self.regressions)} REGRESSION(S)"]
+        lines += [f"  {d.describe()}" for d in self.regressions]
+        return "\n".join(lines)
+
+
+def compare_snapshots(
+    current: Dict,
+    baseline: Dict,
+    bands: Sequence[Tuple[str, Band]] = DEFAULT_BANDS,
+) -> BaselineComparison:
+    """Diff two snapshots' ``metrics`` sections metric by metric.
+
+    A metric present in the baseline but missing from the current run is
+    a regression (coverage loss); a new metric is informational only.
+    """
+    base_flat = _scalar_paths(baseline.get("metrics", {}))
+    cur_flat = _scalar_paths(current.get("metrics", {}))
+    comparison = BaselineComparison(digest=baseline.get("fingerprint", ""))
+    for path in sorted(set(base_flat) | set(cur_flat)):
+        band = band_for(path, bands)
+        if path not in cur_flat:
+            comparison.deltas.append(
+                MetricDelta(path, base_flat[path], None, band, "missing")
+            )
+            continue
+        if path not in base_flat:
+            comparison.deltas.append(
+                MetricDelta(path, None, cur_flat[path], band, "new")
+            )
+            continue
+        status = (
+            "ok" if band.allows(base_flat[path], cur_flat[path])
+            else "regressed"
+        )
+        comparison.deltas.append(
+            MetricDelta(path, base_flat[path], cur_flat[path], band, status)
+        )
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# Baseline files: {digest: snapshot}, JSON on disk
+# ---------------------------------------------------------------------------
+def load_baseline_file(path: Union[str, Path]) -> Dict[str, Dict]:
+    """Read a baseline file; returns the ``{digest: snapshot}`` map."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot read baseline file {path}: {exc}")
+    if (
+        not isinstance(document, dict)
+        or document.get("schema") != SNAPSHOT_SCHEMA_VERSION
+        or not isinstance(document.get("entries"), dict)
+    ):
+        raise ConfigError(
+            f"baseline file {path} is not a schema-"
+            f"{SNAPSHOT_SCHEMA_VERSION} baseline document"
+        )
+    return document["entries"]
+
+
+def write_baseline_file(
+    snapshot: Dict,
+    path: Union[str, Path],
+) -> Path:
+    """Add/replace ``snapshot`` (keyed by its fingerprint digest) in the
+    baseline file at ``path``, creating the file if needed.  Sorted keys
+    and a trailing newline, so regenerating an unchanged baseline is a
+    no-op diff."""
+    digest = snapshot.get("fingerprint")
+    if not digest:
+        raise ConfigError("snapshot has no fingerprint digest")
+    path = Path(path)
+    entries: Dict[str, Dict] = {}
+    if path.exists():
+        entries = load_baseline_file(path)
+    entries[digest] = snapshot
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(
+            {"schema": SNAPSHOT_SCHEMA_VERSION, "entries": entries},
+            handle, indent=2, sort_keys=True,
+        )
+        handle.write("\n")
+    return path
+
+
+def compare_to_baseline(
+    snapshot: Dict,
+    path: Union[str, Path],
+    bands: Sequence[Tuple[str, Band]] = DEFAULT_BANDS,
+) -> BaselineComparison:
+    """Compare ``snapshot`` against the baseline entry with the same
+    fingerprint digest in the file at ``path``.
+
+    A missing entry is a :class:`ConfigError` — the digest names the
+    compiler/config contract, so "no entry" means the baseline must be
+    regenerated deliberately, not silently passed.
+    """
+    entries = load_baseline_file(path)
+    digest = snapshot.get("fingerprint", "")
+    if digest not in entries:
+        known = ", ".join(d[:12] for d in sorted(entries)) or "none"
+        raise ConfigError(
+            f"no baseline entry for fingerprint {digest[:12]} in {path} "
+            f"(entries: {known}); regenerate with --baseline"
+        )
+    return compare_snapshots(snapshot, entries[digest], bands)

@@ -1,0 +1,566 @@
+"""Self-contained HTML performance dashboard for ``repro stats``.
+
+:func:`write_stats_html` renders a :class:`~repro.bench.stats.StatsReport`
+as one HTML file with **no network access**: all CSS and the (small)
+tooltip script are inline, charts are inline SVG/HTML, and every chart
+has a table-view twin so no value is gated behind hover or color.
+
+Layout:
+
+* a KPI row (beat cycles, train/eval throughput, PE utilization),
+* a per-tile-group **utilization heatmap** for each simulator
+  (sequential blue ramp, light = idle, dark = busy),
+* the **roofline scatter** (operational intensity vs attainable
+  fraction, log-log, one series per chip, the chips' rooflines drawn),
+* **cycle-attribution stacked bars** per tile group (five stall
+  causes, categorical palette, per-row normalized),
+* **percentile tables** of every captured metric distribution.
+
+Palette and mark conventions follow the validated reference palette
+(categorical slots 1-5, sequential blue ramp, hairline grid, 2px
+surface gaps between stacked segments, dark mode via
+``prefers-color-scheme``).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.bench.stats import StatsReport
+from repro.telemetry.metrics import VOLATILE_GROUP_PREFIX
+from repro.telemetry.profile import StallCause, TileGroupProfile
+
+#: Categorical slots 1-5 (light, dark) — validated adjacent-pairs in
+#: both modes; the roofline scatter uses only the first two (all-pairs
+#: safe through three).
+SERIES = (
+    ("#2a78d6", "#3987e5"),
+    ("#eb6834", "#d95926"),
+    ("#1baf7a", "#199e70"),
+    ("#eda100", "#c98500"),
+    ("#e87ba4", "#d55181"),
+)
+
+#: Sequential blue ramp, light -> dark (steps 100..700) — utilization.
+SEQ_RAMP = (
+    "#cde2fb", "#b7d3f6", "#9ec5f4", "#86b6ef", "#6da7ec", "#5598e7",
+    "#3987e5", "#2a78d6", "#256abf", "#1c5cab", "#184f95", "#104281",
+    "#0d366b",
+)
+
+#: Stall causes in display order, each bound to a categorical slot.
+CAUSE_ORDER: Tuple[StallCause, ...] = (
+    StallCause.COMPUTE,
+    StallCause.DMA,
+    StallCause.TRACKER,
+    StallCause.LINK,
+    StallCause.BEAT_IDLE,
+)
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --ink-1: #0b0b0b; --ink-2: #52514e; --ink-3: #898781;
+  --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --s1: #2a78d6; --s2: #eb6834; --s3: #1baf7a;
+  --s4: #eda100; --s5: #e87ba4;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --ink-1: #ffffff; --ink-2: #c3c2b7; --ink-3: #898781;
+    --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --s1: #3987e5; --s2: #d95926; --s3: #199e70;
+    --s4: #c98500; --s5: #d55181;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--page); color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 20px; margin: 0 0 2px; }
+h2 { font-size: 15px; margin: 0 0 10px; font-weight: 600; }
+.sub { color: var(--ink-2); margin: 0 0 20px; }
+.sub code { color: var(--ink-3); font-size: 12px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 18px; margin: 0 0 16px;
+}
+.kpis { display: flex; flex-wrap: wrap; gap: 16px; margin: 0 0 16px; }
+.kpis .card { flex: 1 1 160px; margin: 0; }
+.kpi-label { color: var(--ink-2); font-size: 12px; }
+.kpi-value { font-size: 26px; font-weight: 600; }
+.kpi-unit { color: var(--ink-3); font-size: 12px; }
+table { border-collapse: collapse; width: 100%; }
+th, td {
+  text-align: right; padding: 4px 10px;
+  border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+th { color: var(--ink-2); font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+td:first-child { color: var(--ink-2); }
+.legend {
+  display: flex; flex-wrap: wrap; gap: 14px; margin: 0 0 10px;
+  color: var(--ink-2); font-size: 12px; align-items: center;
+}
+.legend .key {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin-right: 5px; vertical-align: -1px;
+}
+.heatmap {
+  display: flex; flex-wrap: wrap; gap: 6px; margin: 0 0 8px;
+}
+.cell { width: 64px; }
+.cell .fill {
+  height: 36px; border-radius: 4px; display: flex;
+  align-items: center; justify-content: center;
+  font-size: 11px; font-variant-numeric: tabular-nums;
+}
+.cell .name {
+  color: var(--ink-3); font-size: 11px; margin-top: 2px;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap;
+}
+.ramp-key { display: flex; align-items: center; gap: 6px;
+  color: var(--ink-3); font-size: 11px; }
+.ramp-key .step { width: 18px; height: 8px; }
+.bars .row { display: flex; align-items: center; margin: 0 0 6px; }
+.bars .row-label {
+  flex: 0 0 130px; color: var(--ink-2); font-size: 12px;
+  overflow: hidden; text-overflow: ellipsis; white-space: nowrap;
+  padding-right: 8px;
+}
+.bars .track { flex: 1; display: flex; gap: 2px; height: 16px; }
+.bars .seg { height: 16px; }
+.bars .seg:last-child { border-radius: 0 4px 4px 0; }
+.muted { color: var(--ink-3); font-size: 12px; }
+details > summary {
+  cursor: pointer; color: var(--ink-2); font-size: 12px;
+  margin: 8px 0 6px;
+}
+svg text {
+  font: 11px system-ui, -apple-system, "Segoe UI", sans-serif;
+  fill: var(--ink-3);
+}
+svg .series-label { fill: var(--ink-2); }
+#tip {
+  position: fixed; display: none; pointer-events: none; z-index: 10;
+  background: var(--surface-1); color: var(--ink-1);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 6px 9px; font-size: 12px; max-width: 340px;
+  box-shadow: 0 2px 10px rgba(0,0,0,0.18);
+}
+"""
+
+_JS = """
+(function () {
+  var tip = document.getElementById('tip');
+  function show(e) {
+    var text = e.currentTarget.getAttribute('data-tip');
+    if (!text) return;
+    tip.textContent = text;
+    tip.style.display = 'block';
+    move(e);
+  }
+  function move(e) {
+    var x = (e.clientX || 0) + 12, y = (e.clientY || 0) + 12;
+    var r = tip.getBoundingClientRect();
+    if (x + r.width > window.innerWidth - 8) x -= r.width + 24;
+    if (y + r.height > window.innerHeight - 8) y -= r.height + 24;
+    tip.style.left = x + 'px';
+    tip.style.top = y + 'px';
+  }
+  function hide() { tip.style.display = 'none'; }
+  var marks = document.querySelectorAll('[data-tip]');
+  for (var i = 0; i < marks.length; i++) {
+    marks[i].addEventListener('mouseenter', show);
+    marks[i].addEventListener('mousemove', move);
+    marks[i].addEventListener('mouseleave', hide);
+    marks[i].addEventListener('focus', function (e) {
+      var r = e.currentTarget.getBoundingClientRect();
+      show({currentTarget: e.currentTarget,
+            clientX: r.right, clientY: r.bottom});
+    });
+    marks[i].addEventListener('blur', hide);
+  }
+})();
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float, decimals: int = 0) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        return "-"
+    if decimals:
+        return f"{value:,.{decimals}f}"
+    if value and abs(value) < 1:
+        return f"{value:.3g}"
+    return f"{value:,.0f}"
+
+
+def _util_color(utilization: float) -> Tuple[str, str]:
+    """(fill, ink) for a utilization cell — sequential blue ramp, text
+    color picked by the fill's depth so labels always clear contrast."""
+    clamped = min(max(utilization, 0.0), 1.0)
+    index = min(int(clamped * len(SEQ_RAMP)), len(SEQ_RAMP) - 1)
+    ink = "#0b0b0b" if index < 6 else "#ffffff"
+    return SEQ_RAMP[index], ink
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+def _kpi_row(report: StatsReport) -> str:
+    result = report.result
+    tiles = (
+        ("Pipeline beat", _fmt(result.bottleneck.cycles, 1), "cycles"),
+        ("Training", _fmt(result.training_images_per_s), "img/s"),
+        ("Evaluation", _fmt(result.evaluation_images_per_s), "img/s"),
+        ("PE utilization", f"{result.pe_utilization:.2f}", "of peak"),
+    )
+    cards = "".join(
+        f'<div class="card"><div class="kpi-label">{_esc(label)}</div>'
+        f'<div class="kpi-value">{_esc(value)}</div>'
+        f'<div class="kpi-unit">{_esc(unit)}</div></div>'
+        for label, value, unit in tiles
+    )
+    return f'<div class="kpis">{cards}</div>'
+
+
+def _heatmap(rows: Sequence[TileGroupProfile], title: str) -> str:
+    if not rows:
+        return ""
+    cells = []
+    for row in sorted(rows, key=lambda r: r.group):
+        fill, ink = _util_color(row.utilization)
+        tip = (
+            f"{row.group} - utilization {row.utilization:.2f} "
+            f"(busy {row.busy_cycles:,.0f}, blocked "
+            f"{row.blocked_cycles:,.0f}, stalled "
+            f"{row.stalled_cycles:,.0f} cycles)"
+        )
+        cells.append(
+            f'<div class="cell"><div class="fill" tabindex="0" '
+            f'style="background:{fill};color:{ink}" '
+            f'data-tip="{_esc(tip)}">{row.utilization:.2f}</div>'
+            f'<div class="name">{_esc(row.group)}</div></div>'
+        )
+    ramp = "".join(
+        f'<span class="step" style="background:{step}"></span>'
+        for step in SEQ_RAMP[::3]
+    )
+    table = _profile_table(rows)
+    return (
+        f'<div class="card"><h2>{_esc(title)}</h2>'
+        f'<div class="heatmap">{"".join(cells)}</div>'
+        f'<div class="ramp-key"><span>idle 0.0</span>{ramp}'
+        f"<span>busy 1.0</span></div>"
+        f"<details><summary>Table view</summary>{table}</details></div>"
+    )
+
+
+def _profile_table(rows: Sequence[TileGroupProfile]) -> str:
+    body = "".join(
+        f"<tr><td>{_esc(r.group)}</td><td>{r.tiles}</td>"
+        f"<td>{_fmt(r.busy_cycles, 1)}</td>"
+        f"<td>{_fmt(r.blocked_cycles, 1)}</td>"
+        f"<td>{_fmt(r.stalled_cycles, 1)}</td>"
+        f"<td>{r.utilization:.2f}</td></tr>"
+        for r in sorted(rows, key=lambda r: -r.busy_cycles)
+    )
+    return (
+        "<table><thead><tr><th>tile group</th><th>tiles</th><th>busy"
+        "</th><th>blocked</th><th>stalled</th><th>util</th></tr>"
+        f"</thead><tbody>{body}</tbody></table>"
+    )
+
+
+def _roofline_svg(report: StatsReport) -> str:
+    points = report.roofline_points
+    if not points:
+        return ""
+    width, height = 640, 330
+    left, right, top, bottom = 52, 16, 14, 40
+    plot_w, plot_h = width - left - right, height - top - bottom
+    xs = [p["bytes_per_flop"] for p in points if p["bytes_per_flop"] > 0]
+    x_lo = 10 ** math.floor(math.log10(min(xs))) if xs else 1e-3
+    x_hi = 10 ** math.ceil(math.log10(max(xs))) if xs else 10.0
+    fractions = [
+        p["attainable_fraction"] for p in points
+        if p["attainable_fraction"] > 0
+    ]
+    y_lo = 10 ** math.floor(math.log10(min(fractions + [1.0])))
+    y_lo = max(min(y_lo, 0.1), 1e-4)
+
+    def x_of(value: float) -> float:
+        span = math.log10(x_hi) - math.log10(x_lo)
+        return left + (math.log10(value) - math.log10(x_lo)) / span * plot_w
+
+    def y_of(fraction: float) -> float:
+        span = -math.log10(y_lo)
+        clamped = max(fraction, y_lo)
+        return top + (-math.log10(clamped)) / span * plot_h
+
+    parts: List[str] = []
+    # Hairline grid + tick labels at decades.
+    decade = x_lo
+    while decade <= x_hi * 1.0001:
+        x = x_of(decade)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+            f'y2="{top + plot_h}" stroke="var(--grid)"/>'
+            f'<text x="{x:.1f}" y="{height - 22}" '
+            f'text-anchor="middle">{decade:g}</text>'
+        )
+        decade *= 10
+    fraction = 1.0
+    while fraction >= y_lo * 0.999:
+        y = y_of(fraction)
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" '
+            f'y2="{y:.1f}" stroke="var(--grid)"/>'
+            f'<text x="{left - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{fraction:g}</text>'
+        )
+        fraction /= 10
+    # Each chip's roofline: flat at 1.0 until the knee, then 1/x decay.
+    for index, chip in enumerate(sorted(report.roofline_knees)):
+        knee = report.roofline_knees[chip]
+        color = f"var(--s{index % len(SERIES) + 1})"
+        if knee <= 0:
+            continue
+        knee_x = min(max(knee, x_lo), x_hi)
+        path = (
+            f"M {x_of(x_lo):.1f} {y_of(1.0):.1f} "
+            f"L {x_of(knee_x):.1f} {y_of(1.0):.1f} "
+            f"L {x_of(x_hi):.1f} {y_of(max(knee / x_hi, y_lo)):.1f}"
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" '
+            'stroke-width="2" stroke-linejoin="round" opacity="0.55"/>'
+        )
+    # Layer dots: >=8px markers with a 2px surface ring.
+    for point in points:
+        chip_index = sorted(report.roofline_knees).index(point["chip"])
+        color = f"var(--s{chip_index % len(SERIES) + 1})"
+        x = x_of(max(point["bytes_per_flop"], x_lo))
+        y = y_of(point["attainable_fraction"])
+        tip = (
+            f'{point["layer"]} on {point["chip"]}: '
+            f'{point["bytes_per_flop"]:.3g} B/FLOP, attains '
+            f'{point["attainable_fraction"]:.2f} of peak '
+            f'({point["boundedness"]})'
+        )
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="6" fill="{color}" '
+            f'stroke="var(--surface-1)" stroke-width="2" tabindex="0" '
+            f'data-tip="{_esc(tip)}"/>'
+        )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.0f}" y="{height - 6}" '
+        'text-anchor="middle">operational intensity (bytes / FLOP)'
+        "</text>"
+        f'<text x="12" y="{top + plot_h / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 12 {top + plot_h / 2:.0f})">'
+        "attainable fraction of peak</text>"
+    )
+    legend = "".join(
+        f'<span><span class="key" '
+        f'style="background:var(--s{i % len(SERIES) + 1})"></span>'
+        f"{_esc(chip)}</span>"
+        for i, chip in enumerate(sorted(report.roofline_knees))
+    )
+    table_rows = "".join(
+        f'<tr><td>{_esc(p["layer"])}</td><td>{_esc(p["chip"])}</td>'
+        f'<td>{p["bytes_per_flop"]:.4g}</td>'
+        f'<td>{p["attainable_fraction"]:.3f}</td>'
+        f'<td>{_esc(p["boundedness"])}</td></tr>'
+        for p in points
+    )
+    table = (
+        "<table><thead><tr><th>layer</th><th>chip</th><th>B/FLOP</th>"
+        "<th>attainable</th><th>regime</th></tr></thead>"
+        f"<tbody>{table_rows}</tbody></table>"
+    )
+    return (
+        '<div class="card"><h2>Roofline - layers vs chip ceilings</h2>'
+        f'<div class="legend">{legend}'
+        '<span class="muted">line = chip roofline; dots left of the '
+        "knee are compute-bound</span></div>"
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">{"".join(parts)}</svg>'
+        f"<details><summary>Table view</summary>{table}</details></div>"
+    )
+
+
+def _attribution_bars(report: StatsReport) -> str:
+    rows = report.attributions()
+    if not rows:
+        return ""
+    legend = "".join(
+        f'<span><span class="key" '
+        f'style="background:var(--s{i + 1})"></span>'
+        f"{_esc(cause.value)}</span>"
+        for i, cause in enumerate(CAUSE_ORDER)
+    )
+    bars = []
+    for row in rows:
+        total = row.total_cycles
+        if total <= 0:
+            continue
+        segments = []
+        for index, cause in enumerate(CAUSE_ORDER):
+            share = row.cycles.get(cause, 0.0) / total
+            if share <= 0:
+                continue
+            tip = (
+                f"{row.group} [{row.simulator}] - {cause.value}: "
+                f"{share:.1%} ({row.cycles.get(cause, 0.0):,.0f} of "
+                f"{total:,.0f} cycles)"
+            )
+            segments.append(
+                f'<div class="seg" tabindex="0" '
+                f'style="width:{share * 100:.2f}%;'
+                f'background:var(--s{index + 1})" '
+                f'data-tip="{_esc(tip)}"></div>'
+            )
+        label = f"{row.group} [{row.simulator[0]}]"
+        bars.append(
+            f'<div class="row"><div class="row-label" '
+            f'data-tip="{_esc(row.group)} ({row.simulator}) - dominant '
+            f'{_esc(row.dominant.value)}; fix: {_esc(row.remedy)}">'
+            f'{_esc(label)}</div>'
+            f'<div class="track">{"".join(segments)}</div></div>'
+        )
+    table_rows = "".join(
+        f"<tr><td>{_esc(r.group)}</td><td>{_esc(r.simulator)}</td>"
+        + "".join(
+            f"<td>{r.share(cause):.2f}</td>" for cause in CAUSE_ORDER
+        )
+        + f"<td>{_esc(r.boundedness or '-')}</td>"
+        f"<td>{_esc(r.dominant.value)}</td><td>{_esc(r.remedy)}</td>"
+        "</tr>"
+        for r in sorted(rows, key=lambda r: -r.total_cycles)
+    )
+    table = (
+        "<table><thead><tr><th>tile group</th><th>sim</th>"
+        + "".join(f"<th>{_esc(c.value)}</th>" for c in CAUSE_ORDER)
+        + "<th>roofline</th><th>dominant</th><th>what would fix it</th>"
+        f"</tr></thead><tbody>{table_rows}</tbody></table>"
+    )
+    return (
+        '<div class="card"><h2>Cycle attribution - where each tile '
+        "group's beat goes</h2>"
+        f'<div class="legend">{legend}</div>'
+        f'<div class="bars">{"".join(bars)}</div>'
+        '<div class="muted">[a] analytical stage - [e] engine tile; '
+        "each bar normalized to its own beat</div>"
+        f"<details open><summary>Table view (with remedies)</summary>"
+        f"{table}</details></div>"
+    )
+
+
+def _percentile_tables(report: StatsReport) -> str:
+    by_group: Dict[str, List[Tuple[str, Dict[str, float]]]] = {}
+    for group, name, histogram in report.metrics.histograms():
+        if group.startswith(VOLATILE_GROUP_PREFIX):
+            continue
+        by_group.setdefault(group, []).append(
+            (name, histogram.summary())
+        )
+    sections = []
+    for group in sorted(by_group):
+        rows = []
+        for name, summary in by_group[group]:
+            rows.append(
+                f"<tr><td>{_esc(name)}</td>"
+                f'<td>{summary["count"]:,.0f}</td>'
+                f'<td>{_fmt(summary["mean"], 2)}</td>'
+                f'<td>{_fmt(summary["p50"], 2)}</td>'
+                f'<td>{_fmt(summary["p90"], 2)}</td>'
+                f'<td>{_fmt(summary["p95"], 2)}</td>'
+                f'<td>{_fmt(summary["p99"], 2)}</td>'
+                f'<td>{_fmt(summary["max"], 2)}</td></tr>'
+            )
+        sections.append(
+            f"<h2>{_esc(group)}</h2>"
+            "<table><thead><tr><th>metric</th><th>count</th><th>mean"
+            "</th><th>p50</th><th>p90</th><th>p95</th><th>p99</th>"
+            f"<th>max</th></tr></thead><tbody>{''.join(rows)}</tbody>"
+            "</table>"
+        )
+    if not sections:
+        return ""
+    return f'<div class="card">{"".join(sections)}</div>'
+
+
+def stats_html(report: StatsReport) -> str:
+    """Render the full dashboard document."""
+    engine_note = (
+        "functional engine + analytical model"
+        if report.engine_ran
+        else f"analytical model only ({_esc(report.engine_skipped)})"
+    )
+    body = (
+        f"<h1>ScaleDeep performance - {_esc(report.network)}</h1>"
+        f'<p class="sub">{_esc(report.node)} - minibatch '
+        f"{report.minibatch} - {engine_note} - fingerprint "
+        f"<code>{_esc(report.fingerprint[:16])}</code></p>"
+        + _kpi_row(report)
+        + _heatmap(
+            report.analytical_profile,
+            "Utilization heatmap - analytical tile groups "
+            "(unit/step, one pipeline beat)",
+        )
+        + _heatmap(
+            report.engine_profile,
+            "Utilization heatmap - engine CompHeavy tiles",
+        )
+        + _roofline_svg(report)
+        + _attribution_bars(report)
+        + _percentile_tables(report)
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>repro stats - {_esc(report.network)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f'<body>{body}<div id="tip" role="status"></div>\n'
+        f"<script>{_JS}</script></body></html>\n"
+    )
+
+
+def write_stats_html(
+    report: StatsReport, path: Union[str, Path]
+) -> Path:
+    """Write the dashboard beside the other export writers' contract:
+    parent directories created, the resolved path returned."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(stats_html(report), encoding="utf-8")
+    return path
+
+
+def write_stats_json(
+    report: StatsReport, path: Union[str, Path]
+) -> Path:
+    """The snapshot as deterministic JSON (sorted keys, trailing
+    newline) — the same payload ``--baseline`` persists."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(report.snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -215,12 +215,15 @@ def _engine_forward(net):
 
     Compilation routes through the content-keyed compile cache, so a
     second trace/profile of the same network skips codegen; ``run``
-    builds a fresh machine each time, so the artifact is reusable."""
+    builds a fresh machine each time, so the artifact is reusable.
+    Uses the DAG scheduler — the path the validation harness vouches
+    for, which also covers connection-table networks (LeNet-5) that the
+    linear schedule cannot run."""
     import numpy as np
 
-    from repro.sweep.cache import cached_forward_codegen
+    from repro.sweep.cache import cached_dag_forward_codegen
 
-    compiled = cached_forward_codegen(net, seed=0)
+    compiled = cached_dag_forward_codegen(net, seed=0)
     shape = net.input.output_shape
     rng = np.random.default_rng(0)
     image = rng.normal(
@@ -305,6 +308,55 @@ def cmd_profile(args: argparse.Namespace) -> None:
         counter_table(tel, f"Telemetry counters for {net.name}").show()
     if args.csv:
         print(f"wrote counters to {write_counters_csv(tel, args.csv)}")
+
+
+def cmd_stats(args: argparse.Namespace) -> None:
+    import json
+
+    from repro.bench.baselines import (
+        compare_to_baseline,
+        write_baseline_file,
+    )
+    from repro.bench.dashboard import write_stats_html
+    from repro.bench.stats import collect_stats
+    from repro.telemetry import attribution_table, percentile_table
+
+    net = _load(args.network)
+    report = collect_stats(net, _node(args), args.minibatch)
+    snapshot = report.snapshot()
+
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        percentile_table(
+            report.metrics,
+            f"Metric distributions of {net.name} "
+            f"(cycles / bytes per observation)",
+        ).show()
+        print()
+        attribution_table(
+            report.attributions(),
+            f"Bottleneck attribution of {net.name} (both simulators)",
+        ).show()
+        print(f"\n{report.result.describe()}")
+        if report.engine_ran:
+            print("functional engine: profiled alongside")
+        else:
+            print(f"functional engine: skipped ({report.engine_skipped})")
+        print(f"fingerprint: {report.fingerprint}")
+
+    if args.html:
+        print(f"wrote dashboard to {write_stats_html(report, args.html)}")
+    if args.baseline:
+        path = write_baseline_file(snapshot, args.baseline)
+        print(
+            f"recorded baseline entry {report.fingerprint[:12]} in {path}"
+        )
+    if args.compare:
+        comparison = compare_to_baseline(snapshot, args.compare)
+        print(comparison.describe())
+        if not comparison.ok:
+            raise SystemExit(2)
 
 
 def _fault_spec(args: argparse.Namespace):
@@ -617,6 +669,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the counter registry as CSV to PATH",
     )
     p.set_defaults(func=cmd_profile)
+    p = with_net(
+        "stats",
+        "metric distributions + bottleneck attribution for both "
+        "simulators, with baselines and an HTML dashboard",
+    )
+    p.add_argument("--minibatch", type=int, default=256)
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic metric snapshot as JSON",
+    )
+    p.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="write a self-contained HTML dashboard to PATH",
+    )
+    p.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="record this run's snapshot in the baseline file at PATH",
+    )
+    p.add_argument(
+        "--compare", metavar="PATH", default=None,
+        help="compare against the baseline file at PATH; exits 2 on "
+        "any metric outside its tolerance band",
+    )
+    p.set_defaults(func=cmd_stats)
     p = sub.add_parser(
         "sweep",
         help="parallel (network x preset x minibatch) sweep with "

@@ -90,6 +90,8 @@ ALIASES: Dict[str, str] = {
     "lenet5": "LeNet-5",
     "overfeatfast": "OF-Fast",
     "overfeataccurate": "OF-Acc",
+    "vgg16": "VGG-D",
+    "vgg19": "VGG-E",
 }
 
 

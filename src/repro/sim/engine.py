@@ -54,6 +54,12 @@ from repro.telemetry.core import NullTelemetry, Telemetry, get_telemetry
 #: Port value addressing external memory instead of a MemHeavy tile.
 EXTERNAL_PORT = 0xFFFF
 
+#: Data-movement opcodes whose cycle costs count as DMA time in the
+#: per-tile stall-cause attribution (telemetry ``dma_cycles`` counter).
+_DMA_OPCODES = frozenset(
+    (Opcode.DMALOAD, Opcode.DMASTORE, Opcode.PREFETCH)
+)
+
 #: Fixed per-instruction issue overheads (cycles).
 _SETUP_COARSE = 8
 _SETUP_OFFLOAD = 4
@@ -649,9 +655,7 @@ class Engine:
                 bool(o["is_accum"]),
             )
             if self._tel_on:
-                self.telemetry.count(
-                    f"tile/{tile.tile_id}", "dma_bytes", 4 * size
-                )
+                self._observe_dma(tile.tile_id, size)
             return self._dma_cycles(size, o["src_port"], o["dst_port"])
 
         if op in (Opcode.PASSBUFF_RD, Opcode.PASSBUFF_WR):
@@ -667,9 +671,7 @@ class Engine:
                 self._dma_payload(data, tile.tile_id), False,
             )
             if self._tel_on:
-                self.telemetry.count(
-                    f"tile/{tile.tile_id}", "dma_bytes", 4 * size
-                )
+                self._observe_dma(tile.tile_id, size)
             return self._dma_cycles(size, EXTERNAL_PORT, o["dst_port"])
 
         raise SimulationError(f"engine cannot execute {op.value}")
@@ -1119,9 +1121,7 @@ class Engine:
                 data = rd(src_addr, size)
                 wr(dst_addr, self._dma_payload(data, tile_id), accum)
                 if self._tel_on:
-                    self.telemetry.count(
-                        f"tile/{tile_id}", "dma_bytes", 4 * size
-                    )
+                    self._observe_dma(tile_id, size)
 
             def dma_batch(state: BatchState) -> None:
                 # make_batch refuses dma-bitflip faults, so the payload
@@ -1132,9 +1132,7 @@ class Engine:
                     np.array(data, dtype=np.float32), accum,
                 )
                 if self._tel_on:
-                    self.telemetry.count(
-                        f"tile/{tile_id}", "dma_bytes", 4 * size
-                    )
+                    self._observe_dma(tile_id, size)
 
             return _Decoded(
                 instr, fn=dma, fn_batch=dma_batch, reads=reads,
@@ -1159,9 +1157,7 @@ class Engine:
                 data = self.external[src_addr : src_addr + size]
                 wr(dst_addr, self._dma_payload(data, tile_id), False)
                 if self._tel_on:
-                    self.telemetry.count(
-                        f"tile/{tile_id}", "dma_bytes", 4 * size
-                    )
+                    self._observe_dma(tile_id, size)
 
             def prefetch_batch(state: BatchState) -> None:
                 data = state.read(EXTERNAL_PORT, src_addr, size)
@@ -1170,9 +1166,7 @@ class Engine:
                     np.array(data, dtype=np.float32), False,
                 )
                 if self._tel_on:
-                    self.telemetry.count(
-                        f"tile/{tile_id}", "dma_bytes", 4 * size
-                    )
+                    self._observe_dma(tile_id, size)
 
             return _Decoded(
                 instr, fn=prefetch, fn_batch=prefetch_batch, reads=reads,
@@ -1321,6 +1315,22 @@ class Engine:
                         round=self.rounds,
                         blocked_retries=tile.blocked_retries,
                     )
+                    # Distribution metrics: per-instruction-class cycle
+                    # costs, and tracker-block durations (each blocked
+                    # retry is one stall cycle, so the retry count at
+                    # the unblocking instruction is the block duration).
+                    tel.observe(
+                        "engine.instr_cycles", instr.opcode.value, cost
+                    )
+                    if instr.opcode in _DMA_OPCODES:
+                        tel.count(
+                            f"tile/{tile.tile_id}", "dma_cycles", cost
+                        )
+                    if tile.blocked_retries:
+                        tel.observe(
+                            "engine.block_cycles", "tracker",
+                            float(tile.blocked_retries),
+                        )
                 tile.blocked_retries = 0
                 if self.trace_enabled and len(self.trace) < self.trace_limit:
                     self.trace.append(
@@ -1402,6 +1412,17 @@ class Engine:
                 f"{phase} phase after {tile.blocked_retries} retries"
             )
         return "\n".join(lines)
+
+    def _observe_dma(self, tile_id: str, size: int) -> None:
+        """One DMA transfer's telemetry: the per-tile byte counter (as a
+        timestamped sample, so the Chrome trace plots a series) and the
+        transfer-size distribution metric."""
+        comp = self.machine.comp_tiles.get(tile_id)
+        self.telemetry.count(
+            f"tile/{tile_id}", "dma_bytes", 4 * size,
+            ts=None if comp is None else comp.cycles,
+        )
+        self.telemetry.observe("engine.dma", "transfer_bytes", 4 * size)
 
     def _flush_counters(self, tiles: List[CompTile]) -> None:
         """Snapshot per-tile cycle counters into the telemetry registry.

@@ -287,15 +287,21 @@ def _emit_stage_telemetry(
             sfu_cycles=cost.sfu_cycles,
             achieved_util=cost.utilization.achieved,
         )
+        # Distribution metrics: per-stage latency histograms, split by
+        # training step so ``repro stats`` reports p50/p95/p99 per class.
+        tel.observe("perf.stage_cycles", stage.step.value, stage.cycles)
+        tel.observe("perf.stage_cycles", "all", stage.cycles)
     group = f"perf/{network}"
     tel.record(group, "stages", len(stages))
-    tel.record(
-        group, "bottleneck_cycles",
-        max(s.cycles for s in stages) if stages else 0.0,
-    )
+    bottleneck = max(s.cycles for s in stages) if stages else 0.0
+    tel.record(group, "bottleneck_cycles", bottleneck)
     tel.record(group, "train_images_per_s", train_rate)
     tel.record(group, "eval_images_per_s", eval_rate)
     tel.record(group, "pe_utilization", pe_util)
+    tel.gauge(group, "bottleneck_cycles", bottleneck)
+    tel.gauge(group, "train_images_per_s", train_rate)
+    tel.gauge(group, "eval_images_per_s", eval_rate)
+    tel.gauge(group, "pe_utilization", pe_util)
 
 
 # ---------------------------------------------------------------------------

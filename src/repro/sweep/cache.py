@@ -309,3 +309,33 @@ def cached_forward_codegen(
             net, ReferenceModel(net, seed=seed), chip, rows
         ),
     )
+
+
+def cached_dag_forward_codegen(
+    net: Network,
+    seed: int = 0,
+    rows: int = 2,
+    cache: Optional[CompileCache] = None,
+):
+    """DAG-scheduled engine codegen, content-cached.
+
+    Same contract as :func:`cached_forward_codegen` but through the
+    DAG scheduler (:func:`repro.compiler.codegen_dag.compile_dag_forward`)
+    — the path the validation harness runs, which also covers networks
+    the linear schedule deadlocks on (e.g. LeNet-5's connection-table
+    conv).
+    """
+    from repro.compiler.codegen_dag import compile_dag_forward
+    from repro.functional.reference import ReferenceModel
+
+    cache = cache if cache is not None else get_cache()
+    digest = compile_digest(
+        net, None, artifact="codegen_dag", seed=seed, rows=rows
+    )
+    return cache.get(
+        "codegen",
+        digest,
+        lambda: compile_dag_forward(
+            net, ReferenceModel(net, seed=seed), rows=rows
+        ),
+    )

@@ -175,10 +175,11 @@ def _execute_job(
     job: SweepJob,
     use_cache: bool = True,
     cache_dir: Optional[str] = None,
-) -> Tuple[SweepResult, PerfResult, Dict[str, int], tuple, tuple]:
+) -> Tuple[SweepResult, PerfResult, Dict[str, int], tuple, tuple, object]:
     """Run one job; returns the result row, the full simulation (to warm
     the parent's cache), the cache hit/miss delta, and the telemetry the
-    job emitted (events + counter rows) for replay in the parent."""
+    job emitted (events + counter rows + the metrics registry) for
+    replay in the parent."""
     net = zoo.load(job.network)
     node = load_preset(job.preset)
 
@@ -191,6 +192,7 @@ def _execute_job(
     before = dict(cache.stats) if cache is not None else {}
 
     with capture() as tel:
+        job_started = time.perf_counter()
         if cache is not None:
             perf = cached_simulation(
                 net, node, job.minibatch, cache, faults=job.faults
@@ -201,6 +203,14 @@ def _execute_job(
                 if job.faults is not None else None
             )
             perf = simulate(net, node, job.minibatch, faults=mask)
+        job_elapsed = time.perf_counter() - job_started
+        # Deterministic job metrics feed `repro stats`; wall-clock
+        # measurements go to `wall.*` groups, which snapshots and
+        # baseline comparisons exclude (see telemetry.metrics).
+        tel.observe(
+            "sweep.job_cycles", "bottleneck", perf.bottleneck.cycles
+        )
+        tel.observe("wall.sweep", "job_s", job_elapsed)
 
     delta: Dict[str, int] = {}
     if cache is not None:
@@ -209,6 +219,10 @@ def _execute_job(
             for k, v in cache.stats.items()
             if v != before.get(k, 0)
         }
+        hit = delta.get("simulation_hits", 0) > 0
+        tel.observe(
+            "wall.cache", "hit_s" if hit else "miss_s", job_elapsed
+        )
 
     bottleneck = perf.bottleneck
     row = SweepResult(
@@ -228,7 +242,10 @@ def _execute_job(
         bound_by=bottleneck.cost.bound_by,
         cache_hit=delta.get("simulation_hits", 0) > 0,
     )
-    return row, perf, delta, tuple(tel.events), tuple(tel.counters.rows())
+    return (
+        row, perf, delta, tuple(tel.events), tuple(tel.counters.rows()),
+        tel.metrics,
+    )
 
 
 def _format_failure(exc: BaseException) -> str:
@@ -275,7 +292,9 @@ def _run_job(
     cache_dir: Optional[str] = None,
     retries: int = 1,
     backoff: float = 0.1,
-) -> Tuple[SweepResult, Optional[PerfResult], Dict[str, int], tuple, tuple]:
+) -> Tuple[
+    SweepResult, Optional[PerfResult], Dict[str, int], tuple, tuple, object
+]:
     """Execute one job with retry + quarantine (runs in the worker, so
     the pool never sees an exception and a poison job cannot abort the
     sweep).  Transient failures get ``retries`` re-attempts with
@@ -291,7 +310,10 @@ def _run_job(
                 time.sleep(backoff * (2 ** attempt))
                 attempt += 1
                 continue
-            return _failed_result(job, _format_failure(exc)), None, {}, (), ()
+            return (
+                _failed_result(job, _format_failure(exc)),
+                None, {}, (), (), None,
+            )
 
 
 def run_sweep(
@@ -346,7 +368,9 @@ def run_sweep(
     results: List[SweepResult] = []
     totals: Dict[str, int] = {}
     offset = 0.0
-    for job, (row, perf, delta, events, counter_rows) in zip(jobs, outputs):
+    for job, (row, perf, delta, events, counter_rows, job_metrics) in zip(
+        jobs, outputs
+    ):
         results.append(row)
         if row.failed and fail_fast:
             raise SweepError(
@@ -383,6 +407,10 @@ def run_sweep(
                     tel.count(group, name, value)
                 else:
                     tel.record(group, name, value)
+            if job_metrics is not None:
+                # Replayed in job order, so the merged registry is
+                # bit-identical regardless of worker count.
+                tel.metrics.merge(job_metrics)
     if tel.enabled:
         tel.record("sweep", "elapsed_s", elapsed)
         tel.record("sweep", "workers", workers)

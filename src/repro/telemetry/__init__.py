@@ -12,6 +12,7 @@ the null handle's ``enabled`` flag.  Typical use::
 
 from repro.telemetry.core import (
     CounterRegistry,
+    CounterSample,
     Event,
     NULL_TELEMETRY,
     NullTelemetry,
@@ -23,6 +24,14 @@ from repro.telemetry.core import (
     get_telemetry,
     set_telemetry,
 )
+from repro.telemetry.metrics import (
+    HISTOGRAM_EXACT_CAP,
+    Histogram,
+    MetricsRegistry,
+    SUMMARY_PERCENTILES,
+    VOLATILE_GROUP_PREFIX,
+    percentile_table,
+)
 from repro.telemetry.export import (
     chrome_trace,
     counter_table,
@@ -32,15 +41,30 @@ from repro.telemetry.export import (
     write_counters_csv,
 )
 from repro.telemetry.profile import (
+    CAUSE_REMEDIES,
+    StallAttribution,
+    StallCause,
     TileGroupProfile,
+    analytical_attribution,
     analytical_tile_profile,
+    attribution_table,
+    engine_attribution,
     engine_tile_profile,
     profile_table,
 )
 
 __all__ = [
+    "CAUSE_REMEDIES",
     "CounterRegistry",
+    "CounterSample",
     "Event",
+    "HISTOGRAM_EXACT_CAP",
+    "Histogram",
+    "MetricsRegistry",
+    "SUMMARY_PERCENTILES",
+    "StallAttribution",
+    "StallCause",
+    "VOLATILE_GROUP_PREFIX",
     "NULL_TELEMETRY",
     "NullTelemetry",
     "PHASE_INSTANT",
@@ -48,13 +72,17 @@ __all__ = [
     "Telemetry",
     "TileGroupProfile",
     "Track",
+    "analytical_attribution",
     "analytical_tile_profile",
+    "attribution_table",
     "capture",
     "chrome_trace",
     "counter_table",
     "counters_csv",
+    "engine_attribution",
     "engine_tile_profile",
     "get_telemetry",
+    "percentile_table",
     "profile_table",
     "set_telemetry",
     "summarize",

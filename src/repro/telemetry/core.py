@@ -33,6 +33,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
+from repro.telemetry.metrics import MetricsRegistry
+
 #: A track names the timeline an event belongs to: (process, lane).
 Track = Tuple[str, str]
 
@@ -106,6 +108,22 @@ class CounterRegistry:
         )
 
 
+@dataclass(frozen=True)
+class CounterSample:
+    """One timestamped sample of a counter's running value.
+
+    Instrumented code that knows *when* a counter moved passes ``ts`` to
+    :meth:`Telemetry.count` / :meth:`Telemetry.record`; the Chrome-trace
+    exporter renders the samples as ``"C"``-phase counter events so the
+    series plots over time in Perfetto instead of collapsing to a single
+    end-of-run value."""
+
+    ts: float  # cycles
+    group: str
+    name: str
+    value: float  # the counter's value after this update
+
+
 class NullTelemetry:
     """Null object installed by default: every operation is a no-op.
 
@@ -116,10 +134,15 @@ class NullTelemetry:
     enabled = False
     #: Empty views so diagnostic code can read a null handle uniformly.
     events: Tuple[Event, ...] = ()
+    counter_samples: Tuple[CounterSample, ...] = ()
 
     @property
     def counters(self) -> CounterRegistry:
         return CounterRegistry()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return MetricsRegistry()
 
     def span(self, name, category, track, ts, dur, **args) -> None:
         pass
@@ -127,21 +150,29 @@ class NullTelemetry:
     def instant(self, name, category, track, ts, **args) -> None:
         pass
 
-    def count(self, group, name, delta=1.0) -> None:
+    def count(self, group, name, delta=1.0, ts=None) -> None:
         pass
 
-    def record(self, group, name, value) -> None:
+    def record(self, group, name, value, ts=None) -> None:
+        pass
+
+    def observe(self, group, name, value) -> None:
+        pass
+
+    def gauge(self, group, name, value) -> None:
         pass
 
 
 class Telemetry:
-    """A live capture: appends events and maintains counters."""
+    """A live capture: appends events, maintains counters and metrics."""
 
     enabled = True
 
     def __init__(self) -> None:
         self.events: List[Event] = []
         self.counters = CounterRegistry()
+        self.metrics = MetricsRegistry()
+        self.counter_samples: List[CounterSample] = []
 
     def span(
         self,
@@ -169,11 +200,41 @@ class Telemetry:
             Event(name, category, track, float(ts), 0.0, PHASE_INSTANT, args)
         )
 
-    def count(self, group: str, name: str, delta: float = 1.0) -> None:
+    def count(
+        self,
+        group: str,
+        name: str,
+        delta: float = 1.0,
+        ts: Optional[float] = None,
+    ) -> None:
         self.counters.add(group, name, delta)
+        if ts is not None:
+            self.counter_samples.append(
+                CounterSample(
+                    float(ts), group, name, self.counters.get(group, name)
+                )
+            )
 
-    def record(self, group: str, name: str, value: float) -> None:
+    def record(
+        self,
+        group: str,
+        name: str,
+        value: float,
+        ts: Optional[float] = None,
+    ) -> None:
         self.counters.record(group, name, value)
+        if ts is not None:
+            self.counter_samples.append(
+                CounterSample(float(ts), group, name, float(value))
+            )
+
+    def observe(self, group: str, name: str, value: float) -> None:
+        """Add one observation to distribution metric ``group/name``."""
+        self.metrics.observe(group, name, value)
+
+    def gauge(self, group: str, name: str, value: float) -> None:
+        """Set gauge metric ``group/name`` (last write wins)."""
+        self.metrics.gauge(group, name, value)
 
     def events_in(self, category: str) -> List[Event]:
         return [e for e in self.events if e.category == category]

@@ -75,8 +75,12 @@ def chrome_trace(telemetry: AnyTelemetry) -> dict:
             record["s"] = "t"  # thread-scoped instant
         trace_events.append(record)
 
-    # Counters ride along as one counter sample per (group, name) so the
-    # viewer shows them under a dedicated process.
+    # Counters ride along as "C"-phase (counter) events under a
+    # dedicated process, so Perfetto plots them as series instead of
+    # dropping them from the trace.  Instrumentation sites that pass a
+    # timestamp contribute a full time series (one sample per update);
+    # every counter additionally gets a final sample at the end of the
+    # trace so last-write-only counters still render.
     counter_rows = telemetry.counters.rows() if not isinstance(
         telemetry, NullTelemetry
     ) else []
@@ -86,10 +90,22 @@ def chrome_trace(telemetry: AnyTelemetry) -> dict:
             "ph": "M", "name": "process_name", "pid": counter_pid,
             "tid": 0, "args": {"name": "counters"},
         })
+        end_ts = max((e.end for e in events), default=0.0)
+        samples = sorted(
+            telemetry.counter_samples,
+            key=lambda s: (s.group, s.name, s.ts),
+        )
+        for sample in samples:
+            trace_events.append({
+                "name": f"{sample.group}:{sample.name}", "cat": "counter",
+                "ph": "C", "ts": sample.ts, "pid": counter_pid, "tid": 0,
+                "args": {sample.name: sample.value},
+            })
+            end_ts = max(end_ts, sample.ts)
         for group, name, value in counter_rows:
             trace_events.append({
                 "name": f"{group}:{name}", "cat": "counter", "ph": "C",
-                "ts": 0, "pid": counter_pid, "tid": 0,
+                "ts": end_ts, "pid": counter_pid, "tid": 0,
                 "args": {name: value},
             })
 

@@ -1,0 +1,291 @@
+"""Distribution metrics: gauges, streaming histograms, percentiles.
+
+The counter registry answers "how much, in total"; this module answers
+"how is it distributed" — the p50/p95/p99 view the TPU paper uses for
+datacenter accounting.  A :class:`MetricsRegistry` lives next to the
+:class:`~repro.telemetry.core.CounterRegistry` on every live telemetry
+handle and holds two metric kinds:
+
+* a **gauge** is a last-write-wins scalar (``train_images_per_s``);
+* a **histogram** is a streaming distribution of observations
+  (per-instruction cycle costs, DMA transfer sizes, stage latencies).
+
+Histograms are **exact for small N**: observations are retained verbatim
+up to :data:`HISTOGRAM_EXACT_CAP` and percentiles are computed by linear
+interpolation over the sorted sample, bit-identical to
+``numpy.percentile(..., method="linear")``.  Beyond the cap the exact
+sample is dropped and percentiles come from log-spaced buckets
+(:data:`BUCKETS_PER_OCTAVE` per power of two, maintained from the first
+observation so the switch loses no history), interpolated linearly
+within the matched bucket.  Everything is plain deterministic float
+arithmetic — no clocks, no randomness — so two captures of the same run
+produce bit-identical registries, and merging per-job registries in job
+order yields the same result regardless of how many sweep workers
+produced them.
+
+Wall-clock measurements (sweep job durations, cache hit latencies) are
+real time and therefore *not* reproducible; by convention they live in
+groups prefixed :data:`VOLATILE_GROUP_PREFIX` and are excluded from
+deterministic snapshots and baseline comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Observations retained verbatim per histogram; beyond this the exact
+#: sample is dropped and percentiles interpolate within log buckets.
+HISTOGRAM_EXACT_CAP = 4096
+
+#: Log-bucket resolution: buckets per power of two (bucket width ~19%,
+#: worst-case percentile error ~9% — the SCALE-Sim fidelity-vs-speed
+#: trade, applied to memory instead of time).
+BUCKETS_PER_OCTAVE = 4
+
+#: Groups whose metrics measure wall-clock time (non-reproducible).
+#: Snapshots and baseline comparisons exclude them by default.
+VOLATILE_GROUP_PREFIX = "wall."
+
+#: The percentiles every summary reports.
+SUMMARY_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
+
+
+class Histogram:
+    """One streaming distribution (non-negative observations).
+
+    Maintains count/total/min/max, a dedicated bucket for zeros, and
+    log-spaced magnitude buckets; keeps the exact sample alongside until
+    :data:`HISTOGRAM_EXACT_CAP` observations.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_zeros", "_buckets",
+                 "_exact", "exact_cap")
+
+    def __init__(self, exact_cap: int = HISTOGRAM_EXACT_CAP) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._zeros = 0  # observations <= 0
+        self._buckets: Dict[int, int] = {}
+        self._exact: Optional[List[float]] = []
+        self.exact_cap = exact_cap
+
+    # -- recording -----------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self._zeros += 1
+        else:
+            index = math.floor(math.log2(value) * BUCKETS_PER_OCTAVE)
+            self._buckets[index] = self._buckets.get(index, 0) + 1
+        if self._exact is not None:
+            if len(self._exact) < self.exact_cap:
+                self._exact.append(value)
+            else:
+                self._exact = None  # switch to bucket interpolation
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (order-insensitive for
+        every derived statistic, so sweep replay is worker-count
+        independent)."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._zeros += other._zeros
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+        if (
+            self._exact is not None
+            and other._exact is not None
+            and len(self._exact) + len(other._exact) <= self.exact_cap
+        ):
+            self._exact.extend(other._exact)
+        else:
+            self._exact = None
+
+    # -- derived statistics --------------------------------------------
+    @property
+    def exact(self) -> bool:
+        """Whether percentiles are exact (sample retained) or bucketed."""
+        return self._exact is not None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100).
+
+        Exact (sorted-sample linear interpolation) while the sample is
+        retained; log-bucket interpolation beyond the size cap, clamped
+        to the observed [min, max]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = (self.count - 1) * q / 100.0
+        if self._exact is not None:
+            ordered = sorted(self._exact)
+            lo = math.floor(rank)
+            hi = math.ceil(rank)
+            if lo == hi:
+                return ordered[lo]
+            return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+        seen = 0
+        if self._zeros:
+            if rank <= self._zeros - 1:
+                return min(0.0, self.max) if self.max < 0.0 else 0.0
+            seen = self._zeros
+        for index in sorted(self._buckets):
+            n = self._buckets[index]
+            if rank < seen + n:
+                lo = 2.0 ** (index / BUCKETS_PER_OCTAVE)
+                hi = 2.0 ** ((index + 1) / BUCKETS_PER_OCTAVE)
+                frac = (rank - seen) / n
+                value = lo + (hi - lo) * frac
+                return min(max(value, self.min), self.max)
+            seen += n
+        return self.max
+
+    def summary(
+        self, percentiles: Sequence[float] = SUMMARY_PERCENTILES
+    ) -> Dict[str, float]:
+        """The deterministic scalar summary used by snapshots."""
+        out: Dict[str, float] = {
+            "count": float(self.count),
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+        for q in percentiles:
+            label = f"p{q:g}".replace(".", "_")
+            out[label] = self.percentile(q)
+        return out
+
+
+class MetricsRegistry:
+    """Named gauges and histograms, organised in groups like counters."""
+
+    def __init__(self) -> None:
+        self._gauges: Dict[str, Dict[str, float]] = {}
+        self._hists: Dict[str, Dict[str, Histogram]] = {}
+
+    def __len__(self) -> int:
+        return (
+            sum(len(g) for g in self._gauges.values())
+            + sum(len(g) for g in self._hists.values())
+        )
+
+    # -- recording -----------------------------------------------------
+    def gauge(self, group: str, name: str, value: float) -> None:
+        """Set gauge ``group/name`` (last write wins)."""
+        self._gauges.setdefault(group, {})[name] = float(value)
+
+    def observe(self, group: str, name: str, value: float) -> None:
+        """Add one observation to histogram ``group/name``."""
+        bucket = self._hists.setdefault(group, {})
+        hist = bucket.get(name)
+        if hist is None:
+            hist = bucket[name] = Histogram()
+        hist.observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (sweep workers replay into the
+        parent through this, in job order)."""
+        for group, values in other._gauges.items():
+            for name, value in values.items():
+                self.gauge(group, name, value)
+        for group, hists in other._hists.items():
+            bucket = self._hists.setdefault(group, {})
+            for name, hist in hists.items():
+                mine = bucket.get(name)
+                if mine is None:
+                    mine = bucket[name] = Histogram()
+                mine.merge(hist)
+
+    # -- access --------------------------------------------------------
+    def get_gauge(self, group: str, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(group, {}).get(name, default)
+
+    def histogram(self, group: str, name: str) -> Optional[Histogram]:
+        return self._hists.get(group, {}).get(name)
+
+    def groups(self) -> List[str]:
+        return sorted(set(self._gauges) | set(self._hists))
+
+    def gauges(self) -> List[Tuple[str, str, float]]:
+        """Flat ``(group, name, value)`` gauge rows, sorted."""
+        return [
+            (group, name, self._gauges[group][name])
+            for group in sorted(self._gauges)
+            for name in sorted(self._gauges[group])
+        ]
+
+    def histograms(self) -> List[Tuple[str, str, Histogram]]:
+        """Flat ``(group, name, histogram)`` rows, sorted."""
+        return [
+            (group, name, self._hists[group][name])
+            for group in sorted(self._hists)
+            for name in sorted(self._hists[group])
+        ]
+
+    # -- snapshots -----------------------------------------------------
+    def to_dict(self, include_volatile: bool = False) -> Dict[str, Dict]:
+        """Deterministic nested snapshot: ``{group: {name: entry}}``
+        where an entry is ``{"kind": "gauge", "value": v}`` or a
+        ``{"kind": "histogram", ...summary...}``.  Volatile (wall-clock)
+        groups are excluded unless requested."""
+        out: Dict[str, Dict] = {}
+        for group, name, value in self.gauges():
+            if not include_volatile and group.startswith(
+                VOLATILE_GROUP_PREFIX
+            ):
+                continue
+            entry = {"kind": "gauge", "value": value}
+            out.setdefault(group, {})[name] = entry
+        for group, name, hist in self.histograms():
+            if not include_volatile and group.startswith(
+                VOLATILE_GROUP_PREFIX
+            ):
+                continue
+            entry = {"kind": "histogram"}
+            entry.update(hist.summary())
+            out.setdefault(group, {})[name] = entry
+        return out
+
+
+def percentile_table(
+    registry: MetricsRegistry,
+    title: str,
+    groups: Optional[Iterable[str]] = None,
+):
+    """Histogram summaries as a :class:`repro.bench.reporting.Table`."""
+    from repro.bench.reporting import Table
+
+    wanted = None if groups is None else set(groups)
+    table = Table(
+        title,
+        ["metric", "count", "mean", "p50", "p90", "p95", "p99", "max"],
+    )
+    for group, name, hist in registry.histograms():
+        if wanted is not None and group not in wanted:
+            continue
+        table.add(
+            f"{group}/{name}", hist.count, f"{hist.mean:,.1f}",
+            f"{hist.percentile(50):,.1f}", f"{hist.percentile(90):,.1f}",
+            f"{hist.percentile(95):,.1f}", f"{hist.percentile(99):,.1f}",
+            f"{hist.max:,.1f}",
+        )
+    return table

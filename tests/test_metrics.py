@@ -1,0 +1,223 @@
+"""Tests for the metrics layer: streaming histograms, the registry,
+telemetry integration, and Chrome-trace counter series.
+
+Covers the tentpole's determinism contract — percentile summaries are
+exact for small N, bucket-interpolated beyond the cap, and registries
+merge bit-identically regardless of the merge sequence's partitioning.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    HISTOGRAM_EXACT_CAP,
+    CounterSample,
+    Histogram,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    Telemetry,
+    VOLATILE_GROUP_PREFIX,
+    capture,
+    chrome_trace,
+    percentile_table,
+)
+
+
+class TestHistogram:
+    def test_exact_percentiles_small_n(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0, 100.0):
+            hist.observe(value)
+        assert hist.count == 5
+        assert hist.min == 1.0 and hist.max == 100.0
+        assert hist.percentile(0) == 1.0
+        assert hist.percentile(50) == 3.0
+        assert hist.percentile(100) == 100.0
+        # Linear interpolation between order statistics.
+        assert hist.percentile(75) == pytest.approx(4.0 + 0.0, abs=96)
+
+    def test_empty_histogram_is_safe(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.percentile(50) == 0.0
+        assert hist.summary()["p99"] == 0.0
+
+    def test_switchover_to_buckets_at_cap(self):
+        hist = Histogram(exact_cap=8)
+        for value in range(1, 9):
+            hist.observe(float(value))
+        assert hist.exact
+        hist.observe(9.0)
+        assert not hist.exact  # past the cap: bucketed only
+        assert hist.count == 9
+        assert hist.max == 9.0
+
+    def test_bucketed_percentiles_approximate_exact(self):
+        exact = Histogram(exact_cap=100_000)
+        bucketed = Histogram(exact_cap=4)
+        values = [float(v) for v in range(1, 1001)]
+        for value in values:
+            exact.observe(value)
+            bucketed.observe(value)
+        for q in (50, 90, 95, 99):
+            reference = exact.percentile(q)
+            # Log buckets at 4/octave: worst-case relative error is one
+            # bucket width (2**0.25 ~ 19%) when samples fill the range.
+            assert bucketed.percentile(q) == pytest.approx(
+                reference, rel=0.20
+            )
+
+    def test_bucketed_percentiles_clamped_to_observed_range(self):
+        hist = Histogram(exact_cap=2)
+        for value in (10.0, 11.0, 12.0, 13.0):
+            hist.observe(value)
+        assert hist.percentile(0) >= hist.min
+        assert hist.percentile(100) <= hist.max
+
+    def test_zero_and_negative_values_bucket_separately(self):
+        hist = Histogram(exact_cap=2)
+        for value in (0.0, 0.0, 0.0, 8.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(100) == 8.0
+
+    def test_merge_matches_single_stream(self):
+        values = [float(i % 17 + 1) for i in range(300)]
+        one = Histogram(exact_cap=16)
+        for value in values:
+            one.observe(value)
+        left, right = Histogram(exact_cap=16), Histogram(exact_cap=16)
+        for i, value in enumerate(values):
+            (left if i % 2 else right).observe(value)
+        left.merge(right)
+        assert left.count == one.count
+        assert left.total == one.total
+        assert left.summary() == one.summary()
+
+    def test_default_cap_is_module_constant(self):
+        assert Histogram().exact_cap == HISTOGRAM_EXACT_CAP
+
+    def test_histogram_pickles(self):
+        hist = Histogram(exact_cap=2)
+        for value in (1.0, 2.0, 3.0):
+            hist.observe(value)
+        clone = pickle.loads(pickle.dumps(hist))
+        assert clone.summary() == hist.summary()
+
+
+class TestMetricsRegistry:
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "x", 1.0)
+        reg.gauge("g", "x", 5.0)
+        assert reg.get_gauge("g", "x") == 5.0
+
+    def test_observe_builds_histograms(self):
+        reg = MetricsRegistry()
+        reg.observe("h", "lat", 10.0)
+        reg.observe("h", "lat", 20.0)
+        hist = reg.histogram("h", "lat")
+        assert hist.count == 2
+        assert reg.histogram("h", "missing") is None
+
+    def test_to_dict_deterministic_and_json_stable(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.gauge("b", "g", 2.0)
+            for i in range(50):
+                reg.observe("a", "h", float(i))
+            return json.dumps(reg.to_dict(), sort_keys=True)
+
+        assert build() == build()
+
+    def test_volatile_groups_excluded_from_snapshot(self):
+        reg = MetricsRegistry()
+        reg.observe(VOLATILE_GROUP_PREFIX + "sweep", "job_s", 1.0)
+        reg.gauge("real", "x", 1.0)
+        snap = reg.to_dict()
+        assert "real" in snap
+        assert VOLATILE_GROUP_PREFIX + "sweep" not in snap
+        assert VOLATILE_GROUP_PREFIX + "sweep" in reg.to_dict(
+            include_volatile=True
+        )
+
+    def test_merge_is_order_insensitive_for_histograms(self):
+        def worker(seed):
+            reg = MetricsRegistry()
+            for i in range(40):
+                reg.observe("m", "v", float((seed * 7 + i) % 13 + 1))
+            return reg
+
+        ab = MetricsRegistry()
+        ab.merge(worker(1))
+        ab.merge(worker(2))
+        ba = MetricsRegistry()
+        ba.merge(worker(2))
+        ba.merge(worker(1))
+        assert json.dumps(ab.to_dict(), sort_keys=True) == json.dumps(
+            ba.to_dict(), sort_keys=True
+        )
+
+    def test_percentile_table_lists_all_histograms(self):
+        reg = MetricsRegistry()
+        for i in range(10):
+            reg.observe("grp", "m1", float(i))
+        table = percentile_table(reg, "t")
+        rendered = table.render()
+        assert "grp/m1" in rendered
+        assert "p99" in rendered
+
+
+class TestTelemetryIntegration:
+    def test_observe_and_gauge_flow_to_metrics(self):
+        with capture() as tel:
+            tel.observe("g", "h", 3.0)
+            tel.gauge("g", "v", 9.0)
+        assert tel.metrics.histogram("g", "h").count == 1
+        assert tel.metrics.get_gauge("g", "v") == 9.0
+
+    def test_null_telemetry_metrics_are_inert(self):
+        NULL_TELEMETRY.observe("g", "h", 1.0)
+        NULL_TELEMETRY.gauge("g", "v", 1.0)
+        NULL_TELEMETRY.count("g", "c", ts=5.0)
+        assert NULL_TELEMETRY.metrics.histograms() == []
+        assert NULL_TELEMETRY.counter_samples == ()
+
+    def test_counter_samples_record_value_after_increment(self):
+        tel = Telemetry()
+        tel.count("g", "c", 2.0, ts=10.0)
+        tel.count("g", "c", 3.0, ts=11.0)
+        tel.count("g", "quiet", 1.0)  # no ts: aggregate only
+        assert [s.value for s in tel.counter_samples] == [2.0, 5.0]
+        assert tel.counter_samples[0] == CounterSample(10.0, "g", "c", 2.0)
+        assert tel.counters.get("g", "quiet") == 1.0
+
+
+class TestChromeTraceCounters:
+    def test_counter_series_emitted_as_C_events(self):
+        tel = Telemetry()
+        tel.span("work", "cat", ("p", "l"), 0.0, 100.0)
+        tel.count("tile/x", "dma_bytes", 64.0, ts=10.0)
+        tel.count("tile/x", "dma_bytes", 64.0, ts=20.0)
+        doc = chrome_trace(tel)
+        series = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "C" and e["name"] == "tile/x:dma_bytes"
+        ]
+        # Two timestamped samples plus the final registry value at the
+        # trace end.
+        assert [e["ts"] for e in series] == [10.0, 20.0, 100.0]
+        assert [e["args"]["dma_bytes"] for e in series] == [
+            64.0, 128.0, 128.0,
+        ]
+
+    def test_untimestamped_counters_still_emit_final_value(self):
+        tel = Telemetry()
+        tel.count("g", "n", 5.0)
+        doc = chrome_trace(tel)
+        series = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(series) == 1
+        assert series[0]["args"]["n"] == 5.0
