@@ -506,6 +506,242 @@ def _percentile_tables(report: StatsReport) -> str:
     return f'<div class="card">{"".join(sections)}</div>'
 
 
+# ---------------------------------------------------------------------------
+# Serving panel (latency-throughput curves)
+# ---------------------------------------------------------------------------
+def _serve_kpis(curve) -> str:
+    worst_p99 = max(
+        (
+            stats.latency_percentile_ms(99)
+            for point in curve.points
+            for stats in point.report.tenants
+        ),
+        default=0.0,
+    )
+    shed = sum(p.report.shed for p in curve.points)
+    offered = sum(p.report.offered for p in curve.points)
+    tiles = (
+        ("Saturation", _fmt(curve.capacity_qps), "QPS (analytical)"),
+        ("Load points", _fmt(len(curve.points)),
+         f"x {len(curve.networks)} network(s)"),
+        ("Worst p99", _fmt(worst_p99, 2), "ms"),
+        ("Shed overall", f"{shed / offered:.1%}" if offered else "-",
+         f"{shed:,} of {offered:,} requests"),
+    )
+    cards = "".join(
+        f'<div class="card"><div class="kpi-label">{_esc(label)}</div>'
+        f'<div class="kpi-value">{_esc(value)}</div>'
+        f'<div class="kpi-unit">{_esc(unit)}</div></div>'
+        for label, value, unit in tiles
+    )
+    return f'<div class="kpis">{cards}</div>'
+
+
+def _serve_curve_svg(curve) -> str:
+    """The latency-throughput chart: offered load (fraction of each
+    tenant's saturation share) against p50/p99 request latency on a log
+    scale — one categorical series per network, p99 solid, p50 faded."""
+    series: Dict[str, List[Tuple[float, float, float, float]]] = {
+        name: [] for name in curve.networks
+    }
+    for point in curve.points:
+        for stats in point.report.tenants:
+            series[stats.network].append((
+                point.fraction,
+                stats.latency_percentile_ms(50),
+                stats.latency_percentile_ms(99),
+                stats.offered_qps,
+            ))
+    values = [
+        v
+        for rows in series.values()
+        for (_, p50, p99, _) in rows
+        for v in (p50, p99)
+        if v > 0
+    ]
+    if not values:
+        return ""
+    width, height = 640, 330
+    left, right, top, bottom = 58, 16, 14, 40
+    plot_w, plot_h = width - left - right, height - top - bottom
+    x_lo = 0.0
+    x_hi = max(f for rows in series.values() for (f, *_) in rows)
+    y_lo = 10 ** math.floor(math.log10(min(values)))
+    y_hi = 10 ** math.ceil(math.log10(max(values)))
+    if y_hi <= y_lo:
+        y_hi = y_lo * 10
+
+    def x_of(fraction: float) -> float:
+        return left + (fraction - x_lo) / (x_hi - x_lo) * plot_w
+
+    def y_of(latency: float) -> float:
+        span = math.log10(y_hi) - math.log10(y_lo)
+        clamped = min(max(latency, y_lo), y_hi)
+        return (
+            top + plot_h
+            - (math.log10(clamped) - math.log10(y_lo)) / span * plot_h
+        )
+
+    parts: List[str] = []
+    decade = y_lo
+    while decade <= y_hi * 1.0001:
+        y = y_of(decade)
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" '
+            f'y2="{y:.1f}" stroke="var(--grid)"/>'
+            f'<text x="{left - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{decade:g}</text>'
+        )
+        decade *= 10
+    for tick in (0.25, 0.5, 0.75, 1.0):
+        if tick > x_hi:
+            continue
+        x = x_of(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+            f'y2="{top + plot_h}" stroke="var(--grid)"/>'
+            f'<text x="{x:.1f}" y="{height - 22}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    # The knee: offered load == analytical saturation.
+    if x_hi >= 1.0:
+        x = x_of(1.0)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+            f'y2="{top + plot_h}" stroke="var(--axis)" '
+            'stroke-dasharray="4 3"/>'
+        )
+    for index, name in enumerate(curve.networks):
+        color = f"var(--s{index % len(SERIES) + 1})"
+        p50_path = " ".join(
+            f'{"M" if i == 0 else "L"} {x_of(f):.1f} {y_of(p50):.1f}'
+            for i, (f, p50, _, _) in enumerate(series[name])
+        )
+        p99_path = " ".join(
+            f'{"M" if i == 0 else "L"} {x_of(f):.1f} {y_of(p99):.1f}'
+            for i, (f, _, p99, _) in enumerate(series[name])
+        )
+        parts.append(
+            f'<path d="{p50_path}" fill="none" stroke="{color}" '
+            'stroke-width="2" stroke-dasharray="5 4" opacity="0.45"/>'
+            f'<path d="{p99_path}" fill="none" stroke="{color}" '
+            'stroke-width="2" stroke-linejoin="round"/>'
+        )
+        for fraction, p50, p99, offered_qps in series[name]:
+            tip = (
+                f"{name} at {fraction:g}x saturation "
+                f"({offered_qps:,.0f} QPS offered): "
+                f"p50 {p50:.3g}ms, p99 {p99:.3g}ms"
+            )
+            parts.append(
+                f'<circle cx="{x_of(fraction):.1f}" '
+                f'cy="{y_of(p99):.1f}" r="5" fill="{color}" '
+                f'stroke="var(--surface-1)" stroke-width="2" '
+                f'tabindex="0" data-tip="{_esc(tip)}"/>'
+            )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.0f}" y="{height - 6}" '
+        'text-anchor="middle">offered load (fraction of saturation)'
+        "</text>"
+        f'<text x="12" y="{top + plot_h / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 12 {top + plot_h / 2:.0f})">'
+        "request latency (ms)</text>"
+    )
+    legend = "".join(
+        f'<span><span class="key" '
+        f'style="background:var(--s{i % len(SERIES) + 1})"></span>'
+        f"{_esc(name)}</span>"
+        for i, name in enumerate(curve.networks)
+    )
+    return (
+        '<div class="card"><h2>Latency vs offered load</h2>'
+        f'<div class="legend">{legend}'
+        '<span class="muted">solid = p99, dashed = p50; dotted rule = '
+        "saturation</span></div>"
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">{"".join(parts)}</svg></div>'
+    )
+
+
+def _serve_table(curve) -> str:
+    body = "".join(
+        f'<tr><td>{_esc(row["network"])}</td>'
+        f'<td>{row["fraction"]:g}</td>'
+        f'<td>{_fmt(row["offered_net_qps"])}</td>'
+        f'<td>{_fmt(row["sustained_qps"])}</td>'
+        f'<td>{_fmt(row["p50_ms"], 3)}</td>'
+        f'<td>{_fmt(row["p95_ms"], 3)}</td>'
+        f'<td>{_fmt(row["p99_ms"], 3)}</td>'
+        f'<td>{row["shed_rate"]:.1%}</td>'
+        f'<td>{row["mean_batch"]:.1f}</td></tr>'
+        for row in curve.rows()
+    )
+    return (
+        '<div class="card"><h2>Curve points</h2>'
+        "<table><thead><tr><th>network</th><th>load</th>"
+        "<th>offered QPS</th><th>sustained QPS</th><th>p50 ms</th>"
+        "<th>p95 ms</th><th>p99 ms</th><th>shed</th><th>batch</th>"
+        f"</tr></thead><tbody>{body}</tbody></table></div>"
+    )
+
+
+def _serve_placement_table(curve) -> str:
+    body = "".join(
+        f"<tr><td>{_esc(t.network)}</td><td>{t.clusters}</td>"
+        f"<td>{t.share:.1%}</td><td>{t.pipeline_depth}</td>"
+        f"<td>{_fmt(t.rate_qps)}</td>"
+        f"<td>{_fmt(t.saturation_qps(curve.config.policy.max_batch))}"
+        "</td></tr>"
+        for t in curve.placement.tenants
+    )
+    return (
+        '<div class="card"><h2>Placement</h2>'
+        "<table><thead><tr><th>network</th><th>clusters</th>"
+        "<th>share</th><th>pipeline depth</th><th>rate img/s</th>"
+        "<th>saturation QPS</th></tr></thead>"
+        f"<tbody>{body}</tbody></table></div>"
+    )
+
+
+def serve_html(curve) -> str:
+    """Render a :class:`~repro.serve.curve.CurveReport` as the serving
+    dashboard document (same palette/layout grammar as ``stats``)."""
+    config = curve.config
+    body = (
+        f"<h1>ScaleDeep serving - {_esc(', '.join(curve.networks))}"
+        "</h1>"
+        f'<p class="sub">{_esc(curve.node)} - {_esc(config.arrivals)} '
+        f"arrivals, seed {config.seed} - "
+        f"{_esc(config.policy.kind)} batching (max batch "
+        f"{config.policy.max_batch}, max wait "
+        f"{config.policy.max_wait_s * 1e3:g}ms, queue depth "
+        f"{config.policy.queue_depth}) - {config.duration_s:g}s per "
+        "point</p>"
+        + _serve_kpis(curve)
+        + _serve_curve_svg(curve)
+        + _serve_table(curve)
+        + _serve_placement_table(curve)
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>repro serve - {_esc(', '.join(curve.networks))}"
+        "</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f'<body>{body}<div id="tip" role="status"></div>\n'
+        f"<script>{_JS}</script></body></html>\n"
+    )
+
+
+def write_serve_html(curve, path: Union[str, Path]) -> Path:
+    """Write the serving dashboard (same contract as
+    :func:`write_stats_html`)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(serve_html(curve), encoding="utf-8")
+    return path
+
+
 def stats_html(report: StatsReport) -> str:
     """Render the full dashboard document."""
     engine_note = (

@@ -161,6 +161,38 @@ def write_validation_json(report, path: Union[str, Path]) -> Path:
     return path
 
 
+def write_serve_json(report, path: Union[str, Path]) -> Path:
+    """Write a serving result — a
+    :class:`~repro.serve.report.ServeReport` or a
+    :class:`~repro.serve.curve.CurveReport` — as the ``BENCH_serve.json``
+    artifact.  Full float precision, sorted keys: the serving loop is
+    seeded and wall-clock free, so reruns at the same seed produce
+    byte-identical files (the CI serve smoke pins this with ``cmp``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_serve_csv(report, path: Union[str, Path]) -> Path:
+    """Write serving rows as CSV: per-(network, load-point) rows in
+    :data:`~repro.serve.curve.CURVE_FIELDS` order for a curve, or the
+    per-tenant rows of a single run (full float precision)."""
+    from repro.serve.curve import CURVE_FIELDS, CurveReport
+
+    path = Path(path)
+    rows = report.rows()
+    if isinstance(report, CurveReport):
+        fields: Sequence[str] = CURVE_FIELDS
+    elif rows:
+        fields = list(rows[0])
+    else:
+        fields = []
+    return _write(path, fields, [[r[f] for f in fields] for r in rows])
+
+
 def write_sweep_csv(results: Sequence, path: Union[str, Path]) -> Path:
     """Write sweep results as CSV in ``SweepResult.EXPORT_FIELDS`` order
     (full float precision via ``repr``, like the JSON writer)."""

@@ -23,6 +23,11 @@ Subcommands:
   (and optionally CSV) results;
 * ``faults NET`` — inject a deterministic fault mask and report
   baseline vs degraded throughput / energy after remapping;
+* ``serve NET[,NET...]`` — datacenter inference serving simulation:
+  seeded open-loop arrivals drive dynamic batchers over a multi-tenant
+  placement; reports p50/p95/p99 latency, sustained QPS and shed rate
+  (``--curve`` sweeps offered load into the latency–throughput curve,
+  ``--json/--out/--csv/--html`` export it);
 * ``export DIR`` — write every figure's data series as CSV.
 
 Network names are resolved case-insensitively with shorthand aliases
@@ -594,6 +599,121 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    import json as json_mod
+
+    from repro.bench.export import write_serve_csv, write_serve_json
+    from repro.errors import ConfigError
+    from repro.serve import (
+        BatchPolicy,
+        ServeConfig,
+        run_curve,
+        simulate_serving,
+    )
+
+    names = [
+        part
+        for spec in args.networks
+        for part in spec.split(",")
+        if part
+    ]
+    if not names:
+        print("repro: serve needs at least one network", file=sys.stderr)
+        raise SystemExit(2)
+    networks = [_load(name) for name in names]
+    node = _node(args)
+
+    try:
+        policy = BatchPolicy(
+            kind=args.policy,
+            max_batch=args.max_batch,
+            max_wait_s=args.max_wait / 1e3,
+            queue_depth=args.queue_depth,
+        )
+        config = ServeConfig(
+            qps=args.qps,
+            duration_s=args.duration,
+            arrivals=args.arrivals,
+            seed=args.seed,
+            policy=policy,
+            max_requests=args.max_requests,
+            minibatch=args.minibatch,
+        )
+        if args.curve:
+            report = run_curve(
+                [net.name for net in networks], node, config,
+                workers=args.workers,
+            )
+        else:
+            report = simulate_serving(networks, node, config)
+    except ConfigError as exc:
+        # Every knob here came off the command line: usage error.
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro: {message}", file=sys.stderr)
+        raise SystemExit(2)
+
+    if args.json:
+        print(
+            json_mod.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+    elif args.curve:
+        table = Table(
+            f"Latency-throughput curve ({node.name})",
+            ["network", "load", "offered QPS", "sustained QPS",
+             "p50 ms", "p95 ms", "p99 ms", "shed", "batch"],
+        )
+        for row in report.rows():
+            table.add(
+                row["network"], f'{row["fraction"]:g}x',
+                f'{row["offered_net_qps"]:,.0f}',
+                f'{row["sustained_qps"]:,.0f}',
+                f'{row["p50_ms"]:.3f}', f'{row["p95_ms"]:.3f}',
+                f'{row["p99_ms"]:.3f}', f'{row["shed_rate"]:.1%}',
+                f'{row["mean_batch"]:.1f}',
+            )
+        table.show()
+        print(report.describe())
+    else:
+        table = Table(
+            f"Serving report ({node.name})",
+            ["network", "share", "offered", "completed", "shed",
+             "p50 ms", "p95 ms", "p99 ms", "sustained QPS", "batch"],
+        )
+        for row in report.rows():
+            table.add(
+                row["network"], f'{row["share"]:.1%}',
+                row["offered"], row["completed"], row["shed"],
+                f'{row["p50_ms"]:.3f}', f'{row["p95_ms"]:.3f}',
+                f'{row["p99_ms"]:.3f}',
+                f'{row["sustained_qps"]:,.0f}',
+                f'{row["mean_batch"]:.1f}',
+            )
+        table.show()
+        print(report.describe())
+
+    if args.out:
+        path = write_serve_json(report, args.out)
+        if not args.json:
+            print(f"wrote {path}")
+    if args.csv:
+        path = write_serve_csv(report, args.csv)
+        if not args.json:
+            print(f"wrote {path}")
+    if args.html:
+        if not args.curve:
+            print(
+                "repro: --html renders the latency-throughput curve; "
+                "add --curve",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        from repro.bench.dashboard import write_serve_html
+
+        path = write_serve_html(report, args.html)
+        if not args.json:
+            print(f"wrote dashboard to {path}")
+
+
 def cmd_export(args: argparse.Namespace) -> None:
     from repro.bench.export import export_all
 
@@ -821,6 +941,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="disk-backed compile cache directory",
     )
     p.set_defaults(func=cmd_faults)
+    p = sub.add_parser(
+        "serve",
+        help="datacenter inference serving simulation "
+        "(latency/QPS, --curve for the latency-throughput sweep)",
+    )
+    p.add_argument(
+        "networks", nargs="+",
+        help="networks to co-serve on one node (comma- or "
+        "space-separated, e.g. lenet5,alexnet)",
+    )
+    p.add_argument(
+        "--hp", action="store_true",
+        help="use the half-precision node (Fig 17)",
+    )
+    p.add_argument(
+        "--qps", type=float, default=2_000.0,
+        help="aggregate offered load in requests/s "
+        "(default: 2000; ignored with --curve)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=0.25, metavar="S",
+        help="offered-arrival window in seconds (default: 0.25)",
+    )
+    p.add_argument(
+        "--arrivals", choices=["poisson", "uniform"], default="poisson",
+        help="arrival process (default: poisson)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="arrival RNG seed (default: 0)",
+    )
+    p.add_argument(
+        "--policy", choices=["wait", "greedy"], default="wait",
+        help="batching policy: hold for max-batch/max-wait, or "
+        "dispatch whenever the server is idle (default: wait)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=8,
+        help="largest batch the batcher forms (default: 8)",
+    )
+    p.add_argument(
+        "--max-wait", type=float, default=2.0, metavar="MS",
+        help="longest a request waits for batchmates, in ms "
+        "(default: 2.0)",
+    )
+    p.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="admission bound: arrivals past this queue depth are "
+        "shed (default: 64)",
+    )
+    p.add_argument(
+        "--max-requests", type=int, default=200_000,
+        help="hard cap on generated requests per run (default: 200000)",
+    )
+    p.add_argument("--minibatch", type=int, default=256)
+    p.add_argument(
+        "--curve", action="store_true",
+        help="sweep offered load over fractions of the analytical "
+        "saturation rate and report the latency-throughput curve",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --curve points (default: 1)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic report as JSON",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the report as a JSON artifact "
+        "(e.g. BENCH_serve.json)",
+    )
+    p.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the per-row results as CSV",
+    )
+    p.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="write the serving dashboard (requires --curve)",
+    )
+    p.set_defaults(func=cmd_serve)
     p = sub.add_parser("export", help="write figure data as CSV")
     p.add_argument("directory", help="output directory")
     p.set_defaults(func=cmd_export)

@@ -1,0 +1,69 @@
+"""Datacenter inference serving simulation for one ScaleDeep node.
+
+The serving layer turns the repo's per-request cost models into
+latency-bounded-throughput results, the way the TPU paper evaluates
+datacenter inference: an open-loop seeded request generator
+(:mod:`~repro.serve.request`) drives per-tenant dynamic batchers with
+admission control (:mod:`~repro.serve.batcher`) over a multi-tenant
+cluster placement (:mod:`~repro.serve.placement`); the discrete-event
+loop (:mod:`~repro.serve.simulator`) charges each batch its analytical
+pipeline latency and reports p50/p95/p99 request latency, sustained
+QPS, batch-size distribution and shed rate per network
+(:mod:`~repro.serve.report`); and :mod:`~repro.serve.curve` sweeps
+offered load into the latency–throughput curve.  Everything is seeded
+and float-deterministic: two runs at the same seed serialise
+byte-identically at any worker count.
+"""
+
+from repro.serve.batcher import (
+    POLICY_KINDS,
+    BatchPolicy,
+    DynamicBatcher,
+)
+from repro.serve.curve import (
+    CURVE_FIELDS,
+    CURVE_FRACTIONS,
+    CurvePoint,
+    CurveReport,
+    run_curve,
+)
+from repro.serve.placement import (
+    NodePlacement,
+    Tenant,
+    place_networks,
+)
+from repro.serve.report import (
+    LATENCY_PERCENTILES,
+    ServeReport,
+    TenantServeStats,
+)
+from repro.serve.request import (
+    ARRIVAL_KINDS,
+    DEFAULT_MAX_REQUESTS,
+    Request,
+    generate_requests,
+)
+from repro.serve.simulator import ServeConfig, simulate_serving
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "BatchPolicy",
+    "CURVE_FIELDS",
+    "CURVE_FRACTIONS",
+    "CurvePoint",
+    "CurveReport",
+    "DEFAULT_MAX_REQUESTS",
+    "DynamicBatcher",
+    "LATENCY_PERCENTILES",
+    "NodePlacement",
+    "POLICY_KINDS",
+    "Request",
+    "ServeConfig",
+    "ServeReport",
+    "Tenant",
+    "TenantServeStats",
+    "generate_requests",
+    "place_networks",
+    "run_curve",
+    "simulate_serving",
+]

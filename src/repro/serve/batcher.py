@@ -1,0 +1,122 @@
+"""Dynamic batching and admission control for one serving tenant.
+
+The batcher owns a tenant's request queue and makes the two decisions
+the serving loop delegates:
+
+* **admission** — :meth:`DynamicBatcher.offer` sheds a request when the
+  queue already holds ``queue_depth`` waiting requests (bounding both
+  memory and worst-case queueing delay; shed requests are counted, not
+  retried);
+* **batch forming** — :meth:`DynamicBatcher.take` releases the next
+  batch.  Under the ``greedy`` policy anything queued dispatches the
+  moment the server is free.  Under the ``wait`` policy the batcher
+  holds until the batch fills to ``max_batch`` **or** the oldest
+  request has waited ``max_wait_s`` (the classic batching-vs-tail-
+  latency dial of the TPU paper); :meth:`DynamicBatcher.deadline`
+  exposes the exact expiry instant so the event loop can schedule a
+  timer, and expiry *exactly on* the deadline dispatches — the
+  comparison uses the same float expression the deadline returns, so
+  there is no epsilon to tune.
+
+Everything is plain deterministic bookkeeping: no clocks, no RNG.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.errors import ConfigError
+from repro.serve.request import Request
+
+#: Supported batch-forming policies.
+POLICY_KINDS = ("wait", "greedy")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The batcher's three dials: policy kind, size cap, wait cap, and
+    the admission queue bound."""
+
+    kind: str = "wait"
+    max_batch: int = 8
+    max_wait_s: float = 0.002
+    queue_depth: int = 64
+
+    def __post_init__(self) -> None:
+        if self.kind not in POLICY_KINDS:
+            raise ConfigError(
+                f"unknown batch policy {self.kind!r} "
+                f"(choose from: {', '.join(POLICY_KINDS)})"
+            )
+        if self.max_batch < 1:
+            raise ConfigError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait_s < 0:
+            raise ConfigError(
+                f"max_wait_s must be >= 0, got {self.max_wait_s}"
+            )
+        if self.queue_depth < 1:
+            raise ConfigError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+
+    def describe(self) -> str:
+        wait = (
+            f", max-wait {self.max_wait_s * 1e3:g}ms"
+            if self.kind == "wait" else ""
+        )
+        return (
+            f"{self.kind} batching (max-batch {self.max_batch}{wait}, "
+            f"queue bound {self.queue_depth})"
+        )
+
+
+class DynamicBatcher:
+    """Admission + batch forming for one tenant's queue."""
+
+    def __init__(self, policy: BatchPolicy) -> None:
+        self.policy = policy
+        self._queue: Deque[Request] = deque()
+        self.admitted = 0
+        self.shed = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def offer(self, request: Request) -> bool:
+        """Admit ``request`` or shed it (queue at its depth bound)."""
+        if len(self._queue) >= self.policy.queue_depth:
+            self.shed += 1
+            return False
+        self._queue.append(request)
+        self.admitted += 1
+        return True
+
+    def deadline(self) -> Optional[float]:
+        """When the oldest queued request's wait budget expires, or
+        ``None`` (empty queue, or the greedy policy never waits)."""
+        if not self._queue or self.policy.kind == "greedy":
+            return None
+        return self._queue[0].arrival_s + self.policy.max_wait_s
+
+    def take(self, now_s: float) -> List[Request]:
+        """The batch to dispatch at ``now_s``, or ``[]`` to keep
+        waiting.  Dispatches when the queue fills a batch, the oldest
+        request's deadline has arrived (``now_s`` at or past
+        :meth:`deadline`), or the policy is greedy."""
+        queue = self._queue
+        if not queue:
+            return []
+        policy = self.policy
+        ready = (
+            policy.kind == "greedy"
+            or len(queue) >= policy.max_batch
+            or now_s >= queue[0].arrival_s + policy.max_wait_s
+        )
+        if not ready:
+            return []
+        size = min(len(queue), policy.max_batch)
+        return [queue.popleft() for _ in range(size)]

@@ -1,0 +1,171 @@
+"""Multi-tenant placement: several zoo networks on one node's clusters.
+
+The node is a ring of clusters (4 in the paper config).  To co-host
+several inference tenants, each network keeps its own
+:func:`~repro.compiler.pipeline.compile_network` mapping — which fixes
+the minimum cluster granularity a copy needs (``clusters_per_copy``) —
+and the placer partitions the node's clusters among the tenants:
+
+* every tenant gets at least the clusters one copy of its mapping
+  spans (a network that cannot fit alongside the others raises
+  :class:`~repro.errors.ConfigError`);
+* leftover clusters go to the tenant with the largest deficit against
+  its FLOPs-proportional ideal share (deterministic largest-remainder,
+  ties to the earlier tenant in the request order).
+
+A tenant's service model is the analytical evaluation pipeline scaled
+to its cluster share: sustained rate ``share * eval_rate`` and batch
+latency ``(depth + b - 1) / rate`` (see
+:func:`repro.sim.perf.evaluation_batch_latency_s`) — linear scaling in
+clusters, the same data-parallel-copies assumption STEP3a makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.arch.node import NodeConfig
+from repro.dnn.analysis import evaluation_flops
+from repro.dnn.network import Network
+from repro.errors import ConfigError
+from repro.sim.perf import (
+    DEFAULT_MINIBATCH,
+    PerfResult,
+    evaluation_pipeline_depth,
+)
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One network's slice of the node and its service model."""
+
+    network: str
+    clusters: int
+    share: float  # fraction of the node's clusters
+    rate_qps: float  # sustained evaluation images/s on this share
+    pipeline_depth: int
+    weight: float  # demand weight used by the placer (eval GFLOPs)
+
+    def batch_latency_s(self, batch: int) -> float:
+        """End-to-end latency of one batch on this tenant's slice:
+        pipeline fill plus one beat per further image."""
+        if batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {batch}")
+        return (self.pipeline_depth + batch - 1) / self.rate_qps
+
+    def saturation_qps(self, max_batch: int) -> float:
+        """The highest request rate this tenant sustains when batches
+        always fill to ``max_batch`` (fill amortised across the
+        batch)."""
+        return (
+            self.rate_qps * max_batch
+            / (self.pipeline_depth + max_batch - 1)
+        )
+
+
+@dataclass(frozen=True)
+class NodePlacement:
+    """The partition of one node's clusters among serving tenants."""
+
+    node: str
+    cluster_count: int
+    tenants: Tuple[Tenant, ...]
+
+    def tenant(self, network: str) -> Tenant:
+        for tenant in self.tenants:
+            if tenant.network == network:
+                return tenant
+        raise KeyError(network)
+
+    def saturation_qps(self, max_batch: int) -> float:
+        """Aggregate saturation rate across every tenant."""
+        return sum(t.saturation_qps(max_batch) for t in self.tenants)
+
+    def describe(self) -> str:
+        parts = [
+            f"{t.network}: {t.clusters} cluster(s) "
+            f"({t.share:.0%}, {t.rate_qps:,.0f} img/s, "
+            f"depth {t.pipeline_depth})"
+            for t in self.tenants
+        ]
+        return (
+            f"placement on {self.node} "
+            f"({self.cluster_count} clusters): " + "; ".join(parts)
+        )
+
+
+def place_networks(
+    networks: Sequence[Network],
+    node: NodeConfig,
+    minibatch: int = DEFAULT_MINIBATCH,
+    results: Optional[Sequence[PerfResult]] = None,
+) -> NodePlacement:
+    """Partition ``node``'s clusters among ``networks``.
+
+    Each network is compiled (through the content-keyed cache) to learn
+    its minimum cluster span and full-node evaluation rate; ``results``
+    short-circuits that for callers that already simulated.  Raises
+    :class:`ConfigError` when the tenants' minimum spans exceed the
+    node, or a network name repeats.
+    """
+    if not networks:
+        raise ConfigError("at least one network is required to serve")
+    names = [net.name for net in networks]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate serving networks in {names}")
+
+    if results is None:
+        from repro.sweep.cache import cached_simulation
+
+        results = [
+            cached_simulation(net, node, minibatch) for net in networks
+        ]
+
+    total_clusters = node.cluster_count
+    minimums = [
+        min(r.mapping.clusters_per_copy, total_clusters) for r in results
+    ]
+    if sum(minimums) > total_clusters:
+        raise ConfigError(
+            f"cannot co-host {names} on {node.name}: copies span "
+            f"{sum(minimums)} cluster(s) but the node has "
+            f"{total_clusters}"
+        )
+
+    weights = [evaluation_flops(net) / 1e9 for net in networks]
+    total_weight = sum(weights) or float(len(networks))
+    ideal = [
+        total_clusters * weight / total_weight for weight in weights
+    ]
+    assigned = list(minimums)
+    # Largest-remainder: hand the leftover clusters one at a time to
+    # the tenant furthest below its ideal share (ties to the earlier
+    # tenant — strict comparison keeps this deterministic).
+    for _ in range(total_clusters - sum(assigned)):
+        best = 0
+        for i in range(len(assigned)):
+            if ideal[i] - assigned[i] > ideal[best] - assigned[best]:
+                best = i
+        assigned[best] += 1
+
+    tenants: List[Tenant] = []
+    for net, result, clusters, weight in zip(
+        networks, results, assigned, weights
+    ):
+        share = clusters / total_clusters
+        tenants.append(
+            Tenant(
+                network=net.name,
+                clusters=clusters,
+                share=share,
+                rate_qps=result.evaluation_images_per_s * share,
+                pipeline_depth=evaluation_pipeline_depth(result.mapping),
+                weight=weight,
+            )
+        )
+    return NodePlacement(
+        node=node.name,
+        cluster_count=total_clusters,
+        tenants=tuple(tenants),
+    )

@@ -1,0 +1,158 @@
+"""Serving results: per-tenant latency/QPS statistics and snapshots.
+
+A :class:`ServeReport` is the deterministic product of one serving run:
+per-network request latency distributions (reusing the streaming
+:class:`~repro.telemetry.metrics.Histogram` — p50/p95/p99 by the same
+interpolation rules every other percentile in the repo uses), sustained
+QPS over the run horizon, the batch-size distribution the dynamic
+batcher actually formed, and shed accounting from admission control.
+``to_dict()`` emits only plain floats/ints with sorted keys, so two
+runs at the same seed serialise byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.placement import NodePlacement
+from repro.telemetry.metrics import Histogram
+
+#: The latency percentiles every serving row reports (milliseconds).
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass
+class TenantServeStats:
+    """One tenant's measured serving behaviour over a run."""
+
+    network: str
+    share: float
+    offered: int  # requests generated for this tenant
+    admitted: int
+    shed: int
+    completed: int
+    batches: int
+    offered_qps: float
+    sustained_qps: float
+    latency_ms: Histogram  # per-request end-to-end latency
+    batch_sizes: Histogram  # images per dispatched batch
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.batch_sizes.mean if self.batches else 0.0
+
+    def latency_percentile_ms(self, q: float) -> float:
+        return self.latency_ms.percentile(q)
+
+    def to_row(self) -> Dict[str, object]:
+        """The deterministic export payload for this tenant."""
+        row: Dict[str, object] = {
+            "network": self.network,
+            "share": self.share,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "completed": self.completed,
+            "batches": self.batches,
+            "offered_qps": self.offered_qps,
+            "sustained_qps": self.sustained_qps,
+            "shed_rate": self.shed_rate,
+            "mean_batch": self.mean_batch,
+            "max_batch": (
+                self.batch_sizes.max if self.batches else 0.0
+            ),
+        }
+        for q in LATENCY_PERCENTILES:
+            row[f"p{q:g}_ms"] = self.latency_percentile_ms(q)
+        row["mean_ms"] = self.latency_ms.mean
+        row["max_ms"] = self.latency_ms.max if self.completed else 0.0
+        return row
+
+
+@dataclass
+class ServeReport:
+    """Everything one serving run produced."""
+
+    node: str
+    policy: BatchPolicy
+    arrivals: str
+    seed: int
+    offered_qps: float
+    duration_s: float
+    horizon_s: float  # offered window stretched to the last completion
+    placement: NodePlacement
+    tenants: Tuple[TenantServeStats, ...]
+
+    @property
+    def offered(self) -> int:
+        return sum(t.offered for t in self.tenants)
+
+    @property
+    def completed(self) -> int:
+        return sum(t.completed for t in self.tenants)
+
+    @property
+    def shed(self) -> int:
+        return sum(t.shed for t in self.tenants)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def sustained_qps(self) -> float:
+        return sum(t.sustained_qps for t in self.tenants)
+
+    def tenant(self, network: str) -> TenantServeStats:
+        for stats in self.tenants:
+            if stats.network == network:
+                return stats
+        raise KeyError(network)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [t.to_row() for t in self.tenants]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The deterministic snapshot (plain scalars, stable keys)."""
+        return {
+            "config": {
+                "node": self.node,
+                "arrivals": self.arrivals,
+                "seed": self.seed,
+                "offered_qps": self.offered_qps,
+                "duration_s": self.duration_s,
+                "policy": self.policy.kind,
+                "max_batch": self.policy.max_batch,
+                "max_wait_ms": self.policy.max_wait_s * 1e3,
+                "queue_depth": self.policy.queue_depth,
+            },
+            "placement": {
+                t.network: {"clusters": t.clusters, "share": t.share}
+                for t in self.placement.tenants
+            },
+            "tenants": {t.network: t.to_row() for t in self.tenants},
+            "totals": {
+                "offered": self.offered,
+                "completed": self.completed,
+                "shed": self.shed,
+                "shed_rate": self.shed_rate,
+                "sustained_qps": self.sustained_qps,
+                "horizon_s": self.horizon_s,
+            },
+        }
+
+    def describe(self) -> str:
+        return (
+            f"served {self.completed}/{self.offered} requests "
+            f"({self.shed} shed) on {self.node} at "
+            f"{self.offered_qps:,.0f} offered QPS over "
+            f"{self.duration_s:g}s [{self.arrivals} arrivals, "
+            f"{self.policy.describe()}]; sustained "
+            f"{self.sustained_qps:,.0f} QPS"
+        )

@@ -1,0 +1,137 @@
+"""Open-loop request generation for the serving simulator.
+
+A request stream is generated up front, deterministically, from a seed:
+the generator never observes simulator state (open-loop — offered load
+does not slow down when the node saturates, which is exactly what makes
+tail latency blow up past the knee, TPU-paper style).  Two arrival
+processes are supported:
+
+* ``poisson`` — memoryless arrivals at an offered aggregate rate
+  (inter-arrival times drawn from ``Exp(qps)`` with a seeded
+  ``random.Random``), each request routed to a network by a weighted
+  seeded draw;
+* ``uniform`` — a closed trace of evenly spaced arrivals at exactly
+  ``1/qps`` spacing, networks interleaved by deterministic
+  largest-remainder weighted round-robin (no RNG at all).
+
+Both are plain float arithmetic over a seeded PRNG, so the same
+(networks, qps, duration, seed) produce a bit-identical stream on every
+run — the property the serve determinism gate pins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Supported arrival processes.
+ARRIVAL_KINDS = ("poisson", "uniform")
+
+#: Hard cap on generated requests per run: an open-loop generator at a
+#: "millions of users" rate must not materialise an unbounded stream.
+DEFAULT_MAX_REQUESTS = 200_000
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: global arrival order, target network,
+    arrival timestamp (seconds from the start of the run)."""
+
+    index: int
+    network: str
+    arrival_s: float
+
+
+def _normalized_weights(
+    networks: Sequence[str], weights: Optional[Sequence[float]]
+) -> List[float]:
+    if weights is None:
+        weights = [1.0] * len(networks)
+    if len(weights) != len(networks):
+        raise ConfigError(
+            f"{len(networks)} network(s) but {len(weights)} weight(s)"
+        )
+    if any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ConfigError(f"request weights must be >= 0 and sum > 0")
+    total = float(sum(weights))
+    return [float(w) / total for w in weights]
+
+
+def generate_requests(
+    networks: Sequence[str],
+    qps: float,
+    duration_s: float,
+    arrivals: str = "poisson",
+    seed: int = 0,
+    weights: Optional[Sequence[float]] = None,
+    max_requests: int = DEFAULT_MAX_REQUESTS,
+) -> Tuple[Request, ...]:
+    """The deterministic request stream for one serving run.
+
+    ``qps`` is the aggregate offered rate across every network;
+    ``weights`` splits it (default: equally).  Generation stops at
+    ``duration_s`` simulated seconds or ``max_requests`` requests,
+    whichever comes first.
+    """
+    if not networks:
+        raise ConfigError("at least one network is required to serve")
+    if qps <= 0:
+        raise ConfigError(f"offered qps must be > 0, got {qps}")
+    if duration_s <= 0:
+        raise ConfigError(f"duration must be > 0, got {duration_s}")
+    if max_requests < 1:
+        raise ConfigError(
+            f"max_requests must be >= 1, got {max_requests}"
+        )
+    if arrivals not in ARRIVAL_KINDS:
+        raise ConfigError(
+            f"unknown arrival process {arrivals!r} "
+            f"(choose from: {', '.join(ARRIVAL_KINDS)})"
+        )
+    shares = _normalized_weights(networks, weights)
+
+    requests: List[Request] = []
+    if arrivals == "poisson":
+        rng = random.Random(seed)
+        cumulative: List[float] = []
+        running = 0.0
+        for share in shares:
+            running += share
+            cumulative.append(running)
+        cumulative[-1] = 1.0  # guard float residue on the last slot
+        now = 0.0
+        while len(requests) < max_requests:
+            now += rng.expovariate(qps)
+            if now >= duration_s:
+                break
+            draw = rng.random()
+            for name, edge in zip(networks, cumulative):
+                if draw < edge:
+                    network = name
+                    break
+            else:  # pragma: no cover - cumulative[-1] == 1.0
+                network = networks[-1]
+            requests.append(Request(len(requests), network, now))
+    else:  # uniform closed trace
+        interval = 1.0 / qps
+        credits = [0.0] * len(networks)
+        index = 0
+        while len(requests) < max_requests:
+            now = (index + 1) * interval
+            if now >= duration_s:
+                break
+            # Largest-remainder weighted round-robin: every arrival
+            # credits each network its share, the most-owed network
+            # (first wins ties) takes the slot.
+            best = 0
+            for i, share in enumerate(shares):
+                credits[i] += share
+                if credits[i] > credits[best]:
+                    best = i
+            credits[best] -= 1.0
+            requests.append(Request(index, networks[best], now))
+            index += 1
+    return tuple(requests)

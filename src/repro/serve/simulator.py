@@ -1,0 +1,219 @@
+"""The deterministic discrete-event serving loop for one node.
+
+One run: a seeded open-loop request stream
+(:mod:`repro.serve.request`) drives per-tenant dynamic batchers
+(:mod:`repro.serve.batcher`) over a multi-tenant placement
+(:mod:`repro.serve.placement`).  Each tenant's slice of the node acts
+as a single batch server: when it is idle and its batcher releases a
+batch, the batch occupies the server for the analytical batch latency
+(:func:`repro.sim.perf.evaluation_batch_latency_s` via the tenant's
+service model) and every member request completes when the batch does.
+
+The event heap orders by ``(time, kind, sequence)`` with departures
+before arrivals before wait-timers at equal timestamps, so simultaneous
+events resolve identically on every run — together with the seeded
+generator and pure float arithmetic this makes reruns bit-identical,
+which ``serve``'s CI smoke pins with a byte compare.
+
+Trading event fidelity for request-level analytical speed (the
+SCALE-Sim trade) keeps a run at "millions of users" rates tractable:
+the loop costs O(requests log batches), not O(cycles).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.node import NodeConfig
+from repro.dnn.network import Network
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.placement import NodePlacement, Tenant, place_networks
+from repro.serve.report import ServeReport, TenantServeStats
+from repro.serve.request import (
+    DEFAULT_MAX_REQUESTS,
+    Request,
+    generate_requests,
+)
+from repro.sim.perf import DEFAULT_MINIBATCH
+from repro.telemetry.core import get_telemetry
+from repro.telemetry.metrics import Histogram
+
+#: Event kinds in tie-break order: free the server, then admit new
+#: work, then fire wait-expiry timers.
+_DEPART, _ARRIVAL, _TIMER = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything one serving run depends on (all deterministic)."""
+
+    qps: float = 2_000.0
+    duration_s: float = 0.25
+    arrivals: str = "poisson"
+    seed: int = 0
+    policy: BatchPolicy = field(default_factory=BatchPolicy)
+    weights: Optional[Tuple[float, ...]] = None
+    max_requests: int = DEFAULT_MAX_REQUESTS
+    minibatch: int = DEFAULT_MINIBATCH
+
+    def with_qps(self, qps: float) -> "ServeConfig":
+        return replace(self, qps=qps)
+
+
+class _TenantState:
+    """Mutable per-tenant simulation state."""
+
+    __slots__ = ("tenant", "batcher", "busy", "armed_deadline",
+                 "latency_ms", "batch_sizes", "offered", "completed",
+                 "batches")
+
+    def __init__(self, tenant: Tenant, policy: BatchPolicy) -> None:
+        self.tenant = tenant
+        self.batcher = DynamicBatcher(policy)
+        self.busy = False
+        self.armed_deadline: Optional[float] = None
+        self.latency_ms = Histogram()
+        self.batch_sizes = Histogram()
+        self.offered = 0
+        self.completed = 0
+        self.batches = 0
+
+
+def simulate_serving(
+    networks: Sequence[Network],
+    node: NodeConfig,
+    config: ServeConfig,
+    placement: Optional[NodePlacement] = None,
+) -> ServeReport:
+    """Run one open-loop serving simulation and report it.
+
+    ``placement`` short-circuits the multi-tenant placer for callers
+    sweeping offered load over a fixed placement (the latency curve).
+    """
+    if placement is None:
+        placement = place_networks(
+            networks, node, minibatch=config.minibatch
+        )
+    names = [net.name for net in networks]
+    requests = generate_requests(
+        names,
+        qps=config.qps,
+        duration_s=config.duration_s,
+        arrivals=config.arrivals,
+        seed=config.seed,
+        weights=config.weights,
+        max_requests=config.max_requests,
+    )
+
+    states: Dict[str, _TenantState] = {
+        name: _TenantState(placement.tenant(name), config.policy)
+        for name in names
+    }
+
+    # (time, kind, sequence, payload): payload is a request for
+    # arrivals, a (tenant, batch) pair for departures, a tenant name
+    # for timers.  The sequence keeps heap comparisons off payloads.
+    heap: List[Tuple[float, int, int, object]] = [
+        (req.arrival_s, _ARRIVAL, req.index, req) for req in requests
+    ]
+    heapq.heapify(heap)
+    sequence = len(requests)
+    last_completion_s = 0.0
+
+    def push(time_s: float, kind: int, payload: object) -> None:
+        nonlocal sequence
+        heapq.heappush(heap, (time_s, kind, sequence, payload))
+        sequence += 1
+
+    def try_dispatch(name: str, now_s: float) -> None:
+        state = states[name]
+        if state.busy:
+            return
+        batch = state.batcher.take(now_s)
+        if batch:
+            state.busy = True
+            state.batches += 1
+            state.batch_sizes.observe(float(len(batch)))
+            latency = state.tenant.batch_latency_s(len(batch))
+            push(now_s + latency, _DEPART, (name, batch))
+            return
+        deadline = state.batcher.deadline()
+        if deadline is not None and deadline != state.armed_deadline:
+            # Queue head changed since the last timer: arm its expiry.
+            # (``take`` dispatches at ``now_s >= deadline``, so an
+            # unarmed deadline is always in the future here.)
+            state.armed_deadline = deadline
+            push(deadline, _TIMER, name)
+
+    while heap:
+        now_s, kind, _, payload = heapq.heappop(heap)
+        if kind == _ARRIVAL:
+            request: Request = payload  # type: ignore[assignment]
+            state = states[request.network]
+            state.offered += 1
+            if state.batcher.offer(request):
+                try_dispatch(request.network, now_s)
+        elif kind == _DEPART:
+            name, batch = payload  # type: ignore[misc]
+            state = states[name]
+            for request in batch:
+                state.latency_ms.observe(
+                    (now_s - request.arrival_s) * 1e3
+                )
+                state.completed += 1
+            last_completion_s = max(last_completion_s, now_s)
+            state.busy = False
+            try_dispatch(name, now_s)
+        else:  # _TIMER
+            try_dispatch(payload, now_s)  # type: ignore[arg-type]
+
+    # The sustained rate divides by the full horizon: the offered
+    # window stretched to the last completion, so a backlogged run
+    # cannot report more than the node actually kept up with.
+    horizon_s = max(config.duration_s, last_completion_s, 1e-12)
+    tenants = tuple(
+        TenantServeStats(
+            network=name,
+            share=states[name].tenant.share,
+            offered=states[name].offered,
+            admitted=states[name].batcher.admitted,
+            shed=states[name].batcher.shed,
+            completed=states[name].completed,
+            batches=states[name].batches,
+            offered_qps=states[name].offered / horizon_s,
+            sustained_qps=states[name].completed / horizon_s,
+            latency_ms=states[name].latency_ms,
+            batch_sizes=states[name].batch_sizes,
+        )
+        for name in names
+    )
+    report = ServeReport(
+        node=node.name,
+        policy=config.policy,
+        arrivals=config.arrivals,
+        seed=config.seed,
+        offered_qps=config.qps,
+        duration_s=config.duration_s,
+        horizon_s=horizon_s,
+        placement=placement,
+        tenants=tenants,
+    )
+
+    tel = get_telemetry()
+    if tel.enabled:
+        for stats in tenants:
+            group = f"serve/{stats.network}"
+            tel.count(group, "offered", stats.offered)
+            tel.count(group, "completed", stats.completed)
+            tel.count(group, "shed", stats.shed)
+            tel.gauge(group, "sustained_qps", stats.sustained_qps)
+            tel.gauge(group, "p99_ms", stats.latency_percentile_ms(99))
+            tel.metrics.adopt(
+                "serve.latency_ms", stats.network, stats.latency_ms
+            )
+            tel.metrics.adopt(
+                "serve.batch_size", stats.network, stats.batch_sizes
+            )
+    return report

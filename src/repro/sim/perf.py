@@ -610,6 +610,46 @@ def simulate(
     )
 
 
+def evaluation_pipeline_depth(mapping: WorkloadMapping) -> int:
+    """Concurrent stages an image traverses during evaluation.
+
+    The inference pipeline is the FP slice of the nested pipeline: one
+    stage per conv mapping unit plus one per FC hub unit.  The first
+    image of a batch pays this fill depth before the pipeline reaches
+    steady state — the quantity the serving simulator charges as batch
+    startup latency.
+    """
+    return max(
+        1, len(mapping.conv_allocations) + len(mapping.fc_allocations)
+    )
+
+
+def evaluation_batch_latency_s(
+    result: PerfResult, batch: int = 1, share: float = 1.0
+) -> float:
+    """Analytical end-to-end latency of one evaluation batch (seconds).
+
+    The nested pipeline emits one image per beat once full, so a batch
+    of ``batch`` images on a node slice sustaining ``share`` of the
+    node's evaluation rate takes ``(depth + batch - 1)`` beats: the fill
+    (first image traverses every stage) plus one beat per further
+    image.  This is the fidelity-for-speed trade the serving simulator
+    makes — request-level latency from the analytical steady-state rate
+    instead of cycle-level event replay.
+    """
+    if batch < 1:
+        raise SimulationError(f"batch must be >= 1, got {batch}")
+    if not 0.0 < share <= 1.0:
+        raise SimulationError(f"share must be in (0, 1], got {share}")
+    rate = result.evaluation_images_per_s * share
+    if rate <= 0.0:
+        raise SimulationError(
+            f"{result.network} has no evaluation throughput to serve"
+        )
+    depth = evaluation_pipeline_depth(result.mapping)
+    return (depth + batch - 1) / rate
+
+
 def simulate_suite(
     networks: Mapping[str, Network],
     node: NodeConfig,

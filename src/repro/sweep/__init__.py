@@ -22,6 +22,7 @@ from repro.sweep.runner import (
     SweepReport,
     SweepResult,
     expand_jobs,
+    fan_out,
     run_sweep,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "cached_simulation",
     "clear_cache",
     "expand_jobs",
+    "fan_out",
     "get_cache",
     "run_sweep",
     "set_cache",

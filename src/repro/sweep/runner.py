@@ -26,11 +26,20 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.arch.presets import load_preset
 from repro.dnn import zoo
-from repro.errors import SweepError
+from repro.errors import ReproError, SweepError
 from repro.faults.model import FaultSpec, sample_faults
 from repro.sim.perf import DEFAULT_MINIBATCH, PerfResult, simulate
 from repro.sweep.cache import (
@@ -292,28 +301,74 @@ def _run_job(
     cache_dir: Optional[str] = None,
     retries: int = 1,
     backoff: float = 0.1,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> Tuple[
     SweepResult, Optional[PerfResult], Dict[str, int], tuple, tuple, object
 ]:
     """Execute one job with retry + quarantine (runs in the worker, so
     the pool never sees an exception and a poison job cannot abort the
-    sweep).  Transient failures get ``retries`` re-attempts with
-    exponential backoff; a job still failing is returned as a
-    ``status="failed"`` row carrying its traceback."""
+    sweep).  Unexpected crashes get ``retries`` re-attempts with
+    exponential backoff; a **typed** failure (:class:`ReproError` — e.g.
+    an unmappable network or a bad config) is deterministic and fails
+    identically every attempt, so it is quarantined immediately without
+    retrying or sleeping.  A job still failing is returned as a
+    ``status="failed"`` row carrying its traceback.  ``sleep`` is
+    injectable so robustness tests don't wall-sleep."""
     attempt = 0
     while True:
         try:
             return _execute_job(job, use_cache=use_cache,
                                 cache_dir=cache_dir)
+        except ReproError as exc:
+            # Deterministic domain failure: retrying burns wall-clock
+            # for an identical outcome.  Fail fast.
+            return (
+                _failed_result(job, _format_failure(exc)),
+                None, {}, (), (), None,
+            )
         except Exception as exc:
             if attempt < retries:
-                time.sleep(backoff * (2 ** attempt))
+                sleep(backoff * (2 ** attempt))
                 attempt += 1
                 continue
             return (
                 _failed_result(job, _format_failure(exc)),
                 None, {}, (), (), None,
             )
+
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def fan_out(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    workers: int = 1,
+) -> List[_R]:
+    """Order-preserving parallel map with graceful serial fallback.
+
+    The unit of parallelism shared by the sweep runner and the serve
+    curve sweep: ``fn`` and every item must be picklable; ``workers=1``
+    (or a single item) runs serially in-process, and a pool that cannot
+    start (sandboxed environments) falls back to serial with a warning
+    rather than failing the run.  Results return in item order, so
+    callers producing deterministic outputs stay deterministic at any
+    worker count.
+    """
+    items = list(items)
+    pool_size = min(workers, len(items)) if items else 1
+    if pool_size > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                return list(pool.map(fn, items))
+        except (OSError, BrokenProcessPool) as exc:
+            print(
+                f"repro: worker pool unavailable ({exc}); "
+                "falling back to serial execution",
+                file=sys.stderr,
+            )
+    return [fn(item) for item in items]
 
 
 def run_sweep(
@@ -324,6 +379,7 @@ def run_sweep(
     retries: int = 1,
     backoff: float = 0.1,
     fail_fast: bool = False,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> SweepReport:
     """Evaluate ``jobs`` across ``workers`` processes.
 
@@ -332,10 +388,13 @@ def run_sweep(
     a warning rather than failing the sweep.  ``cache_dir`` installs a
     disk-backed cache for this process and every worker.
 
-    A crashing job is retried ``retries`` times with exponential backoff
+    A job crashing with an *unexpected* exception is retried ``retries``
+    times with exponential backoff (``sleep`` is injectable for tests)
     and then quarantined as a ``status="failed"`` row — the other jobs
-    always complete.  ``fail_fast=True`` opts out: the sweep raises
-    :class:`SweepError` on the first failed job instead.
+    always complete.  Typed :class:`ReproError` failures are
+    deterministic and quarantine immediately without retrying.
+    ``fail_fast=True`` opts out: the sweep raises :class:`SweepError`
+    on the first failed job instead.
     """
     jobs = list(jobs)
     if use_cache and cache_dir is not None:
@@ -344,23 +403,9 @@ def run_sweep(
             set_cache(CompileCache(cache_dir))
 
     run = partial(_run_job, use_cache=use_cache, cache_dir=cache_dir,
-                  retries=retries, backoff=backoff)
+                  retries=retries, backoff=backoff, sleep=sleep)
     started = time.perf_counter()
-    outputs = None
-    pool_size = min(workers, len(jobs)) if jobs else 1
-    if pool_size > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                outputs = list(pool.map(run, jobs))
-        except (OSError, BrokenProcessPool) as exc:
-            print(
-                f"repro: worker pool unavailable ({exc}); "
-                "falling back to serial execution",
-                file=sys.stderr,
-            )
-            outputs = None
-    if outputs is None:
-        outputs = [run(job) for job in jobs]
+    outputs = fan_out(run, jobs, workers=workers)
     elapsed = time.perf_counter() - started
 
     tel = get_telemetry()

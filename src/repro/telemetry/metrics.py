@@ -12,12 +12,14 @@ handle and holds two metric kinds:
 
 Histograms are **exact for small N**: observations are retained verbatim
 up to :data:`HISTOGRAM_EXACT_CAP` and percentiles are computed by linear
-interpolation over the sorted sample, bit-identical to
-``numpy.percentile(..., method="linear")``.  Beyond the cap the exact
-sample is dropped and percentiles come from log-spaced buckets
-(:data:`BUCKETS_PER_OCTAVE` per power of two, maintained from the first
-observation so the switch loses no history), interpolated linearly
-within the matched bucket.  Everything is plain deterministic float
+interpolation over the sorted sample (cached between observations, so
+repeated percentile queries — ``summary()`` asks for four — sort once),
+bit-identical to ``numpy.percentile(..., method="linear")``.  Beyond the
+cap the exact sample is dropped and percentiles come from log-spaced
+buckets (:data:`BUCKETS_PER_OCTAVE` per power of two, maintained from
+the first observation so the switch loses no history, with a mirrored
+bucket family for negative observations), interpolated linearly within
+the matched bucket.  Everything is plain deterministic float
 arithmetic — no clocks, no randomness — so two captures of the same run
 produce bit-identical registries, and merging per-job registries in job
 order yields the same result regardless of how many sweep workers
@@ -52,24 +54,26 @@ SUMMARY_PERCENTILES = (50.0, 90.0, 95.0, 99.0)
 
 
 class Histogram:
-    """One streaming distribution (non-negative observations).
+    """One streaming distribution (observations of either sign).
 
     Maintains count/total/min/max, a dedicated bucket for zeros, and
-    log-spaced magnitude buckets; keeps the exact sample alongside until
-    :data:`HISTOGRAM_EXACT_CAP` observations.
+    log-spaced magnitude buckets on each side of zero; keeps the exact
+    sample alongside until :data:`HISTOGRAM_EXACT_CAP` observations.
     """
 
     __slots__ = ("count", "total", "min", "max", "_zeros", "_buckets",
-                 "_exact", "exact_cap")
+                 "_neg_buckets", "_exact", "_sorted", "exact_cap")
 
     def __init__(self, exact_cap: int = HISTOGRAM_EXACT_CAP) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
-        self._zeros = 0  # observations <= 0
-        self._buckets: Dict[int, int] = {}
+        self._zeros = 0  # observations == 0
+        self._buckets: Dict[int, int] = {}  # value > 0, by log2 magnitude
+        self._neg_buckets: Dict[int, int] = {}  # value < 0, by |log2| magnitude
         self._exact: Optional[List[float]] = []
+        self._sorted: Optional[List[float]] = None  # cached sorted view
         self.exact_cap = exact_cap
 
     # -- recording -----------------------------------------------------
@@ -81,12 +85,16 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
-        if value <= 0.0:
-            self._zeros += 1
-        else:
+        if value > 0.0:
             index = math.floor(math.log2(value) * BUCKETS_PER_OCTAVE)
             self._buckets[index] = self._buckets.get(index, 0) + 1
+        elif value < 0.0:
+            index = math.floor(math.log2(-value) * BUCKETS_PER_OCTAVE)
+            self._neg_buckets[index] = self._neg_buckets.get(index, 0) + 1
+        else:
+            self._zeros += 1
         if self._exact is not None:
+            self._sorted = None
             if len(self._exact) < self.exact_cap:
                 self._exact.append(value)
             else:
@@ -105,6 +113,11 @@ class Histogram:
         self._zeros += other._zeros
         for index, n in other._buckets.items():
             self._buckets[index] = self._buckets.get(index, 0) + n
+        for index, n in other._neg_buckets.items():
+            self._neg_buckets[index] = (
+                self._neg_buckets.get(index, 0) + n
+            )
+        self._sorted = None
         if (
             self._exact is not None
             and other._exact is not None
@@ -136,17 +149,30 @@ class Histogram:
             return 0.0
         rank = (self.count - 1) * q / 100.0
         if self._exact is not None:
-            ordered = sorted(self._exact)
+            if self._sorted is None:
+                self._sorted = sorted(self._exact)
+            ordered = self._sorted
             lo = math.floor(rank)
             hi = math.ceil(rank)
             if lo == hi:
                 return ordered[lo]
             return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
+        # Bucketed path: walk ranks in value order — negatives (most
+        # negative first), then zeros, then positives.
         seen = 0
+        for index in sorted(self._neg_buckets, reverse=True):
+            n = self._neg_buckets[index]
+            if rank < seen + n:
+                lo_mag = 2.0 ** (index / BUCKETS_PER_OCTAVE)
+                hi_mag = 2.0 ** ((index + 1) / BUCKETS_PER_OCTAVE)
+                frac = (rank - seen) / n
+                value = -hi_mag + (hi_mag - lo_mag) * frac
+                return min(max(value, self.min), self.max)
+            seen += n
         if self._zeros:
-            if rank <= self._zeros - 1:
-                return min(0.0, self.max) if self.max < 0.0 else 0.0
-            seen = self._zeros
+            if rank < seen + self._zeros:
+                return min(max(0.0, self.min), self.max)
+            seen += self._zeros
         for index in sorted(self._buckets):
             n = self._buckets[index]
             if rank < seen + n:
@@ -200,6 +226,16 @@ class MetricsRegistry:
         if hist is None:
             hist = bucket[name] = Histogram()
         hist.observe(value)
+
+    def adopt(self, group: str, name: str, hist: Histogram) -> None:
+        """Merge a pre-built histogram into ``group/name`` (the serving
+        simulator builds distributions off-registry during the event
+        loop and folds them in afterwards)."""
+        bucket = self._hists.setdefault(group, {})
+        mine = bucket.get(name)
+        if mine is None:
+            mine = bucket[name] = Histogram()
+        mine.merge(hist)
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry in (sweep workers replay into the

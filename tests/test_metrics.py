@@ -221,3 +221,84 @@ class TestChromeTraceCounters:
         series = [e for e in doc["traceEvents"] if e["ph"] == "C"]
         assert len(series) == 1
         assert series[0]["args"]["n"] == 5.0
+
+
+class TestHistogramBucketedNegatives:
+    """Regression: past the exact cap, negative observations used to be
+    mis-bucketed and every percentile of an all-negative distribution
+    collapsed toward the maximum.  The bucketed path must now walk the
+    mirrored negative family (most negative first), then zeros, then
+    positives."""
+
+    def test_all_negative_bucketed_percentiles(self):
+        hist = Histogram(exact_cap=4)
+        for v in range(1, 1001):
+            hist.observe(-float(v))
+        assert not hist.exact
+        p10, p50, p90 = (hist.percentile(q) for q in (10, 50, 90))
+        assert p10 < p50 < p90 < 0
+        # Exact answers are -900.1 / -500.5 / -100.9; the log buckets
+        # are ~19% wide, so stay within 20%.
+        assert p10 == pytest.approx(-900.1, rel=0.2)
+        assert p50 == pytest.approx(-500.5, rel=0.2)
+        assert p90 == pytest.approx(-100.9, rel=0.2)
+
+    def test_mixed_sign_bucketed_percentiles_ordered(self):
+        hist = Histogram(exact_cap=4)
+        for v in range(-50, 51):
+            hist.observe(float(v))
+        assert not hist.exact
+        assert hist.percentile(0) == -50.0  # clamped to observed min
+        assert hist.percentile(50) == 0.0  # the zero bucket
+        assert hist.percentile(100) == 50.0  # clamped to observed max
+        walked = [hist.percentile(q) for q in range(0, 101, 5)]
+        assert walked == sorted(walked)
+
+    def test_merge_with_negatives_is_order_insensitive(self):
+        def build(values, cap=4):
+            hist = Histogram(exact_cap=cap)
+            for value in values:
+                hist.observe(value)
+            return hist
+
+        negatives = [-float(v) for v in range(1, 200)]
+        positives = [float(v) for v in range(1, 100)]
+        ab = build(negatives)
+        ab.merge(build(positives))
+        ba = build(positives)
+        ba.merge(build(negatives))
+        assert ab.summary() == ba.summary()
+
+
+class TestHistogramSortedCache:
+    """Regression: the exact path used to re-sort the sample on every
+    percentile call; the sorted view is now cached and must be
+    invalidated by both observe() and merge()."""
+
+    def test_cache_reused_across_queries(self):
+        hist = Histogram()
+        for value in (5.0, 1.0, 3.0):
+            hist.observe(value)
+        hist.percentile(50)
+        cached = hist._sorted
+        assert cached == [1.0, 3.0, 5.0]
+        hist.percentile(90)
+        assert hist._sorted is cached  # no re-sort between observes
+
+    def test_observe_invalidates_the_cache(self):
+        hist = Histogram()
+        hist.observe(1.0)
+        hist.observe(3.0)
+        assert hist.percentile(100) == 3.0
+        hist.observe(10.0)  # after a cached percentile query
+        assert hist.percentile(100) == 10.0
+        assert hist.percentile(0) == 1.0
+
+    def test_merge_invalidates_the_cache(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        assert a.percentile(50) == 1.0
+        b.observe(9.0)
+        a.merge(b)
+        assert a.percentile(100) == 9.0
+        assert a.percentile(50) == 5.0

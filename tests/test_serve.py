@@ -1,0 +1,305 @@
+"""Tests for the serving simulator: generator determinism, batcher
+edge cases (empty queue, max-wait expiry exactly on a beat, shed
+accounting), multi-tenant placement invariants, byte-identical reruns
+of full runs and curves, exports, and the CLI verb."""
+
+import json
+
+import pytest
+
+from repro.arch import single_precision_node
+from repro.bench.dashboard import serve_html, write_serve_html
+from repro.bench.export import write_serve_csv, write_serve_json
+from repro.dnn import zoo
+from repro.errors import ConfigError
+from repro.serve import (
+    CURVE_FIELDS,
+    BatchPolicy,
+    DynamicBatcher,
+    Request,
+    ServeConfig,
+    generate_requests,
+    place_networks,
+    run_curve,
+    simulate_serving,
+)
+from repro import cli
+
+NODE = single_precision_node()
+
+#: Short but non-trivial: a few hundred requests in the default runs.
+FAST = ServeConfig(qps=5_000.0, duration_s=0.05, seed=7)
+
+
+def _nets(*names):
+    return [zoo.load(name) for name in names]
+
+
+class TestGenerator:
+    def test_poisson_is_seeded_and_sorted(self):
+        a = generate_requests(["A", "B"], qps=1000.0, duration_s=0.1,
+                              seed=3)
+        b = generate_requests(["A", "B"], qps=1000.0, duration_s=0.1,
+                              seed=3)
+        assert a == b
+        times = [r.arrival_s for r in a]
+        assert times == sorted(times)
+        assert {r.network for r in a} == {"A", "B"}
+
+    def test_different_seeds_differ(self):
+        a = generate_requests(["A"], qps=1000.0, duration_s=0.1, seed=0)
+        b = generate_requests(["A"], qps=1000.0, duration_s=0.1, seed=1)
+        assert a != b
+
+    def test_uniform_arrivals_honour_weights(self):
+        reqs = generate_requests(
+            ["A", "B"], qps=1000.0, duration_s=0.1,
+            arrivals="uniform", weights=(0.75, 0.25),
+        )
+        share = sum(r.network == "A" for r in reqs) / len(reqs)
+        assert share == pytest.approx(0.75, abs=0.02)
+
+    def test_max_requests_caps_the_stream(self):
+        reqs = generate_requests(
+            ["A"], qps=1e6, duration_s=10.0, max_requests=100
+        )
+        assert len(reqs) == 100
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(qps=0.0, duration_s=1.0),
+        dict(qps=100.0, duration_s=0.0),
+        dict(qps=100.0, duration_s=1.0, arrivals="bursty"),
+        dict(qps=100.0, duration_s=1.0, weights=(0.5,)),
+        dict(qps=100.0, duration_s=1.0, weights=(2.0, -1.0)),
+    ])
+    def test_invalid_specs_are_config_errors(self, kwargs):
+        with pytest.raises(ConfigError):
+            generate_requests(["A", "B"], **kwargs)
+
+
+class TestBatcher:
+    def test_empty_queue_yields_nothing(self):
+        batcher = DynamicBatcher(BatchPolicy())
+        assert batcher.take(1.0) == []
+        assert batcher.deadline() is None
+
+    def test_greedy_dispatches_partial_batches(self):
+        batcher = DynamicBatcher(BatchPolicy(kind="greedy", max_batch=8))
+        batcher.offer(Request(0, "A", 0.0))
+        assert len(batcher.take(0.0)) == 1
+        assert batcher.deadline() is None  # greedy never arms timers
+
+    def test_wait_holds_until_full(self):
+        policy = BatchPolicy(kind="wait", max_batch=2, max_wait_s=1.0)
+        batcher = DynamicBatcher(policy)
+        batcher.offer(Request(0, "A", 0.0))
+        assert batcher.take(0.0) == []  # neither full nor expired
+        batcher.offer(Request(1, "A", 0.1))
+        assert len(batcher.take(0.1)) == 2  # full: dispatch
+
+    def test_expiry_exactly_on_the_deadline_dispatches(self):
+        # The regression the event loop depends on: the timer fires at
+        # exactly ``arrival + max_wait`` and ``take`` must release the
+        # batch at that instant, not one float ulp later.
+        policy = BatchPolicy(kind="wait", max_batch=8, max_wait_s=0.002)
+        batcher = DynamicBatcher(policy)
+        batcher.offer(Request(0, "A", 0.1))
+        deadline = batcher.deadline()
+        assert deadline == 0.1 + 0.002
+        assert batcher.take(deadline) == [Request(0, "A", 0.1)]
+
+    def test_shed_past_queue_depth(self):
+        policy = BatchPolicy(max_batch=8, queue_depth=2)
+        batcher = DynamicBatcher(policy)
+        results = [
+            batcher.offer(Request(i, "A", 0.0)) for i in range(5)
+        ]
+        assert results == [True, True, False, False, False]
+        assert batcher.admitted == 2
+        assert batcher.shed == 3
+
+    def test_invalid_policies_are_config_errors(self):
+        with pytest.raises(ConfigError):
+            BatchPolicy(kind="eager")
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ConfigError):
+            BatchPolicy(max_wait_s=-1.0)
+        with pytest.raises(ConfigError):
+            BatchPolicy(queue_depth=0)
+
+
+class TestPlacement:
+    def test_shares_and_clusters_partition_the_node(self):
+        placement = place_networks(_nets("LeNet-5", "AlexNet"), NODE)
+        assert sum(t.clusters for t in placement.tenants) == \
+            NODE.cluster_count
+        assert sum(t.share for t in placement.tenants) == \
+            pytest.approx(1.0)
+        assert all(t.clusters >= 1 for t in placement.tenants)
+
+    def test_single_tenant_owns_the_node(self):
+        placement = place_networks(_nets("AlexNet"), NODE)
+        (tenant,) = placement.tenants
+        assert tenant.clusters == NODE.cluster_count
+        assert tenant.share == pytest.approx(1.0)
+
+    def test_duplicate_networks_rejected(self):
+        with pytest.raises(ConfigError):
+            place_networks(_nets("AlexNet", "AlexNet"), NODE)
+
+    def test_saturation_grows_with_batch(self):
+        placement = place_networks(_nets("AlexNet"), NODE)
+        assert placement.saturation_qps(8) > placement.saturation_qps(1)
+
+
+class TestSimulator:
+    def test_rerun_is_byte_identical(self):
+        nets = _nets("LeNet-5", "AlexNet")
+        dumps = [
+            json.dumps(
+                simulate_serving(nets, NODE, FAST).to_dict(),
+                sort_keys=True,
+            )
+            for _ in range(2)
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_conservation_offered_equals_completed_plus_shed(self):
+        overload = ServeConfig(
+            qps=200_000.0, duration_s=0.02, seed=7,
+            policy=BatchPolicy(queue_depth=4),
+        )
+        report = simulate_serving(_nets("AlexNet"), NODE, overload)
+        stats = report.tenant("AlexNet")
+        assert stats.offered == stats.completed + stats.shed
+        assert stats.shed > 0  # the bound actually bit
+        assert report.shed_rate > 0
+
+    def test_latency_floor_is_one_pipeline_fill(self):
+        report = simulate_serving(_nets("AlexNet"), NODE, FAST)
+        stats = report.tenant("AlexNet")
+        floor_ms = stats.latency_ms.min
+        tenant = report.placement.tenant("AlexNet")
+        assert floor_ms >= tenant.batch_latency_s(1) * 1e3 * 0.999
+
+    def test_batches_never_exceed_max_batch(self):
+        report = simulate_serving(_nets("LeNet-5"), NODE, FAST)
+        stats = report.tenant("LeNet-5")
+        assert stats.batch_sizes.max <= FAST.policy.max_batch
+
+    def test_greedy_policy_runs(self):
+        config = ServeConfig(
+            qps=5_000.0, duration_s=0.05, seed=7,
+            policy=BatchPolicy(kind="greedy"),
+        )
+        report = simulate_serving(_nets("AlexNet"), NODE, config)
+        assert report.completed == report.offered
+
+
+class TestCurve:
+    def test_curve_is_deterministic_at_any_worker_count(self):
+        config = ServeConfig(duration_s=0.02, seed=7)
+        serial = run_curve(["alexnet", "zf"], NODE, config, workers=1)
+        pooled = run_curve(["alexnet", "zf"], NODE, config, workers=2)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == \
+            json.dumps(pooled.to_dict(), sort_keys=True)
+
+    def test_rows_cover_every_network_and_point(self):
+        config = ServeConfig(duration_s=0.02, seed=7)
+        curve = run_curve(
+            ["alexnet", "zf"], NODE, config, fractions=(0.5, 1.0)
+        )
+        rows = curve.rows()
+        assert len(rows) == 4
+        assert set(CURVE_FIELDS) <= set(rows[0])
+        assert {r["network"] for r in rows} == {"AlexNet", "ZF"}
+
+    def test_load_splits_by_tenant_capacity(self):
+        config = ServeConfig(duration_s=0.02, seed=7)
+        curve = run_curve(
+            ["lenet5", "alexnet"], NODE, config, fractions=(0.5,)
+        )
+        # The fast tenant takes nearly all the aggregate load; the slow
+        # one is offered ~its own half-saturation, so neither sheds.
+        for row in curve.rows():
+            assert row["shed_rate"] == 0.0
+
+    def test_overload_point_sheds(self):
+        config = ServeConfig(
+            duration_s=0.05, seed=7,
+            policy=BatchPolicy(queue_depth=16),
+        )
+        curve = run_curve(["alexnet"], NODE, config, fractions=(1.5,))
+        (row,) = curve.rows()
+        assert row["shed_rate"] > 0
+
+
+class TestExports:
+    def test_json_writer_round_trips(self, tmp_path):
+        report = simulate_serving(_nets("AlexNet"), NODE, FAST)
+        path = write_serve_json(report, tmp_path / "serve.json")
+        doc = json.loads(path.read_text())
+        assert doc["tenants"]["AlexNet"]["p99_ms"] > 0
+
+    def test_csv_writer_uses_curve_fields(self, tmp_path):
+        config = ServeConfig(duration_s=0.02, seed=7)
+        curve = run_curve(["alexnet"], NODE, config, fractions=(1.0,))
+        path = write_serve_csv(curve, tmp_path / "serve.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == ",".join(CURVE_FIELDS)
+
+    def test_dashboard_renders_every_network(self, tmp_path):
+        config = ServeConfig(duration_s=0.02, seed=7)
+        curve = run_curve(
+            ["alexnet", "zf"], NODE, config, fractions=(0.5, 1.0)
+        )
+        html = serve_html(curve)
+        assert "AlexNet" in html and "ZF" in html
+        assert "Latency vs offered load" in html
+        path = write_serve_html(curve, tmp_path / "serve.html")
+        assert path.read_text() == html
+
+
+class TestCli:
+    def test_serve_verb_runs(self, capsys):
+        code = cli.main([
+            "serve", "lenet5,alexnet", "--qps", "2000",
+            "--duration", "0.02",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LeNet-5" in out and "AlexNet" in out
+        assert "sustained" in out
+
+    def test_serve_curve_json_reruns_identically(self, capsys):
+        argv = [
+            "serve", "alexnet", "--curve", "--duration", "0.02",
+            "--json",
+        ]
+        assert cli.main(argv) == 0
+        first = capsys.readouterr().out
+        assert cli.main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        doc = json.loads(first)
+        assert doc["capacity_qps"] > 0
+        assert all(r["p99_ms"] > 0 for r in doc["rows"])
+
+    def test_unknown_network_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            cli.main(["serve", "nosuchnet"])
+        assert err.value.code == 2
+
+    def test_bad_config_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            cli.main(["serve", "alexnet", "--qps", "-1"])
+        assert err.value.code == 2
+
+    def test_html_without_curve_exits_2(self, tmp_path):
+        with pytest.raises(SystemExit) as err:
+            cli.main([
+                "serve", "alexnet", "--duration", "0.02",
+                "--html", str(tmp_path / "x.html"),
+            ])
+        assert err.value.code == 2

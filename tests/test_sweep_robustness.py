@@ -188,3 +188,42 @@ class TestCorruptCache:
         path.write_bytes(b"garbage, not a pickle")
         fresh = CompileCache(tmp_path)
         assert cached_simulation(net, node, cache=fresh) is not None
+
+
+class TestRetrySemantics:
+    """Regression: the retry loop used to re-attempt *every* failure,
+    including typed :class:`ReproError` domain failures that are
+    deterministic and fail identically on each attempt — burning
+    ``retries`` wall-clock sleeps for nothing.  Typed failures must now
+    quarantine immediately; only unexpected crashes retry."""
+
+    def typed_failure_job(self):
+        """Fails with SimulationError (a ReproError) in the worker:
+        the network exists, the minibatch is invalid."""
+        return SweepJob(network="TinyMLP", preset="sp", minibatch=0)
+
+    def test_typed_failures_quarantine_without_retrying(self):
+        sleeps = []
+        report = run_sweep(
+            [self.typed_failure_job()], retries=5, backoff=0.1,
+            sleep=sleeps.append,
+        )
+        failed = report.failures[0]
+        assert failed.status == "failed"
+        assert "SimulationError" in failed.error
+        assert sleeps == []  # deterministic failure: zero backoff sleeps
+
+    def test_unexpected_crashes_retry_with_backoff(self):
+        sleeps = []
+        report = run_sweep(
+            [poison_job()], retries=2, backoff=0.1,
+            sleep=sleeps.append,
+        )
+        assert report.failures[0].status == "failed"
+        # One sleep per re-attempt, exponential: 0.1 * 2**attempt.
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_typed_failure_row_survives_alongside_ok_rows(self):
+        jobs = expand_jobs(("TinyCNN",)) + [self.typed_failure_job()]
+        report = run_sweep(jobs, retries=3, sleep=lambda _s: None)
+        assert [r.status for r in report.results] == ["ok", "failed"]
