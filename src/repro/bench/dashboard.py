@@ -742,6 +742,223 @@ def write_serve_html(curve, path: Union[str, Path]) -> Path:
     return path
 
 
+# ---------------------------------------------------------------------------
+# Chaos (failure-aware serving) dashboard
+
+
+def _chaos_kpis(report) -> str:
+    burn = report.error_budget_burn()
+    degraded_share = (
+        report.degraded_s / report.horizon_s if report.horizon_s else 0.0
+    )
+    tiles = (
+        ("Availability", f"{report.availability:.2%}",
+         f"{report.completed:,} of {report.offered:,} offered"),
+        ("Error-budget burn", _fmt(burn, 2) if burn else "0",
+         "unavailability / budget"),
+        ("Faults", _fmt(len(report.fault_events) // 2),
+         f"{len(report.degraded_intervals)} degraded interval(s)"),
+        ("Degraded time", f"{degraded_share:.1%}",
+         f"{report.degraded_s:.4f}s of {report.horizon_s:.4f}s"),
+    )
+    cards = "".join(
+        f'<div class="card"><div class="kpi-label">{_esc(label)}</div>'
+        f'<div class="kpi-value">{_esc(value)}</div>'
+        f'<div class="kpi-unit">{_esc(unit)}</div></div>'
+        for label, value, unit in tiles
+    )
+    return f'<div class="kpis">{cards}</div>'
+
+
+def _chaos_timeline_svg(report) -> str:
+    """Per-bucket p99 latency over the run, with every degraded
+    interval shaded — the healthy-vs-degraded latency contrast at a
+    glance."""
+    bins = [b for b in report.timeline if b["completed"] > 0]
+    if not bins:
+        return ""
+    width, height = 640, 280
+    left, right, top, bottom = 58, 16, 14, 40
+    plot_w, plot_h = width - left - right, height - top - bottom
+    x_hi = report.horizon_s or 1.0
+    y_hi = max(b["p99_ms"] for b in bins) * 1.15 or 1.0
+
+    def x_of(t: float) -> float:
+        return left + min(t / x_hi, 1.0) * plot_w
+
+    def y_of(ms: float) -> float:
+        return top + plot_h - min(ms / y_hi, 1.0) * plot_h
+
+    parts: List[str] = []
+    # Degraded bands first (under everything).
+    for interval in report.degraded_intervals:
+        x0, x1 = x_of(interval.start_s), x_of(interval.end_s)
+        tip = (
+            f"degraded {interval.start_s:.4f}-{interval.end_s:.4f}s: "
+            + ", ".join(interval.sites)
+        )
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{top}" '
+            f'width="{max(x1 - x0, 1.0):.1f}" height="{plot_h}" '
+            f'fill="var(--s2)" opacity="0.18" tabindex="0" '
+            f'data-tip="{_esc(tip)}"/>'
+        )
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        y = y_of(y_hi * frac / 1.15)
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" '
+            f'y2="{y:.1f}" stroke="var(--grid)"/>'
+            f'<text x="{left - 6}" y="{y + 3:.1f}" text-anchor="end">'
+            f"{y_hi * frac / 1.15:.3g}</text>"
+        )
+        x = x_of(x_hi * frac)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+            f'y2="{top + plot_h}" stroke="var(--grid)"/>'
+            f'<text x="{x:.1f}" y="{height - 22}" '
+            f'text-anchor="middle">{x_hi * frac:.3g}</text>'
+        )
+    path = " ".join(
+        f'{"M" if i == 0 else "L"} '
+        f'{x_of((b["start_s"] + b["end_s"]) / 2):.1f} '
+        f'{y_of(b["p99_ms"]):.1f}'
+        for i, b in enumerate(bins)
+    )
+    parts.append(
+        f'<path d="{path}" fill="none" stroke="var(--s1)" '
+        'stroke-width="2" stroke-linejoin="round"/>'
+    )
+    for b in bins:
+        mid = (b["start_s"] + b["end_s"]) / 2
+        tip = (
+            f"{b['start_s']:.4f}-{b['end_s']:.4f}s: "
+            f"p99 {b['p99_ms']:.4g}ms, {b['completed']:.0f} done, "
+            f"{b['degraded']:.0f} degraded, {b['failed']:.0f} failed"
+        )
+        parts.append(
+            f'<circle cx="{x_of(mid):.1f}" cy="{y_of(b["p99_ms"]):.1f}" '
+            f'r="4" fill="var(--s1)" stroke="var(--surface-1)" '
+            f'stroke-width="2" tabindex="0" data-tip="{_esc(tip)}"/>'
+        )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.0f}" y="{height - 6}" '
+        'text-anchor="middle">run time (s)</text>'
+        f'<text x="12" y="{top + plot_h / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 12 {top + plot_h / 2:.0f})">'
+        "p99 latency (ms)</text>"
+    )
+    return (
+        '<div class="card"><h2>Latency timeline</h2>'
+        '<div class="legend"><span><span class="key" '
+        'style="background:var(--s1)"></span>bucket p99</span>'
+        '<span><span class="key" style="background:var(--s2);'
+        'opacity:0.4"></span>degraded interval</span></div>'
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">{"".join(parts)}</svg></div>'
+    )
+
+
+def _chaos_outcomes_table(report) -> str:
+    body = "".join(
+        f"<tr><td>{_esc(row['network'])}</td>"
+        f"<td>{row['offered']}</td><td>{row['completed']}</td>"
+        f"<td>{row['shed']}</td><td>{row['timed_out']}</td>"
+        f"<td>{row['failed']}</td>"
+        f"<td>{row['availability']:.2%}</td>"
+        f"<td>{row['retries']}</td><td>{row['hedges']}</td>"
+        f"<td>{_fmt(row['healthy_p99_ms'], 6)}</td>"
+        f"<td>{_fmt(row['degraded_p99_ms'], 6)}</td>"
+        f"<td>{_fmt(row['down_s'], 4)}</td></tr>"
+        for row in report.rows()
+    )
+    return (
+        '<div class="card"><h2>Request outcomes</h2>'
+        "<table><thead><tr><th>network</th><th>offered</th>"
+        "<th>completed</th><th>shed</th><th>timed out</th>"
+        "<th>failed</th><th>avail</th><th>retries</th><th>hedges</th>"
+        "<th>healthy p99 ms</th><th>degraded p99 ms</th>"
+        f"<th>down s</th></tr></thead><tbody>{body}</tbody></table>"
+        "</div>"
+    )
+
+
+def _chaos_slo_table(report) -> str:
+    findings = report.slo_findings()
+    if not findings:
+        return ""
+    body = "".join(
+        f"<tr><td>{_esc(f.scope)}</td><td>{_esc(f.objective)}</td>"
+        f"<td>{f.target:g}</td><td>{f.actual:g}</td>"
+        f"<td>{'ok' if f.ok else 'VIOLATED'}</td></tr>"
+        for f in findings
+    )
+    return (
+        '<div class="card"><h2>SLO findings</h2>'
+        "<table><thead><tr><th>scope</th><th>objective</th>"
+        "<th>target</th><th>actual</th><th>verdict</th></tr></thead>"
+        f"<tbody>{body}</tbody></table></div>"
+    )
+
+
+def _chaos_events_table(report) -> str:
+    if not report.fault_events:
+        return ""
+    body = "".join(
+        f"<tr><td>{e.time_s:.4f}</td><td>{_esc(e.action)}</td>"
+        f"<td>{e.fault.fault_id}</td><td>{_esc(e.fault.kind.value)}</td>"
+        f"<td>{_esc(e.fault.site)}</td>"
+        f"<td>{e.fault.magnitude:g}</td></tr>"
+        for e in report.fault_events
+    )
+    return (
+        '<div class="card"><h2>Fault/repair log</h2>'
+        "<table><thead><tr><th>time s</th><th>action</th><th>id</th>"
+        "<th>kind</th><th>site</th><th>magnitude</th></tr></thead>"
+        f"<tbody>{body}</tbody></table></div>"
+    )
+
+
+def chaos_html(report) -> str:
+    """Render a failure-aware :class:`~repro.serve.report.ServeReport`
+    as the chaos dashboard document."""
+    networks = ", ".join(t.network for t in report.tenants)
+    failures = report.failures
+    sub = (
+        f"{_esc(report.node)} - {_esc(report.arrivals)} arrivals, "
+        f"seed {report.seed} - {_esc(report.policy.kind)} batching - "
+        f"{report.offered_qps:,.0f} offered QPS over "
+        f"{report.duration_s:g}s"
+    )
+    if failures is not None:
+        sub += f" - {_esc(failures.describe())}"
+    body = (
+        f"<h1>ScaleDeep chaos serving - {_esc(networks)}</h1>"
+        f'<p class="sub">{sub}</p>'
+        + _chaos_kpis(report)
+        + _chaos_timeline_svg(report)
+        + _chaos_outcomes_table(report)
+        + _chaos_slo_table(report)
+        + _chaos_events_table(report)
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>repro chaos - {_esc(networks)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f'<body>{body}<div id="tip" role="status"></div>\n'
+        f"<script>{_JS}</script></body></html>\n"
+    )
+
+
+def write_chaos_html(report, path: Union[str, Path]) -> Path:
+    """Write the chaos dashboard (same contract as
+    :func:`write_stats_html`)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(chaos_html(report), encoding="utf-8")
+    return path
+
+
 def stats_html(report: StatsReport) -> str:
     """Render the full dashboard document."""
     engine_note = (

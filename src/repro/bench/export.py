@@ -165,9 +165,11 @@ def write_serve_json(report, path: Union[str, Path]) -> Path:
     """Write a serving result — a
     :class:`~repro.serve.report.ServeReport` or a
     :class:`~repro.serve.curve.CurveReport` — as the ``BENCH_serve.json``
-    artifact.  Full float precision, sorted keys: the serving loop is
-    seeded and wall-clock free, so reruns at the same seed produce
-    byte-identical files (the CI serve smoke pins this with ``cmp``)."""
+    (or, for failure-aware runs, ``BENCH_chaos.json``) artifact.  Full
+    float precision, sorted keys: the serving loop *and* the fault
+    lifecycle are seeded and wall-clock free, so reruns at the same
+    seed produce byte-identical files (the CI serve and chaos smokes
+    pin this with ``cmp``)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
@@ -179,7 +181,9 @@ def write_serve_json(report, path: Union[str, Path]) -> Path:
 def write_serve_csv(report, path: Union[str, Path]) -> Path:
     """Write serving rows as CSV: per-(network, load-point) rows in
     :data:`~repro.serve.curve.CURVE_FIELDS` order for a curve, or the
-    per-tenant rows of a single run (full float precision)."""
+    per-tenant rows of a single run (full float precision).  Both row
+    shapes carry the per-outcome columns — completed/shed/timed_out/
+    failed partition each tenant's offered count."""
     from repro.serve.curve import CURVE_FIELDS, CurveReport
 
     path = Path(path)

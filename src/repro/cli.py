@@ -599,18 +599,8 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
-def cmd_serve(args: argparse.Namespace) -> None:
-    import json as json_mod
-
-    from repro.bench.export import write_serve_csv, write_serve_json
-    from repro.errors import ConfigError
-    from repro.serve import (
-        BatchPolicy,
-        ServeConfig,
-        run_curve,
-        simulate_serving,
-    )
-
+def _serve_networks(args: argparse.Namespace):
+    """Split/load the serving network list (usage errors exit 2)."""
     names = [
         part
         for spec in args.networks
@@ -618,34 +608,131 @@ def cmd_serve(args: argparse.Namespace) -> None:
         if part
     ]
     if not names:
-        print("repro: serve needs at least one network", file=sys.stderr)
+        print(
+            f"repro: {args.command} needs at least one network",
+            file=sys.stderr,
+        )
         raise SystemExit(2)
-    networks = [_load(name) for name in names]
+    return [_load(name) for name in names]
+
+
+def _slo_policy(args: argparse.Namespace):
+    """An :class:`SLOPolicy` from ``--slo-p99``/``--slo-availability``,
+    or ``None`` when neither objective was given."""
+    from repro.serve import SLOPolicy
+
+    if args.slo_p99 is None and args.slo_availability is None:
+        return None
+    return SLOPolicy(
+        p99_ms=args.slo_p99, availability=args.slo_availability
+    )
+
+
+def _serve_config(args: argparse.Namespace, failures=None):
+    """A :class:`ServeConfig` from the shared serve/chaos flags.
+    Raises :class:`ConfigError` on bad knobs (callers map to exit 2)."""
+    from repro.serve import BatchPolicy, ServeConfig
+
+    policy = BatchPolicy(
+        kind=args.policy,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait / 1e3,
+        queue_depth=args.queue_depth,
+    )
+    return ServeConfig(
+        qps=args.qps,
+        duration_s=args.duration,
+        arrivals=args.arrivals,
+        seed=args.seed,
+        policy=policy,
+        max_requests=args.max_requests,
+        minibatch=args.minibatch,
+        timeout_s=(
+            args.timeout / 1e3 if args.timeout is not None else None
+        ),
+        retries=args.retries,
+        backoff_s=args.backoff / 1e3,
+        hedge_s=args.hedge / 1e3 if args.hedge is not None else None,
+        failures=failures,
+        slo=_slo_policy(args),
+    )
+
+
+def _enforce_slo(report) -> None:
+    """Raise :class:`SLOViolation` (exit 1) when a single-run report
+    misses an objective — called *after* artifacts are written, so a
+    violating run still leaves its JSON/CSV behind."""
+    violations = report.slo_violations()
+    if violations:
+        from repro.errors import SLOViolation
+
+        detail = "; ".join(f.describe() for f in violations)
+        raise SLOViolation(
+            f"{len(violations)} SLO violation(s): {detail}", violations
+        )
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    import json as json_mod
+
+    from repro.bench.export import write_serve_csv, write_serve_json
+    from repro.errors import ConfigError
+    from repro.serve import (
+        place_networks,
+        run_curve,
+        simulate_serving,
+    )
+
+    networks = _serve_networks(args)
     node = _node(args)
+    if args.faults is not None and args.curve:
+        print(
+            "repro: serve --faults is a static degraded run; use "
+            "chaos --curve for load sweeps under a fault lifecycle",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
 
     try:
-        policy = BatchPolicy(
-            kind=args.policy,
-            max_batch=args.max_batch,
-            max_wait_s=args.max_wait / 1e3,
-            queue_depth=args.queue_depth,
-        )
-        config = ServeConfig(
-            qps=args.qps,
-            duration_s=args.duration,
-            arrivals=args.arrivals,
-            seed=args.seed,
-            policy=policy,
-            max_requests=args.max_requests,
-            minibatch=args.minibatch,
-        )
+        config = _serve_config(args)
+        placement = None
+        if args.faults is not None:
+            # Static degraded serving: sample one fault mask, compile
+            # every tenant against it, and place on what survives.
+            from repro.faults import ALL_KINDS, FaultSpec, parse_kinds
+            from repro.sweep.cache import cached_simulation
+
+            kind = args.fault_kind.strip()
+            spec = FaultSpec(
+                rate=args.faults,
+                seed=(
+                    args.fault_seed if args.fault_seed is not None
+                    else args.seed
+                ),
+                kinds=(
+                    ALL_KINDS if kind == "all" else parse_kinds(kind)
+                ),
+                slow_factor=args.slow_factor,
+            )
+            results = [
+                cached_simulation(
+                    net, node, args.minibatch, faults=spec
+                )
+                for net in networks
+            ]
+            placement = place_networks(
+                networks, node, minibatch=args.minibatch,
+                results=results,
+            )
         if args.curve:
             report = run_curve(
                 [net.name for net in networks], node, config,
                 workers=args.workers,
             )
         else:
-            report = simulate_serving(networks, node, config)
+            report = simulate_serving(
+                networks, node, config, placement=placement
+            )
     except ConfigError as exc:
         # Every knob here came off the command line: usage error.
         message = exc.args[0] if exc.args else str(exc)
@@ -677,12 +764,15 @@ def cmd_serve(args: argparse.Namespace) -> None:
         table = Table(
             f"Serving report ({node.name})",
             ["network", "share", "offered", "completed", "shed",
-             "p50 ms", "p95 ms", "p99 ms", "sustained QPS", "batch"],
+             "t/o", "fail", "avail", "p50 ms", "p95 ms", "p99 ms",
+             "sustained QPS", "batch"],
         )
         for row in report.rows():
             table.add(
                 row["network"], f'{row["share"]:.1%}',
                 row["offered"], row["completed"], row["shed"],
+                row["timed_out"], row["failed"],
+                f'{row["availability"]:.1%}',
                 f'{row["p50_ms"]:.3f}', f'{row["p95_ms"]:.3f}',
                 f'{row["p99_ms"]:.3f}',
                 f'{row["sustained_qps"]:,.0f}',
@@ -690,6 +780,8 @@ def cmd_serve(args: argparse.Namespace) -> None:
             )
         table.show()
         print(report.describe())
+        for finding in report.slo_findings():
+            print(f"  slo {finding.describe()}")
 
     if args.out:
         path = write_serve_json(report, args.out)
@@ -712,6 +804,121 @@ def cmd_serve(args: argparse.Namespace) -> None:
         path = write_serve_html(report, args.html)
         if not args.json:
             print(f"wrote dashboard to {path}")
+    if not args.curve:
+        _enforce_slo(report)
+
+
+def cmd_chaos(args: argparse.Namespace) -> None:
+    """Failure-aware serving: a seeded MTBF/MTTR fault/repair lifecycle
+    over the serving loop, with deadlines/retries/hedging and SLO
+    error budgets."""
+    import json as json_mod
+
+    from repro.bench.export import write_serve_csv, write_serve_json
+    from repro.errors import ConfigError
+    from repro.serve import (
+        FailureConfig,
+        parse_chaos_kinds,
+        run_curve,
+        simulate_serving,
+    )
+
+    networks = _serve_networks(args)
+    node = _node(args)
+
+    try:
+        failures = FailureConfig(
+            mtbf_s=args.mtbf,
+            mttr_s=args.mttr,
+            kinds=parse_chaos_kinds(args.fault_kind),
+            seed=(
+                args.fault_seed if args.fault_seed is not None
+                else args.seed
+            ),
+            slow_factor=args.slow_factor,
+            max_faults=args.max_faults,
+        )
+        config = _serve_config(args, failures=failures)
+        if args.curve:
+            report = run_curve(
+                [net.name for net in networks], node, config,
+                workers=args.workers,
+            )
+        else:
+            report = simulate_serving(networks, node, config)
+    except ConfigError as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"repro: {message}", file=sys.stderr)
+        raise SystemExit(2)
+
+    if args.json:
+        print(
+            json_mod.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+    elif args.curve:
+        table = Table(
+            f"Latency-throughput curve under faults ({node.name})",
+            ["network", "load", "offered QPS", "sustained QPS",
+             "p99 ms", "shed", "t/o", "fail", "avail"],
+        )
+        for row in report.rows():
+            table.add(
+                row["network"], f'{row["fraction"]:g}x',
+                f'{row["offered_net_qps"]:,.0f}',
+                f'{row["sustained_qps"]:,.0f}',
+                f'{row["p99_ms"]:.4f}',
+                row["shed"], row["timed_out"], row["failed"],
+                f'{row["availability"]:.1%}',
+            )
+        table.show()
+        print(report.describe())
+    else:
+        table = Table(
+            f"Chaos serving report ({node.name}, "
+            f"{failures.describe()})",
+            ["network", "offered", "done", "shed", "t/o", "fail",
+             "avail", "retry", "hedge", "p99 ms", "healthy p99",
+             "degraded p99"],
+        )
+        for row in report.rows():
+            table.add(
+                row["network"], row["offered"], row["completed"],
+                row["shed"], row["timed_out"], row["failed"],
+                f'{row["availability"]:.1%}',
+                row["retries"], row["hedges"],
+                f'{row["p99_ms"]:.6f}',
+                f'{row["healthy_p99_ms"]:.6f}',
+                f'{row["degraded_p99_ms"]:.6f}',
+            )
+        table.show()
+        print(report.describe())
+        for interval in report.degraded_intervals:
+            print(f"  {interval.describe()}")
+        for finding in report.slo_findings():
+            print(f"  slo {finding.describe()}")
+
+    if args.out:
+        path = write_serve_json(report, args.out)
+        if not args.json:
+            print(f"wrote {path}")
+    if args.csv:
+        path = write_serve_csv(report, args.csv)
+        if not args.json:
+            print(f"wrote {path}")
+    if args.html:
+        from repro.bench.dashboard import (
+            write_chaos_html,
+            write_serve_html,
+        )
+
+        if args.curve:
+            path = write_serve_html(report, args.html)
+        else:
+            path = write_chaos_html(report, args.html)
+        if not args.json:
+            print(f"wrote dashboard to {path}")
+    if not args.curve:
+        _enforce_slo(report)
 
 
 def cmd_export(args: argparse.Namespace) -> None:
@@ -721,6 +928,40 @@ def cmd_export(args: argparse.Namespace) -> None:
     for path in paths:
         print(path)
     print(f"wrote {len(paths)} figure data files")
+
+
+def _robustness_flags(p: argparse.ArgumentParser) -> None:
+    """Request-robustness and SLO flags shared by serve and chaos."""
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="MS",
+        help="end-to-end request deadline in ms: requests past it "
+        "count as timed out (default: none)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=0,
+        help="extra attempts after a shed/failed/expired copy "
+        "(default: 0)",
+    )
+    p.add_argument(
+        "--backoff", type=float, default=5.0, metavar="MS",
+        help="retry backoff base in ms; attempt n re-arrives after "
+        "backoff * 2^(n-1) (default: 5.0)",
+    )
+    p.add_argument(
+        "--hedge", type=float, default=None, metavar="MS",
+        help="spawn a duplicate request after this much queue wait; "
+        "first copy to finish wins (default: off)",
+    )
+    p.add_argument(
+        "--slo-p99", type=float, default=None, metavar="MS",
+        help="p99 latency objective per tenant and node; a violating "
+        "run exits 1 after writing artifacts",
+    )
+    p.add_argument(
+        "--slo-availability", type=float, default=None, metavar="FRAC",
+        help="minimum fraction of offered requests that must complete "
+        "(0, 1]; violations exit 1",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1022,7 +1263,119 @@ def build_parser() -> argparse.ArgumentParser:
         "--html", metavar="PATH", default=None,
         help="write the serving dashboard (requires --curve)",
     )
+    _robustness_flags(p)
+    p.add_argument(
+        "--faults", type=float, default=None, metavar="RATE",
+        help="serve on a statically degraded node: sample one fault "
+        "mask at this per-site rate, compile every tenant against it "
+        "and place on what survives (not with --curve)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault-sampling seed (default: --seed)",
+    )
+    p.add_argument(
+        "--fault-kind", default="tile-slow", metavar="KINDS",
+        help="comma-separated fault kinds for --faults, or 'all' "
+        "(default: tile-slow)",
+    )
+    p.add_argument(
+        "--slow-factor", type=float, default=0.5,
+        help="throughput a tile-slow column retains (default: 0.5)",
+    )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="failure-aware serving: seeded MTBF/MTTR fault/repair "
+        "lifecycle with retries, hedging and SLO error budgets",
+    )
+    p.add_argument(
+        "networks", nargs="+",
+        help="networks to co-serve under faults (comma- or "
+        "space-separated)",
+    )
+    p.add_argument(
+        "--hp", action="store_true",
+        help="use the half-precision node (Fig 17)",
+    )
+    p.add_argument(
+        "--mtbf", type=float, required=True, metavar="S",
+        help="mean time between fault arrivals in seconds",
+    )
+    p.add_argument(
+        "--mttr", type=float, required=True, metavar="S",
+        help="mean time to repair one fault in seconds",
+    )
+    p.add_argument(
+        "--fault-kind", default="tile-slow", metavar="KINDS",
+        help="comma-separated fault kinds to inject "
+        "(tile-slow, tile-dead, link-down; default: tile-slow)",
+    )
+    p.add_argument(
+        "--slow-factor", type=float, default=0.5,
+        help="throughput a tile-slow column retains (default: 0.5)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="failure-process seed (default: --seed)",
+    )
+    p.add_argument(
+        "--max-faults", type=int, default=64,
+        help="cap on injected faults per run (default: 64)",
+    )
+    p.add_argument("--qps", type=float, default=2_000.0)
+    p.add_argument(
+        "--duration", type=float, default=0.25, metavar="S",
+        help="offered-arrival window in seconds (default: 0.25)",
+    )
+    p.add_argument(
+        "--arrivals", choices=["poisson", "uniform"], default="poisson",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="arrival RNG seed (default: 0)",
+    )
+    p.add_argument(
+        "--policy", choices=["wait", "greedy"], default="greedy",
+        help="batching policy (default: greedy — latency tracks the "
+        "degraded service rate instead of the max-wait floor)",
+    )
+    p.add_argument("--max-batch", type=int, default=8)
+    p.add_argument(
+        "--max-wait", type=float, default=2.0, metavar="MS",
+        help="longest wait for batchmates under --policy wait, in ms",
+    )
+    p.add_argument("--queue-depth", type=int, default=64)
+    p.add_argument("--max-requests", type=int, default=200_000)
+    p.add_argument("--minibatch", type=int, default=256)
+    _robustness_flags(p)
+    p.add_argument(
+        "--curve", action="store_true",
+        help="sweep offered load under the fault lifecycle",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --curve points (default: 1)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the deterministic report as JSON",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the report as a JSON artifact "
+        "(e.g. BENCH_chaos.json)",
+    )
+    p.add_argument(
+        "--csv", metavar="PATH", default=None,
+        help="also write the per-row results as CSV",
+    )
+    p.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="write the chaos dashboard",
+    )
+    p.set_defaults(func=cmd_chaos)
     p = sub.add_parser("export", help="write figure data as CSV")
     p.add_argument("directory", help="output directory")
     p.set_defaults(func=cmd_export)

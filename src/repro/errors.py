@@ -93,6 +93,18 @@ class SweepError(ReproError):
     runner itself could not proceed)."""
 
 
+class SLOViolation(ReproError):
+    """A serving run missed its service-level objective: a tenant's (or
+    the node's) p99 latency exceeded the target, or availability fell
+    below it.  ``violations`` carries one human-readable finding per
+    missed objective — the run itself completed and its artifacts were
+    written before this was raised."""
+
+    def __init__(self, message: str, violations=()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class SynchronizationError(SimulationError):
     """A data-flow tracker observed an access sequence that violates its
     MEMTRACK specification."""

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.errors import ConfigError
 from repro.serve.request import Request
@@ -95,6 +95,14 @@ class DynamicBatcher:
         self.admitted += 1
         return True
 
+    def drain(self) -> List[Request]:
+        """Remove and return everything queued (a tenant going down
+        cannot serve its backlog; the serving loop fails each request
+        so its root can retry or finalise)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
     def deadline(self) -> Optional[float]:
         """When the oldest queued request's wait budget expires, or
         ``None`` (empty queue, or the greedy policy never waits)."""
@@ -102,12 +110,33 @@ class DynamicBatcher:
             return None
         return self._queue[0].arrival_s + self.policy.max_wait_s
 
-    def take(self, now_s: float) -> List[Request]:
+    def take(
+        self,
+        now_s: float,
+        drop: Optional[Callable[[Request], bool]] = None,
+        on_drop: Optional[Callable[[Request], None]] = None,
+    ) -> List[Request]:
         """The batch to dispatch at ``now_s``, or ``[]`` to keep
         waiting.  Dispatches when the queue fills a batch, the oldest
         request's deadline has arrived (``now_s`` at or past
-        :meth:`deadline`), or the policy is greedy."""
+        :meth:`deadline`), or the policy is greedy.
+
+        ``drop`` marks queued requests that must never dispatch (past
+        their request deadline, or hedge duplicates whose sibling
+        already won): they are removed while the batch forms and handed
+        to ``on_drop`` instead of a server.  The purge is lazy — a
+        doomed request sits in the queue until the next formation
+        touches it — which keeps ``offer``/``deadline`` free of
+        per-event scans and the whole batcher deterministic.
+        """
         queue = self._queue
+        if drop is not None:
+            # Purge the head first so the ready check below reasons
+            # about a request that could actually dispatch.
+            while queue and drop(queue[0]):
+                request = queue.popleft()
+                if on_drop is not None:
+                    on_drop(request)
         if not queue:
             return []
         policy = self.policy
@@ -118,5 +147,12 @@ class DynamicBatcher:
         )
         if not ready:
             return []
-        size = min(len(queue), policy.max_batch)
-        return [queue.popleft() for _ in range(size)]
+        batch: List[Request] = []
+        while queue and len(batch) < policy.max_batch:
+            request = queue.popleft()
+            if drop is not None and drop(request):
+                if on_drop is not None:
+                    on_drop(request)
+                continue
+            batch.append(request)
+        return batch

@@ -27,10 +27,13 @@ from repro.sweep.runner import fan_out
 CURVE_FRACTIONS = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.25)
 
 #: Flat export row order (shared by the CSV writer and the dashboard).
+#: The per-outcome columns (completed/shed/timed_out/failed) partition
+#: each tenant's offered count at every load point.
 CURVE_FIELDS = (
     "network", "fraction", "offered_qps", "offered_net_qps",
     "sustained_qps", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
-    "shed_rate", "mean_batch",
+    "shed_rate", "mean_batch", "offered", "completed", "shed",
+    "timed_out", "failed", "availability",
 )
 
 
@@ -69,6 +72,12 @@ class CurveReport:
                     "mean_ms": stats.latency_ms.mean,
                     "shed_rate": stats.shed_rate,
                     "mean_batch": stats.mean_batch,
+                    "offered": stats.offered,
+                    "completed": stats.completed,
+                    "shed": stats.shed,
+                    "timed_out": stats.timed_out,
+                    "failed": stats.failed,
+                    "availability": stats.availability,
                 }
                 for q in LATENCY_PERCENTILES:
                     row[f"p{q:g}_ms"] = stats.latency_percentile_ms(q)
@@ -88,6 +97,19 @@ class CurveReport:
                 "max_batch": self.config.policy.max_batch,
                 "max_wait_ms": self.config.policy.max_wait_s * 1e3,
                 "queue_depth": self.config.policy.queue_depth,
+                "timeout_ms": (
+                    self.config.timeout_s * 1e3
+                    if self.config.timeout_s is not None else None
+                ),
+                "retries": self.config.retries,
+                "hedge_ms": (
+                    self.config.hedge_s * 1e3
+                    if self.config.hedge_s is not None else None
+                ),
+                "failures": (
+                    self.config.failures.to_dict()
+                    if self.config.failures is not None else None
+                ),
             },
             "placement": {
                 t.network: {"clusters": t.clusters, "share": t.share}

@@ -100,12 +100,16 @@ def place_networks(
     node: NodeConfig,
     minibatch: int = DEFAULT_MINIBATCH,
     results: Optional[Sequence[PerfResult]] = None,
+    weights: Optional[Sequence[float]] = None,
 ) -> NodePlacement:
     """Partition ``node``'s clusters among ``networks``.
 
     Each network is compiled (through the content-keyed cache) to learn
     its minimum cluster span and full-node evaluation rate; ``results``
-    short-circuits that for callers that already simulated.  Raises
+    short-circuits that for callers that already simulated.
+    ``weights`` overrides the FLOPs-proportional demand weights (the
+    largest-remainder ideal shares) — negative weights are rejected,
+    an all-zero vector degrades to an equal split.  Raises
     :class:`ConfigError` when the tenants' minimum spans exceed the
     node, or a network name repeats.
     """
@@ -114,6 +118,16 @@ def place_networks(
     names = [net.name for net in networks]
     if len(set(names)) != len(names):
         raise ConfigError(f"duplicate serving networks in {names}")
+    if weights is not None:
+        if len(weights) != len(networks):
+            raise ConfigError(
+                f"{len(networks)} network(s) but {len(weights)} "
+                "placement weight(s)"
+            )
+        if any(w < 0 for w in weights):
+            raise ConfigError(
+                f"placement weights must be >= 0, got {list(weights)}"
+            )
 
     if results is None:
         from repro.sweep.cache import cached_simulation
@@ -133,7 +147,10 @@ def place_networks(
             f"{total_clusters}"
         )
 
-    weights = [evaluation_flops(net) / 1e9 for net in networks]
+    if weights is None:
+        weights = [evaluation_flops(net) / 1e9 for net in networks]
+    else:
+        weights = [float(w) for w in weights]
     total_weight = sum(weights) or float(len(networks))
     ideal = [
         total_clusters * weight / total_weight for weight in weights

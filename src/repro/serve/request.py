@@ -38,11 +38,37 @@ DEFAULT_MAX_REQUESTS = 200_000
 @dataclass(frozen=True)
 class Request:
     """One inference request: global arrival order, target network,
-    arrival timestamp (seconds from the start of the run)."""
+    arrival timestamp (seconds from the start of the run).
+
+    The robustness fields default to the plain open-loop case — a fresh
+    root request whose submit time is its arrival time.  Retries and
+    hedged duplicates are *copies* that share the root's ``rid`` and
+    ``submitted_s`` (end-to-end latency and the request deadline are
+    measured from submission, not re-arrival) but re-enter the queue at
+    a later ``arrival_s``.
+    """
 
     index: int
     network: str
     arrival_s: float
+    rid: int = -1  # root request id (-1: this request is its own root)
+    submitted_s: float = -1.0  # original submit time (-1: arrival_s)
+    attempt: int = 0  # 0 = first try, n = nth retry
+    hedge: bool = False  # True for a hedged duplicate
+
+    def __post_init__(self) -> None:
+        if self.rid < 0:
+            object.__setattr__(self, "rid", self.index)
+        if self.submitted_s < 0:
+            object.__setattr__(self, "submitted_s", self.arrival_s)
+
+    def deadline_s(self, timeout_s: Optional[float]) -> Optional[float]:
+        """The absolute wall deadline under ``timeout_s`` (end-to-end
+        from submission, shared by every retry/hedge copy), or ``None``
+        when requests never time out."""
+        if timeout_s is None:
+            return None
+        return self.submitted_s + timeout_s
 
 
 def _normalized_weights(

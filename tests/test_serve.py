@@ -128,6 +128,20 @@ class TestBatcher:
         with pytest.raises(ConfigError):
             BatchPolicy(queue_depth=0)
 
+    def test_drain_flushes_the_queue(self):
+        # The down-tenant transition flushes queued requests as failed
+        # copies; drain must hand back the queue in arrival order and
+        # leave the batcher reusable.
+        policy = BatchPolicy(kind="wait", max_batch=8, max_wait_s=1.0)
+        batcher = DynamicBatcher(policy)
+        reqs = [Request(i, "A", i * 0.01) for i in range(3)]
+        for req in reqs:
+            batcher.offer(req)
+        assert batcher.drain() == reqs
+        assert batcher.drain() == []
+        assert batcher.deadline() is None
+        assert batcher.offer(Request(9, "A", 1.0))
+
 
 class TestPlacement:
     def test_shares_and_clusters_partition_the_node(self):
@@ -151,6 +165,53 @@ class TestPlacement:
     def test_saturation_grows_with_batch(self):
         placement = place_networks(_nets("AlexNet"), NODE)
         assert placement.saturation_qps(8) > placement.saturation_qps(1)
+
+    def test_largest_remainder_ties_go_to_the_earlier_tenant(self):
+        # Three equal-weight tenants on four clusters: everyone's
+        # deficit against the 4/3 ideal ties, so the single leftover
+        # cluster must land on the first tenant (strict comparison),
+        # deterministically across reruns.
+        nets = _nets("LeNet-5", "TinyCNN", "TinyMLP")
+        for _ in range(3):
+            placement = place_networks(nets, NODE, weights=(1.0,) * 3)
+            assert [t.clusters for t in placement.tenants] == [2, 1, 1]
+
+    def test_zero_weights_degrade_to_an_equal_split(self):
+        placement = place_networks(
+            _nets("LeNet-5", "AlexNet"), NODE, weights=(0.0, 0.0)
+        )
+        assert [t.clusters for t in placement.tenants] == [2, 2]
+
+    def test_single_tenant_with_zero_weight_owns_the_node(self):
+        placement = place_networks(
+            _nets("AlexNet"), NODE, weights=(0.0,)
+        )
+        (tenant,) = placement.tenants
+        assert tenant.clusters == NODE.cluster_count
+
+    def test_weight_validation(self):
+        nets = _nets("LeNet-5", "AlexNet")
+        with pytest.raises(ConfigError):
+            place_networks(nets, NODE, weights=(1.0,))
+        with pytest.raises(ConfigError):
+            place_networks(nets, NODE, weights=(1.0, -2.0))
+
+    def test_minimum_spans_beyond_capacity_are_rejected(self):
+        # Five tenants each need at least one cluster; a four-cluster
+        # node cannot host them no matter the weights.
+        nets = _nets("LeNet-5", "TinyCNN", "TinyMLP", "AlexNet", "ZF")
+        with pytest.raises(ConfigError):
+            place_networks(nets, NODE)
+
+    def test_minimum_spans_survive_skewed_weights(self):
+        # A tiny weight cannot push a tenant below the clusters one
+        # copy of its mapping spans.
+        placement = place_networks(
+            _nets("LeNet-5", "AlexNet"), NODE, weights=(1e-9, 1.0)
+        )
+        assert all(t.clusters >= 1 for t in placement.tenants)
+        assert sum(t.clusters for t in placement.tenants) == \
+            NODE.cluster_count
 
 
 class TestSimulator:
