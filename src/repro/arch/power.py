@@ -77,6 +77,24 @@ class PowerDraw:
     def fraction_of(self, peak: ComponentPower) -> float:
         return self.total_w / peak.peak_w
 
+    def scaled(self, factor: float) -> "PowerDraw":
+        """The same draw replicated ``factor`` times — e.g. per-node
+        draw lifted to an N-node system."""
+        return PowerDraw(
+            logic_w=self.logic_w * factor,
+            memory_w=self.memory_w * factor,
+            interconnect_w=self.interconnect_w * factor,
+        )
+
+    def describe(self, scope: str = "per-node") -> str:
+        """One-line summary with an explicit scope label, so per-node
+        and system-level figures can never be confused."""
+        return (
+            f"{scope} average power {self.total_w:,.0f} W "
+            f"({self.logic_w:,.0f} logic / {self.memory_w:,.0f} memory / "
+            f"{self.interconnect_w:,.0f} interconnect)"
+        )
+
 
 class PowerModel:
     """Activity-scaled power for one component.
@@ -220,3 +238,9 @@ def estimate_node_power(node) -> float:
     # Node uncore (ring, host): 1400 W around 4 x 325.6 W -> 7.5% on top.
     node_overhead = table["node"].peak_w / (4 * table["cluster"].peak_w)
     return node.cluster_count * cluster_w * node_overhead
+
+
+def estimate_system_power(system) -> float:
+    """Peak power of a multi-node system: ``node_count`` identical nodes
+    (the fabric NICs ride inside the node's interconnect share)."""
+    return system.node_count * estimate_node_power(system.node)

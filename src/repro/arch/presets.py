@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.arch.chip import GB, KB, MB, ChipConfig, ChipKind, LinkBandwidths
 from repro.arch.cluster import ClusterConfig
 from repro.arch.node import NodeConfig
+from repro.arch.system import SystemConfig, TCOModel, make_system
 from repro.arch.tiles import CompHeavyConfig, MemHeavyConfig
 
 #: Operating frequency of the evaluated design (Fig 14).
@@ -138,6 +139,30 @@ PRESETS = {
     "sp": single_precision_node,
     "hp": half_precision_node,
 }
+
+#: Calibrated TCO constants for the $-cost layer (repro.sim.tco).
+#: Node capex follows the era's accelerator-server envelope (~$12k of
+#: silicon+board+host per 1.4 kW node), plus a per-node share of the
+#: EDR-class fabric (NIC + switch port + cabling).  Three-year linear
+#: depreciation, 35% hosting/staffing opex on top, $0.10/kWh behind a
+#: PUE of 1.5 — the TPU paper's datacenter assumptions.
+DEFAULT_TCO = TCOModel(
+    node_capex_usd=12_000.0,
+    fabric_capex_usd_per_node=1_500.0,
+    depreciation_years=3.0,
+    electricity_usd_per_kwh=0.10,
+    pue=1.5,
+    opex_factor=0.35,
+)
+
+
+def load_system(
+    preset: str,
+    node_count: int = 1,
+    strategy: str = "data",
+) -> SystemConfig:
+    """Build an N-node system from a named chip preset."""
+    return make_system(load_preset(preset), node_count, strategy)
 
 
 def load_preset(name: str) -> NodeConfig:

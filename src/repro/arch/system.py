@@ -1,0 +1,296 @@
+"""System-level architecture: N ScaleDeep nodes on an inter-node fabric.
+
+The paper evaluates one node (a ring of 4 chip clusters, Sec 3.3), but
+its scalability argument — and any production training/serving story —
+runs many of them.  This module lifts :class:`~repro.arch.node.NodeConfig`
+from the implicit top of the world into a leaf of :class:`SystemConfig`:
+``N`` identical nodes joined by a flat inter-node fabric (bandwidth per
+node endpoint plus a per-hop latency), trained under an explicit
+:class:`ParallelismStrategy`:
+
+* **data** — every node holds a full model replica and works a slice of
+  the minibatch; gradients all-reduce across the fabric each minibatch;
+* **model** — one replica's layers shard across all nodes; boundary
+  activations (features forward, errors backward) cross the fabric
+  instead of gradients;
+* **hybrid** — model-parallel groups of ``model_group`` nodes, data
+  parallelism across the ``N / model_group`` groups (the gradient
+  payload per group shrinks by the shard count).
+
+Gradient synchronization is selectable: a bandwidth-optimal multi-level
+**ring** over the nodes (the node-internal ring's own scheme, one level
+up) or a latency-optimal hierarchical **tree** (reduce-then-broadcast).
+The cycle models live in :mod:`repro.sim.allreduce`.
+
+:class:`TCOModel` holds the capex/opex constants the $-cost layer
+(:mod:`repro.sim.tco`) folds with the power model into $/training-run
+and $/1M-inferences; the calibrated defaults live in
+:mod:`repro.arch.presets`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.arch.chip import GB
+from repro.arch.node import NodeConfig
+from repro.errors import ConfigError
+
+#: Inter-node fabric bandwidth per node endpoint: four bonded 100 Gb/s
+#: EDR-class ports — the era-appropriate envelope for a 1.4 kW node.
+DEFAULT_FABRIC_BANDWIDTH = 50 * GB
+
+#: One-way inter-node hop latency (switched EDR-class fabric).
+DEFAULT_FABRIC_LATENCY_S = 1.5e-6
+
+
+class Parallelism(enum.Enum):
+    """How the training job spreads across the system's nodes."""
+
+    DATA = "data"
+    MODEL = "model"
+    HYBRID = "hybrid"
+
+
+class GradientSync(enum.Enum):
+    """Inter-node gradient all-reduce algorithm."""
+
+    RING = "ring"  # multi-level ring: bandwidth-optimal, O(n) latency
+    TREE = "tree"  # reduce-then-broadcast: O(log n) rounds, full payload
+
+
+@dataclass(frozen=True)
+class ParallelismStrategy:
+    """A parallelism kind plus its gradient-sync algorithm.
+
+    ``model_group`` only matters for hybrid parallelism: the number of
+    nodes sharing one model shard group (data parallelism runs across
+    the groups).  A group of 1 degenerates to pure data parallelism —
+    the N=1 identity the byte-compatibility contract relies on.
+    """
+
+    kind: Parallelism = Parallelism.DATA
+    gradient_sync: GradientSync = GradientSync.RING
+    model_group: int = 1
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kind, Parallelism):
+            raise ConfigError(f"kind must be a Parallelism, got {self.kind!r}")
+        if not isinstance(self.gradient_sync, GradientSync):
+            raise ConfigError(
+                f"gradient_sync must be a GradientSync, got "
+                f"{self.gradient_sync!r}"
+            )
+        if self.model_group < 1:
+            raise ConfigError(
+                f"model_group must be >= 1, got {self.model_group}"
+            )
+        if self.kind is not Parallelism.HYBRID and self.model_group != 1:
+            raise ConfigError(
+                f"model_group only applies to hybrid parallelism "
+                f"(got {self.kind.value!r} with group {self.model_group})"
+            )
+
+    @classmethod
+    def parse(cls, token: str) -> "ParallelismStrategy":
+        """Parse ``kind[:group][/sync]`` — e.g. ``data``, ``model/tree``,
+        ``hybrid:4``, ``hybrid:2/tree``.  Hybrid defaults to groups of 2.
+        """
+        spec = token.strip().lower()
+        sync = GradientSync.RING
+        if "/" in spec:
+            spec, _, sync_token = spec.partition("/")
+            try:
+                sync = GradientSync(sync_token)
+            except ValueError:
+                raise ConfigError(
+                    f"unknown gradient sync {sync_token!r} in "
+                    f"{token!r} (choose from: "
+                    f"{', '.join(s.value for s in GradientSync)})"
+                ) from None
+        group = None
+        if ":" in spec:
+            spec, _, group_token = spec.partition(":")
+            try:
+                group = int(group_token)
+            except ValueError:
+                raise ConfigError(
+                    f"model group in {token!r} must be an integer, "
+                    f"got {group_token!r}"
+                ) from None
+        try:
+            kind = Parallelism(spec)
+        except ValueError:
+            raise ConfigError(
+                f"unknown parallelism {spec!r} in {token!r} (choose "
+                f"from: {', '.join(p.value for p in Parallelism)})"
+            ) from None
+        if group is None:
+            group = 2 if kind is Parallelism.HYBRID else 1
+        return cls(kind=kind, gradient_sync=sync, model_group=group)
+
+    @property
+    def token(self) -> str:
+        """The canonical ``kind[:group]/sync`` spelling (round-trips
+        through :meth:`parse`) — the sweep's exported ``strategy``
+        column."""
+        base = self.kind.value
+        if self.kind is Parallelism.HYBRID:
+            base += f":{self.model_group}"
+        return f"{base}/{self.gradient_sync.value}"
+
+    def describe(self) -> str:
+        group = (
+            f" (groups of {self.model_group})"
+            if self.kind is Parallelism.HYBRID else ""
+        )
+        return (
+            f"{self.kind.value} parallel{group}, "
+            f"{self.gradient_sync.value} gradient sync"
+        )
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """``node_count`` identical nodes on a flat inter-node fabric."""
+
+    name: str
+    node: NodeConfig
+    node_count: int = 1
+    fabric_bandwidth: float = DEFAULT_FABRIC_BANDWIDTH  # bytes/s per node
+    fabric_latency_s: float = DEFAULT_FABRIC_LATENCY_S
+    strategy: ParallelismStrategy = field(default_factory=ParallelismStrategy)
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigError("system needs at least one node")
+        if self.fabric_bandwidth <= 0:
+            raise ConfigError("fabric bandwidth must be positive")
+        if self.fabric_latency_s < 0:
+            raise ConfigError("fabric latency must be >= 0")
+        shards = self.model_shards
+        if shards > self.node_count or self.node_count % shards != 0:
+            raise ConfigError(
+                f"model group {shards} does not divide the "
+                f"{self.node_count}-node system"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def model_shards(self) -> int:
+        """Nodes one model replica spans."""
+        if self.strategy.kind is Parallelism.MODEL:
+            return self.node_count
+        if self.strategy.kind is Parallelism.HYBRID:
+            return self.strategy.model_group
+        return 1
+
+    @property
+    def replicas(self) -> int:
+        """Data-parallel model replicas (the all-reduce participants)."""
+        return self.node_count // self.model_shards
+
+    @property
+    def comp_tile_count(self) -> int:
+        return self.node_count * self.node.comp_tile_count
+
+    @property
+    def mem_tile_count(self) -> int:
+        return self.node_count * self.node.mem_tile_count
+
+    @property
+    def tile_count(self) -> int:
+        return self.node_count * self.node.tile_count
+
+    @property
+    def peak_flops(self) -> float:
+        return self.node_count * self.node.peak_flops
+
+    def describe(self) -> str:
+        """Multi-line summary labelling per-node vs system quantities."""
+        lines = [
+            f"ScaleDeep system {self.name!r}: {self.node_count} node(s), "
+            f"{self.strategy.describe()}",
+            f"  fabric: {self.fabric_bandwidth / 1e9:g} GB/s per node, "
+            f"{self.fabric_latency_s * 1e6:g} us/hop",
+            f"  per-node: {self.node.tile_count} tiles, "
+            f"{self.node.peak_flops / 1e12:.1f} TFLOP/s peak",
+            f"  system:   {self.tile_count} tiles, "
+            f"{self.peak_flops / 1e12:.1f} TFLOP/s peak "
+            f"({self.replicas} replica(s) x {self.model_shards} shard "
+            f"node(s))",
+        ]
+        return "\n".join(lines)
+
+
+def make_system(
+    node: NodeConfig,
+    node_count: int = 1,
+    strategy: "ParallelismStrategy | str" = "data",
+    fabric_bandwidth: float = DEFAULT_FABRIC_BANDWIDTH,
+    fabric_latency_s: float = DEFAULT_FABRIC_LATENCY_S,
+) -> SystemConfig:
+    """A system of ``node_count`` copies of ``node``.
+
+    ``strategy`` accepts a :class:`ParallelismStrategy` or a
+    :meth:`~ParallelismStrategy.parse` token.  A hybrid group larger
+    than the system clamps down to ``node_count`` (so ``hybrid`` at
+    ``--nodes 1`` degenerates cleanly instead of failing validation);
+    a group that does not divide the node count still raises.
+    """
+    if isinstance(strategy, str):
+        strategy = ParallelismStrategy.parse(strategy)
+    if (
+        strategy.kind is Parallelism.HYBRID
+        and strategy.model_group > node_count
+    ):
+        strategy = ParallelismStrategy(
+            kind=strategy.kind,
+            gradient_sync=strategy.gradient_sync,
+            model_group=node_count,
+        )
+    return SystemConfig(
+        name=f"{node.name}-x{node_count}",
+        node=node,
+        node_count=node_count,
+        fabric_bandwidth=fabric_bandwidth,
+        fabric_latency_s=fabric_latency_s,
+        strategy=strategy,
+    )
+
+
+@dataclass(frozen=True)
+class TCOModel:
+    """Capex/opex constants behind the $-cost layer.
+
+    ``node_capex_usd`` amortizes linearly over ``depreciation_years``;
+    ``opex_factor`` adds hosting/staffing as a fraction on top of the
+    amortized capex; energy is metered at ``electricity_usd_per_kwh``
+    behind a datacenter ``pue``.
+    """
+
+    node_capex_usd: float
+    fabric_capex_usd_per_node: float
+    depreciation_years: float
+    electricity_usd_per_kwh: float
+    pue: float
+    opex_factor: float
+
+    def __post_init__(self) -> None:
+        if self.node_capex_usd < 0 or self.fabric_capex_usd_per_node < 0:
+            raise ConfigError("capex must be >= 0")
+        if self.depreciation_years <= 0:
+            raise ConfigError("depreciation_years must be positive")
+        if self.electricity_usd_per_kwh < 0:
+            raise ConfigError("electricity price must be >= 0")
+        if self.pue < 1.0:
+            raise ConfigError(f"PUE must be >= 1, got {self.pue}")
+        if self.opex_factor < 0:
+            raise ConfigError("opex_factor must be >= 0")
+
+    def capex_usd_per_node_hour(self) -> float:
+        """Amortized capex (plus the opex overhead) per node-hour."""
+        hardware = self.node_capex_usd + self.fabric_capex_usd_per_node
+        hours = self.depreciation_years * 8760.0
+        return hardware / hours * (1.0 + self.opex_factor)

@@ -49,18 +49,49 @@ def build_topology(node: NodeConfig) -> nx.Graph:
                 chip, hub, kind="spoke",
                 bandwidth=cluster.spoke_bandwidth,
             )
-        # Wheel arcs connect adjacent ConvLayer chips around the rim.
-        for i, chip in enumerate(chips):
+        # Wheel arcs connect adjacent ConvLayer chips around the rim
+        # (a single-chip wheel has no rim — guard the self-loop).
+        if len(chips) > 1:
+            for i, chip in enumerate(chips):
+                graph.add_edge(
+                    chip, chips[(i + 1) % len(chips)], kind="arc",
+                    bandwidth=cluster.arc_bandwidth,
+                )
+    # The ring connects the hubs (one cluster: nothing to ring).
+    if node.cluster_count > 1:
+        for c in range(node.cluster_count):
             graph.add_edge(
-                chip, chips[(i + 1) % len(chips)], kind="arc",
-                bandwidth=cluster.arc_bandwidth,
+                hub_name(c), hub_name((c + 1) % node.cluster_count),
+                kind="ring", bandwidth=node.ring_bandwidth,
             )
-    # The ring connects the hubs.
-    for c in range(node.cluster_count):
-        graph.add_edge(
-            hub_name(c), hub_name((c + 1) % node.cluster_count),
-            kind="ring", bandwidth=node.ring_bandwidth,
+    return graph
+
+
+def build_system_topology(system) -> nx.Graph:
+    """The scale-out graph of a multi-node system.
+
+    Each node contributes its full wheel-and-ring graph with vertices
+    prefixed ``node<i>/``; the inter-node fabric rings the nodes'
+    ``cluster0`` hubs (the fabric endpoint) with ``kind="fabric"``
+    edges carrying the system's fabric bandwidth.  A 1-node system is
+    exactly :func:`build_topology` with the prefix.
+    """
+    graph = nx.Graph()
+    for n in range(system.node_count):
+        node_graph = build_topology(system.node)
+        graph.update(
+            nx.relabel_nodes(
+                node_graph,
+                {v: f"node{n}/{v}" for v in node_graph.nodes},
+            )
         )
+    if system.node_count > 1:
+        for n in range(system.node_count):
+            graph.add_edge(
+                f"node{n}/{hub_name(0)}",
+                f"node{(n + 1) % system.node_count}/{hub_name(0)}",
+                kind="fabric", bandwidth=system.fabric_bandwidth,
+            )
     return graph
 
 

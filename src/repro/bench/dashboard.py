@@ -743,6 +743,213 @@ def write_serve_html(curve, path: Union[str, Path]) -> Path:
 
 
 # ---------------------------------------------------------------------------
+# Scale-out panel (sweep scaling curves + TCO KPIs)
+# ---------------------------------------------------------------------------
+def _series_label(key: Tuple[str, str, str]) -> str:
+    network, preset, strategy = key
+    return f"{network}/{preset} {strategy}"
+
+
+def _scaling_kpis(series: Dict[tuple, List[dict]]) -> str:
+    rows = [row for points in series.values() for row in points]
+    if not rows:
+        return ""
+    best = max(rows, key=lambda r: r["system_train_images_per_s"])
+    cheapest_run = min(rows, key=lambda r: r["dollars_per_training_run"])
+    cheapest_inf = min(rows, key=lambda r: r["dollars_per_1m_inferences"])
+    tiles = (
+        ("Best system throughput",
+         _fmt(best["system_train_images_per_s"]),
+         f"img/s ({best['network']} x{best['nodes']})"),
+        ("Cheapest training run",
+         f"${cheapest_run['dollars_per_training_run']:,.2f}",
+         f"{cheapest_run['network']} x{cheapest_run['nodes']} "
+         f"({cheapest_run['strategy']})"),
+        ("Cheapest inference",
+         f"${cheapest_inf['dollars_per_1m_inferences']:,.2f}",
+         f"per 1M images ({cheapest_inf['network']} "
+         f"x{cheapest_inf['nodes']})"),
+        ("Largest system",
+         _fmt(max(r["nodes"] for r in rows)),
+         f"node(s), {len(series)} configuration(s)"),
+    )
+    cards = "".join(
+        f'<div class="card"><div class="kpi-label">{_esc(label)}</div>'
+        f'<div class="kpi-value">{_esc(value)}</div>'
+        f'<div class="kpi-unit">{_esc(unit)}</div></div>'
+        for label, value, unit in tiles
+    )
+    return f'<div class="kpis">{cards}</div>'
+
+
+def _scaling_svg(series: Dict[tuple, List[dict]]) -> str:
+    """System training throughput vs node count, one categorical series
+    per (network, preset, strategy); each series' ideal linear scaling
+    (its smallest-system rate extrapolated) drawn dashed."""
+    keys = [k for k, points in series.items() if points]
+    if not keys:
+        return ""
+    x_hi = max(row["nodes"] for k in keys for row in series[k])
+    x_lo = min(row["nodes"] for k in keys for row in series[k])
+    ideal: Dict[tuple, float] = {}
+    for key in keys:
+        base = series[key][0]
+        ideal[key] = (
+            base["system_train_images_per_s"] / base["nodes"]
+        )
+    y_hi = max(
+        max(row["system_train_images_per_s"] for row in series[k])
+        for k in keys
+    )
+    y_hi = max(y_hi, max(ideal[k] * x_hi for k in keys))
+    if y_hi <= 0 or x_hi <= 0:
+        return ""
+    width, height = 640, 330
+    left, right, top, bottom = 70, 16, 14, 40
+    plot_w, plot_h = width - left - right, height - top - bottom
+
+    def x_of(nodes: float) -> float:
+        if x_hi == x_lo:
+            return left + plot_w / 2
+        return left + (nodes - x_lo) / (x_hi - x_lo) * plot_w
+
+    def y_of(rate: float) -> float:
+        return top + plot_h - min(rate, y_hi) / y_hi * plot_h
+
+    parts: List[str] = []
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        y = y_of(frac * y_hi)
+        parts.append(
+            f'<line x1="{left}" y1="{y:.1f}" x2="{left + plot_w}" '
+            f'y2="{y:.1f}" stroke="var(--grid)"/>'
+            f'<text x="{left - 6}" y="{y + 3:.1f}" '
+            f'text-anchor="end">{_fmt(frac * y_hi)}</text>'
+        )
+    ticks = sorted({row["nodes"] for k in keys for row in series[k]})
+    for tick in ticks:
+        x = x_of(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+            f'y2="{top + plot_h}" stroke="var(--grid)"/>'
+            f'<text x="{x:.1f}" y="{height - 22}" '
+            f'text-anchor="middle">{tick}</text>'
+        )
+    for index, key in enumerate(keys):
+        color = f"var(--s{index % len(SERIES) + 1})"
+        # Ideal linear scaling for this configuration, dashed.
+        ideal_path = (
+            f"M {x_of(x_lo):.1f} {y_of(ideal[key] * x_lo):.1f} "
+            f"L {x_of(x_hi):.1f} {y_of(ideal[key] * x_hi):.1f}"
+        )
+        parts.append(
+            f'<path d="{ideal_path}" fill="none" stroke="{color}" '
+            'stroke-width="1.5" stroke-dasharray="5 4" opacity="0.4"/>'
+        )
+        path = " ".join(
+            f'{"M" if i == 0 else "L"} {x_of(row["nodes"]):.1f} '
+            f'{y_of(row["system_train_images_per_s"]):.1f}'
+            for i, row in enumerate(series[key])
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" '
+            'stroke-width="2" stroke-linejoin="round"/>'
+        )
+        for row in series[key]:
+            tip = (
+                f"{_series_label(key)} at {row['nodes']} node(s): "
+                f"{row['system_train_images_per_s']:,.0f} img/s "
+                f"({row['scaling_efficiency']:.0%} of linear), "
+                f"${row['dollars_per_training_run']:,.2f}/training run"
+            )
+            parts.append(
+                f'<circle cx="{x_of(row["nodes"]):.1f}" '
+                f'cy="{y_of(row["system_train_images_per_s"]):.1f}" '
+                f'r="5" fill="{color}" stroke="var(--surface-1)" '
+                f'stroke-width="2" tabindex="0" data-tip="{_esc(tip)}"/>'
+            )
+    parts.append(
+        f'<text x="{left + plot_w / 2:.0f}" y="{height - 6}" '
+        'text-anchor="middle">nodes</text>'
+        f'<text x="12" y="{top + plot_h / 2:.0f}" text-anchor="middle" '
+        f'transform="rotate(-90 12 {top + plot_h / 2:.0f})">'
+        "system training throughput (img/s)</text>"
+    )
+    legend = "".join(
+        f'<span><span class="key" '
+        f'style="background:var(--s{i % len(SERIES) + 1})"></span>'
+        f"{_esc(_series_label(key))}</span>"
+        for i, key in enumerate(keys)
+    )
+    return (
+        '<div class="card"><h2>Scaling curve</h2>'
+        f'<div class="legend">{legend}'
+        '<span class="muted">solid = simulated, dashed = ideal linear '
+        "scaling</span></div>"
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">{"".join(parts)}</svg></div>'
+    )
+
+
+def _scaling_table(series: Dict[tuple, List[dict]]) -> str:
+    body = "".join(
+        f'<tr><td>{_esc(_series_label(key))}</td>'
+        f'<td>{row["nodes"]}</td>'
+        f'<td>{row["minibatch"]}</td>'
+        f'<td>{_fmt(row["system_train_images_per_s"])}</td>'
+        f'<td>{_fmt(row["system_eval_images_per_s"])}</td>'
+        f'<td>{row["scaling_efficiency"]:.1%}</td>'
+        f'<td>{_fmt(row["system_power_w"] / 1e3, 2)}</td>'
+        f'<td>{row["dollars_per_training_run"]:,.2f}</td>'
+        f'<td>{row["dollars_per_1m_inferences"]:,.2f}</td></tr>'
+        for key in series
+        for row in series[key]
+    )
+    return (
+        '<div class="card"><h2>Scaling points</h2>'
+        "<table><thead><tr><th>configuration</th><th>nodes</th>"
+        "<th>minibatch</th><th>train img/s</th><th>eval img/s</th>"
+        "<th>efficiency</th><th>power kW</th><th>$/training run</th>"
+        "<th>$/1M inferences</th></tr></thead>"
+        f"<tbody>{body}</tbody></table></div>"
+    )
+
+
+def sweep_html(results: Sequence) -> str:
+    """Render sweep results as the scale-out dashboard: a TCO KPI row,
+    the scaling-curve chart, and its table-view twin."""
+    from repro.bench.export import sweep_scaling_series
+
+    series = sweep_scaling_series(results)
+    networks = sorted({key[0] for key in series})
+    title = ", ".join(networks) if networks else "no results"
+    body = (
+        f"<h1>ScaleDeep scale-out - {_esc(title)}</h1>"
+        f'<p class="sub">{len(list(results))} sweep row(s), '
+        f"{len(series)} configuration(s)</p>"
+        + _scaling_kpis(series)
+        + _scaling_svg(series)
+        + _scaling_table(series)
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>repro sweep - {_esc(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        f'<body>{body}<div id="tip" role="status"></div>\n'
+        f"<script>{_JS}</script></body></html>\n"
+    )
+
+
+def write_sweep_html(results: Sequence, path: Union[str, Path]) -> Path:
+    """Write the scale-out dashboard (same contract as
+    :func:`write_stats_html`)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(sweep_html(results), encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
 # Chaos (failure-aware serving) dashboard
 
 

@@ -197,6 +197,26 @@ def write_serve_csv(report, path: Union[str, Path]) -> Path:
     return _write(path, fields, [[r[f] for f in fields] for r in rows])
 
 
+def sweep_scaling_series(results: Sequence) -> Dict[tuple, List[dict]]:
+    """Group sweep rows into scaling-curve series.
+
+    Returns ``{(network, preset, strategy): [row dict, ...]}`` with
+    each series sorted by (nodes, minibatch) — the shape the dashboard
+    scaling panel plots (system throughput vs node count, one line per
+    configuration).  Failed rows are dropped.
+    """
+    series: Dict[tuple, List[dict]] = {}
+    for result in results:
+        row = result.to_row()
+        if row.get("status") != "ok":
+            continue
+        key = (row["network"], row["preset"], row["strategy"])
+        series.setdefault(key, []).append(row)
+    for rows in series.values():
+        rows.sort(key=lambda r: (r["nodes"], r["minibatch"]))
+    return series
+
+
 def write_sweep_csv(results: Sequence, path: Union[str, Path]) -> Path:
     """Write sweep results as CSV in ``SweepResult.EXPORT_FIELDS`` order
     (full float precision via ``repr``, like the JSON writer)."""

@@ -154,19 +154,42 @@ def cmd_lower(args: argparse.Namespace) -> None:
 
 def cmd_simulate(args: argparse.Namespace) -> None:
     net = _load(args.network)
-    result = simulate(net, _node(args), minibatch=args.minibatch)
+    node = _node(args)
+    result = simulate(net, node, minibatch=args.minibatch)
     print(result.mapping.describe())
     print()
     print(result.describe())
     print("\nLink utilization:")
     for link, value in result.link_utilization.as_dict().items():
         print(f"  {link:<10} {value:.2f}")
+    if args.nodes != 1 or args.strategy != "data":
+        from repro.arch.system import make_system
+        from repro.sim.perf import simulate_system
+        from repro.sim.tco import tco_report
+
+        system = make_system(node, args.nodes, args.strategy)
+        sysres = simulate_system(
+            net, system, minibatch=args.minibatch, node_result=result
+        )
+        print()
+        print(system.describe())
+        print(sysres.describe())
+        print(tco_report(sysres).describe())
 
 
 def cmd_energy(args: argparse.Namespace) -> None:
     net = _load(args.network)
-    result = simulate(net, _node(args))
+    node = _node(args)
+    result = simulate(net, node)
     print(energy_report(result).describe())
+    if args.nodes != 1 or args.strategy != "data":
+        from repro.arch.system import make_system
+        from repro.sim.energy import system_energy_report
+        from repro.sim.perf import simulate_system
+
+        system = make_system(node, args.nodes, args.strategy)
+        sysres = simulate_system(net, system, node_result=result)
+        print(system_energy_report(sysres).describe())
 
 
 def cmd_compare_gpu(args: argparse.Namespace) -> None:
@@ -525,7 +548,7 @@ def cmd_validate(args: argparse.Namespace) -> None:
 
 def cmd_sweep(args: argparse.Namespace) -> None:
     from repro.bench.export import write_sweep_csv, write_sweep_json
-    from repro.errors import ConfigError
+    from repro.errors import ConfigError, SweepError
     from repro.faults import FaultSpec, parse_kinds
     from repro.sweep import (
         CompileCache,
@@ -555,8 +578,10 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             presets=args.presets.split(","),
             minibatches=args.minibatch or None,
             faults=faults,
+            nodes=[int(n) for n in str(args.nodes).split(",")],
+            strategies=args.strategy.split(","),
         )
-    except (KeyError, ConfigError) as exc:
+    except (KeyError, ValueError, ConfigError, SweepError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"repro: {message}", file=sys.stderr)
         raise SystemExit(2)
@@ -570,25 +595,48 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         fail_fast=args.fail_fast,
     )
 
-    table = Table(
-        "Sweep results",
-        ["network", "preset", "mb", "train img/s", "eval img/s",
-         "PE util", "GFLOPs/W", "bound by"],
+    scaled_out = any(
+        r.nodes != 1 or r.strategy != "data/ring" for r in report.results
     )
-    for r in report.results:
-        table.add(
-            r.network, r.preset, r.minibatch,
-            f"{r.train_images_per_s:,.0f}",
-            f"{r.eval_images_per_s:,.0f}",
-            f"{r.pe_utilization:.2f}",
-            f"{r.gflops_per_watt:.0f}",
-            "FAILED" if r.failed else r.bound_by,
+    if scaled_out:
+        table = Table(
+            "Sweep results",
+            ["network", "preset", "mb", "nodes", "strategy",
+             "sys train img/s", "efficiency", "$/run", "$/1M inf"],
         )
+        for r in report.results:
+            table.add(
+                r.network, r.preset, r.minibatch, r.nodes, r.strategy,
+                f"{r.system_train_images_per_s:,.0f}",
+                f"{r.scaling_efficiency:.0%}",
+                f"{r.dollars_per_training_run:,.2f}",
+                "FAILED" if r.failed
+                else f"{r.dollars_per_1m_inferences:,.2f}",
+            )
+    else:
+        table = Table(
+            "Sweep results",
+            ["network", "preset", "mb", "train img/s", "eval img/s",
+             "PE util", "GFLOPs/W", "bound by"],
+        )
+        for r in report.results:
+            table.add(
+                r.network, r.preset, r.minibatch,
+                f"{r.train_images_per_s:,.0f}",
+                f"{r.eval_images_per_s:,.0f}",
+                f"{r.pe_utilization:.2f}",
+                f"{r.gflops_per_watt:.0f}",
+                "FAILED" if r.failed else r.bound_by,
+            )
     table.show()
     print(report.describe())
     print(f"wrote {write_sweep_json(report.results, args.out)}")
     if args.csv:
         print(f"wrote {write_sweep_csv(report.results, args.csv)}")
+    if args.html:
+        from repro.bench.dashboard import write_sweep_html
+
+        print(f"wrote {write_sweep_html(report.results, args.html)}")
     if report.failures:
         for r in report.failures:
             print(
@@ -1001,10 +1049,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the full IR as JSON instead of a summary",
     )
     p.set_defaults(func=cmd_lower)
-    p = with_net("simulate", "throughput / power simulation")
+    def with_system(p: argparse.ArgumentParser) -> argparse.ArgumentParser:
+        p.add_argument(
+            "--nodes", type=int, default=1,
+            help="scale out to an N-node system (default: 1)",
+        )
+        p.add_argument(
+            "--strategy", default="data",
+            help="parallelism strategy kind[:group][/sync] "
+            "(default: data)",
+        )
+        return p
+
+    p = with_system(with_net("simulate", "throughput / power simulation"))
     p.add_argument("--minibatch", type=int, default=256)
     p.set_defaults(func=cmd_simulate)
-    with_net("energy", "per-image energy").set_defaults(func=cmd_energy)
+    with_system(with_net("energy", "per-image energy")).set_defaults(
+        func=cmd_energy
+    )
     with_net("compare-gpu", "Fig 18 speedups").set_defaults(
         func=cmd_compare_gpu
     )
@@ -1076,12 +1138,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: 1 = serial)",
     )
     p.add_argument(
+        "--nodes", default="1", metavar="N[,N...]",
+        help="comma-separated system node counts (default: 1)",
+    )
+    p.add_argument(
+        "--strategy", default="data", metavar="S[,S...]",
+        help="comma-separated parallelism strategies, each "
+        "kind[:group][/sync] — e.g. data, model/tree, hybrid:2 "
+        "(default: data)",
+    )
+    p.add_argument(
         "--out", default="sweep_results.json",
         help="JSON results path (default: sweep_results.json)",
     )
     p.add_argument(
         "--csv", metavar="PATH", default=None,
         help="also write results as CSV to PATH",
+    )
+    p.add_argument(
+        "--html", metavar="PATH", default=None,
+        help="write the scale-out dashboard (scaling curve + TCO "
+        "KPIs) to PATH",
     )
     p.add_argument(
         "--no-cache", action="store_true",

@@ -33,7 +33,10 @@ from repro.dnn.network import Network
 #: allocations and a fault mask to WorkloadMapping.
 #: "3": the unified-IR pass pipeline; digests also bake in
 #: ``IR_SCHEMA_VERSION``, so IR shape changes invalidate on their own.
-COMPILER_VERSION = "3"
+#: "4": multi-node scale-out — digests gain a ``system`` slot (topology
+#: + parallelism strategy), so system-level results can never collide
+#: with single-node entries cached under older versions.
+COMPILER_VERSION = "4"
 
 
 def canonical(obj: Any) -> Any:
@@ -82,10 +85,25 @@ def node_fingerprint(node: NodeConfig) -> Dict[str, Any]:
     return form
 
 
+def system_fingerprint(system: "SystemConfig") -> Dict[str, Any]:
+    """Canonical form of a system configuration.
+
+    Display names (the system's and its node's) are cosmetic and
+    excluded; node count, fabric constants and the parallelism strategy
+    all change what the system-level simulation produces.
+    """
+    form = canonical(system)
+    form.pop("name", None)
+    if isinstance(form.get("node"), dict):
+        form["node"].pop("name", None)
+    return form
+
+
 def compile_digest(
     net: Network,
     node: "NodeConfig | None",
     artifact: str = "mapping",
+    system: "SystemConfig | None" = None,
     **extra: Any,
 ) -> str:
     """Stable hex digest of everything a compile artifact depends on.
@@ -94,7 +112,9 @@ def compile_digest(
     carries any further inputs (e.g. the simulation minibatch or a
     reference-model seed; dataclasses such as a chip config are fine).
     ``node`` may be ``None`` for artifacts that do not depend on a full
-    node configuration.
+    node configuration; ``system`` stays ``None`` for single-node
+    artifacts (the default path) and carries the scale-out topology +
+    strategy otherwise.
     """
     payload = {
         "compiler_version": COMPILER_VERSION,
@@ -102,6 +122,7 @@ def compile_digest(
         "artifact": artifact,
         "network": network_fingerprint(net),
         "node": None if node is None else node_fingerprint(node),
+        "system": None if system is None else system_fingerprint(system),
     }
     if extra:
         payload["extra"] = canonical(extra)

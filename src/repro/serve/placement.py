@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.arch.node import NodeConfig
+from repro.arch.system import SystemConfig
 from repro.dnn.analysis import evaluation_flops
 from repro.dnn.network import Network
 from repro.errors import ConfigError
@@ -69,8 +70,9 @@ class NodePlacement:
     """The partition of one node's clusters among serving tenants."""
 
     node: str
-    cluster_count: int
+    cluster_count: int  # total clusters across every node
     tenants: Tuple[Tenant, ...]
+    nodes: int = 1  # > 1 when placing across a multi-node system
 
     def tenant(self, network: str) -> Tenant:
         for tenant in self.tenants:
@@ -89,20 +91,30 @@ class NodePlacement:
             f"depth {t.pipeline_depth})"
             for t in self.tenants
         ]
+        scope = (
+            f"({self.cluster_count} clusters)"
+            if self.nodes == 1
+            else f"({self.cluster_count} clusters on {self.nodes} nodes)"
+        )
         return (
-            f"placement on {self.node} "
-            f"({self.cluster_count} clusters): " + "; ".join(parts)
+            f"placement on {self.node} {scope}: " + "; ".join(parts)
         )
 
 
 def place_networks(
     networks: Sequence[Network],
-    node: NodeConfig,
+    node: "NodeConfig | SystemConfig",
     minibatch: int = DEFAULT_MINIBATCH,
     results: Optional[Sequence[PerfResult]] = None,
     weights: Optional[Sequence[float]] = None,
 ) -> NodePlacement:
     """Partition ``node``'s clusters among ``networks``.
+
+    ``node`` may be a single :class:`NodeConfig` or a multi-node
+    :class:`SystemConfig` — a system simply contributes ``node_count``
+    times the clusters to the same partitioning problem (the node is
+    one more level above the cluster), and a 1-node system places
+    identically to its bare node.
 
     Each network is compiled (through the content-keyed cache) to learn
     its minimum cluster span and full-node evaluation rate; ``results``
@@ -115,6 +127,10 @@ def place_networks(
     """
     if not networks:
         raise ConfigError("at least one network is required to serve")
+    if isinstance(node, SystemConfig):
+        system_name, node_count, node = node.name, node.node_count, node.node
+    else:
+        system_name, node_count = node.name, 1
     names = [net.name for net in networks]
     if len(set(names)) != len(names):
         raise ConfigError(f"duplicate serving networks in {names}")
@@ -136,14 +152,14 @@ def place_networks(
             cached_simulation(net, node, minibatch) for net in networks
         ]
 
-    total_clusters = node.cluster_count
+    total_clusters = node.cluster_count * node_count
     minimums = [
         min(r.mapping.clusters_per_copy, total_clusters) for r in results
     ]
     if sum(minimums) > total_clusters:
         raise ConfigError(
-            f"cannot co-host {names} on {node.name}: copies span "
-            f"{sum(minimums)} cluster(s) but the node has "
+            f"cannot co-host {names} on {system_name}: copies span "
+            f"{sum(minimums)} cluster(s) but the system has "
             f"{total_clusters}"
         )
 
@@ -170,19 +186,25 @@ def place_networks(
     for net, result, clusters, weight in zip(
         networks, results, assigned, weights
     ):
-        share = clusters / total_clusters
+        # The linear-in-clusters service model: `results` rates are per
+        # full node, so scale by clusters over *one node's* clusters
+        # (reduces to the plain share at node_count == 1).
         tenants.append(
             Tenant(
                 network=net.name,
                 clusters=clusters,
-                share=share,
-                rate_qps=result.evaluation_images_per_s * share,
+                share=clusters / total_clusters,
+                rate_qps=(
+                    result.evaluation_images_per_s
+                    * (clusters / node.cluster_count)
+                ),
                 pipeline_depth=evaluation_pipeline_depth(result.mapping),
                 weight=weight,
             )
         )
     return NodePlacement(
-        node=node.name,
+        node=system_name,
         cluster_count=total_clusters,
         tenants=tuple(tenants),
+        nodes=node_count,
     )

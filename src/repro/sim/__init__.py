@@ -5,8 +5,10 @@ from repro.sim.perf import (
     LinkUtilization,
     PerfResult,
     StageReport,
+    SystemPerfResult,
     simulate,
     simulate_suite,
+    simulate_system,
 )
 from repro.sim.engine import (
     ACT_CODES,
@@ -17,11 +19,17 @@ from repro.sim.engine import (
 )
 from repro.sim.allreduce import (
     SyncReport,
+    internode_allreduce_cycles,
     minibatch_sync,
     ring_allreduce_cycles,
     wheel_accumulate_cycles,
 )
-from repro.sim.energy import EnergyReport, energy_report
+from repro.sim.energy import (
+    EnergyReport,
+    energy_report,
+    system_energy_report,
+)
+from repro.sim.tco import TCOReport, TRAINING_RUN_EPOCHS, tco_report
 from repro.sim.report import FullReport, full_report
 from repro.sim.validation import (
     ValidationRow,
@@ -61,12 +69,16 @@ __all__ = [
     "SAMP_CODES",
     "StageReport",
     "SyncReport",
+    "SystemPerfResult",
+    "TCOReport",
+    "TRAINING_RUN_EPOCHS",
     "Timeline",
     "ValidationRow",
     "TrackerFile",
     "TrackerPhase",
     "energy_report",
     "full_report",
+    "internode_allreduce_cycles",
     "minibatch_sync",
     "nested_pipeline",
     "pack_shape",
@@ -75,8 +87,11 @@ __all__ = [
     "schedule",
     "cross_validate",
     "rank_agreement",
+    "system_energy_report",
+    "tco_report",
     "wheel_accumulate_cycles",
     "simulate",
     "simulate_suite",
+    "simulate_system",
     "unpack_shape",
 ]

@@ -17,6 +17,15 @@ This module models that synchronization explicitly:
   its weight shard — the Sec 3.3.2 argument), so the ring only carries
   conv gradients.
 
+On a multi-node :class:`~repro.arch.system.SystemConfig` a third phase
+composes on top, serialized after the intra-node wheel+ring at the
+minibatch boundary: the data-parallel replicas all-reduce the full
+(conv + FC) gradient across the inter-node fabric, either as a
+multi-level ring (the same ``2 (n-1)/n`` bandwidth term one level up,
+plus per-hop latency per step) or as a hierarchical
+reduce-then-broadcast tree (``2 ceil(log2 n)`` rounds of the full
+payload — latency-optimal, bandwidth-worse).
+
 The report quantifies the overhead per image and how much of it can
 overlap with compute — the calibration behind
 ``repro.sim.perf.WEIGHT_SYNC_OVERLAP``.
@@ -26,7 +35,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.arch.system import GradientSync, SystemConfig
 from repro.compiler.mapping import WorkloadMapping
 from repro.errors import SimulationError
 from repro.telemetry.core import get_telemetry
@@ -94,6 +105,47 @@ def wheel_accumulate_cycles(
     return reroute * 2.0 * payload_bytes / bytes_per_cycle
 
 
+def internode_allreduce_cycles(
+    payload_bytes: float,
+    nodes: int,
+    fabric_bandwidth: float,
+    frequency_hz: float,
+    sync: GradientSync = GradientSync.RING,
+    latency_s: float = 0.0,
+) -> float:
+    """Cycles for the inter-node gradient all-reduce over the fabric.
+
+    **Ring** (multi-level): the node-internal scheme one level up —
+    each fabric endpoint carries ``2 (n-1)/n * payload`` bytes over
+    ``2 (n-1)`` steps, each step paying one fabric hop of latency.
+    Bandwidth-optimal, latency linear in ``n``.
+
+    **Tree** (hierarchical reduce-then-broadcast): ``ceil(log2 n)``
+    pairwise reduce rounds followed by the mirror broadcast; every
+    round moves the *full* payload over one link plus one hop.
+    Latency logarithmic in ``n``, bandwidth worse for large payloads —
+    the classic crossover the strategy axis lets sweeps explore.
+
+    One node (or an empty payload) synchronizes for free.
+    """
+    if nodes < 1:
+        raise SimulationError("all-reduce needs at least one node")
+    if payload_bytes < 0 or fabric_bandwidth <= 0:
+        raise SimulationError("payload must be >= 0 and bandwidth > 0")
+    if latency_s < 0:
+        raise SimulationError("fabric latency must be >= 0")
+    if nodes == 1 or payload_bytes == 0:
+        return 0.0
+    bytes_per_cycle = fabric_bandwidth / frequency_hz
+    latency_cycles = latency_s * frequency_hz
+    if sync is GradientSync.RING:
+        steps = 2 * (nodes - 1)
+        bytes_per_link = 2.0 * (nodes - 1) / nodes * payload_bytes
+        return bytes_per_link / bytes_per_cycle + steps * latency_cycles
+    rounds = 2 * math.ceil(math.log2(nodes))
+    return rounds * (payload_bytes / bytes_per_cycle + latency_cycles)
+
+
 @dataclass(frozen=True)
 class SyncReport:
     """Minibatch synchronization cost for one mapping."""
@@ -105,11 +157,14 @@ class SyncReport:
     wheel_cycles: float
     ring_cycles: float
     compute_cycles_per_minibatch: float
+    nodes: int = 1  # > 1 only for multi-node systems
+    internode_cycles: float = 0.0
 
     @property
     def total_sync_cycles(self) -> float:
-        """Wheel and ring phases serialize at the minibatch boundary."""
-        return self.wheel_cycles + self.ring_cycles
+        """Wheel, ring and inter-node phases serialize at the minibatch
+        boundary."""
+        return self.wheel_cycles + self.ring_cycles + self.internode_cycles
 
     @property
     def cycles_per_image(self) -> float:
@@ -124,11 +179,19 @@ class SyncReport:
         return self.total_sync_cycles / self.compute_cycles_per_minibatch
 
     def describe(self) -> str:
+        phases = (
+            f"{self.wheel_cycles:,.0f} wheel + "
+            f"{self.ring_cycles:,.0f} ring"
+        )
+        if self.nodes > 1:
+            phases += (
+                f" + {self.internode_cycles:,.0f} inter-node "
+                f"({self.nodes} nodes)"
+            )
         return (
             f"{self.network} @ minibatch {self.minibatch}: "
             f"{self.total_sync_cycles:,.0f} sync cycles "
-            f"({self.wheel_cycles:,.0f} wheel + "
-            f"{self.ring_cycles:,.0f} ring), "
+            f"({phases}), "
             f"{self.cycles_per_image:,.0f} cycles/image, "
             f"{100 * self.overhead_fraction:.1f}% of compute if "
             f"unoverlapped"
@@ -136,7 +199,9 @@ class SyncReport:
 
 
 def minibatch_sync(
-    mapping: WorkloadMapping, minibatch: int = 256
+    mapping: WorkloadMapping,
+    minibatch: int = 256,
+    system: Optional[SystemConfig] = None,
 ) -> SyncReport:
     """Model one minibatch boundary for a mapped network.
 
@@ -144,6 +209,11 @@ def minibatch_sync(
     wheel's arcs, then over the ring between the clusters hosting
     copies.  FC gradients stay on their hubs (model parallelism) or
     all-reduce over the ring when sharding is disabled.
+
+    With a multi-node ``system`` a third phase serializes after the
+    intra-node sync: the data-parallel replicas all-reduce their full
+    (conv + FC) gradient shard over the inter-node fabric.  A 1-node
+    system reports exactly what the node-only path reports.
     """
     if minibatch < 1:
         raise SimulationError("minibatch must be >= 1")
@@ -186,6 +256,22 @@ def minibatch_sync(
         down_links=len(faults.down_ring) if faults and clusters > 1 else 0,
     )
 
+    # Inter-node phase: every data-parallel replica owns 1/shards of
+    # the model, and its fabric endpoint carries that full shard (conv
+    # *and* FC — hub h of every replica holds the same FC shard, so
+    # they must reduce too).
+    nodes, internode = 1, 0.0
+    if system is not None:
+        nodes = system.node_count
+        internode = internode_allreduce_cycles(
+            (conv_bytes + fc_bytes) / system.model_shards,
+            system.replicas,
+            system.fabric_bandwidth,
+            node.frequency_hz,
+            sync=system.strategy.gradient_sync,
+            latency_s=system.fabric_latency_s,
+        )
+
     # Compute time for the minibatch, from the pipeline bottleneck.
     from repro.sim.perf import _conv_stage_reports, _fc_stage_reports
 
@@ -207,6 +293,11 @@ def minibatch_sync(
             "sync.ring", "sync", ("sync", net.name), wheel, ring,
             payload_bytes=ring_payload, clusters=clusters,
         )
+        if internode > 0.0:
+            tel.span(
+                "sync.fabric", "sync", ("sync", net.name),
+                wheel + ring, internode, nodes=nodes,
+            )
         group = f"sync/{net.name}"
         tel.record(group, "conv_gradient_bytes", conv_bytes)
         tel.record(group, "fc_gradient_bytes", fc_bytes)
@@ -222,4 +313,6 @@ def minibatch_sync(
         wheel_cycles=wheel,
         ring_cycles=ring,
         compute_cycles_per_minibatch=compute,
+        nodes=nodes,
+        internode_cycles=internode,
     )

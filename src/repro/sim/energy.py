@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.perf import PerfResult
+from repro.sim.perf import PerfResult, SystemPerfResult
 
 #: ImageNet ILSVRC training-set size (Sec 1).
 IMAGENET_IMAGES = 1_281_167
@@ -30,6 +30,7 @@ class EnergyReport:
     memory_j: float
     interconnect_j: float
     stage_energy: Dict[Tuple[str, str], float]  # (unit, step) -> J share
+    scope: str = "per-node"  # which level of the hierarchy these J cover
 
     @property
     def kilowatt_hours_per_epoch(self) -> float:
@@ -43,7 +44,8 @@ class EnergyReport:
         else:
             hottest = ""  # degrade gracefully: no stages attributed
         return (
-            f"{self.network}: {self.joules_per_training_image * 1e3:.1f} mJ/"
+            f"{self.network} [{self.scope}]: "
+            f"{self.joules_per_training_image * 1e3:.1f} mJ/"
             f"training image ({self.logic_j * 1e3:.1f} logic / "
             f"{self.memory_j * 1e3:.1f} memory / "
             f"{self.interconnect_j * 1e3:.1f} interconnect), "
@@ -88,4 +90,43 @@ def energy_report(result: PerfResult) -> EnergyReport:
         memory_j=power.memory_w / result.training_images_per_s,
         interconnect_j=power.interconnect_w / result.training_images_per_s,
         stage_energy=stage_energy,
+    )
+
+
+def system_energy_report(result: SystemPerfResult) -> EnergyReport:
+    """Per-image energy at the system level.
+
+    All ``node_count`` nodes burn their average power while the system
+    streams its (sync-degraded) throughput, so per-image joules *rise*
+    as scaling efficiency falls — the energy cost of the inter-node
+    all-reduce made visible.  The scope label distinguishes these
+    figures from the per-node report.
+    """
+    if result.system_training_images_per_s <= 0:
+        raise SimulationError("cannot derive energy from zero throughput")
+    if result.system_evaluation_images_per_s <= 0:
+        raise SimulationError(
+            "cannot derive energy from zero evaluation throughput"
+        )
+    node = result.node_result
+    power = node.average_power.scaled(result.node_count)
+    train_rate = result.system_training_images_per_s
+    j_train = power.total_w / train_rate
+    j_eval = power.total_w / result.system_evaluation_images_per_s
+
+    total_compute = sum(s.cost.compute_cycles for s in node.stages) or 1.0
+    logic_j = power.logic_w / train_rate
+    stage_energy = {
+        (s.unit, s.step.value): logic_j * s.cost.compute_cycles / total_compute
+        for s in node.stages
+    }
+    return EnergyReport(
+        network=result.network,
+        joules_per_training_image=j_train,
+        joules_per_evaluation_image=j_eval,
+        logic_j=logic_j,
+        memory_j=power.memory_w / train_rate,
+        interconnect_j=power.interconnect_w / train_rate,
+        stage_energy=stage_energy,
+        scope=f"system/{result.node_count} nodes",
     )

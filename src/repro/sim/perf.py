@@ -18,6 +18,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.arch.node import NodeConfig
 from repro.arch.power import PowerDraw, node_power_model
+from repro.arch.system import Parallelism, SystemConfig
 from repro.compiler.cost import StepCost, step_cost
 from repro.compiler.mapping import UnitAllocation, WorkloadMapping
 from repro.dnn.analysis import Step, profile_network
@@ -660,6 +661,178 @@ def simulate_suite(
         name: simulate(net, node, minibatch)
         for name, net in networks.items()
     }
+
+
+# ---------------------------------------------------------------------------
+# Multi-node scale-out (SystemConfig)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SystemPerfResult:
+    """Scale-out overlay on a per-node :class:`PerfResult`.
+
+    ``node_result`` is the unchanged single-node simulation; the system
+    fields scale it with the strategy's communication terms.  For a
+    1-node system every system quantity equals its per-node twin
+    exactly (the byte-compatibility contract).
+    """
+
+    network: str
+    system: str
+    node_count: int
+    strategy: str  # canonical ParallelismStrategy token
+    node_result: PerfResult
+    system_training_images_per_s: float
+    system_evaluation_images_per_s: float
+    internode_sync_s: float  # per minibatch, serialized
+    sync_fraction: float  # of the training step time
+    scaling_efficiency: float  # vs node_count perfectly-scaled nodes
+    system_power_w: float
+    system_gflops_per_watt: float
+    minibatch: int
+
+    @property
+    def per_node_training_images_per_s(self) -> float:
+        return self.system_training_images_per_s / self.node_count
+
+    @property
+    def per_node_evaluation_images_per_s(self) -> float:
+        return self.system_evaluation_images_per_s / self.node_count
+
+    @property
+    def speedup(self) -> float:
+        """Training speedup over one node."""
+        return (
+            self.system_training_images_per_s
+            / self.node_result.training_images_per_s
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.network} on {self.system} "
+            f"({self.node_count} node(s), {self.strategy}): "
+            f"system train "
+            f"{self.system_training_images_per_s:,.0f} img/s "
+            f"({self.per_node_training_images_per_s:,.0f} per node), "
+            f"system eval "
+            f"{self.system_evaluation_images_per_s:,.0f} img/s, "
+            f"speedup {self.speedup:.2f}x over one node "
+            f"({100 * self.scaling_efficiency:.0f}% scaling efficiency), "
+            f"inter-node sync {self.internode_sync_s * 1e3:.2f} "
+            f"ms/minibatch ({100 * self.sync_fraction:.0f}% of step), "
+            f"system power {self.system_power_w / 1e3:.2f} kW"
+        )
+
+
+def _boundary_activation_bytes(mapping: WorkloadMapping) -> float:
+    """Mean per-layer output bytes — the activation payload a model-
+    parallel shard cut ships across the fabric for one image."""
+    elems = [n.output_shape.elements for n in mapping.network]
+    if not elems:
+        return 0.0
+    return sum(elems) / len(elems) * mapping.node.dtype_bytes
+
+
+def simulate_system(
+    net: Network,
+    system: SystemConfig,
+    minibatch: int = DEFAULT_MINIBATCH,
+    node_result: Optional[PerfResult] = None,
+) -> SystemPerfResult:
+    """Scale a single-node simulation across ``system``'s nodes.
+
+    The per-node pipeline model is reused untouched (``node_result``
+    short-circuits it for callers that already simulated); on top sit
+    the strategy's communication terms:
+
+    * **data/hybrid**: each of the ``replicas`` groups works
+      ``minibatch / replicas`` images, then the inter-node gradient
+      all-reduce serializes at the minibatch boundary — throughput
+      rolls off as the sync term grows against the shrinking per-
+      replica compute slice;
+    * **model/hybrid**: a replica spanning ``shards`` nodes pipelines
+      layers across them — compute scales by the shard count until the
+      fabric's activation bandwidth (features forward, errors backward)
+      caps the rate;
+    * evaluation has no gradient sync: replicas scale it linearly,
+      shard groups are fabric-capped the same way.
+    """
+    from repro.sim.allreduce import internode_allreduce_cycles
+
+    if node_result is None:
+        node_result = simulate(net, system.node, minibatch)
+    node = system.node
+    freq = node.frequency_hz
+    shards = system.model_shards
+    replicas = system.replicas
+    node_train = node_result.training_images_per_s
+    node_eval = node_result.evaluation_images_per_s
+
+    # One replica's rate across its shard nodes.
+    if shards == 1:
+        replica_train, replica_eval = node_train, node_eval
+    else:
+        act = _boundary_activation_bytes(node_result.mapping)
+        fabric_images = (
+            system.fabric_bandwidth / act if act > 0 else float("inf")
+        )
+        replica_train = min(shards * node_train, fabric_images / 2.0)
+        replica_eval = min(shards * node_eval, fabric_images)
+
+    # Inter-node gradient all-reduce: each replica's fabric endpoint
+    # carries its 1/shards slice of the full model.
+    weight_bytes = net.weight_count * node.dtype_bytes
+    sync_cycles = internode_allreduce_cycles(
+        weight_bytes / shards,
+        replicas,
+        system.fabric_bandwidth,
+        freq,
+        sync=system.strategy.gradient_sync,
+        latency_s=system.fabric_latency_s,
+    )
+    sync_s = sync_cycles / freq
+
+    if system.node_count == 1:
+        # Exact identity with the single-node path (no float round
+        # trips through the step-time inversion).
+        system_train, system_eval = node_train, node_eval
+        sync_fraction = 0.0
+    else:
+        compute_s = (minibatch / replicas) / replica_train
+        step_s = compute_s + sync_s
+        system_train = minibatch / step_s
+        system_eval = replicas * replica_eval
+        sync_fraction = sync_s / step_s
+
+    efficiency = system_train / (system.node_count * node_train)
+    power_w = node_result.average_power.total_w * system.node_count
+    training_flops = profile_network(net, node.dtype_bytes).training_flops
+    achieved = training_flops * system_train
+    gflops_per_watt = achieved / power_w / 1e9
+
+    tel = get_telemetry()
+    if tel.enabled:
+        group = f"system/{net.name}"
+        tel.record(group, "nodes", system.node_count)
+        tel.record(group, "system_train_images_per_s", system_train)
+        tel.record(group, "system_eval_images_per_s", system_eval)
+        tel.record(group, "scaling_efficiency", efficiency)
+        tel.record(group, "internode_sync_s", sync_s)
+
+    return SystemPerfResult(
+        network=net.name,
+        system=system.name,
+        node_count=system.node_count,
+        strategy=system.strategy.token,
+        node_result=node_result,
+        system_training_images_per_s=system_train,
+        system_evaluation_images_per_s=system_eval,
+        internode_sync_s=sync_s,
+        sync_fraction=sync_fraction,
+        scaling_efficiency=efficiency,
+        system_power_w=power_w,
+        system_gflops_per_watt=gflops_per_watt,
+        minibatch=minibatch,
+    )
 
 
 # ---------------------------------------------------------------------------

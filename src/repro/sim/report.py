@@ -68,9 +68,7 @@ class FullReport:
         lines.append("\n-- Power & energy (Fig 20) --")
         power = perf.average_power
         lines.append(
-            f"average power {power.total_w:.0f} W "
-            f"(logic {power.logic_w:.0f} / memory {power.memory_w:.0f} / "
-            f"interconnect {power.interconnect_w:.0f}), "
+            f"{power.describe(scope='per-node')}, "
             f"{perf.gflops_per_watt:.0f} GFLOPs/W"
         )
         lines.append(self.energy.describe())

@@ -1,0 +1,108 @@
+"""Total cost of ownership on top of the system performance model.
+
+The TPU paper's framing: architecture results only matter in the
+datacenter if they survive the translation to $/result.  This module
+folds the amortized capex (:class:`~repro.arch.system.TCOModel`) with
+the power model's metered energy into the two headline figures the
+sweep exports and the dashboard KPI row report:
+
+* ``$ / training run`` — a full 90-epoch ImageNet training run at the
+  system's (sync-degraded) training throughput;
+* ``$ / 1M inferences`` — a million evaluation images at the system's
+  evaluation throughput.
+
+Both are derived, not measured: they inherit every modeling assumption
+upstream (pipeline model, power calibration, fabric constants), so use
+them for *relative* comparisons across sweep points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.system import TCOModel
+from repro.errors import SimulationError
+from repro.sim.energy import IMAGENET_IMAGES
+from repro.sim.perf import SystemPerfResult
+
+#: Epochs in the canonical training run (Sec 1: "50-100 epochs").
+TRAINING_RUN_EPOCHS = 90
+
+
+@dataclass(frozen=True)
+class TCOReport:
+    """Dollar figures for one system simulation."""
+
+    network: str
+    system: str
+    node_count: int
+    dollars_per_hour: float  # whole system: capex + energy
+    capex_dollars_per_hour: float
+    energy_dollars_per_hour: float
+    training_run_hours: float
+    dollars_per_training_run: float
+    dollars_per_1m_inferences: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.network} on {self.system} ({self.node_count} "
+            f"node(s)): ${self.dollars_per_hour:,.2f}/h "
+            f"(${self.capex_dollars_per_hour:,.2f} capex + "
+            f"${self.energy_dollars_per_hour:,.2f} energy), "
+            f"{TRAINING_RUN_EPOCHS}-epoch training run "
+            f"{self.training_run_hours:,.1f} h = "
+            f"${self.dollars_per_training_run:,.0f}, "
+            f"${self.dollars_per_1m_inferences:,.2f}/1M inferences"
+        )
+
+
+def tco_report(
+    result: SystemPerfResult,
+    model: Optional[TCOModel] = None,
+    epochs: int = TRAINING_RUN_EPOCHS,
+) -> TCOReport:
+    """Derive $-cost figures from a :class:`SystemPerfResult`.
+
+    The system's hourly cost is the amortized capex of its nodes plus
+    the metered (PUE-scaled) energy of its average draw; dividing by
+    the system throughputs prices a training run and a million
+    inferences.
+    """
+    if model is None:
+        from repro.arch.presets import DEFAULT_TCO
+
+        model = DEFAULT_TCO
+    if epochs < 1:
+        raise SimulationError("a training run needs at least one epoch")
+    if result.system_training_images_per_s <= 0:
+        raise SimulationError("cannot price a system with zero throughput")
+    if result.system_evaluation_images_per_s <= 0:
+        raise SimulationError(
+            "cannot price a system with zero evaluation throughput"
+        )
+
+    capex_hr = result.node_count * model.capex_usd_per_node_hour()
+    energy_hr = (
+        result.system_power_w / 1e3 * model.pue
+        * model.electricity_usd_per_kwh
+    )
+    per_hour = capex_hr + energy_hr
+
+    run_hours = (
+        epochs * IMAGENET_IMAGES
+        / result.system_training_images_per_s / 3600.0
+    )
+    inference_hours = 1e6 / result.system_evaluation_images_per_s / 3600.0
+
+    return TCOReport(
+        network=result.network,
+        system=result.system,
+        node_count=result.node_count,
+        dollars_per_hour=per_hour,
+        capex_dollars_per_hour=capex_hr,
+        energy_dollars_per_hour=energy_hr,
+        training_run_hours=run_hours,
+        dollars_per_training_run=run_hours * per_hour,
+        dollars_per_1m_inferences=inference_hours * per_hour,
+    )

@@ -38,10 +38,17 @@ from typing import (
 )
 
 from repro.arch.presets import load_preset
+from repro.arch.system import ParallelismStrategy, make_system
 from repro.dnn import zoo
 from repro.errors import ReproError, SweepError
 from repro.faults.model import FaultSpec, sample_faults
-from repro.sim.perf import DEFAULT_MINIBATCH, PerfResult, simulate
+from repro.sim.perf import (
+    DEFAULT_MINIBATCH,
+    PerfResult,
+    simulate,
+    simulate_system,
+)
+from repro.sim.tco import tco_report
 from repro.sweep.cache import (
     CompileCache,
     cached_simulation,
@@ -55,18 +62,23 @@ from repro.telemetry.core import capture, get_telemetry
 @dataclass(frozen=True)
 class SweepJob:
     """One evaluation: a zoo network on a chip preset at a minibatch,
-    optionally on a fault-degraded machine."""
+    optionally on a fault-degraded machine, optionally scaled out to a
+    multi-node system under a parallelism strategy."""
 
     network: str  # canonical zoo name
     preset: str  # key into repro.arch.presets.PRESETS
     minibatch: int = DEFAULT_MINIBATCH
     faults: Optional[FaultSpec] = None
+    nodes: int = 1  # system node count
+    strategy: str = "data"  # ParallelismStrategy.parse token
 
     @property
     def label(self) -> str:
         base = f"{self.network}/{self.preset}/mb{self.minibatch}"
         if self.faults is not None:
             base += f"/fault{self.faults.rate:g}s{self.faults.seed}"
+        if self.nodes != 1 or self.strategy != "data":
+            base += f"/n{self.nodes}/{self.strategy}"
         return base
 
 
@@ -98,6 +110,15 @@ class SweepResult:
     cache_hit: bool  # informational; excluded from exported rows
     status: str = "ok"  # "ok" | "failed"
     error: str = ""  # traceback string for failed rows
+    # --- scale-out overlay (per-node fields above stay untouched) ---
+    nodes: int = 1
+    strategy: str = "data/ring"  # canonical ParallelismStrategy token
+    system_train_images_per_s: float = 0.0
+    system_eval_images_per_s: float = 0.0
+    scaling_efficiency: float = 0.0
+    system_power_w: float = 0.0
+    dollars_per_training_run: float = 0.0
+    dollars_per_1m_inferences: float = 0.0
 
     #: Exported column order (shared by the JSON and CSV writers).
     EXPORT_FIELDS = (
@@ -105,6 +126,10 @@ class SweepResult:
         "train_images_per_s", "eval_images_per_s", "pe_utilization",
         "achieved_tflops", "gflops_per_watt", "total_power_w",
         "conv_columns_per_copy", "copies", "bottleneck", "bound_by",
+        "nodes", "strategy", "system_train_images_per_s",
+        "system_eval_images_per_s", "scaling_efficiency",
+        "system_power_w", "dollars_per_training_run",
+        "dollars_per_1m_inferences",
         "status", "error",
     )
 
@@ -156,24 +181,37 @@ def expand_jobs(
     presets: Sequence[str] = ("sp",),
     minibatches: Optional[Sequence[int]] = None,
     faults: Optional[FaultSpec] = None,
+    nodes: Sequence[int] = (1,),
+    strategies: Sequence[str] = ("data",),
 ) -> List[SweepJob]:
-    """The (network x preset x minibatch) job grid, in deterministic
-    order.  ``networks`` defaults to the Fig 15 zoo and ``minibatches``
-    to the paper's 256; names resolve case-insensitively with zoo
-    aliases, presets eagerly (unknown names raise before any work
-    starts).  ``faults`` applies one fault spec to every job (the mask
-    itself still differs per preset — sampling depends on the node)."""
+    """The (network x preset x minibatch x nodes x strategy) job grid,
+    in deterministic order.  ``networks`` defaults to the Fig 15 zoo
+    and ``minibatches`` to the paper's 256; names resolve
+    case-insensitively with zoo aliases, presets and strategies eagerly
+    (unknown names raise before any work starts).  ``faults`` applies
+    one fault spec to every job (the mask itself still differs per
+    preset — sampling depends on the node)."""
     names = [
         zoo.resolve(n) for n in (networks or list(zoo.BENCHMARKS))
     ]
     minibatches = minibatches or (DEFAULT_MINIBATCH,)
     for preset in presets:
         load_preset(preset)  # validate eagerly
+    for count in nodes:
+        if count < 1:
+            raise SweepError(f"node count must be >= 1, got {count}")
+    for strategy in strategies:
+        ParallelismStrategy.parse(strategy)  # validate eagerly
     return [
-        SweepJob(network=n, preset=p, minibatch=m, faults=faults)
+        SweepJob(
+            network=n, preset=p, minibatch=m, faults=faults,
+            nodes=count, strategy=strategy,
+        )
         for n in names
         for p in presets
         for m in minibatches
+        for count in nodes
+        for strategy in strategies
     ]
 
 
@@ -191,6 +229,12 @@ def _execute_job(
     replay in the parent."""
     net = zoo.load(job.network)
     node = load_preset(job.preset)
+    system = make_system(node, job.nodes, job.strategy)
+    # Default-shaped jobs keep the single-node digest: the scale-out
+    # axes only namespace the cache when they are actually in play.
+    digest_system = (
+        system if (job.nodes > 1 or job.strategy != "data") else None
+    )
 
     cache: Optional[CompileCache] = None
     if use_cache:
@@ -204,7 +248,8 @@ def _execute_job(
         job_started = time.perf_counter()
         if cache is not None:
             perf = cached_simulation(
-                net, node, job.minibatch, cache, faults=job.faults
+                net, node, job.minibatch, cache, faults=job.faults,
+                system=digest_system,
             )
         else:
             mask = (
@@ -212,6 +257,10 @@ def _execute_job(
                 if job.faults is not None else None
             )
             perf = simulate(net, node, job.minibatch, faults=mask)
+        sysres = simulate_system(
+            net, system, minibatch=job.minibatch, node_result=perf
+        )
+        tco = tco_report(sysres)
         job_elapsed = time.perf_counter() - job_started
         # Deterministic job metrics feed `repro stats`; wall-clock
         # measurements go to `wall.*` groups, which snapshots and
@@ -238,7 +287,9 @@ def _execute_job(
         network=job.network,
         preset=job.preset,
         minibatch=job.minibatch,
-        digest=simulation_digest(net, node, job.minibatch, job.faults),
+        digest=simulation_digest(
+            net, node, job.minibatch, job.faults, system=digest_system
+        ),
         train_images_per_s=perf.training_images_per_s,
         eval_images_per_s=perf.evaluation_images_per_s,
         pe_utilization=perf.pe_utilization,
@@ -250,6 +301,14 @@ def _execute_job(
         bottleneck=f"{bottleneck.unit}/{bottleneck.step.value}",
         bound_by=bottleneck.cost.bound_by,
         cache_hit=delta.get("simulation_hits", 0) > 0,
+        nodes=job.nodes,
+        strategy=sysres.strategy,
+        system_train_images_per_s=sysres.system_training_images_per_s,
+        system_eval_images_per_s=sysres.system_evaluation_images_per_s,
+        scaling_efficiency=sysres.scaling_efficiency,
+        system_power_w=sysres.system_power_w,
+        dollars_per_training_run=tco.dollars_per_training_run,
+        dollars_per_1m_inferences=tco.dollars_per_1m_inferences,
     )
     return (
         row, perf, delta, tuple(tel.events), tuple(tel.counters.rows()),
@@ -292,6 +351,14 @@ def _failed_result(job: SweepJob, error: str) -> SweepResult:
         cache_hit=False,
         status="failed",
         error=error,
+        nodes=job.nodes,
+        strategy=job.strategy,
+        system_train_images_per_s=0.0,
+        system_eval_images_per_s=0.0,
+        scaling_efficiency=0.0,
+        system_power_w=0.0,
+        dollars_per_training_run=0.0,
+        dollars_per_1m_inferences=0.0,
     )
 
 

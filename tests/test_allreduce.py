@@ -116,3 +116,54 @@ class TestMinibatchSync:
         mapping = map_network(zoo.alexnet(), node)
         with pytest.raises(SimulationError):
             minibatch_sync(mapping, minibatch=0)
+
+
+class TestSystemSync:
+    """Degenerate scale-out edges: a 1-node system must collapse to the
+    single-node sync report exactly, and only true multi-node systems
+    may grow an inter-node phase."""
+
+    @pytest.fixture(scope="class")
+    def node(self):
+        return single_precision_node()
+
+    def test_one_node_system_is_byte_identical(self, node):
+        from repro.arch.system import make_system
+
+        mapping = map_network(zoo.alexnet(), node)
+        base = minibatch_sync(mapping, 256)
+        system = minibatch_sync(mapping, 256, system=make_system(node))
+        assert system == base
+        assert system.nodes == 1
+        assert system.internode_cycles == 0.0
+        assert system.describe() == base.describe()
+
+    def test_multi_node_adds_a_serialized_phase(self, node):
+        from repro.arch.system import make_system
+
+        mapping = map_network(zoo.alexnet(), node)
+        base = minibatch_sync(mapping, 256)
+        scaled = minibatch_sync(
+            mapping, 256, system=make_system(node, 4)
+        )
+        assert scaled.internode_cycles > 0
+        assert scaled.total_sync_cycles == pytest.approx(
+            base.total_sync_cycles + scaled.internode_cycles
+        )
+        # The intra-node phases are untouched by scale-out.
+        assert scaled.wheel_cycles == base.wheel_cycles
+        assert scaled.ring_cycles == base.ring_cycles
+        assert "inter-node" in scaled.describe()
+        assert "inter-node" not in base.describe()
+
+    def test_model_sharding_shrinks_the_internode_payload(self, node):
+        from repro.arch.system import make_system
+
+        mapping = map_network(zoo.alexnet(), node)
+        data = minibatch_sync(
+            mapping, 256, system=make_system(node, 8, "data")
+        )
+        hybrid = minibatch_sync(
+            mapping, 256, system=make_system(node, 8, "hybrid:2")
+        )
+        assert hybrid.internode_cycles < data.internode_cycles

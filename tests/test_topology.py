@@ -96,3 +96,98 @@ class TestFatTreeComparison:
 
     def test_bisection_bandwidth_positive(self, graph):
         assert bisection_bandwidth(graph) > 0
+
+
+def _shrunk_node(node, clusters, conv_chips):
+    """The node with its hierarchy shrunk to the degenerate edge sizes
+    a scale-out sweep can construct."""
+    from dataclasses import replace
+
+    return replace(
+        node,
+        cluster_count=clusters,
+        cluster=replace(node.cluster, conv_chip_count=conv_chips),
+    )
+
+
+class TestScaleOutEdges:
+    """Degenerate hierarchy sizes: graphs must stay simple (no
+    self-loops) and the fat-tree comparison must stay well-defined."""
+
+    def test_single_cluster_has_no_ring(self, node):
+        graph = build_topology(_shrunk_node(node, 1, 4))
+        kinds = [d["kind"] for _, _, d in graph.edges(data=True)]
+        assert kinds.count("ring") == 0
+        assert nx.number_of_selfloops(graph) == 0
+        assert nx.is_connected(graph)
+
+    def test_single_chip_wheel_has_no_arcs(self, node):
+        graph = build_topology(_shrunk_node(node, 4, 1))
+        kinds = [d["kind"] for _, _, d in graph.edges(data=True)]
+        assert kinds.count("arc") == 0
+        assert kinds.count("spoke") == 4
+        assert nx.number_of_selfloops(graph) == 0
+
+    def test_minimal_node_is_one_spoke(self, node):
+        graph = build_topology(_shrunk_node(node, 1, 1))
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 1
+        assert bisection_bandwidth(graph) > 0
+
+    def test_fat_tree_comparison_at_minimal_counts(self, node):
+        profiles = compare_with_fat_tree(_shrunk_node(node, 1, 1))
+        ours = profiles["grid-wheel-ring"]
+        tree = profiles["fat-tree"]
+        assert ours.chips == tree.chips == 2
+        assert ours.switch_nodes == 0
+
+
+class TestSystemTopology:
+    def test_one_node_system_is_the_node_graph_prefixed(self, node):
+        from repro.arch.system import make_system
+        from repro.arch.topology import build_system_topology
+
+        base = build_topology(node)
+        system = build_system_topology(make_system(node))
+        assert system.number_of_nodes() == base.number_of_nodes()
+        assert system.number_of_edges() == base.number_of_edges()
+        kinds = [d["kind"] for _, _, d in system.edges(data=True)]
+        assert "fabric" not in kinds
+        assert all(v.startswith("node0/") for v in system.nodes)
+
+    def test_fabric_ring_joins_the_nodes(self, node):
+        from repro.arch.system import make_system
+        from repro.arch.topology import build_system_topology
+
+        system_cfg = make_system(node, 4)
+        graph = build_system_topology(system_cfg)
+        base = build_topology(node)
+        assert graph.number_of_nodes() == 4 * base.number_of_nodes()
+        fabric = [
+            (u, v, d) for u, v, d in graph.edges(data=True)
+            if d["kind"] == "fabric"
+        ]
+        assert len(fabric) == 4  # a ring over the 4 nodes
+        assert all(
+            d["bandwidth"] == system_cfg.fabric_bandwidth
+            for _, _, d in fabric
+        )
+        assert nx.is_connected(graph)
+        # Cross-node paths exist and transit the fabric endpoints.
+        path = nx.shortest_path(
+            graph, "node0/cluster0/conv0", "node2/cluster0/conv0"
+        )
+        assert any("/hub" in v for v in path)
+
+    def test_two_node_fabric_is_simple(self, node):
+        """The 2-node 'ring' must not emit parallel or self edges."""
+        from repro.arch.system import make_system
+        from repro.arch.topology import build_system_topology
+
+        graph = build_system_topology(make_system(node, 2))
+        assert nx.number_of_selfloops(graph) == 0
+        fabric = [
+            d for _, _, d in graph.edges(data=True)
+            if d["kind"] == "fabric"
+        ]
+        assert len(fabric) == 1  # collapsed, not doubled
