@@ -62,6 +62,8 @@ class StatsReport:
     engine_causes: List[StallAttribution] = field(default_factory=list)
     #: ``None`` when the engine ran; otherwise why it did not.
     engine_skipped: Optional[str] = None
+    #: Set when the engine ran a rescaled proxy of the network.
+    engine_note: Optional[str] = None
     #: Roofline scatter data: per-chip knee plus per-layer points
     #: (``{"layer", "chip", "bytes_per_flop", "attainable_fraction",
     #: "boundedness"}``), forward pass, FC weight traffic amortised by
@@ -139,19 +141,23 @@ def collect_stats(
     minibatch: int = DEFAULT_MINIBATCH,
 ) -> StatsReport:
     """Run both simulators under one capture and assemble the report."""
+    from repro.dnn.zoo.engine_proxies import engine_scale
+
     engine_skipped: Optional[str] = None
+    engine_note: Optional[str] = None
+    run_net, engine_note = engine_scale(net, ENGINE_WEIGHT_LIMIT)
     with capture() as tel:
         result = simulate(net, node, minibatch)
-        if net.weight_count <= ENGINE_WEIGHT_LIMIT:
+        if run_net is not None:
             try:
-                _engine_forward(net)
+                _engine_forward(run_net)
             except ReproError as exc:
-                engine_skipped = f"engine scope excludes {net.name}: {exc}"
+                engine_skipped = (
+                    f"engine scope excludes {run_net.name}: {exc}"
+                )
         else:
-            engine_skipped = (
-                f"{net.name} exceeds the engine weight limit "
-                f"({net.weight_count:,} > {ENGINE_WEIGHT_LIMIT:,})"
-            )
+            engine_skipped = engine_note
+            engine_note = None
     report = StatsReport(
         network=net.name,
         node=node.describe(),
@@ -164,6 +170,7 @@ def collect_stats(
         analytical_profile=analytical_tile_profile(result),
         analytical_causes=analytical_attribution(result),
         engine_skipped=engine_skipped,
+        engine_note=engine_note,
     )
     if report.engine_ran:
         report.engine_profile = engine_tile_profile(tel)

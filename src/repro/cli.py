@@ -260,10 +260,11 @@ def _engine_forward(net):
     return compiled.run(image)
 
 
-#: Above this weight count the functional engine is not attempted: the
-#: instruction-level model targets test-scale networks (the analytical
-#: model covers the full suite).  Canonically defined beside the
-#: validation harness, which shares it.
+#: Above this weight count the functional engine runs a network's
+#: registered proxy (same topology, rescaled channels) instead of the
+#: full-size model.  Canonically defined beside the validation harness,
+#: which shares it.
+from repro.dnn.zoo.engine_proxies import engine_scale as _engine_scale
 from repro.sim.validation import ENGINE_WEIGHT_LIMIT as _ENGINE_WEIGHT_LIMIT
 
 
@@ -273,11 +274,14 @@ def cmd_trace(args: argparse.Namespace) -> None:
 
     net = _load(args.network)
     tel = None
-    if net.weight_count <= _ENGINE_WEIGHT_LIMIT:
+    run_net, proxy_note = _engine_scale(net, _ENGINE_WEIGHT_LIMIT)
+    if run_net is not None:
         with capture() as attempt:
             try:
-                _, report = _engine_forward(net)
+                _, report = _engine_forward(run_net)
                 source = f"functional engine: {report.describe()}"
+                if proxy_note:
+                    source += f" [{proxy_note}]"
                 tel = attempt
             except ReproError:
                 pass  # engine scope excludes this network; fall back
@@ -305,12 +309,13 @@ def cmd_profile(args: argparse.Namespace) -> None:
     )
 
     net = _load(args.network)
+    run_net, proxy_note = _engine_scale(net, _ENGINE_WEIGHT_LIMIT)
     with capture() as tel:
         result = simulate(net, _node(args))
         engine_report = None
-        if net.weight_count <= _ENGINE_WEIGHT_LIMIT:
+        if run_net is not None:
             try:
-                _, engine_report = _engine_forward(net)
+                _, engine_report = _engine_forward(run_net)
             except ReproError:
                 pass  # engine scope excludes this network
 
@@ -328,9 +333,11 @@ def cmd_profile(args: argparse.Namespace) -> None:
     )
     if engine_report is not None:
         print(f"\nfunctional engine: {engine_report.describe()}")
+        if proxy_note:
+            print(f"  ({proxy_note})")
         profile_table(
             engine_tile_profile(tel),
-            f"Engine per-tile cycles ({net.name}, one image)",
+            f"Engine per-tile cycles ({run_net.name}, one image)",
         ).show()
     if args.counters:
         counter_table(tel, f"Telemetry counters for {net.name}").show()
@@ -369,6 +376,8 @@ def cmd_stats(args: argparse.Namespace) -> None:
         print(f"\n{report.result.describe()}")
         if report.engine_ran:
             print("functional engine: profiled alongside")
+            if report.engine_note:
+                print(f"  ({report.engine_note})")
         else:
             print(f"functional engine: skipped ({report.engine_skipped})")
         print(f"fingerprint: {report.fingerprint}")
@@ -510,19 +519,29 @@ def cmd_validate(args: argparse.Namespace) -> None:
     else:
         table = Table(
             "Differential validation: engine vs analytical vs reference",
-            ["network", "status", "engine cyc", "analytical cyc",
-             "ratio", "band", "max |err|"],
+            ["network", "status", "engine cyc", "fused cyc",
+             "analytical cyc", "ratio", "band", "max |err|"],
         )
         for r in report.rows:
             if r.status == "ok":
                 table.add(
                     r.network, r.status, f"{r.engine_cycles:,}",
+                    f"{r.fused_cycles:,}",
                     f"{r.analytical_cycles:,.0f}", f"{r.ratio:.3f}",
                     r.band.describe(), f"{r.max_abs_error:.1e}",
                 )
             else:
-                table.add(r.network, r.status, "-", "-", "-", "-", "-")
+                table.add(
+                    r.network, r.status, "-", "-", "-", "-", "-", "-"
+                )
         table.show()
+        proxied = [
+            r for r in report.rows if r.status == "ok" and r.reason
+        ]
+        if proxied:
+            print(f"{len(proxied)} network(s) ran as engine proxies:")
+            for r in proxied:
+                print(f"  {r.network}: {r.reason}")
         skipped = [r for r in report.rows if r.status != "ok"]
         if skipped:
             print(f"{len(skipped)} network(s) beyond engine scope:")

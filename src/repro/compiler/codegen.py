@@ -36,6 +36,7 @@ from repro.compiler.partition import (
     StatePartition,
     partition_sequential,
 )
+from repro.compiler.passes.fuse import FusePass
 from repro.compiler.passes.legalize import LegalizePass
 from repro.compiler.passes.lower import LowerPass
 from repro.compiler.passes.manager import (
@@ -86,11 +87,16 @@ class CompiledForward:
         return machine
 
     def run(
-        self, image: np.ndarray, fast: bool = True
+        self, image: np.ndarray, fast: bool = True, fused: bool = True
     ) -> Tuple[np.ndarray, RunReport]:
         """Execute the forward pass on one image; returns (output vector,
         run statistics).  ``fast=False`` selects the legacy interpreter
-        (identical reports and outputs; kept for the equivalence tests)."""
+        (identical reports and outputs; kept for the equivalence tests).
+        ``fused=False`` disables superop execution on the fast path —
+        outputs, instruction counts and busy cycles stay bit-identical
+        to fused runs, but superops compress stall rounds, so makespan
+        ``cycles``/``rounds``/blocked counts may differ (see
+        :class:`~repro.sim.engine.RunReport`)."""
         machine = self.build_machine()
         # Write the input image into column 0's home blocks.
         in_node = self.network.input
@@ -100,7 +106,7 @@ class CompiledForward:
                 home.first_feature : home.first_feature + home.feature_count
             ]
             tile.write(home.address, block, accumulate=False)
-        engine = Engine(machine, fast=fast)
+        engine = Engine(machine, fast=fast, fused=fast and fused)
         report = engine.run()
         out = np.concatenate([
             machine.mem_tile(
@@ -193,21 +199,28 @@ class CompiledForward:
             preloaded=self.preloaded_regions(), host_writes=host_writes,
         )
 
-    def runner(self, fast: bool = True) -> "ForwardRunner":
+    def runner(
+        self, fast: bool = True, fused: bool = True
+    ) -> "ForwardRunner":
         """A persistent-machine runner for streaming many images: the
         machine is built once, weights stay resident, and programs are
         rewound per image (the steady-state operation of Sec 3.2.3,
         minus the inter-image overlap)."""
-        return ForwardRunner(self, fast=fast)
+        return ForwardRunner(self, fast=fast, fused=fused)
 
 
 class ForwardRunner:
     """Streams images through one compiled forward pass."""
 
-    def __init__(self, compiled: CompiledForward, fast: bool = True) -> None:
+    def __init__(
+        self,
+        compiled: CompiledForward,
+        fast: bool = True,
+        fused: bool = True,
+    ) -> None:
         self.compiled = compiled
         self.machine = compiled.build_machine()
-        self.engine = Engine(self.machine, fast=fast)
+        self.engine = Engine(self.machine, fast=fast, fused=fast and fused)
         self.images_run = 0
 
     def __call__(self, image: np.ndarray) -> Tuple[np.ndarray, RunReport]:
@@ -248,6 +261,11 @@ class ForwardCompiler:
     dialect = "exact"
     scope = "forward"
     phases: Tuple[Phase, ...] = (Phase.FP,)
+    #: Whether this compiler's programs may carry superop fusion plans.
+    #: The training compiler opts out: its programs re-run over shared
+    #: regions across FP/BP/WG phases, outside the forward-only
+    #: dataflow analysis the fusion pass performs.
+    supports_fusion = True
 
     def __init__(
         self,
@@ -255,6 +273,7 @@ class ForwardCompiler:
         model: ReferenceModel,
         chip: Optional[ChipConfig] = None,
         rows: int = 2,
+        fuse: bool = True,
     ) -> None:
         if model.net is not net:
             raise MappingError("model must be built from the same network")
@@ -262,6 +281,7 @@ class ForwardCompiler:
         self.model = model
         self.chip = chip or conv_chip()
         self.rows = rows
+        self.fuse = bool(fuse) and self.supports_fusion
         self.partition = self._partition()
         self.preloads: List[_Preload] = []
         self.ir: Optional[MappingIR] = None
@@ -274,13 +294,18 @@ class ForwardCompiler:
 
     # ------------------------------------------------------------------
     def _pipeline(self, align: bool) -> PassManager:
-        return PassManager([
+        passes = [
             LegalizePass(self.scope),
             PlaceCheckPass(),
             TrackerAssignPass(),
             SchedulePass(),
             LowerPass(align=align),
-        ])
+        ]
+        # Fusion needs final pcs: with align=False the caller will
+        # prepend prologue pads later, which would shift every span.
+        if self.fuse and align:
+            passes.append(FusePass())
+        return PassManager(passes)
 
     def _run_pipeline(
         self,

@@ -19,12 +19,14 @@ emits the general DAG forms (per-feature source lists for grouped and
 connection-table convolutions, block-searching pool reads) with
 ``calibrated`` placeholder trackers, over a graph partition.
 
-Scope: forward propagation; unpadded pooling; element-wise products of
-exactly two operands.  Convolutions may be grouped (AlexNet's two-GPU
-split) or carry a connection table (LeNet-5's C3): each output feature
-convolves exactly the input features it connects to — the engine-level
-realisation of Sec 2.2's "connection table denoting which input and
-output features are connected".
+Scope: forward propagation; padded pooling (planes are staged into
+zero-preloaded scratch with ``pad < window``; MAX additionally needs a
+provably non-negative input — see :mod:`repro.compiler.passes.legalize`);
+element-wise products of exactly two operands.  Convolutions may be
+grouped (AlexNet's two-GPU split) or carry a connection table (LeNet-5's
+C3): each output feature convolves exactly the input features it
+connects to — the engine-level realisation of Sec 2.2's "connection
+table denoting which input and output features are connected".
 """
 
 from __future__ import annotations
@@ -55,8 +57,9 @@ class DagForwardCompiler(ForwardCompiler):
         model: ReferenceModel,
         chip: Optional[ChipConfig] = None,
         rows: int = 2,
+        fuse: bool = True,
     ) -> None:
-        super().__init__(net, model, chip, rows)
+        super().__init__(net, model, chip, rows, fuse=fuse)
         # Scope violations surface at construction, as they always have
         # for the DAG compiler (the pipeline's legalize pass re-checks).
         check_dag_scope(net)
@@ -72,9 +75,14 @@ def compile_dag_forward(
     model: ReferenceModel,
     chip: Optional[ChipConfig] = None,
     rows: int = 2,
+    fuse: bool = True,
 ) -> CompiledForward:
-    """Compile the forward pass of an arbitrary network DAG."""
-    return DagForwardCompiler(net, model, chip, rows).compile()
+    """Compile the forward pass of an arbitrary network DAG.
+
+    ``fuse=False`` skips the superop fusion pass (per-instruction
+    execution only; same programs, same outputs — kept addressable for
+    the fused-vs-unfused equivalence tests and cache keying)."""
+    return DagForwardCompiler(net, model, chip, rows, fuse=fuse).compile()
 
 
 def run_dag_batch(

@@ -164,6 +164,7 @@ class CompiledTraining:
             rounds=fp_report.rounds + bp_report.rounds,
             blocked_reads=bp_report.blocked_reads,
             blocked_writes=bp_report.blocked_writes,
+            busy_cycles=bp_report.busy_cycles,
         )
         return output, loss, report
 
@@ -216,6 +217,9 @@ class TrainingCompiler(ForwardCompiler):
 
     scope = "training"
     phases = (Phase.FP, Phase.BP, Phase.WG)
+    # Fusion only models the forward fast path; training programs keep
+    # per-instruction execution (BP/WG grammars are out of fusion scope).
+    supports_fusion = False
 
     def __init__(
         self,

@@ -36,7 +36,11 @@ from repro.dnn.network import Network
 #: "4": multi-node scale-out — digests gain a ``system`` slot (topology
 #: + parallelism strategy), so system-level results can never collide
 #: with single-node entries cached under older versions.
-COMPILER_VERSION = "4"
+#: "5": superop fusion — lowered programs carry fusion plans and
+#: codegen digests bake in the fuse flag, so fused and unfused
+#: compilations (and anything cached before fusion existed) never
+#: share a cache entry.
+COMPILER_VERSION = "5"
 
 
 def canonical(obj: Any) -> Any:

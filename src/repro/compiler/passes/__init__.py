@@ -31,6 +31,7 @@ _EXPORTS = {
     "TrackerAssignPass": "repro.compiler.passes.tracker_assign",
     "SchedulePass": "repro.compiler.passes.schedule",
     "LowerPass": "repro.compiler.passes.lower",
+    "FusePass": "repro.compiler.passes.fuse",
     "FaultRemapPass": "repro.compiler.passes.faults",
 }
 

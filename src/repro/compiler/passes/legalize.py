@@ -7,7 +7,8 @@ three dialects:
 * ``forward`` — the sequential exact-tracker lowering: chains of
   ``groups=1`` convolutions, unpadded pooling, FC;
 * ``dag`` — the calibrated-tracker DAG lowering: adds concat, slice,
-  element-wise joins, grouped/table convolutions;
+  element-wise joins, grouped/table convolutions, and padded pooling
+  (zero-staged; MAX needs a provably non-negative input);
 * ``training`` — the forward scope plus BP/WG restrictions (softmax FC
   head, stride/window divisibility, average global pooling).
 
@@ -62,14 +63,68 @@ def check_forward_scope(net: Network) -> None:
             )
 
 
+#: Activations whose outputs are provably >= 0 everywhere.
+_NONNEG_ACTS = frozenset(
+    (Activation.RELU, Activation.SIGMOID, Activation.SOFTMAX)
+)
+
+
+def _nonneg_output(net: Network, name: str, depth: int = 0) -> bool:
+    """Whether layer ``name``'s output is provably non-negative.
+
+    The padded-pool lowering stages planes into a zero-initialised
+    scratch block, so MAX pooling sees 0.0 where the reference model
+    fills -inf — equal results exactly when every real input element is
+    >= 0 (and every window covers at least one real element, which
+    ``pad < window`` guarantees).  This walks producers conservatively:
+    anything unproven returns False.
+    """
+    if depth > 128:  # paranoia guard; Network DAGs are acyclic
+        return False
+    node = net[name]
+    if node.kind is LayerKind.INPUT:
+        return False
+    spec = node.spec
+    if isinstance(spec, (ConvSpec, FCSpec)):
+        return spec.activation in _NONNEG_ACTS
+    if isinstance(spec, (PoolSpec, GlobalPoolSpec, SliceSpec)):
+        # Max/avg over non-negatives (or a feature slice of them) stays
+        # non-negative.
+        return _nonneg_output(net, node.input_names[0], depth + 1)
+    if isinstance(spec, ActivationSpec):
+        return spec.activation in _NONNEG_ACTS
+    if isinstance(spec, EltwiseAddSpec):
+        if spec.activation in _NONNEG_ACTS:
+            return True
+        return all(
+            _nonneg_output(net, s, depth + 1) for s in node.input_names
+        )
+    if isinstance(spec, (ConcatSpec, EltwiseMulSpec)):
+        return all(
+            _nonneg_output(net, s, depth + 1) for s in node.input_names
+        )
+    return False
+
+
 def check_dag_scope(net: Network) -> None:
     """DAG calibrated-tracker lowering scope."""
     for node in net:
         spec = node.spec
         if isinstance(spec, PoolSpec) and spec.pad:
-            raise MappingError(
-                f"{node.name}: DAG codegen supports unpadded pooling"
-            )
+            if spec.pad >= spec.window:
+                raise MappingError(
+                    f"{node.name}: pool padding must be smaller than "
+                    "the window (every window must cover a real element)"
+                )
+            if spec.mode is PoolMode.MAX and not _nonneg_output(
+                net, node.input_names[0]
+            ):
+                raise MappingError(
+                    f"{node.name}: padded MAX pooling needs a provably "
+                    "non-negative input (the lowering zero-fills the "
+                    "borders, which only equals the reference's -inf "
+                    "fill for non-negative inputs)"
+                )
         elif isinstance(spec, EltwiseMulSpec):
             if len(node.input_names) != 2:
                 raise MappingError(

@@ -625,6 +625,69 @@ class EngineEmitter:
         self._out_tracker(
             prog, node, home, col, num_updates=home.feature_count
         )
+        pad = spec.pad if isinstance(spec, PoolSpec) else 0
+        if pad:
+            # Padded pooling (DAG dialect only — legalize enforces
+            # pad < window, and MAX additionally a non-negative input):
+            # stage each source plane into the interior of a padded
+            # (ph, pw) scratch plane on the left-neighbour tile, then
+            # pool the staged planes unpadded.  The scratch block is
+            # preloaded with zeros at machine build and only its
+            # interiors are ever rewritten, so the borders stay 0.0 —
+            # equal to the reference's 0.0 AVG fill exactly, and to its
+            # -inf MAX fill for the non-negative inputs legalize
+            # admits.  All row DMAs are emitted before all NDSUBSAMPs
+            # so the fusion pass sees one fat load run and one fat
+            # pool run.
+            h, w = in_shape.height, in_shape.width
+            ph, pw = h + 2 * pad, w + 2 * pad
+            left = self._port(col - 1, row)
+            stage_words = home.feature_count * ph * pw
+            base = self.partition.allocator(col - 1, row).alloc(
+                f"{node.name}/padstage@r{row}", stage_words,
+            )
+            self.preloads.append(Preload(
+                col - 1, row, base, np.zeros(stage_words, np.float32),
+            ))
+            arm_placeholder_tracker(
+                prog, left, base, stage_words,
+                f"{node.name} padded staging",
+            )
+            body: List[Instruction] = []
+            for f_local in range(home.feature_count):
+                feature = home.first_feature + f_local
+                src_port, src_addr = src_location(feature)
+                plane = base + f_local * ph * pw
+                for y in range(h):
+                    body.append(make(
+                        Opcode.DMALOAD,
+                        src_addr=src_addr + y * w,
+                        src_port=src_port,
+                        dst_addr=plane + (y + pad) * pw + pad,
+                        dst_port=left,
+                        size=w,
+                        is_accum=0,
+                        comment=self._note(
+                            f"stage padded row {y} of feature {feature}"
+                        ),
+                    ))
+            for f_local in range(home.feature_count):
+                feature = home.first_feature + f_local
+                body.append(make(
+                    Opcode.NDSUBSAMP,
+                    samp_type=SAMP_CODES[mode],
+                    in_addr=base + f_local * ph * pw,
+                    port=left,
+                    in_size=pack_shape(ph, pw),
+                    window=window,
+                    stride=stride,
+                    out_addr=home.address + f_local * home.feature_words,
+                    out_port=right,
+                    comment=self._note(f"pool padded feature {feature}"),
+                ))
+            prog.extend(body)
+            prog.append(make(Opcode.HALT))
+            return prog
         for f_local in range(home.feature_count):
             feature = home.first_feature + f_local
             src_port, src_addr = src_location(feature)

@@ -190,6 +190,96 @@ def conv2d_plane_batched(
     return np.einsum("bijhw,bij->bhw", windows, kernels)
 
 
+def conv_rowgroup(weights: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """One fused convolution step over a group of output features.
+
+    ``weights`` is (F, k*k) — one single-plane kernel per feature — and
+    ``cols`` is (F, k*k, N), each feature's im2col'd source plane.
+    Returns the (F, N) partial sums.
+
+    This is the superop fast path's replacement for F separate NDCONV
+    dispatches.  Bit-exactness matters: numpy's batched ``matmul`` of
+    (F, 1, k*k) @ (F, k*k, N) produces bitwise-identical results to the
+    per-slice (1, k*k) @ (k*k, N) products that
+    :func:`conv2d_forward` computes (property-checked in the tests —
+    note a plain (F, k*k) @ (k*k, N) GEMM does *not* have this
+    property), and the trailing ``+ 0.0`` reproduces the zero-bias add
+    in :func:`conv2d_forward` so signed zeros match too.
+    """
+    return np.matmul(weights[:, None, :], cols)[:, 0, :] + np.float32(0.0)
+
+
+def conv_block_forward(
+    src_words: np.ndarray,
+    steps,
+    kernel: int,
+    stride: int,
+    pad: int,
+    in_shape: Tuple[int, int],
+    out_size: int,
+    n_features: int,
+    bias_block: np.ndarray,
+    fn: Activation,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Whole-layer fused convolution: every NDCONV/NDACCUM/NDACTFN of
+    one conv program slice collapsed into a handful of numpy calls.
+
+    ``steps`` lists one entry per input-source *step* ``i`` — the
+    ``i``-th source of every output feature that has at least ``i+1``
+    sources — as ``(feature_indices, in_addrs, kernel_addrs)`` over
+    ``src_words`` (the staging scratchpad).  Step 0 must cover all
+    ``n_features`` features in order (the code generator emits each
+    feature's first source with ``is_accum=0``).
+
+    Returns ``(pre, out)``: the pre-activation block (the values the
+    per-instruction path leaves in the accumulation scratchpad) and the
+    activated output block, both bitwise identical to per-instruction
+    execution.
+    """
+    h, w = in_shape
+    in_words = h * w
+    kk = kernel * kernel
+    cols_cache: dict = {}
+    acc = np.empty((n_features, out_size), dtype=np.float32)
+    for i, (feats, in_addrs, kernel_addrs) in enumerate(steps):
+        stacked = []
+        for addr in in_addrs:
+            cols = cols_cache.get(addr)
+            if cols is None:
+                plane = src_words[addr : addr + in_words].reshape(1, h, w)
+                cols, _, _ = im2col(plane, kernel, stride, pad)
+                cols_cache[addr] = cols
+            stacked.append(cols)
+        weights = np.stack(
+            [src_words[a : a + kk] for a in kernel_addrs]
+        )
+        contrib = conv_rowgroup(weights, np.stack(stacked))
+        if i == 0:
+            acc[...] = contrib
+        else:
+            acc[list(feats)] += contrib
+    acc += bias_block.reshape(n_features, out_size)
+    pre = acc.reshape(-1)
+    return pre, activate(pre.copy(), fn)
+
+
+def fc_block_forward(
+    mat: np.ndarray,
+    vec: np.ndarray,
+    bias: np.ndarray,
+    fn: Activation,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused MATMUL + bias NDACCUM + NDACTFN of one FC program slice.
+
+    Returns ``(pre, out)`` — see :func:`conv_block_forward`; the same
+    ``@`` / ``+=`` / :func:`activate` calls the per-instruction path
+    makes, in the same order, so results are bitwise identical.
+    """
+    pre = mat @ vec
+    pre += bias
+    return pre, activate(pre.copy(), fn)
+
+
 def matmul_rows(mats: np.ndarray, vecs: np.ndarray) -> np.ndarray:
     """Batched matrix-vector multiply: ``mats`` (B, rows, cols) @
     ``vecs`` (B, cols) -> (B, rows) — the engine's MATMUL vectorised

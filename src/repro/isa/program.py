@@ -27,12 +27,62 @@ BRANCH_OPCODES = frozenset({Opcode.BEQZ, Opcode.BNEZ, Opcode.BGTZ,
 _REGISTER_OPERANDS = frozenset({"rd", "rs", "rs1", "rs2"})
 
 
+@dataclass(frozen=True)
+class SuperOp:
+    """A fused run of data instructions inside one program.
+
+    The fusion pass (:mod:`repro.compiler.passes.fuse`) proves that the
+    half-open pc range ``[start, end)`` is a straight-line sequence of
+    immediate-operand data instructions matching one of the known layer
+    templates, and precomputes everything the engine would otherwise
+    rediscover at decode time:
+
+    * ``external_reads`` / ``external_writes``: the ``(port, addr,
+      count)`` quads that touch tracker ranges shared with *other*
+      instructions — these are still peeked and consumed one quad at a
+      time so tracker counts advance exactly as in per-instruction
+      execution.  Quads over ranges no tracker ever arms are dropped.
+    * ``expire``: armed ``(port, addr, count)`` ranges accessed *only*
+      from inside fused superops of this program — consuming them
+      one-by-one is unobservable, so the superop force-expires them on
+      completion (the per-instruction end state).
+    * ``params``: kind-specific plain data driving the whole-plane
+      numpy kernel (see the engine's superop decoder).
+
+    Superops are advisory: an engine that does not understand a kind
+    (or runs with fusion off) executes the covered instructions one at
+    a time with identical results.
+    """
+
+    kind: str  # "load_run" | "conv_block" | "fc_block" | "pool_run"
+    start: int  # first covered pc (inclusive)
+    end: int  # one past the last covered pc
+    external_reads: Tuple[Tuple[int, int, int], ...] = ()
+    external_writes: Tuple[Tuple[int, int, int], ...] = ()
+    expire: Tuple[Tuple[int, int, int], ...] = ()
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def param(self, name: str) -> object:
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
 @dataclass
 class Program:
     """An instruction stream bound to one CompHeavy tile."""
 
     tile: str  # tile identifier, e.g. "cluster0.chip1.col3.row2.fp"
     instructions: List[Instruction] = field(default_factory=list)
+    #: Fused execution plan (optional, filled in by the fusion pass).
+    #: Ordered, non-overlapping, and ignored by everything except the
+    #: engine's fused fast path — disassembly and validation see only
+    #: the instruction stream.
+    superops: Tuple[SuperOp, ...] = ()
 
     def append(self, instr: Instruction) -> int:
         """Append an instruction; returns its PC."""

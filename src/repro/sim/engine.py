@@ -93,11 +93,17 @@ class RunReport:
     rounds: int
     blocked_reads: int
     blocked_writes: int
+    #: Sum of per-tile execution cycles excluding tracker stalls.  This
+    #: is the fusion-invariant cost: superop execution compresses stall
+    #: cycles (so ``cycles``/``rounds`` may shrink) but charges every
+    #: covered instruction its decoded per-instruction cost, keeping
+    #: ``busy_cycles`` bit-identical to per-instruction execution.
+    busy_cycles: int = 0
 
     def describe(self) -> str:
         return (
             f"{self.instructions} instructions over {self.cycles} cycles "
-            f"({self.rounds} scheduler rounds, "
+            f"({self.busy_cycles} busy, {self.rounds} scheduler rounds, "
             f"{self.blocked_reads}r/{self.blocked_writes}w tracker blocks)"
         )
 
@@ -113,6 +119,8 @@ class _Decoded:
     raises — keep ``fallback=True`` and run through :meth:`Engine._execute`
     so error timing and semantics are unchanged.
     """
+
+    is_super = False
 
     __slots__ = (
         "instr", "fallback", "batch_safe", "fn", "fn_batch",
@@ -138,6 +146,41 @@ class _Decoded:
         self.reads = reads
         self.writes = writes
         self.cost = cost
+
+
+class _Super:
+    """One superop slot: a fused run of instructions executed at once.
+
+    Placed at the run's first pc of a fused op table (member pcs hold
+    per-instruction fallback sentinels that are skipped over).  Carries
+    the *external* tracker quads to gate atomically, the pre-bound
+    tracker ranges to force-expire on completion (the exact end state of
+    the internal handshakes it elides), and the cycle cost pre-summed
+    from the members' decoded per-instruction costs — so reports stay
+    reconciled with per-instruction execution.
+    """
+
+    is_super = True
+    fallback = False
+
+    __slots__ = (
+        "kind", "start", "end", "count", "cost", "fn",
+        "reads", "writes", "expire", "label",
+    )
+
+    def __init__(
+        self, kind, start, end, count, cost, fn, reads, writes, expire
+    ) -> None:
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self.count = count
+        self.cost = cost
+        self.fn = fn
+        self.reads = reads
+        self.writes = writes
+        self.expire = expire
+        self.label = f"superop.{kind}[{start}:{end}]"
 
 
 class BatchState:
@@ -219,6 +262,7 @@ class Engine:
         wall_clock_limit: Optional[float] = None,
         faults=None,
         fast: bool = True,
+        fused: bool = False,
     ) -> None:
         self.machine = machine
         self.external = np.zeros(external_words, dtype=np.float32)
@@ -228,6 +272,13 @@ class Engine:
         #: round.  ``fast=False`` keeps the legacy interpreter — reports
         #: and outputs are identical either way (pinned by tests).
         self.fast = fast
+        #: Superop execution: honour the compiler's fusion plans
+        #: (``Program.superops``) by executing whole fused runs per
+        #: dispatch.  Needs the fast path; silently ignored for batched
+        #: runs and dma-bitflip faults (per-transfer semantics).
+        #: Outputs, ``instructions`` and ``busy_cycles`` stay
+        #: bit-identical to per-instruction execution.
+        self.fused = fused and fast
         self._decoded: Dict[str, List[_Decoded]] = {}
         self._batch: Optional[BatchState] = None
         #: Watchdog: seconds of host wall-clock a run() may take before
@@ -696,6 +747,10 @@ class Engine:
                 "batched execution is incompatible with dma-bitflip "
                 "faults: flips target single transfers, not minibatches"
             )
+        if self.fused:
+            # Fused op tables hold _Super entries that bypass the batch
+            # mirrors — drop them so the next decode is per-instruction.
+            self._decoded.clear()
         self._batch = BatchState(self, batch)
         return self._batch
 
@@ -729,12 +784,207 @@ class Engine:
         cached = self._decoded.get(tile.tile_id)
         if cached is not None and len(cached) == len(tile.program):
             return cached
-        entries = [
-            self._decode_instr(instr, tile.tile_id)
-            for instr in tile.program.instructions
-        ]
+        entries = None
+        if (
+            self.fused
+            and self._batch is None
+            and not self._dma_flip_rate
+            and getattr(tile.program, "superops", ())
+        ):
+            entries = self._decode_fused(tile)
+        if entries is None:
+            entries = [
+                self._decode_instr(instr, tile.tile_id)
+                for instr in tile.program.instructions
+            ]
         self._decoded[tile.tile_id] = entries
         return entries
+
+    def _decode_fused(self, tile: CompTile) -> Optional[List[_Decoded]]:
+        """Build the fused op table: one :class:`_Super` per superop at
+        its first pc, per-instruction fallback sentinels at the member
+        pcs it jumps over (never dispatched; correct if ever reached),
+        and the normal full decode everywhere else.  Returns None when a
+        superop doesn't validate against this program — the caller falls
+        back to the per-instruction table."""
+        instrs = tile.program.instructions
+        n = len(instrs)
+        entries: List[Optional[_Decoded]] = [None] * n
+        try:
+            for sup in tile.program.superops:
+                if not (0 <= sup.start < sup.end <= n):
+                    return None
+                entries[sup.start] = self._build_super(sup, instrs, tile)
+                for pc in range(sup.start + 1, sup.end):
+                    entries[pc] = _Decoded(
+                        instrs[pc], fallback=True, batch_safe=False
+                    )
+        except (SimulationError, KeyError, ZeroDivisionError):
+            return None
+        for pc in range(n):
+            if entries[pc] is None:
+                entries[pc] = self._decode_instr(instrs[pc], tile.tile_id)
+        return entries
+
+    def _instr_cost(self, instr: Instruction) -> int:
+        """The decoded cycle cost of one fusable data instruction,
+        computed from operands alone (no closure build) — superop costs
+        are pre-summed from these so fused and per-instruction reports
+        reconcile exactly."""
+        op = instr.opcode
+        o = instr.named_operands()
+        if op in (Opcode.DMALOAD, Opcode.DMASTORE):
+            return self._dma_cycles(o["size"], o["src_port"], o["dst_port"])
+        if op is Opcode.NDCONV:
+            h, w = unpack_shape(o["in_size"])
+            k, _ = unpack_shape(o["kernel_size"])
+            stride, pad = o["stride"], o["pad"]
+            out_h = (h + 2 * pad - k) // stride + 1
+            out_w = (w + 2 * pad - k) // stride + 1
+            return self._conv_cycles(out_h * out_w, k)
+        if op is Opcode.MATMUL:
+            rows, cols = unpack_shape(o["in2_size"])
+            return self._matmul_cycles(rows * cols)
+        if op in (Opcode.NDACCUM, Opcode.NDACTFN):
+            return self._offload_cycles(o["size"])
+        if op is Opcode.NDSUBSAMP:
+            h, w = unpack_shape(o["in_size"])
+            return self._offload_cycles(h * w)
+        raise SimulationError(
+            f"superop member {op.value} has no fused cost"
+        )
+
+    def _build_super(
+        self, sup, instrs, tile: CompTile
+    ) -> "_Super":
+        cost = sum(
+            self._instr_cost(instrs[pc])
+            for pc in range(sup.start, sup.end)
+        )
+        reads = tuple(
+            (self._tile(port), port, addr, count)
+            for port, addr, count in sup.external_reads
+        )
+        writes = tuple(
+            (self._tile(port), port, addr, count)
+            for port, addr, count in sup.external_writes
+        )
+        expire = tuple(
+            (self.machine.mem_tile(port).trackers, addr, size)
+            for port, addr, size in sup.expire
+        )
+        params = dict(sup.params)
+        builder = {
+            "load_run": self._super_load_run,
+            "conv_block": self._super_conv_block,
+            "fc_block": self._super_fc_block,
+            "pool_run": self._super_pool_run,
+        }.get(sup.kind)
+        if builder is None:
+            raise SimulationError(f"unknown superop kind {sup.kind!r}")
+        fn = builder(params, tile.tile_id)
+        return _Super(
+            sup.kind, sup.start, sup.end, sup.end - sup.start, cost, fn,
+            reads, writes, expire,
+        )
+
+    def _super_load_run(self, params: dict, tile_id: str):
+        moves = tuple(
+            (
+                self._reader(src_port), src_addr,
+                self._writer(dst_port), dst_addr, size, bool(accum),
+            )
+            for src_port, src_addr, dst_port, dst_addr, size, accum
+            in params["dmas"]
+        )
+
+        def load_run() -> None:
+            tel = self._tel_on
+            for rd, src_addr, wr, dst_addr, size, accum in moves:
+                # No _dma_payload: fused decode refuses dma-flip faults,
+                # and MemTile.write's astype always copies.
+                wr(dst_addr, rd(src_addr, size), accum)
+                if tel:
+                    self._observe_dma(tile_id, size)
+
+        return load_run
+
+    def _super_conv_block(self, params: dict, tile_id: str):
+        in_tile = self._tile(params["in_port"])
+        src_words = in_tile.words if in_tile is not None else self.external
+        h, w = params["h"], params["w"]
+        k, stride, pad = params["k"], params["stride"], params["pad"]
+        out_size = params["out_size"]
+        n_features = params["n_features"]
+        pre_base, bias_base = params["pre_base"], params["bias_base"]
+        steps = params["steps"]
+        fn_act = _CODE_TO_ACT[params["fn_type"]]
+        rd_bias = self._reader(params["out_port"])
+        wr_pre = self._writer(params["out_port"])
+        wr_home = self._writer(params["home_port"])
+        home_addr = params["home_addr"]
+
+        def conv_block() -> None:
+            bias = rd_bias(bias_base, n_features * out_size)
+            pre, act = ops.conv_block_forward(
+                src_words, steps, k, stride, pad, (h, w),
+                out_size, n_features, bias, fn_act,
+            )
+            wr_pre(pre_base, pre, False)
+            wr_home(home_addr, act, False)
+
+        return conv_block
+
+    def _super_fc_block(self, params: dict, tile_id: str):
+        rd_vec = self._reader(params["vec_port"])
+        rd_mat = self._reader(params["mat_port"])
+        rd_bias = self._reader(params["pre_port"])
+        wr_pre = self._writer(params["pre_port"])
+        wr_home = self._writer(params["home_port"])
+        n, rows = params["n"], params["rows"]
+        vec_addr, mat_addr = params["vec_addr"], params["mat_addr"]
+        pre_addr, bias_addr = params["pre_addr"], params["bias_addr"]
+        home_addr = params["home_addr"]
+        fn_act = _CODE_TO_ACT[params["fn_type"]]
+
+        def fc_block() -> None:
+            mat = rd_mat(mat_addr, rows * n).reshape(rows, n)
+            vec = rd_vec(vec_addr, n)
+            bias = rd_bias(bias_addr, rows)
+            pre, act = ops.fc_block_forward(mat, vec, bias, fn_act)
+            wr_pre(pre_addr, pre, False)
+            wr_home(home_addr, act, False)
+
+        return fc_block
+
+    def _super_pool_run(self, params: dict, tile_id: str):
+        calls = tuple(
+            (
+                self._reader(port), in_addr, count, h, w, window, stride,
+                _CODE_TO_SAMP[samp], self._writer(out_port), out_addr,
+            )
+            for port, in_addr, count, h, w, window, stride, samp,
+            out_port, out_addr in params["groups"]
+        )
+
+        def pool_run() -> None:
+            for (rd, in_addr, count, h, w, window, stride, mode, wr,
+                 out_addr) in calls:
+                x = rd(in_addr, count * h * w)
+                out, _ = ops.pool_forward(
+                    x.reshape(count, h, w), window, stride, 0, mode
+                )
+                wr(out_addr, out, False)
+
+        return pool_run
+
+    def _note_fallback(self, instr: Instruction, reason: str) -> None:
+        """Count one decode→interpreter fallback, keyed by opcode and
+        the reason the fast path refused the instruction."""
+        if self._tel_on:
+            self.telemetry.count(
+                "engine.fallback", f"{instr.opcode.value}:{reason}"
+            )
 
     def _decode_instr(self, instr: Instruction, tile_id: str) -> _Decoded:
         group = instr.group
@@ -742,9 +992,11 @@ class Engine:
             # Register/branch/halt: cheap already, and inherently
             # dynamic — always interpreted.  Touches no scratchpad
             # words, so it is safe under batched execution too.
+            self._note_fallback(instr, "scalar-control")
             return _Decoded(instr, fallback=True, batch_safe=True)
         if any(is_reg_operand(v) for v in instr.operands):
             # Fig 13-style R-operands resolve at issue time only.
+            self._note_fallback(instr, "register-indirect")
             return _Decoded(
                 instr, fallback=True,
                 batch_safe=group is InstrGroup.TRACK,
@@ -757,11 +1009,13 @@ class Engine:
             )
             if port == EXTERNAL_PORT:
                 # Arming external memory raises at execution time.
+                self._note_fallback(instr, "external-port")
                 return _Decoded(instr, fallback=True, batch_safe=True)
             try:
                 trackers = self.machine.mem_tile(port).trackers
             except SimulationError:
                 # Out-of-mesh port: raise at execution, like _execute.
+                self._note_fallback(instr, "out-of-mesh-port")
                 return _Decoded(instr, fallback=True, batch_safe=True)
             addr, size = o["addr"], o["size"]
             num_updates, num_reads = o["num_updates"], o["num_reads"]
@@ -774,11 +1028,16 @@ class Engine:
             )
         try:
             return self._decode_data(instr, tile_id)
-        except Exception:
-            # Anything the decoder cannot resolve (bad activation code,
-            # shape mismatch, out-of-mesh port, zero lr denominator...)
-            # must fail at *execution* time exactly as the legacy
-            # interpreter does — fall back to it.
+        except (SimulationError, KeyError, ZeroDivisionError) as exc:
+            # The decode failures the legacy interpreter would raise at
+            # *execution* time — shape mismatches and out-of-mesh ports
+            # (SimulationError), bad activation/sampling codes
+            # (KeyError), a zero WUPDATE lr denominator — fall back so
+            # error timing and semantics are unchanged.  Anything else
+            # is a genuine engine bug and surfaces here, at decode.
+            self._note_fallback(
+                instr, f"decode-error:{type(exc).__name__}"
+            )
             return _Decoded(instr, fallback=True, batch_safe=False)
 
     def _decode_data(self, instr: Instruction, tile_id: str) -> _Decoded:
@@ -1276,6 +1535,62 @@ class Engine:
                     cost = self._execute(tile, instr)
                 else:
                     entry = entries[pc]
+                    if entry.is_super:
+                        # One fused run: gate the external quads
+                        # atomically, execute the whole-plane kernel,
+                        # force-expire the internal tracker handshakes
+                        # to their exact per-instruction end state, and
+                        # charge the pre-summed member costs.
+                        if self._gate_quads(
+                            tile, entry.reads, entry.writes
+                        ):
+                            entry.fn()
+                            for trackers, addr, size in entry.expire:
+                                trackers.expire(addr, size)
+                            tile.pc = entry.end
+                            tile.blocked = False
+                            tile.cycles += entry.cost
+                            tile.instructions_executed += entry.count
+                            progress = True
+                            if tel_on:
+                                tel.span(
+                                    entry.label, "engine.instr",
+                                    ("engine", f"tile {tile.tile_id}"),
+                                    start_cycle, entry.cost,
+                                    round=self.rounds,
+                                    instructions=entry.count,
+                                    blocked_retries=tile.blocked_retries,
+                                )
+                                tel.observe(
+                                    "engine.instr_cycles",
+                                    f"superop.{entry.kind}", entry.cost,
+                                )
+                                if entry.kind == "load_run":
+                                    tel.count(
+                                        f"tile/{tile.tile_id}",
+                                        "dma_cycles", entry.cost,
+                                    )
+                                if tile.blocked_retries:
+                                    tel.observe(
+                                        "engine.block_cycles", "tracker",
+                                        float(tile.blocked_retries),
+                                    )
+                            tile.blocked_retries = 0
+                            if (
+                                self.trace_enabled
+                                and len(self.trace) < self.trace_limit
+                            ):
+                                self.trace.append((
+                                    self.rounds, tile.tile_id,
+                                    entry.label,
+                                ))
+                        else:
+                            tile.pc = pc  # retry the blocked superop
+                            tile.blocked = True
+                            tile.cycles += 1  # stall cycle
+                            tile.stalled_cycles += 1
+                            tile.blocked_retries += 1
+                        continue
                     instr = entry.instr
                     if entry.fallback:
                         if batch is not None and not entry.batch_safe:
@@ -1359,6 +1674,7 @@ class Engine:
             blocked_writes=sum(
                 t.trackers.blocked_writes for t in self.machine.mem_tiles
             ),
+            busy_cycles=self.machine.total_busy_cycles,
         )
 
     # ------------------------------------------------------------------

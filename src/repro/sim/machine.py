@@ -217,6 +217,15 @@ class Machine:
             t.instructions_executed for t in self.comp_tiles.values()
         )
 
+    @property
+    def total_busy_cycles(self) -> int:
+        """Sum of per-tile execution cycles, excluding tracker stalls.
+
+        Unlike the makespan (``total_cycles``), this is invariant under
+        superop fusion: fused execution compresses *stall* cycles but
+        charges every covered instruction its decoded cost."""
+        return sum(t.busy_cycles for t in self.comp_tiles.values())
+
 
 #: (port, addr, word_count) — one gated access.
 Access = Tuple[int, int, int]

@@ -217,6 +217,22 @@ class TrackerFile:
             self._emit_expire(tracker)
         return verdict
 
+    def expire(self, start: int, size: int) -> None:
+        """Force-expire every tracker overlapping [start, start+size).
+
+        The fused-superop fast path uses this for ranges it proved are
+        *internal* to one fused instruction run: instead of consuming
+        the tracker update/read counts one instruction at a time, the
+        superop jumps the tracker straight to its end-of-run state —
+        EXPIRED, exactly where the per-instruction path leaves it — so a
+        persistent machine (the streaming ForwardRunner) can re-arm the
+        same range on the next image."""
+        for tracker in self._trackers:
+            if tracker.overlaps(start, size):
+                tracker.updates_seen = tracker.num_updates
+                tracker.reads_seen = tracker.num_reads
+        self._reap()
+
     def phase_of(self, start: int, size: int) -> Optional[TrackerPhase]:
         tracker = self._matching(start, size)
         return tracker.phase if tracker else None

@@ -148,17 +148,65 @@ class TestCalibratedTrackers:
             assert tracker.operand("num_reads") >= 3
 
 
-class TestScope:
-    def test_padded_pool_rejected(self):
-        b = NetworkBuilder("padpool")
-        b.input(2, 9)
-        b.conv(2, kernel=3, pad=1)
-        b.pool(3, stride=2, pad=1)
-        b.fc(2, activation=Activation.SOFTMAX)
-        net = b.build()
-        with pytest.raises(MappingError):
+def padded_pool_net(mode, activation=Activation.RELU, pad=1, window=3):
+    b = NetworkBuilder(f"padpool-{mode.value}")
+    b.input(3, 12)
+    b.conv(8, kernel=3, pad=1, activation=activation)
+    b.pool(window, stride=2, pad=pad, mode=mode)
+    b.conv(6, kernel=3, pad=1)
+    b.global_pool()
+    b.fc(4, activation=Activation.SOFTMAX)
+    return b.build()
+
+
+class TestPaddedPooling:
+    """Padded pools lower through a zero-preloaded staging plane; the
+    zero border is exactly the reference's AVG fill, and stands in for
+    the -inf MAX fill when the input is provably non-negative."""
+
+    @pytest.mark.parametrize("mode", [PoolMode.AVG, PoolMode.MAX])
+    def test_matches_reference(self, mode):
+        net = padded_pool_net(mode)
+        model = model_with_biases(net)
+        compiled = compile_dag_forward(net, model)
+        image = random_image(net)
+        out, _ = compiled.run(image)
+        np.testing.assert_allclose(
+            out, model.forward(image), rtol=0, atol=1e-5
+        )
+
+    @pytest.mark.parametrize("mode", [PoolMode.AVG, PoolMode.MAX])
+    def test_fused_bit_identical(self, mode):
+        net = padded_pool_net(mode)
+        compiled = compile_dag_forward(net, model_with_biases(net))
+        image = random_image(net)
+        fused, _ = compiled.run(image, fused=True)
+        plain, _ = compiled.run(image, fused=False)
+        assert np.array_equal(fused, plain)
+
+    def test_padded_avg_allowed_on_signed_input(self):
+        """AVG needs no sign proof: zero borders are always correct."""
+        net = padded_pool_net(PoolMode.AVG, activation=Activation.TANH)
+        compiled = compile_dag_forward(net, model_with_biases(net))
+        out, _ = compiled.run(random_image(net))
+        assert np.all(np.isfinite(out))
+
+    def test_padded_max_needs_nonnegative_input(self):
+        """A zero border could win a MAX window over a signed input,
+        so the legalizer demands a non-negativity proof."""
+        net = padded_pool_net(PoolMode.MAX, activation=Activation.TANH)
+        with pytest.raises(MappingError, match="non-negative"):
             compile_dag_forward(net, ReferenceModel(net))
 
+    def test_pad_must_stay_below_window(self):
+        """pad >= window would create all-border windows whose value
+        the staging scheme cannot represent."""
+        net = padded_pool_net(PoolMode.AVG, pad=3, window=3)
+        with pytest.raises(MappingError, match="smaller"):
+            compile_dag_forward(net, ReferenceModel(net))
+
+
+class TestScope:
     def test_three_way_product_rejected(self):
         b = NetworkBuilder("triple")
         b.input(4, 1)

@@ -40,13 +40,14 @@ def _image(net, seed=0):
 
 @pytest.fixture(scope="module", params=sorted(NETS))
 def case(request):
-    """One compiled network with legacy, fast and batched runs done."""
+    """One compiled network with legacy, fast, fused and batched runs."""
     net = NETS[request.param]()
     model = ReferenceModel(net, seed=0)
     compiled = compile_dag_forward(net, model, rows=2)
     image = _image(net)
     slow_out, slow_report = compiled.run(image, fast=False)
-    fast_out, fast_report = compiled.run(image, fast=True)
+    fast_out, fast_report = compiled.run(image, fast=True, fused=False)
+    fused_out, fused_report = compiled.run(image, fast=True, fused=True)
     images = np.stack([_image(net, seed=i) for i in range(BATCH)])
     batch_out, batch_report = compiled.run_batch(images)
     per_image = [compiled.run(img, fast=False)[0] for img in images]
@@ -54,6 +55,7 @@ def case(request):
         name=request.param, net=net, compiled=compiled,
         slow_out=slow_out, slow_report=slow_report,
         fast_out=fast_out, fast_report=fast_report,
+        fused_out=fused_out, fused_report=fused_report,
         images=images, batch_out=batch_out, batch_report=batch_report,
         per_image=per_image,
     )
@@ -72,6 +74,77 @@ class TestFastPathEquivalence:
         assert case.fast_report.instructions > 0
         assert case.fast_report.cycles > 0
         assert case.fast_report.rounds > 0
+
+
+class TestSuperopFusion:
+    """Fused (superop) execution vs the per-instruction fast path.
+
+    The contract: outputs, instruction counts and busy cycles (the sum
+    of decoded per-instruction costs) are bit-identical; only the
+    makespan-side stats (cycles/rounds/blocked counts) may shrink, as
+    superops compress tracker-stall rounds away.
+    """
+
+    def test_fused_outputs_bit_identical(self, case):
+        assert np.array_equal(case.fused_out, case.fast_out), case.name
+
+    def test_fused_report_reconciles(self, case):
+        assert case.fused_report.instructions == (
+            case.fast_report.instructions
+        ), case.name
+        assert case.fused_report.busy_cycles == (
+            case.fast_report.busy_cycles
+        ), case.name
+
+    def test_fused_makespan_no_worse(self, case):
+        assert case.fused_report.cycles <= case.fast_report.cycles
+        assert case.fused_report.rounds <= case.fast_report.rounds
+
+    def test_programs_carry_superops(self, case):
+        assert any(p.superops for p in case.compiled.programs), case.name
+
+    def test_fusion_flag_separates_cache_keys(self):
+        """fuse=True and fuse=False artifacts must not collide in the
+        compile cache: a collision would hand the fused plan to a
+        caller that asked for the plain fast path."""
+        from repro.sweep.cache import (
+            CompileCache, cached_dag_forward_codegen,
+        )
+
+        net = NETS["TinyCNN-8"]()
+        cache = CompileCache()
+        fused = cached_dag_forward_codegen(net, cache=cache, fuse=True)
+        plain = cached_dag_forward_codegen(net, cache=cache, fuse=False)
+        assert any(p.superops for p in fused.programs)
+        assert all(not p.superops for p in plain.programs)
+
+    def test_fallback_counters_name_opcode_and_reason(self):
+        """Instructions the decoder refuses are counted per opcode with
+        the refusal reason (satellite: no more silent bare-except)."""
+        from repro.telemetry import capture
+
+        net = NETS["TinyCNN-8"]()
+        compiled = compile_dag_forward(net, ReferenceModel(net, seed=0))
+        with capture() as tel:
+            compiled.run(_image(net), fast=True, fused=False)
+        fallbacks = tel.counters.group("engine.fallback")
+        assert fallbacks, "expected at least the HALT scalar fallbacks"
+        assert all(":" in key for key in fallbacks)
+        assert any(key.endswith(":scalar-control") for key in fallbacks)
+
+    def test_unexpected_decode_error_surfaces(self, monkeypatch):
+        """Only the legacy interpreter's own error types may fall back;
+        an unexpected exception is an engine bug and must propagate
+        (the old bare ``except Exception`` swallowed it)."""
+        net = NETS["TinyCNN-8"]()
+        compiled = compile_dag_forward(net, ReferenceModel(net, seed=0))
+
+        def boom(self, instr, tile_id):
+            raise RuntimeError("engine bug")
+
+        monkeypatch.setattr(Engine, "_decode_data", boom)
+        with pytest.raises(RuntimeError, match="engine bug"):
+            compiled.run(_image(net), fast=True, fused=False)
 
 
 class TestBatchedExecution:

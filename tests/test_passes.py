@@ -23,6 +23,7 @@ from repro.isa.instructions import Opcode
 
 PIPELINE_ORDER = [
     "legalize", "place-check", "tracker-assign", "schedule", "lower",
+    "fuse",
 ]
 
 
@@ -48,9 +49,26 @@ class TestPipeline:
 
     def test_lower_notes_programs_and_dialect(self):
         compiled = compile_forward(*_model_pair("TinyCNN"))
-        lower = compiled.pass_stats[-1]
+        lower = compiled.pass_stats[-2]
+        assert lower.name == "lower"
         assert lower.notes["programs"] == len(compiled.programs)
         assert lower.notes["dialect"] == "exact"
+
+    def test_fuse_notes_coverage(self):
+        compiled = compile_forward(*_model_pair("TinyCNN"))
+        fuse = compiled.pass_stats[-1]
+        assert fuse.name == "fuse"
+        assert fuse.notes["superops"] > 0
+        assert 0 < fuse.notes["coverage"] <= 1.0
+        assert fuse.notes["fused_instructions"] == sum(
+            len(s) for p in compiled.programs for s in p.superops
+        )
+
+    def test_fuse_flag_off_skips_the_pass(self):
+        net, model = _model_pair("TinyCNN")
+        compiled = ForwardCompiler(net, model, fuse=False).compile()
+        assert [s.name for s in compiled.pass_stats] == PIPELINE_ORDER[:-1]
+        assert all(not p.superops for p in compiled.programs)
 
     def test_compiled_ir_travels_with_the_programs(self):
         compiled = compile_forward(*_model_pair("TinyMLP"))

@@ -16,6 +16,7 @@ from repro.sim.validation import (
     OVERHEAD_CYCLE_FLOOR,
     ValidationReport,
     ValidationRow,
+    _skip,
     analytical_forward_cycles,
     band_for,
     cross_validate,
@@ -166,6 +167,12 @@ class TestValidationReport:
         report = _report([_row("a", 150, 120.0)], rank=0.5)
         assert any("rank agreement" in v for v in report.violations())
 
+    def test_fused_mismatch_fails(self):
+        report = _report(
+            [_row("a", 150, 120.0, fused_identical=False)]
+        )
+        assert any("bit-identical" in v for v in report.violations())
+
     def test_no_ok_rows_fails(self):
         skipped = ValidationRow(
             "a", 0, 0.0, 0, status="skipped", reason="too big"
@@ -205,9 +212,10 @@ class TestValidateZoo:
             ["TinyCNN-8", "WideCNN", "tinymlp"], speedup=False
         )
 
-    def test_explicit_names_all_ok(self, report):
+    def test_explicit_names_resolve_canonical(self, report):
+        """Requested names land under their canonical zoo spelling."""
         assert [r.network for r in report.rows] == [
-            "TinyCNN-8", "WideCNN", "tinymlp",
+            "TinyCNN-8", "WideCNN", "TinyMLP",
         ]
         assert all(r.status == "ok" for r in report.rows)
 
@@ -219,12 +227,40 @@ class TestValidateZoo:
         for row in report.rows:
             assert row.max_abs_error <= report.max_output_error
 
+    def test_fused_path_validated(self, report):
+        for row in report.rows:
+            assert row.fused_identical
+            assert 0 < row.fused_cycles <= row.engine_cycles
+
     def test_speedup_disabled(self, report):
         assert report.speedup is None
 
-    def test_oversize_network_skipped(self):
+    def test_oversize_network_runs_its_proxy(self):
+        """Networks above ENGINE_WEIGHT_LIMIT engine-execute their
+        registered proxy under the canonical name instead of skipping."""
         report = validate_zoo(["AlexNet"], speedup=False)
         (row,) = report.rows
-        assert row.status == "skipped"
-        assert "engine limit" in row.reason
-        assert not report.passed  # nothing validated
+        assert row.network == "AlexNet"
+        assert row.status == "ok"
+        assert "engine proxy" in row.reason
+        assert row.fused_identical
+        assert report.passed, report.violations()
+
+    def test_alias_duplicates_deduped(self):
+        """`vgg16` beside `VGG-D` is one network, hence one row."""
+        report = validate_zoo(["vgg16", "VGG-D"], speedup=False)
+        assert [r.network for r in report.rows] == ["VGG-D"]
+
+
+class TestSkipReason:
+    def test_multi_line_reason_collapses_to_one_line(self):
+        row = _skip(
+            "x", "scope failure:\n  op conv5 uses frobnication\n  more"
+        )
+        assert "\n" not in row.reason
+        assert "conv5" in row.reason
+
+    def test_reason_is_bounded(self):
+        row = _skip("x", "word " * 200)
+        assert len(row.reason) <= 200
+        assert row.reason.endswith("...")

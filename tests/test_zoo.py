@@ -133,3 +133,49 @@ class TestNiN:
 
         result = simulate(zoo.nin(), single_precision_node())
         assert result.training_images_per_s > 100
+
+
+class TestEngineProxies:
+    """Engine-scale proxies preserve topology while shrinking capacity."""
+
+    def test_every_benchmark_has_engine_coverage(self):
+        """Each Fig 15 network either fits the engine or has a proxy,
+        so `repro validate` never skips a benchmark."""
+        from repro.dnn.zoo.engine_proxies import PROXY_PARAMS, engine_scale
+        from repro.sim.validation import ENGINE_WEIGHT_LIMIT
+
+        for name in zoo.BENCHMARKS:
+            net = zoo.load(name)
+            if net.weight_count > ENGINE_WEIGHT_LIMIT:
+                assert name in PROXY_PARAMS, name
+                run_net, note = engine_scale(net, ENGINE_WEIGHT_LIMIT)
+                assert run_net is not None
+                assert run_net.weight_count <= ENGINE_WEIGHT_LIMIT, name
+                assert "proxy" in note
+
+    def test_proxy_preserves_topology(self):
+        from repro.dnn.zoo.engine_proxies import engine_proxy
+
+        parent = zoo.load("GoogLeNet")
+        proxy = engine_proxy("GoogLeNet")
+        assert len(proxy) == len(parent)
+        for p_node, q_node in zip(parent, proxy):
+            assert p_node.name == q_node.name
+            assert p_node.kind is q_node.kind
+            assert list(p_node.input_names) == list(q_node.input_names)
+
+    def test_proxy_keeps_grouped_convs_divisible(self):
+        from repro.dnn.layers import ConvSpec
+        from repro.dnn.zoo.engine_proxies import engine_proxy
+
+        proxy = engine_proxy("AlexNet")
+        for node in proxy:
+            if isinstance(node.spec, ConvSpec) and node.spec.groups > 1:
+                assert node.spec.out_features % node.spec.groups == 0
+
+    def test_connection_table_conv_rejected(self):
+        from repro.dnn.zoo.engine_proxies import shrink_for_engine
+        from repro.errors import MappingError
+
+        with pytest.raises(MappingError, match="connection-table"):
+            shrink_for_engine(zoo.lenet5(), 2, 16)
